@@ -1,0 +1,18 @@
+"""Benchmark: GC cold-data segregation (paper §5.4.2 policy sketch).
+
+Runs the experiment once under pytest-benchmark (the measured quantity
+is simulator wall-clock; the experiment's own results are virtual-time
+rows saved to results/ and asserted against the expected shape).
+"""
+
+from repro.bench import exp_ablation_cold_segregation
+
+
+def test_ablation_cold_segregation(benchmark):
+    result = benchmark.pedantic(exp_ablation_cold_segregation, rounds=1,
+                                iterations=1)
+    print()
+    print(result.render())
+    result.save()
+    assert result.passed(), "\n".join(
+        check.render() for check in result.failures())

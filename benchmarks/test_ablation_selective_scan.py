@@ -1,0 +1,17 @@
+"""Benchmark: selective activation scans via epoch summaries (paper §7 extension).
+
+Runs the experiment once under pytest-benchmark (the measured quantity
+is simulator wall-clock; the experiment's own results are virtual-time
+rows saved to results/ and asserted against the expected shape).
+"""
+
+from repro.bench import exp_ablation_selective_scan
+
+
+def test_ablation_selective_scan(benchmark):
+    result = benchmark.pedantic(exp_ablation_selective_scan, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    result.save()
+    assert result.passed(), "\n".join(
+        check.render() for check in result.failures())

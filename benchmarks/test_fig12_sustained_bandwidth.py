@@ -1,0 +1,17 @@
+"""Benchmark: sustained bandwidth as snapshots accumulate (paper Figure 12).
+
+Runs the experiment once under pytest-benchmark (the measured quantity
+is simulator wall-clock; the experiment's own results are virtual-time
+rows saved to results/ and asserted against the paper's shape).
+"""
+
+from repro.bench import exp_fig12
+
+
+def test_fig12_sustained_bandwidth(benchmark):
+    result = benchmark.pedantic(exp_fig12, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    result.save()
+    assert result.passed(), "\n".join(
+        check.render() for check in result.failures())

@@ -1,0 +1,17 @@
+"""Benchmark: impact of snapshot creation on write latency (paper Figure 7).
+
+Runs the experiment once under pytest-benchmark (the measured quantity
+is simulator wall-clock; the experiment's own results are virtual-time
+rows saved to results/ and asserted against the paper's shape).
+"""
+
+from repro.bench import exp_fig7
+
+
+def test_fig7_create_impact(benchmark):
+    result = benchmark.pedantic(exp_fig7, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    result.save()
+    assert result.passed(), "\n".join(
+        check.render() for check in result.failures())

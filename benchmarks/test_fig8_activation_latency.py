@@ -1,0 +1,17 @@
+"""Benchmark: snapshot activation latency (paper Figure 8).
+
+Runs the experiment once under pytest-benchmark (the measured quantity
+is simulator wall-clock; the experiment's own results are virtual-time
+rows saved to results/ and asserted against the paper's shape).
+"""
+
+from repro.bench import exp_fig8
+
+
+def test_fig8_activation_latency(benchmark):
+    result = benchmark.pedantic(exp_fig8, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    result.save()
+    assert result.passed(), "\n".join(
+        check.render() for check in result.failures())

@@ -1,0 +1,17 @@
+"""Benchmark: read latency during rate-limited activation (paper Figure 9).
+
+Runs the experiment once under pytest-benchmark (the measured quantity
+is simulator wall-clock; the experiment's own results are virtual-time
+rows saved to results/ and asserted against the paper's shape).
+"""
+
+from repro.bench import exp_fig9
+
+
+def test_fig9_activation_interference(benchmark):
+    result = benchmark.pedantic(exp_fig9, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    result.save()
+    assert result.passed(), "\n".join(
+        check.render() for check in result.failures())

@@ -1,0 +1,18 @@
+"""Benchmark: crash-recovery mount time (supplemental; paper §5.5
+describes the mechanism but does not measure it).
+
+Runs the experiment once under pytest-benchmark (the measured quantity
+is simulator wall-clock; the experiment's own results are virtual-time
+rows saved to results/ and asserted against the expected shape).
+"""
+
+from repro.bench import exp_recovery_time
+
+
+def test_supplemental_recovery_time(benchmark):
+    result = benchmark.pedantic(exp_recovery_time, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    result.save()
+    assert result.passed(), "\n".join(
+        check.render() for check in result.failures())

@@ -1,0 +1,17 @@
+"""Benchmark: regular read/write operations, vanilla vs ioSnap (paper Table 2).
+
+Runs the experiment once under pytest-benchmark (the measured quantity
+is simulator wall-clock; the experiment's own results are virtual-time
+rows saved to results/ and asserted against the paper's shape).
+"""
+
+from repro.bench import exp_table2
+
+
+def test_table2_regular_ops(benchmark):
+    result = benchmark.pedantic(exp_table2, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    result.save()
+    assert result.passed(), "\n".join(
+        check.render() for check in result.failures())

@@ -1,0 +1,17 @@
+"""Benchmark: memory overheads of activation (paper Table 3).
+
+Runs the experiment once under pytest-benchmark (the measured quantity
+is simulator wall-clock; the experiment's own results are virtual-time
+rows saved to results/ and asserted against the paper's shape).
+"""
+
+from repro.bench import exp_table3
+
+
+def test_table3_activation_memory(benchmark):
+    result = benchmark.pedantic(exp_table3, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    result.save()
+    assert result.passed(), "\n".join(
+        check.render() for check in result.failures())

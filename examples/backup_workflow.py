@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Backup workflow: fine-grained change tracking on a busy "database".
+
+The paper's motivation (§3.1): flash fills fast (a 30K-IOPS database
+workload fills a 1 TB device in about an hour), so snapshots must be
+cheap enough to take *frequently*.  This example simulates that
+pattern:
+
+- a database-style random-write workload runs continuously;
+- a snapshot is taken every "5 minutes" of simulated time (scaled);
+- the machine then crashes mid-workload;
+- after crash recovery, the operator activates the last good snapshot
+  and restores corrupted records from it.
+
+Run: ``python examples/backup_workflow.py``
+"""
+
+import random
+
+from repro import IoSnapDevice, Kernel
+from repro.nand import NandConfig, NandGeometry
+
+PAGE = 4096
+RECORDS = 600
+ROUNDS = 4
+WRITES_PER_ROUND = 500
+
+
+def record_bytes(record: int, version: int) -> bytes:
+    return f"record={record} version={version}".encode()
+
+
+def main() -> None:
+    kernel = Kernel()
+    geometry = NandGeometry(page_size=PAGE, pages_per_block=64,
+                            blocks_per_die=64, dies=8, channels=4)
+    device = IoSnapDevice.create(kernel, NandConfig(geometry=geometry))
+    rng = random.Random(2014)
+
+    # Seed the database.
+    versions = {}
+    for record in range(RECORDS):
+        device.write(record, record_bytes(record, 0))
+        versions[record] = 0
+    print(f"seeded {RECORDS} records")
+
+    # Busy workload + periodic snapshots.
+    snapshots = []
+    version_history = []
+    for round_no in range(1, ROUNDS + 1):
+        for _ in range(WRITES_PER_ROUND):
+            record = rng.randrange(RECORDS)
+            versions[record] += 1
+            device.write(record, record_bytes(record, versions[record]))
+        snap = device.snapshot_create(f"backup-round-{round_no}")
+        snapshots.append(snap)
+        version_history.append(dict(versions))
+        print(f"round {round_no}: snapshot {snap.name!r} taken at "
+              f"t={kernel.now / 1e9:.3f}s "
+              f"(create cost "
+              f"{device.snap_metrics.create_latencies_ns[-1] / 1000:.0f} us)")
+
+    # Some more writes... and then the power goes out.
+    for _ in range(200):
+        record = rng.randrange(RECORDS)
+        versions[record] += 1
+        device.write(record, record_bytes(record, versions[record]))
+    device.crash()
+    print("\n*** power failure ***\n")
+
+    # Reopen: crash recovery rebuilds the active state AND the snapshot
+    # tree purely from the log.
+    recovered = IoSnapDevice.open(kernel, device.nand)
+    names = [s.name for s in recovered.snapshots()]
+    print(f"recovered device; snapshots found on media: {names}")
+    assert names == [s.name for s in snapshots]
+
+    # The active data survived the crash too (writes were on the log).
+    sample = recovered.read(0).rstrip(b"\x00").decode()
+    print(f"active record 0 after recovery: {sample!r}")
+
+    # Disaster recovery: activate the last backup and restore a
+    # "corrupted" record range from it.
+    view = recovered.snapshot_activate(snapshots[-1].name)
+    print(f"activated {snapshots[-1].name!r} "
+          f"({len(view.map)} blocks, scan {view.scan_ns / 1e6:.1f} ms)")
+    restored = 0
+    expected = version_history[-1]
+    for record in range(0, 50):
+        frozen = view.read(record)
+        assert frozen.rstrip(b"\x00") == record_bytes(record,
+                                                      expected[record])
+        recovered.write(record, frozen)
+        restored += 1
+    view.deactivate()
+    print(f"restored {restored} records from the backup")
+
+    # Retention policy: keep only the last two backups.
+    for snap in snapshots[:-2]:
+        recovered.snapshot_delete(snap.name)
+    print(f"pruned old backups; remaining: "
+          f"{[s.name for s in recovered.snapshots()]}")
+    print(f"space the cleaner can now reclaim is freed lazily; "
+          f"segments cleaned so far: {recovered.cleaner.segments_cleaned}")
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Flash-native vs disk-optimized snapshots, side by side (paper §6.4).
+
+Runs the same workload — preload, then random writes with a snapshot
+every N writes — on ioSnap and on the Btrfs-like CoW baseline, and
+reports each system's deviation from its own baseline latency plus its
+bandwidth trend.  A condensed, narrated version of Figures 11 and 12.
+
+Run: ``python examples/flash_vs_disk_snapshots.py``
+"""
+
+from repro import BtrfsConfig, BtrfsLikeDevice, IoSnapDevice, Kernel
+from repro.bench.configs import bench_iosnap_config, bench_nand, large_geometry
+from repro.bench.experiments_baseline import (
+    _run_with_periodic_snapshots,
+    _window_means,
+)
+from repro.sim.stats import NS_PER_MS, NS_PER_US
+
+
+def report(name: str, run: dict) -> None:
+    means = _window_means(run["latency"], 20 * NS_PER_MS)
+    median = sorted(means)[len(means) // 2]
+    worst = max(means)
+    series = run["bandwidth"].series(name)
+    ys = series.ys[:-1]
+    quarter = max(1, len(ys) // 4)
+    first = sum(ys[:quarter]) / quarter
+    last = sum(ys[-quarter:]) / quarter
+    print(f"{name}:")
+    print(f"  snapshots taken:        {len(run['snapshot_times'])}")
+    print(f"  typical write latency:  {median / NS_PER_US:.0f} us "
+          f"(20 ms window median)")
+    print(f"  worst window:           {worst / NS_PER_US:.0f} us "
+          f"({worst / median:.2f}x baseline)")
+    print(f"  bandwidth trend:        {first:.2f} -> {last:.2f} MB/s "
+          f"({last / first:.2f}x)")
+    print()
+
+
+def main() -> None:
+    preload, writes, snaps = 5000, 5000, 8
+    every = writes // (snaps + 1)
+
+    kernel = Kernel()
+    iosnap = IoSnapDevice.create(kernel, bench_nand(large_geometry()),
+                                 bench_iosnap_config())
+    io_run = _run_with_periodic_snapshots(
+        iosnap, preload, writes, preload,
+        snapshot_every_writes=every, max_snapshots=snaps)
+
+    kernel2 = Kernel()
+    btrfs = BtrfsLikeDevice.create(kernel2, bench_nand(large_geometry()),
+                                   BtrfsConfig(commit_interval_writes=32))
+    bt_run = _run_with_periodic_snapshots(
+        btrfs, preload, writes, preload,
+        snapshot_every_writes=every, max_snapshots=snaps)
+
+    print("Same workload, same simulated flash, two snapshot designs:\n")
+    report("ioSnap (FTL-native snapshots)", io_run)
+    report("Btrfs-like (shadowing CoW B-tree)", bt_run)
+    print("The FTL was already remap-on-write, so retaining snapshots is")
+    print("nearly free on the foreground path; the disk-optimized design")
+    print("pays metadata CoW on every post-snapshot write and its commit")
+    print("cost grows as snapshots pin more extents.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""A tiny key-value store with snapshot-backed checkpoints.
+
+Shows how an application stacks on the reproduction's layers:
+
+- :class:`ByteVolume` turns the block device into a byte-addressable
+  volume (read-modify-write under the hood);
+- a fixed-slot KV store lives on the volume;
+- ioSnap snapshots give the store O(1) *checkpoints* with instant
+  creation and rollback-by-activation — no write-ahead log, no
+  double-buffering, because the FTL underneath never overwrites data.
+
+Run: ``python examples/kv_checkpoint_store.py``
+"""
+
+import struct
+
+from repro import ByteVolume, IoSnapDevice, Kernel
+
+SLOT_SIZE = 64
+KEY_SIZE = 16
+VALUE_SIZE = SLOT_SIZE - KEY_SIZE - 4   # u32 length prefix
+SLOTS = 256
+
+
+class TinyKV:
+    """Fixed-slot hash table on a byte volume.  Deliberately naive."""
+
+    def __init__(self, volume: ByteVolume) -> None:
+        self.volume = volume
+
+    def _slot_offset(self, key: bytes) -> int:
+        # Linear probing from the key's hash slot.
+        index = sum(key) % SLOTS
+        for probe in range(SLOTS):
+            offset = ((index + probe) % SLOTS) * SLOT_SIZE
+            stored = self.volume.pread(offset, KEY_SIZE)
+            if stored == key.ljust(KEY_SIZE, b"\x00") or not any(stored):
+                return offset
+        raise RuntimeError("store full")
+
+    def put(self, key: str, value: str) -> None:
+        kb = key.encode()[:KEY_SIZE]
+        vb = value.encode()[:VALUE_SIZE]
+        offset = self._slot_offset(kb)
+        record = (kb.ljust(KEY_SIZE, b"\x00")
+                  + struct.pack("<I", len(vb)) + vb)
+        self.volume.pwrite(offset, record)
+
+    def get(self, key: str) -> str:
+        kb = key.encode()[:KEY_SIZE]
+        offset = self._slot_offset(kb)
+        raw = self.volume.pread(offset, SLOT_SIZE)
+        if not any(raw[:KEY_SIZE]):
+            raise KeyError(key)
+        (length,) = struct.unpack_from("<I", raw, KEY_SIZE)
+        return raw[KEY_SIZE + 4:KEY_SIZE + 4 + length].decode()
+
+
+def main() -> None:
+    kernel = Kernel()
+    device = IoSnapDevice.create(kernel)
+    store = TinyKV(ByteVolume(device))
+
+    store.put("alice", "balance=100")
+    store.put("bob", "balance=250")
+    checkpoint = device.snapshot_create("before-batch")
+    print(f"checkpoint {checkpoint.name!r} taken "
+          f"(cost: {device.snap_metrics.create_latencies_ns[-1] / 1000:.0f} "
+          "us of device time)")
+
+    # A "batch job" goes wrong halfway through.
+    store.put("alice", "balance=0")
+    store.put("carol", "balance=9999999")   # oops: corrupt record
+    print("after the bad batch:   alice ->", store.get("alice"))
+
+    # Peek at the checkpoint, then roll the whole volume back to it.
+    view = device.snapshot_activate("before-batch")
+    frozen = TinyKV(ByteVolume(view))
+    print("in the checkpoint:     alice ->", frozen.get("alice"))
+    view.deactivate()
+
+    from repro.core import snapshot_rollback
+    report = snapshot_rollback(device, "before-batch")
+    print(f"rollback: {report['rewritten']} blocks rewritten, "
+          f"{report['trimmed']} trimmed, "
+          f"{report['skipped_identical']} already identical")
+    try:
+        store.get("carol")
+        restored_carol = "still present (!)"
+    except KeyError:
+        restored_carol = "gone, as expected"
+    print("after rollback:        alice ->", store.get("alice"),
+          "| carol:", restored_carol)
+    assert store.get("alice") == "balance=100"
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Writable snapshot clones: dev/test against production data.
+
+The paper's design (§5.6) supports writable activations — "a new
+writable device which resembles the snapshot (but never overwrites the
+snapshot)" — though its prototype only shipped read-only ones.  This
+reproduction implements both; this example uses the writable extension
+to spin up a throwaway clone of a "production" volume, mutate it, and
+show that neither production nor the snapshot notices.
+
+Run: ``python examples/writable_clones.py``
+"""
+
+from repro import IoSnapConfig, IoSnapDevice, Kernel
+
+
+def main() -> None:
+    kernel = Kernel()
+    device = IoSnapDevice.create(
+        kernel, config=IoSnapConfig(writable_activations=True))
+
+    # Production data.
+    for lba in range(32):
+        device.write(lba, f"prod row {lba}".encode())
+    snap = device.snapshot_create("nightly")
+    print(f"production volume: 32 rows; snapshot {snap.name!r} taken")
+
+    # Production keeps changing after the snapshot.
+    for lba in range(8):
+        device.write(lba, f"prod row {lba} (updated)".encode())
+
+    # Spin up a writable clone from the snapshot and run a destructive
+    # "test migration" on it.
+    clone = device.snapshot_activate("nightly")
+    assert clone.writable
+    print(f"writable clone active on fork epoch {clone.epoch}")
+    for lba in range(32):
+        original = clone.read(lba).rstrip(b"\x00").decode()
+        clone.write(lba, f"{original} + MIGRATED".encode())
+    migrated = clone.read(5).rstrip(b"\x00").decode()
+    print(f"clone row 5 after test migration: {migrated!r}")
+
+    # Production and the snapshot are untouched.
+    prod = device.read(5).rstrip(b"\x00").decode()
+    print(f"production row 5:                 {prod!r}")
+    assert "MIGRATED" not in prod
+
+    clone.deactivate()
+    print("clone discarded (its fork epoch becomes garbage for the cleaner)")
+
+    # The snapshot still shows the original, pre-update rows.
+    check = device.snapshot_activate("nightly")
+    frozen = check.read(5).rstrip(b"\x00").decode()
+    print(f"snapshot row 5 (re-activated):    {frozen!r}")
+    assert frozen == "prod row 5"
+    check.deactivate()
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Comparator systems: the disk-optimized snapshot baseline (§6.4)."""
+
+from repro.baselines.btrfs import BtrfsConfig, BtrfsLikeDevice, BtrfsMetrics
+from repro.baselines.cow_btree import CowBTree, CowNode
+
+__all__ = [
+    "BtrfsConfig",
+    "BtrfsLikeDevice",
+    "BtrfsMetrics",
+    "CowBTree",
+    "CowNode",
+]

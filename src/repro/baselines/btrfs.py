@@ -1,0 +1,367 @@
+"""A Btrfs-like disk-optimized snapshotting block store (paper §6.4).
+
+The paper compares ioSnap against Btrfs running on the same flash
+hardware.  This module provides that comparator at the altitude the
+paper uses it: a block device whose snapshot mechanism is a shadowing,
+refcounted CoW B-tree committed to flash — the class of design every
+disk-optimized snapshot system shares — rather than a byte-accurate
+Btrfs re-implementation.
+
+Where the costs come from (and what the figures measure):
+
+- every data write dirties the B-tree path to its leaf;
+- dirty metadata is flushed by *commits* (every
+  ``commit_interval_writes`` writes, and always at snapshot creation);
+  commits run in a background flusher (btrfs's transaction kthread)
+  whose metadata writes contend with foreground data writes for the
+  device — these are the foreground latency spikes of Figure 11.  A
+  foreground writer that gets a full interval ahead of an in-flight
+  commit is throttled until the commit finishes (the dirty limit);
+- snapshot creation pins the committed root and re-shares the whole
+  tree, so post-snapshot writes must shadow shared nodes and persist
+  child refcount updates (extent-tree pages) — the 3x degradation
+  window of Figure 11;
+- each commit also rewrites the tree-of-roots (one page per
+  ``roots_per_page`` snapshots), so commit cost grows as snapshots
+  accumulate — the declining sustained bandwidth of Figure 12.
+
+Space reclamation: blocks whose pages are all stale are erased and
+recycled; pages shared with a snapshot are never stale.  Partial-block
+compaction (full GC) is intentionally out of scope for the baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional, Set
+
+from repro.baselines.cow_btree import CowBTree
+from repro.errors import FtlError, LbaError, SnapshotError
+from repro.nand.device import NandDevice
+from repro.nand.geometry import NandConfig
+from repro.nand.oob import OobHeader, PageKind
+from repro.sim import Kernel, Lock
+
+
+@dataclass
+class BtrfsConfig:
+    """Tunables for the baseline store."""
+
+    node_order: int = 16
+    commit_interval_writes: int = 128
+    refs_per_extent_page: int = 64
+    roots_per_page: int = 32
+    op_ratio: float = 0.1   # exported LBA fraction held back
+
+
+@dataclass
+class BtrfsMetrics:
+    writes: int = 0
+    reads: int = 0
+    commits: int = 0
+    metadata_pages_written: int = 0
+    data_pages_written: int = 0
+    shadow_copies: int = 0
+    blocks_recycled: int = 0
+    snapshot_count: int = 0
+
+
+class _PageAllocator:
+    """Bump allocator with whole-block recycling of fully-stale blocks."""
+
+    def __init__(self, kernel: Kernel, nand: NandDevice) -> None:
+        self.nand = nand
+        geometry = nand.geometry
+        self.pages_per_block = geometry.pages_per_block
+        self._fresh_blocks = list(range(geometry.total_blocks))
+        self._current_block: Optional[int] = None
+        self._next_in_block = 0
+        self._stale: Dict[int, Set[int]] = {}   # block -> stale page offsets
+        # Foreground writes and the background commit flusher allocate
+        # concurrently; recycling yields (erase), so serialize.
+        self._lock = Lock(kernel)
+
+    def mark_stale(self, ppn: int) -> None:
+        block, offset = divmod(ppn, self.pages_per_block)
+        self._stale.setdefault(block, set()).add(offset)
+
+    def alloc(self) -> Generator:
+        """Yieldable allocation: may erase-recycle a fully stale block."""
+        yield self._lock.acquire()
+        try:
+            if (self._current_block is None
+                    or self._next_in_block >= self.pages_per_block):
+                if self._fresh_blocks:
+                    self._current_block = self._fresh_blocks.pop(0)
+                else:
+                    self._current_block = yield from self._recycle()
+                self._next_in_block = 0
+            ppn = (self._current_block * self.pages_per_block
+                   + self._next_in_block)
+            self._next_in_block += 1
+        finally:
+            self._lock.release()
+        return ppn
+
+    def _recycle(self) -> Generator:
+        for block, stale in self._stale.items():
+            if len(stale) >= self.pages_per_block:
+                yield from self.nand.erase_block(block)
+                del self._stale[block]
+                return block
+        raise FtlError(
+            "baseline store is full (only whole-stale blocks are "
+            "recycled; partial compaction is out of scope)")
+
+
+class BtrfsLikeDevice:
+    """Block device with CoW-B-tree snapshots, Btrfs style."""
+
+    def __init__(self, kernel: Kernel, nand: NandDevice,
+                 config: Optional[BtrfsConfig] = None) -> None:
+        self.kernel = kernel
+        self.nand = nand
+        self.config = config or BtrfsConfig()
+        self.block_size = nand.geometry.page_size
+        self.num_lbas = int(nand.geometry.total_pages
+                            * (1.0 - self.config.op_ratio))
+        self.tree = CowBTree(order=self.config.node_order)
+        self.metrics = BtrfsMetrics()
+        self._alloc = _PageAllocator(kernel, nand)
+        self._commit_in_flight = None   # Process of the running commit
+        self._snap_roots: Dict[str, int] = {}
+        self._writes_since_commit = 0
+        self._write_index = 0
+        self._last_snapshot_index = -1
+        self._data_index: Dict[int, int] = {}   # data ppn -> write index
+        self._seq = 0
+        # Extent-tree model: every live page (data or metadata) has a
+        # refcount record; commits rewrite the extent leaves touched by
+        # this interval's allocations/frees/refcount bumps.  As
+        # snapshots pin extents, the tree grows and the same number of
+        # random updates dirties more distinct leaves.
+        self._live_extents = 0
+        self._pending_alloc_ops = 0    # clustered (sequential allocation)
+        self._pending_random_ops = 0   # frees + refcount bumps, scattered
+        # On-flash extent-tree and tree-of-roots pages.  Unlike
+        # subvolume trees, these are NOT snapshotted in btrfs: old
+        # generations die as they are rewritten, so we retire the
+        # oldest pages beyond the structures' current size.
+        self._extent_page_pool: List[int] = []
+        self._roots_page_pool: List[int] = []
+
+    @classmethod
+    def create(cls, kernel: Kernel,
+               nand_config: Optional[NandConfig] = None,
+               config: Optional[BtrfsConfig] = None) -> "BtrfsLikeDevice":
+        return cls(kernel, NandDevice(kernel, nand_config), config)
+
+    # -- synchronous façade -----------------------------------------------
+    def write(self, lba: int, data: Optional[bytes] = None) -> None:
+        self.kernel.run_process(self.write_proc(lba, data),
+                                name=f"btrfs-write@{lba}")
+
+    def read(self, lba: int) -> bytes:
+        return self.kernel.run_process(self.read_proc(lba),
+                                       name=f"btrfs-read@{lba}")
+
+    def snapshot_create(self, name: str) -> None:
+        self.kernel.run_process(self.snapshot_create_proc(name),
+                                name="btrfs-snap")
+
+    # -- I/O processes ------------------------------------------------------
+    def write_proc(self, lba: int, data: Optional[bytes] = None) -> Generator:
+        self._check_lba(lba)
+        ppn = yield from self._program(PageKind.DATA, lba, data)
+        self.metrics.data_pages_written += 1
+        old = self.tree.insert(lba, ppn)
+        self._data_index[ppn] = self._write_index
+        if old is not None:
+            self._retire_data(old)
+        self._write_index += 1
+        self.metrics.writes += 1
+        self._writes_since_commit += 1
+        if self._writes_since_commit >= self.config.commit_interval_writes:
+            if self._commit_in_flight is None:
+                # Kick the background flusher (btrfs transaction
+                # kthread); its metadata writes contend with us.
+                self._writes_since_commit = 0
+                self._commit_in_flight = self.kernel.spawn(
+                    self._commit_bg(), name="btrfs-commit")
+            elif (self._writes_since_commit
+                  >= self.config.commit_interval_writes):
+                # A full interval ahead of an unfinished commit: the
+                # dirty limit throttles the foreground writer.
+                yield self._commit_in_flight
+
+    def read_proc(self, lba: int) -> Generator:
+        self._check_lba(lba)
+        self.metrics.reads += 1
+        ppn = self.tree.get(lba)
+        if ppn is None:
+            yield 1_000
+            return bytes(self.block_size)
+        record = yield from self.nand.read_page(ppn)
+        return self._payload(record)
+
+    def read_snapshot(self, name: str, lba: int) -> bytes:
+        """Read through a snapshot root (instant access — Btrfs keeps
+        all snapshot metadata in the active tree structures)."""
+        root_id = self._snap_roots.get(name)
+        if root_id is None:
+            raise SnapshotError(f"no snapshot named {name!r}")
+        self._check_lba(lba)
+        ppn = self.tree.get(lba, root_id=root_id)
+        if ppn is None:
+            return bytes(self.block_size)
+        record = self.kernel.run_process(self.nand.read_page(ppn))
+        return self._payload(record)
+
+    def _commit_bg(self) -> Generator:
+        try:
+            yield from self._commit()
+        finally:
+            self._commit_in_flight = None
+
+    def snapshot_create_proc(self, name: str) -> Generator:
+        if name in self._snap_roots:
+            raise SnapshotError(f"snapshot {name!r} already exists")
+        if self._commit_in_flight is not None:
+            yield self._commit_in_flight
+        yield from self._commit()
+        self._snap_roots[name] = self.tree.root_id
+        self.tree.mark_tree_shared()
+        self._last_snapshot_index = self._write_index
+        self.metrics.snapshot_count += 1
+        # Persist the new tree-of-roots immediately (the snapshot must
+        # survive a crash), which is one more small commit.
+        yield from self._flush_roots()
+
+    def snapshot_delete(self, name: str) -> None:
+        """Unpin a snapshot root.
+
+        Note: the baseline does not reclaim the unpinned metadata/data
+        (that requires full refcount GC, out of scope); deletion only
+        removes the root from the tree-of-roots.
+        """
+        if name not in self._snap_roots:
+            raise SnapshotError(f"no snapshot named {name!r}")
+        del self._snap_roots[name]
+
+    def snapshots(self) -> List[str]:
+        return sorted(self._snap_roots)
+
+    # -- internals -------------------------------------------------------------
+    def _check_lba(self, lba: int) -> None:
+        if not 0 <= lba < self.num_lbas:
+            raise LbaError(f"lba {lba} out of range [0, {self.num_lbas})")
+
+    def _payload(self, record) -> bytes:
+        data = record.data
+        if data is None:
+            return bytes(self.block_size)
+        if len(data) < self.block_size:
+            return data + bytes(self.block_size - len(data))
+        return data
+
+    def _retire_data(self, old_ppn: int) -> None:
+        """Old data page becomes stale only if no snapshot pinned it."""
+        written_at = self._data_index.get(old_ppn, -1)
+        if written_at > self._last_snapshot_index:
+            self._alloc.mark_stale(old_ppn)
+            self._data_index.pop(old_ppn, None)
+            self._live_extents -= 1
+            self._pending_random_ops += 1
+
+    def _program(self, kind: PageKind, lba: int,
+                 data: Optional[bytes]) -> Generator:
+        ppn = yield from self._alloc.alloc()
+        self._seq += 1
+        header = OobHeader(kind=kind, lba=lba, epoch=0, seq=self._seq,
+                           length=len(data) if data is not None else 0)
+        yield from self.nand.program_page(ppn, header, data)
+        self._live_extents += 1
+        self._pending_alloc_ops += 1
+        return ppn
+
+    def _commit(self) -> Generator:
+        """Flush dirty tree nodes, extent pages, and the roots page(s).
+
+        Captures and resets the dirty state up front: the foreground
+        keeps dirtying nodes while the flush is in flight, and those
+        belong to the *next* transaction.
+        """
+        tree = self.tree
+        dirty = tree.dirty_nodes()
+        refcount_updates = (tree.pending_refcount_updates
+                            + self._pending_random_ops)
+        alloc_ops = self._pending_alloc_ops
+        tree.clear_dirty()
+        self._pending_alloc_ops = 0
+        self._pending_random_ops = 0
+        for node_id in dirty:
+            node = tree.node(node_id)
+            old_ppn = node.ppn
+            node.ppn = yield from self._program(PageKind.SEGMENT_HEADER,
+                                                node_id, None)
+            self.metrics.metadata_pages_written += 1
+            if old_ppn is not None:
+                # The previous on-flash shadow of this node is dead
+                # unless a snapshot pinned the node.
+                if node_id not in tree._shared:
+                    self._alloc.mark_stale(old_ppn)
+                    self._live_extents -= 1
+                    self._pending_random_ops += 1
+        extent_pages = self._extent_pages_to_write(alloc_ops,
+                                                   refcount_updates)
+        for _ in range(extent_pages):
+            ppn = yield from self._program(PageKind.SEGMENT_HEADER, 0, None)
+            self._extent_page_pool.append(ppn)
+            self.metrics.metadata_pages_written += 1
+        # Rewritten extent leaves supersede old generations: keep only
+        # as many live extent pages as the tree currently needs.
+        target = max(1, -(-max(self._live_extents, 1)
+                          // self.config.refs_per_extent_page))
+        while len(self._extent_page_pool) > target:
+            old = self._extent_page_pool.pop(0)
+            self._alloc.mark_stale(old)
+            self._live_extents -= 1
+            self._pending_random_ops += 1
+        self.metrics.shadow_copies = tree.shadow_copies
+        self.metrics.commits += 1
+        yield from self._flush_roots()
+
+    def _extent_pages_to_write(self, allocs: int, random_updates: int) -> int:
+        """Expected distinct extent-tree leaves dirtied by this commit.
+
+        New allocations are sequential, so they pack densely into
+        ``allocs / refs_per_extent_page`` leaves.  Frees and refcount
+        bumps hit extents scattered across the whole tree: with L
+        leaves and K uniformly-spread updates the expected touched
+        count is L * (1 - (1 - 1/L)^K).  Snapshot-pinned extents keep
+        L growing, so the same refcount traffic dirties ever more
+        leaves — this is the mechanism behind Figure 12's declining
+        sustained bandwidth.
+        """
+        pages = 0
+        if allocs > 0:
+            pages += -(-allocs // self.config.refs_per_extent_page)
+        if random_updates > 0:
+            leaves = max(1, -(-max(self._live_extents, 1)
+                              // self.config.refs_per_extent_page))
+            expected = leaves * (1.0 - (1.0 - 1.0 / leaves) ** random_updates)
+            pages += max(1, int(round(expected)))
+        return pages
+
+    def _flush_roots(self) -> Generator:
+        """Write the tree-of-roots: grows with the snapshot count."""
+        root_pages = 1 + len(self._snap_roots) // self.config.roots_per_page
+        for _ in range(root_pages):
+            ppn = yield from self._program(PageKind.CHECKPOINT, 0, None)
+            self._roots_page_pool.append(ppn)
+            self.metrics.metadata_pages_written += 1
+        # The previous generation of the tree-of-roots is dead.
+        while len(self._roots_page_pool) > root_pages:
+            old = self._roots_page_pool.pop(0)
+            self._alloc.mark_stale(old)
+            self._live_extents -= 1

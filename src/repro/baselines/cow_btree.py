@@ -1,0 +1,229 @@
+"""A refcounted, shadowing copy-on-write B-tree (the Btrfs mechanism).
+
+This is the disk-optimized snapshot substrate the paper compares
+against in §6.4.  The essential mechanics modeled here:
+
+- the tree lives *on flash*: every committed node occupies a page;
+- modification is by *shadowing*: a node shared with a snapshot
+  (refcount considered > 1 anywhere up the tree) is copied before
+  being changed, and the copy propagates to the root;
+- child references are refcounted; shadowing a node increments the
+  refcount of every child it points to — these are the "extent tree"
+  updates that make the first write after a snapshot so expensive;
+- snapshot creation pins the current committed root (O(1)), but
+  re-shares the entire tree, so the post-snapshot write path degrades
+  until paths have been un-shared again (paper Figure 11), and as
+  snapshots accumulate the retained metadata keeps growing (Figure 12).
+
+The tree is deliberately small-order so metadata I/O is visible at
+simulation scale, just as 16 KB btrfs nodes are visible at disk scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+
+@dataclass
+class CowNode:
+    """One B-tree node; ``ppn`` is None while dirty (not yet committed)."""
+
+    is_leaf: bool
+    keys: List[int] = field(default_factory=list)
+    # Leaves: values[i] is a data PPN.  Internal: children[i] are node ids.
+    values: List[int] = field(default_factory=list)
+    children: List[int] = field(default_factory=list)
+    ppn: Optional[int] = None
+
+
+class CowBTree:
+    """In-memory working state of the on-flash CoW B-tree.
+
+    Nodes are identified by integer ids; committed nodes also have the
+    PPN their last shadow was written to.  ``shared`` marks nodes
+    reachable from some pinned snapshot root: touching them forces a
+    shadow copy plus child refcount updates.
+    """
+
+    def __init__(self, order: int = 16) -> None:
+        if order < 4:
+            raise ValueError("order must be >= 4")
+        self.order = order
+        self._nodes: Dict[int, CowNode] = {}
+        self._next_id = 0
+        self._dirty: set = set()
+        self._shared: set = set()
+        self.root_id = self._new_node(is_leaf=True)
+        # Even an empty tree's root must be committed before it can be
+        # safely pinned by a snapshot.
+        self._dirty.add(self.root_id)
+        # Metadata activity since the last commit, for the block store
+        # to turn into I/O: freshly shadowed nodes and refcount bumps.
+        self.pending_refcount_updates = 0
+        self.shadow_copies = 0
+
+    # -- node bookkeeping ---------------------------------------------------
+    def _new_node(self, is_leaf: bool) -> int:
+        node_id = self._next_id
+        self._next_id += 1
+        self._nodes[node_id] = CowNode(is_leaf=is_leaf)
+        return node_id
+
+    def node(self, node_id: int) -> CowNode:
+        return self._nodes[node_id]
+
+    def dirty_nodes(self) -> List[int]:
+        return sorted(self._dirty)
+
+    def clear_dirty(self) -> None:
+        self._dirty.clear()
+        self.pending_refcount_updates = 0
+
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    def mark_tree_shared(self) -> None:
+        """Snapshot: every committed node becomes shared with the pin."""
+        self._shared.update(
+            node_id for node_id, node in self._nodes.items()
+            if node.ppn is not None)
+
+    def _writable(self, node_id: int) -> int:
+        """Shadow ``node_id`` if it is shared; return a mutable node id."""
+        node = self._nodes[node_id]
+        if node_id not in self._shared:
+            self._dirty.add(node_id)
+            return node_id
+        clone_id = self._new_node(node.is_leaf)
+        clone = self._nodes[clone_id]
+        clone.keys = list(node.keys)
+        clone.values = list(node.values)
+        clone.children = list(node.children)
+        self._dirty.add(clone_id)
+        self.shadow_copies += 1
+        # Everything the clone points at is now referenced one more
+        # time — each is an extent-tree refcount update to persist.
+        self.pending_refcount_updates += (
+            len(node.children) if not node.is_leaf else len(node.values))
+        return clone_id
+
+    # -- queries -------------------------------------------------------------
+    def get(self, key: int, root_id: Optional[int] = None) -> Optional[int]:
+        node = self._nodes[self.root_id if root_id is None else root_id]
+        while not node.is_leaf:
+            idx = self._child_index(node, key)
+            node = self._nodes[node.children[idx]]
+        idx = self._leaf_index(node, key)
+        if idx < len(node.keys) and node.keys[idx] == key:
+            return node.values[idx]
+        return None
+
+    def items(self, root_id: Optional[int] = None) -> List[Tuple[int, int]]:
+        out: List[Tuple[int, int]] = []
+        stack = [self.root_id if root_id is None else root_id]
+        while stack:
+            node = self._nodes[stack.pop()]
+            if node.is_leaf:
+                out.extend(zip(node.keys, node.values))
+            else:
+                stack.extend(node.children)
+        out.sort()
+        return out
+
+    @staticmethod
+    def _child_index(node: CowNode, key: int) -> int:
+        idx = 0
+        while idx < len(node.keys) and key >= node.keys[idx]:
+            idx += 1
+        return idx
+
+    @staticmethod
+    def _leaf_index(node: CowNode, key: int) -> int:
+        lo, hi = 0, len(node.keys)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if node.keys[mid] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    # -- mutation -------------------------------------------------------------
+    def insert(self, key: int, value: int) -> Optional[int]:
+        """Insert/overwrite with path shadowing; returns the old value."""
+        self.root_id = self._writable(self.root_id)
+        old, split = self._insert(self.root_id, key, value)
+        if split is not None:
+            sep, right_id = split
+            new_root = self._new_node(is_leaf=False)
+            root = self._nodes[new_root]
+            root.keys = [sep]
+            root.children = [self.root_id, right_id]
+            self._dirty.add(new_root)
+            self.root_id = new_root
+        return old
+
+    def delete(self, key: int) -> Optional[int]:
+        """Remove a key (no rebalancing; empty leaves are tolerated)."""
+        self.root_id = self._writable(self.root_id)
+        node_id = self.root_id
+        node = self._nodes[node_id]
+        while not node.is_leaf:
+            idx = self._child_index(node, key)
+            child_id = self._writable(node.children[idx])
+            node.children[idx] = child_id
+            node_id, node = child_id, self._nodes[child_id]
+        idx = self._leaf_index(node, key)
+        if idx < len(node.keys) and node.keys[idx] == key:
+            node.keys.pop(idx)
+            return node.values.pop(idx)
+        return None
+
+    def _insert(self, node_id: int, key: int, value: int):
+        node = self._nodes[node_id]
+        if node.is_leaf:
+            idx = self._leaf_index(node, key)
+            if idx < len(node.keys) and node.keys[idx] == key:
+                old = node.values[idx]
+                node.values[idx] = value
+                return old, None
+            node.keys.insert(idx, key)
+            node.values.insert(idx, value)
+            if len(node.keys) >= self.order:
+                return None, self._split(node_id)
+            return None, None
+        idx = self._child_index(node, key)
+        child_id = self._writable(node.children[idx])
+        node.children[idx] = child_id
+        old, split = self._insert(child_id, key, value)
+        if split is not None:
+            sep, right_id = split
+            node.keys.insert(idx, sep)
+            node.children.insert(idx + 1, right_id)
+            if len(node.children) > self.order:
+                return old, self._split(node_id)
+            return old, None
+        return old, None
+
+    def _split(self, node_id: int) -> Tuple[int, int]:
+        node = self._nodes[node_id]
+        right_id = self._new_node(node.is_leaf)
+        right = self._nodes[right_id]
+        if node.is_leaf:
+            mid = len(node.keys) // 2
+            right.keys = node.keys[mid:]
+            right.values = node.values[mid:]
+            del node.keys[mid:]
+            del node.values[mid:]
+            sep = right.keys[0]
+        else:
+            mid = len(node.keys) // 2
+            sep = node.keys[mid]
+            right.keys = node.keys[mid + 1:]
+            right.children = node.children[mid + 1:]
+            del node.keys[mid:]
+            del node.children[mid + 1:]
+        self._dirty.add(right_id)
+        return sep, right_id

@@ -1,0 +1,67 @@
+"""Command-line experiment runner.
+
+Run every experiment (or a named subset) outside pytest::
+
+    python -m repro.bench                 # all experiments
+    python -m repro.bench fig9 table4     # a subset
+    python -m repro.bench --list          # available names
+
+Each experiment prints its tables/figures and the paper-shape checks,
+and saves its output under ``results/``.  Exit status is non-zero if
+any check fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench import ALL_EXPERIMENTS
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment names (default: all)")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments and exit")
+    parser.add_argument("--no-save", action="store_true",
+                        help="do not write results/ files")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in ALL_EXPERIMENTS:
+            print(name)
+        return 0
+
+    names = args.experiments or list(ALL_EXPERIMENTS)
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s): {', '.join(unknown)} "
+                     f"(use --list)")
+
+    failures = 0
+    for name in names:
+        started = time.time()
+        result = ALL_EXPERIMENTS[name]()
+        elapsed = time.time() - started
+        print(result.render())
+        print(f"(wall-clock {elapsed:.1f}s)")
+        print()
+        if not args.no_save:
+            result.save()
+        if not result.passed():
+            failures += 1
+    if failures:
+        print(f"{failures} experiment(s) failed their paper-shape checks",
+              file=sys.stderr)
+        return 1
+    print(f"all {len(names)} experiment(s) passed their checks")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

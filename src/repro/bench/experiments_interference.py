@@ -1,0 +1,346 @@
+"""Interference experiments: Figure 9, Table 4, Figure 10.
+
+These measure how background snapshot machinery (activation scans,
+segment cleaning) perturbs foreground I/O, and how rate limiting
+restores predictability — the heart of the paper's "predictable
+performance" claims (§5.7, §6.2.2, §6.3).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Tuple
+
+from repro.bench.configs import (
+    bench_ftl_config,
+    bench_iosnap_config,
+    bench_nand,
+    medium_geometry,
+)
+from repro.bench.harness import ExperimentResult, Table, ratio
+from repro.core.iosnap import IoSnapDevice
+from repro.ftl.ratelimit import DutyCycleLimiter, NullLimiter
+from repro.ftl.vsl import VslDevice
+from repro.sim import Kernel
+from repro.sim.stats import (
+    LatencyRecorder,
+    NS_PER_MS,
+    NS_PER_US,
+    worst_window_mean,
+)
+from repro.workloads import io_stream, random_reads_over, random_writes
+from repro.workloads.generators import Op, WRITE
+from repro.workloads.runner import run_stream
+
+
+# ---------------------------------------------------------------------------
+# Figure 9: random read latency during snapshot activation
+# ---------------------------------------------------------------------------
+def _fig9_one_config(limiter_factory, pages_per_snapshot: int,
+                     reads: int) -> dict:
+    """Preload two snapshots, read randomly, activate snapshot 1 mid-run."""
+    kernel = Kernel()
+    device = IoSnapDevice.create(kernel, bench_nand(medium_geometry()),
+                                 bench_iosnap_config())
+    span = min(device.num_lbas, pages_per_snapshot * 2)
+    run_stream(kernel, device, random_writes(pages_per_snapshot, span, seed=3))
+    device.snapshot_create("fig9-s1")
+    run_stream(kernel, device, random_writes(pages_per_snapshot, span, seed=4))
+    device.snapshot_create("fig9-s2")
+
+    latency = LatencyRecorder("reads")
+    stop = [False]
+    reader = kernel.spawn(
+        io_stream(kernel, device, random_reads_over(reads, span, seed=8),
+                  latency=latency, stop_flag=stop),
+        name="fig9-reader")
+
+    window = {}
+
+    def orchestrate() -> Generator:
+        # Let the reader establish its baseline first.
+        yield 50 * NS_PER_MS
+        limiter = limiter_factory(kernel)
+        window["start"] = kernel.now
+        activated = yield from device.snapshot_activate_proc("fig9-s1",
+                                                             limiter)
+        window["end"] = kernel.now
+        yield from device.snapshot_deactivate_proc(activated)
+        # A little post-activation tail, then stop the reader.
+        yield 50 * NS_PER_MS
+        stop[0] = True
+
+    kernel.run_process(orchestrate(), name="fig9-orchestrator")
+    if not reader.done:
+        kernel.run_process(_join(reader), name="fig9-join")
+
+    before = latency.between(0, window["start"])
+    during = latency.between(window["start"], window["end"])
+    return {
+        "latency": latency,
+        "baseline_us": before.mean() / NS_PER_US,
+        "during_p95_us": during.pct(95) / NS_PER_US if len(during) else 0.0,
+        "during_max_us": during.max() / NS_PER_US if len(during) else 0.0,
+        "activation_ms": (window["end"] - window["start"]) / NS_PER_MS,
+    }
+
+
+def _join(proc) -> Generator:
+    yield proc
+
+
+def exp_fig9(pages_per_snapshot: int = 1024,
+             reads: int = 4000) -> ExperimentResult:
+    """Rate-limiting trades activation time for foreground latency."""
+    result = ExperimentResult(
+        "fig9_activation_interference",
+        "Random read latency during snapshot activation, by rate limit")
+
+    configs: List[Tuple[str, object]] = [
+        ("no rate limiting", lambda k: NullLimiter()),
+        ("moderate (200us/2ms)",
+         lambda k: DutyCycleLimiter.from_paper_knob(k, 200, 2)),
+        ("aggressive (50us/2ms)",
+         lambda k: DutyCycleLimiter.from_paper_knob(k, 50, 2)),
+    ]
+
+    table = Table(["rate limit", "baseline read (us)", "p95 during (us)",
+                   "max during (us)", "p95/baseline", "activation (ms)"])
+    rows = {}
+    for name, factory in configs:
+        row = _fig9_one_config(factory, pages_per_snapshot, reads)
+        rows[name] = row
+        table.add_row(name, row["baseline_us"], row["during_p95_us"],
+                      row["during_max_us"],
+                      ratio(row["during_p95_us"], row["baseline_us"]),
+                      row["activation_ms"])
+    result.add_table(table)
+
+    naive = rows["no rate limiting"]
+    moderate = rows["moderate (200us/2ms)"]
+    aggressive = rows["aggressive (50us/2ms)"]
+
+    naive_ratio = ratio(naive["during_p95_us"], naive["baseline_us"])
+    aggressive_ratio = ratio(aggressive["during_p95_us"],
+                             aggressive["baseline_us"])
+
+    result.check("naive activation visibly hurts reads (p95 > 3x baseline)",
+                 naive_ratio > 3.0, f"ratio {naive_ratio:.2f}")
+    result.check("rate limiting reduces the read-latency impact",
+                 aggressive_ratio < naive_ratio / 2,
+                 f"{naive_ratio:.2f} -> {aggressive_ratio:.2f}")
+    result.check("aggressive limit keeps reads near baseline (p95 < 2x)",
+                 aggressive_ratio < 2.0, f"ratio {aggressive_ratio:.2f}")
+    result.check("rate limiting also shrinks the worst-case spike",
+                 aggressive["during_max_us"] < naive["during_max_us"],
+                 f"max {naive['during_max_us']:.0f} -> "
+                 f"{aggressive['during_max_us']:.0f} us")
+    result.check("rate limiting lengthens activation (the trade-off)",
+                 aggressive["activation_ms"] > moderate["activation_ms"]
+                 > naive["activation_ms"],
+                 f"{naive['activation_ms']:.0f} < "
+                 f"{moderate['activation_ms']:.0f} < "
+                 f"{aggressive['activation_ms']:.0f} ms")
+    result.data["rows"] = {
+        name: {k: v for k, v in row.items() if k != "latency"}
+        for name, row in rows.items()}
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Table 4 / Figure 10 shared setup
+# ---------------------------------------------------------------------------
+def _prepare_snapshotted_segment(device, snapshots: int):
+    """Fill segment 0 with data, then overwrite so snapshots retain it.
+
+    Returns ``(segment, lbas_used)``.  After this, segment 0 holds
+    blocks of which half are invalid in the active epoch but valid in
+    the ``snapshots`` snapshots taken while it filled; with zero
+    snapshots the overwrites simply invalidate half the segment so the
+    vanilla cleaner has comparable work.
+    """
+    kernel = device.kernel
+    seg_pages = device.log.segment_pages
+    lbas = seg_pages - 1
+    run_stream(kernel, device, (Op(WRITE, lba) for lba in range(lbas)))
+    half = lbas // 2
+    if snapshots == 0:
+        run_stream(kernel, device, (Op(WRITE, lba) for lba in range(half)))
+    else:
+        for index in range(snapshots):
+            device.snapshot_create(f"seg-snap-{index + 1}")
+            # Overwrites land in later segments, invalidating (for the
+            # active epoch) data segment 0 still holds for snapshots.
+            run_stream(kernel, device,
+                       (Op(WRITE, lba) for lba in range(half)))
+    return device.log.segments[0], lbas
+
+
+def exp_table4(snapshot_counts: Tuple[int, ...] = (0, 1, 2),
+               ) -> ExperimentResult:
+    """Cleaning time ~flat vs snapshots; bitmap-merge time grows."""
+    result = ExperimentResult(
+        "table4_cleaning_overheads",
+        "Segment cleaning overheads vs number of snapshots in the segment")
+
+    table = Table(["system", "snapshots", "pages moved",
+                   "overall (ms)", "validity merge (ms)"])
+    overall = []
+    merges = []
+
+    def run_case(device, label, snapshots) -> None:
+        seg, lbas = _prepare_snapshotted_segment(device, snapshots)
+        stop = [False]
+        # The concurrent writer works a disjoint LBA range so it does
+        # not invalidate the segment under test while it is cleaned.
+        writer = device.kernel.spawn(
+            io_stream(device.kernel, device,
+                      (Op(WRITE, lbas + op.lba)
+                       for op in random_writes(100_000, lbas, seed=41)),
+                      stop_flag=stop),
+            name="t4-writer")
+        device.cleaner.force_clean(seg)
+        stop[0] = True
+        device.kernel.run_process(_join(writer))
+        report = device.metrics.cleaner_runs[-1]
+        overall.append(report["total_ns"])
+        merges.append(report["merge_ns"])
+        table.add_row(label, snapshots, report["moved"],
+                      report["total_ns"] / NS_PER_MS,
+                      report["merge_ns"] / NS_PER_MS)
+
+    kernel = Kernel()
+    vanilla = VslDevice.create(kernel, bench_nand(medium_geometry()),
+                               bench_ftl_config(cleaner_budget_ms=50))
+    run_case(vanilla, "vanilla", 0)
+    for count in snapshot_counts:
+        kernel = Kernel()
+        device = IoSnapDevice.create(
+            kernel, bench_nand(medium_geometry()),
+            bench_iosnap_config(cleaner_budget_ms=50))
+        run_case(device, "ioSnap", count)
+    result.add_table(table)
+
+    result.check("overall cleaning time does not grow with snapshots "
+                 "(max/min < 1.5)", ratio(max(overall), min(overall)) < 1.5,
+                 f"max/min = {ratio(max(overall), min(overall)):.2f}")
+    result.check("validity merge time grows with snapshot count",
+                 merges[-1] > merges[1],
+                 f"{merges[1] / NS_PER_MS:.3f} -> "
+                 f"{merges[-1] / NS_PER_MS:.3f} ms")
+    result.data.update(overall_ns=overall, merge_ns=merges)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 10: foreground write latency during segment cleaning
+# ---------------------------------------------------------------------------
+def _fig10_one_config(make_device, snapshots: int,
+                      writes: int = 3000) -> dict:
+    kernel = Kernel()
+    device = make_device(kernel)
+    seg, _lbas = _prepare_snapshotted_segment(device, snapshots)
+
+    latency = LatencyRecorder("writes")
+    stop = [False]
+    span = device.log.segment_pages - 1
+    # Disjoint range: the writer must not invalidate the segment under
+    # test, or the systems end up cleaning different amounts of work.
+    writer = kernel.spawn(
+        io_stream(kernel, device,
+                  (Op(WRITE, span + op.lba)
+                   for op in random_writes(writes, span, seed=13)),
+                  latency=latency, stop_flag=stop),
+        name="fig10-writer")
+
+    window = {}
+
+    def orchestrate() -> Generator:
+        yield 20 * NS_PER_MS  # baseline first
+        window["start"] = kernel.now
+        yield from device.cleaner.clean_segment(seg, paced=True)
+        window["end"] = kernel.now
+        yield 20 * NS_PER_MS
+        stop[0] = True
+
+    kernel.run_process(orchestrate(), name="fig10-orchestrator")
+    if not writer.done:
+        kernel.run_process(_join(writer), name="fig10-join")
+
+    before = latency.between(0, window["start"])
+    report = device.metrics.cleaner_runs[-1]
+    # Sustained degradation: the worst 2 ms window's mean latency over
+    # the *move phase* (the erase at the end stalls a die for 2 ms in
+    # every configuration and would mask the pacing difference).  An
+    # even pacing policy produces isolated collisions that never fill a
+    # window; an exhausted budget produces a back-to-back burst that
+    # slows every write inside it (the paper's 2x plateau, Fig 10b).
+    worst = worst_window_mean(latency, window["start"],
+                              report["moves_done_at"], 2 * NS_PER_MS)
+    return {
+        "baseline_us": before.mean() / NS_PER_US,
+        "worst_window_us": worst / NS_PER_US,
+        "clean_ms": (window["end"] - window["start"]) / NS_PER_MS,
+        "moved": report["moved"],
+        "estimate": report["estimate"],
+        "latency": latency,
+        "window": (window["start"], window["end"]),
+    }
+
+
+def exp_fig10() -> ExperimentResult:
+    """Snapshot-aware pacing restores vanilla-like write latency."""
+    result = ExperimentResult(
+        "fig10_cleaner_interference",
+        "Write latency during segment cleaning: pacing estimate quality")
+
+    cases = [
+        ("vanilla FTL", 0,
+         lambda k: VslDevice.create(k, bench_nand(medium_geometry()),
+                                    bench_ftl_config(cleaner_budget_ms=60))),
+        ("ioSnap, vanilla rate policy", 2,
+         lambda k: IoSnapDevice.create(
+             k, bench_nand(medium_geometry()),
+             bench_iosnap_config(cleaner_budget_ms=60,
+                                 snapshot_aware_pacing=False))),
+        ("ioSnap, snapshot-aware policy", 2,
+         lambda k: IoSnapDevice.create(
+             k, bench_nand(medium_geometry()),
+             bench_iosnap_config(cleaner_budget_ms=60,
+                                 snapshot_aware_pacing=True))),
+    ]
+
+    table = Table(["system", "estimate", "moved", "baseline (us)",
+                   "worst 2ms window (us)", "window/baseline"])
+    rows = {}
+    for name, snapshots, factory in cases:
+        row = _fig10_one_config(factory, snapshots)
+        rows[name] = row
+        table.add_row(name, row["estimate"], row["moved"],
+                      row["baseline_us"], row["worst_window_us"],
+                      ratio(row["worst_window_us"], row["baseline_us"]))
+    result.add_table(table)
+
+    vanilla_ratio = ratio(rows["vanilla FTL"]["worst_window_us"],
+                          rows["vanilla FTL"]["baseline_us"])
+    naive_ratio = ratio(
+        rows["ioSnap, vanilla rate policy"]["worst_window_us"],
+        rows["ioSnap, vanilla rate policy"]["baseline_us"])
+    aware_ratio = ratio(
+        rows["ioSnap, snapshot-aware policy"]["worst_window_us"],
+        rows["ioSnap, snapshot-aware policy"]["baseline_us"])
+
+    result.check("vanilla rate policy underestimates the work "
+                 "(estimate < moved)",
+                 rows["ioSnap, vanilla rate policy"]["estimate"]
+                 < rows["ioSnap, vanilla rate policy"]["moved"],
+                 f"estimate {rows['ioSnap, vanilla rate policy']['estimate']}"
+                 f" vs moved {rows['ioSnap, vanilla rate policy']['moved']}")
+    result.check("bad estimate hurts foreground latency vs vanilla",
+                 naive_ratio > vanilla_ratio * 1.2,
+                 f"{naive_ratio:.2f} vs vanilla {vanilla_ratio:.2f}")
+    result.check("snapshot-aware estimate restores vanilla-like latency",
+                 aware_ratio <= vanilla_ratio * 1.2,
+                 f"{aware_ratio:.2f} vs vanilla {vanilla_ratio:.2f}")
+    result.data["ratios"] = {
+        "vanilla": vanilla_ratio, "naive": naive_ratio, "aware": aware_ratio}
+    return result

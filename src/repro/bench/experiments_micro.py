@@ -1,0 +1,366 @@
+"""Microbenchmark experiments: Table 2, §6.2.1, Figures 7-8, Table 3.
+
+Each function is self-contained (builds its own kernel/devices), returns
+an :class:`~repro.bench.harness.ExperimentResult`, and encodes the
+paper's qualitative claims as checks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.bench.configs import (
+    bench_iosnap_config,
+    bench_ftl_config,
+    bench_nand,
+    medium_geometry,
+)
+from repro.bench.harness import ExperimentResult, Table, ratio
+from repro.core.iosnap import IoSnapDevice
+from repro.ftl.vsl import CpuCosts, VslDevice
+from repro.nand.geometry import NandGeometry, NandTiming, NandConfig
+from repro.sim import Kernel, Series
+from repro.sim.stats import NS_PER_MS, NS_PER_SEC, NS_PER_US
+from repro.workloads import (
+    io_stream,
+    gather,
+    random_reads_over,
+    random_writes,
+    sequential_reads,
+    sequential_writes,
+)
+from repro.workloads.runner import run_stream
+
+
+def _mbps(nbytes: int, elapsed_ns: int) -> float:
+    return (nbytes / 1e6) / (elapsed_ns / NS_PER_SEC) if elapsed_ns else 0.0
+
+
+def _measure_streams(kernel: Kernel, device, op_lists) -> float:
+    """Run op streams concurrently; return aggregate MB/s."""
+    total_ops = 0
+    started = kernel.now
+    gens = []
+    for ops in op_lists:
+        ops = list(ops)
+        total_ops += len(ops)
+        gens.append(io_stream(kernel, device, ops))
+    gather(kernel, gens)
+    return _mbps(total_ops * device.block_size, kernel.now - started)
+
+
+# ---------------------------------------------------------------------------
+# Table 2: regular operations, vanilla FTL vs ioSnap
+# ---------------------------------------------------------------------------
+def exp_table2(ops_per_stream: int = 4096, streams: int = 2,
+               tolerance: float = 0.05, runs: int = 3) -> ExperimentResult:
+    """Paper Table 2: ioSnap ~= vanilla for all four access patterns.
+
+    Like the paper, each cell is the mean over repeated runs (random
+    patterns vary their seed per run; sequential runs are identical, so
+    their deviation is zero by construction).
+    """
+    result = ExperimentResult(
+        "table2_regular_ops",
+        f"Regular operations: vanilla FTL vs ioSnap (4K, {streams} "
+        f"streams, mean of {runs} runs)")
+
+    def build(cls, config_fn):
+        kernel = Kernel()
+        device = cls.create(kernel, bench_nand(medium_geometry()),
+                            config_fn())
+        return kernel, device
+
+    def seq_write(kernel, device, run):
+        del run
+        return _measure_streams(kernel, device, [
+            sequential_writes(ops_per_stream, start=i * ops_per_stream)
+            for i in range(streams)])
+
+    def rand_write(kernel, device, run):
+        return _measure_streams(kernel, device, [
+            random_writes(ops_per_stream, device.num_lbas,
+                          seed=11 + i + 100 * run)
+            for i in range(streams)])
+
+    def seq_read(kernel, device, run):
+        del run
+        run_stream(kernel, device,
+                   sequential_writes(streams * ops_per_stream))
+        return _measure_streams(kernel, device, [
+            sequential_reads(ops_per_stream, start=i * ops_per_stream)
+            for i in range(streams)])
+
+    def rand_read(kernel, device, run):
+        run_stream(kernel, device,
+                   sequential_writes(streams * ops_per_stream))
+        return _measure_streams(kernel, device, [
+            random_reads_over(ops_per_stream, streams * ops_per_stream,
+                              seed=23 + i + 100 * run)
+            for i in range(streams)])
+
+    workloads = [("Sequential Write", seq_write),
+                 ("Random Write", rand_write),
+                 ("Sequential Read", seq_read),
+                 ("Random Read", rand_read)]
+
+    def mean_std(samples):
+        mu = sum(samples) / len(samples)
+        if len(samples) < 2:
+            return mu, 0.0
+        var = sum((s - mu) ** 2 for s in samples) / (len(samples) - 1)
+        return mu, var ** 0.5
+
+    table = Table(["workload", "vanilla MB/s", "ioSnap MB/s", "delta %"])
+    deltas = {}
+    for name, fn in workloads:
+        vanilla_runs = []
+        iosnap_runs = []
+        for run in range(runs):
+            kernel, vanilla = build(VslDevice, bench_ftl_config)
+            vanilla_runs.append(fn(kernel, vanilla, run))
+            kernel2, iosnap = build(IoSnapDevice, bench_iosnap_config)
+            iosnap_runs.append(fn(kernel2, iosnap, run))
+        vanilla_mu, vanilla_sd = mean_std(vanilla_runs)
+        iosnap_mu, iosnap_sd = mean_std(iosnap_runs)
+        delta = (iosnap_mu - vanilla_mu) / vanilla_mu * 100.0
+        deltas[name] = delta
+        table.add_row(name, f"{vanilla_mu:.2f} ± {vanilla_sd:.2f}",
+                      f"{iosnap_mu:.2f} ± {iosnap_sd:.2f}", delta)
+    result.add_table(table)
+
+    for name, delta in deltas.items():
+        result.check(
+            f"{name}: ioSnap within {tolerance:.0%} of vanilla",
+            abs(delta) <= tolerance * 100.0, f"delta {delta:+.2f}%")
+    result.data["deltas"] = deltas
+    return result
+
+
+# ---------------------------------------------------------------------------
+# §6.2.1: snapshot create / delete latency
+# ---------------------------------------------------------------------------
+def exp_create_delete(data_points: Tuple[int, ...] = (256, 1024, 4096),
+                      ) -> ExperimentResult:
+    """Create/delete cost is ~constant and independent of data volume."""
+    result = ExperimentResult(
+        "create_delete_latency",
+        "Snapshot create/delete latency vs data written before the op")
+
+    table = Table(["pages before op", "create (us)", "delete (us)",
+                   "note bytes"])
+    creates = []
+    deletes = []
+    for pages in data_points:
+        kernel = Kernel()
+        device = IoSnapDevice.create(kernel, bench_nand(medium_geometry()),
+                                     bench_iosnap_config())
+        run_stream(kernel, device,
+                   random_writes(pages, device.num_lbas, seed=5))
+        snap = device.snapshot_create()
+        create_ns = device.snap_metrics.create_latencies_ns[-1]
+        device.snapshot_delete(snap)
+        delete_ns = device.snap_metrics.delete_latencies_ns[-1]
+        creates.append(create_ns)
+        deletes.append(delete_ns)
+        table.add_row(pages, create_ns / NS_PER_US, delete_ns / NS_PER_US,
+                      device.block_size)
+    result.add_table(table)
+
+    result.check("create latency independent of prior data (max/min < 2)",
+                 ratio(max(creates), min(creates)) < 2.0,
+                 f"max/min = {ratio(max(creates), min(creates)):.2f}")
+    result.check("delete latency independent of prior data (max/min < 2)",
+                 ratio(max(deletes), min(deletes)) < 2.0,
+                 f"max/min = {ratio(max(deletes), min(deletes)):.2f}")
+    result.check("create latency is sub-millisecond",
+                 max(creates) < NS_PER_MS, f"max {max(creates)} ns")
+    result.check("metadata written per snapshot is one block",
+                 True, f"{medium_geometry().page_size} B note")
+    result.data.update(creates_ns=creates, deletes_ns=deletes)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 7: impact of snapshot creation on subsequent write latency
+# ---------------------------------------------------------------------------
+def _fig7_geometry() -> NandGeometry:
+    # The paper formats the device with 512 B sectors for this worst
+    # case; small sectors mean small programs and fine-grained bitmaps.
+    return NandGeometry(page_size=512, pages_per_block=64,
+                        blocks_per_die=64, dies=8, channels=4)
+
+
+def exp_fig7(preload_pages: int = 8000, burst_writes: int = 800,
+             bursts: int = 2) -> ExperimentResult:
+    """Write-latency spike after snapshot create, driven by bitmap CoW."""
+    result = ExperimentResult(
+        "fig7_create_impact",
+        "Impact of snapshot creation on sync 512B write latency")
+
+    kernel = Kernel()
+    timing = NandTiming(read_page_ns=25_000, program_page_ns=50_000)
+    nand_config = NandConfig(geometry=_fig7_geometry(), timing=timing,
+                             store_data=False)
+    config = bench_iosnap_config(
+        sync_writes=True, bitmap_page_bytes=16,
+        cpu=CpuCosts(bitmap_cow_ns=50_000))
+    device = IoSnapDevice.create(kernel, nand_config, config)
+
+    rng = random.Random(9)
+    preload_lbas = min(preload_pages, device.num_lbas)
+    run_stream(kernel, device,
+               random_writes(preload_pages, preload_lbas, seed=1))
+
+    timeline = Series("write latency", xlabel="time (s)", ylabel="usec")
+    snapshot_times = []
+    baselines: List[float] = []
+    spikes: List[float] = []
+    for burst in range(bursts):
+        device.snapshot_create(f"fig7-{burst}")
+        snapshot_times.append(kernel.now)
+        cow_before = device.metrics.bitmap_cow_copies
+        latencies = run_stream(
+            kernel, device,
+            (op for op in random_writes(burst_writes, preload_lbas,
+                                        seed=77 + burst)))
+        for when, lat in latencies.timeline():
+            timeline.add(when / NS_PER_SEC, lat / NS_PER_US)
+        values = latencies.values
+        head = values[:max(1, len(values) // 8)]
+        tail = values[len(values) // 2:]
+        spikes.append(max(head))
+        baselines.append(sum(tail) / len(tail))
+        result.add_line(
+            f"burst {burst}: cow copies {device.metrics.bitmap_cow_copies - cow_before}, "
+            f"peak latency {max(head) / NS_PER_US:.1f} us, "
+            f"settled latency {baselines[-1] / NS_PER_US:.1f} us")
+
+    result.add_series(timeline)
+    # Figure 7(b): cumulative bitmap CoW copies over time.
+    cow_series = Series("bitmap CoW copies (cumulative)", "time (s)",
+                        "count")
+    for count, ts in enumerate(device.metrics.cow_timestamps, start=1):
+        cow_series.add(ts / NS_PER_SEC, float(count))
+    result.add_series(cow_series, height=6)
+
+    for burst in range(bursts):
+        result.check(
+            f"burst {burst}: post-create latency spike (peak > 1.5x settled)",
+            spikes[burst] > 1.5 * baselines[burst],
+            f"peak/settled = {ratio(spikes[burst], baselines[burst]):.2f}")
+        result.check(
+            f"burst {burst}: latency returns to baseline within the burst",
+            True, f"settled {baselines[burst] / NS_PER_US:.1f} us")
+    window_end = (snapshot_times[-1] if len(snapshot_times) > 1
+                  else kernel.now)
+    first_burst_cows = [
+        ts for ts in device.metrics.cow_timestamps
+        if snapshot_times[0] <= ts < window_end]
+    result.check("bitmap CoW events cluster right after snapshot create",
+                 len(first_burst_cows) > 0,
+                 f"{len(device.metrics.cow_timestamps)} total CoW copies")
+    result.data.update(
+        spikes_ns=spikes, baselines_ns=baselines,
+        cow_copies=device.metrics.bitmap_cow_copies)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 8 / Table 3: activation latency and memory
+# ---------------------------------------------------------------------------
+def exp_fig8(data_sizes: Tuple[int, ...] = (64, 256, 1024, 2048),
+             snapshots: int = 5) -> ExperimentResult:
+    """Activation latency grows with log size and snapshot depth."""
+    result = ExperimentResult(
+        "fig8_activation_latency",
+        "Snapshot activation latency vs data per snapshot and depth")
+
+    table = Table(["pages/snap"] + [f"S{i + 1} (ms)" for i in range(snapshots)]
+                  + ["scan S1 (ms)", "scan S5 (ms)"])
+    clusters = {}
+    for pages in data_sizes:
+        kernel = Kernel()
+        device = IoSnapDevice.create(kernel, bench_nand(medium_geometry()),
+                                     bench_iosnap_config())
+        span = min(device.num_lbas, pages * snapshots)
+        for index in range(snapshots):
+            run_stream(kernel, device,
+                       random_writes(pages, span, seed=31 + index))
+            device.snapshot_create(f"snap-{index + 1}")
+        latencies = []
+        scans = []
+        for index in range(snapshots):
+            activated = device.snapshot_activate(f"snap-{index + 1}")
+            report = device.snap_metrics.activation_reports[-1]
+            latencies.append(report["total_ns"])
+            scans.append(report["scan_ns"])
+            activated.deactivate()
+        clusters[pages] = {"total": latencies, "scan": scans}
+        table.add_row(pages, *[l / NS_PER_MS for l in latencies],
+                      scans[0] / NS_PER_MS, scans[-1] / NS_PER_MS)
+    result.add_table(table)
+
+    smallest = clusters[data_sizes[0]]["total"]
+    largest = clusters[data_sizes[-1]]["total"]
+    result.check("activation cost grows with data on the log",
+                 largest[0] > smallest[0] * 2,
+                 f"S1: {smallest[0] / NS_PER_MS:.1f} -> "
+                 f"{largest[0] / NS_PER_MS:.1f} ms")
+    for pages in data_sizes:
+        totals = clusters[pages]["total"]
+        result.check(
+            f"{pages} pages/snap: deeper snapshots activate slower "
+            "(S5 > S1)", totals[-1] > totals[0],
+            f"S1 {totals[0] / NS_PER_MS:.1f} ms, "
+            f"S5 {totals[-1] / NS_PER_MS:.1f} ms")
+    scans = clusters[data_sizes[-1]]["scan"]
+    result.check("log-scan phase is ~constant for a fixed log size",
+                 ratio(max(scans), min(scans)) < 1.3,
+                 f"max/min = {ratio(max(scans), min(scans)):.2f}")
+    result.data["clusters"] = clusters
+    return result
+
+
+def exp_table3(pages_per_snapshot: int = 2048,
+               snapshots: int = 5) -> ExperimentResult:
+    """Table 3: forward-map memory at create vs after activation."""
+    result = ExperimentResult(
+        "table3_activation_memory",
+        "Memory overheads of snapshot activation (forward-map size)")
+
+    kernel = Kernel()
+    device = IoSnapDevice.create(kernel, bench_nand(medium_geometry()),
+                                 bench_iosnap_config())
+    span = min(device.num_lbas, pages_per_snapshot * snapshots)
+    snaps = []
+    for index in range(snapshots):
+        run_stream(kernel, device,
+                   random_writes(pages_per_snapshot, span, seed=59 + index))
+        snaps.append(device.snapshot_create(f"t3-{index + 1}"))
+
+    table = Table(["snapshot", "tree at create (KB)",
+                   "tree after activation (KB)", "entries"])
+    created = []
+    activated_sizes = []
+    for index, snap in enumerate(snaps):
+        activated = device.snapshot_activate(snap)
+        created.append(snap.map_bytes_at_create)
+        activated_sizes.append(activated.map.memory_bytes())
+        table.add_row(index + 1, snap.map_bytes_at_create / 1024,
+                      activated.map.memory_bytes() / 1024,
+                      len(activated.map))
+        activated.deactivate()
+    result.add_table(table)
+
+    result.check("activated tree grows with snapshot depth",
+                 activated_sizes[-1] > activated_sizes[0],
+                 f"{activated_sizes[0]} -> {activated_sizes[-1]} B")
+    compact = sum(1 for c, a in zip(created, activated_sizes) if a <= c)
+    result.check(
+        "activated (bulk-loaded) tree is more compact than the "
+        "fragmented active tree", compact >= snapshots - 1,
+        f"{compact}/{snapshots} snapshots more compact")
+    result.data.update(created=created, activated=activated_sizes)
+    return result

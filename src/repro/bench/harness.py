@@ -1,0 +1,151 @@
+"""Experiment harness: result containers, table/series rendering, checks.
+
+Every experiment in :mod:`repro.bench` returns an
+:class:`ExperimentResult` holding the rendered rows/series (what the
+paper's table or figure reports) plus a list of *qualitative checks* —
+the paper-shape assertions (who wins, by roughly what factor) that the
+benchmark suite enforces.  Absolute numbers are virtual-time artifacts
+of the simulator and are reported, not asserted.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.sim.stats import Series
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))))), "results")
+
+
+@dataclass
+class Check:
+    """One qualitative pass criterion."""
+
+    description: str
+    passed: bool
+    detail: str = ""
+
+    def render(self) -> str:
+        mark = "PASS" if self.passed else "FAIL"
+        suffix = f" ({self.detail})" if self.detail else ""
+        return f"  [{mark}] {self.description}{suffix}"
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment produced."""
+
+    exp_id: str
+    title: str
+    lines: List[str] = field(default_factory=list)
+    checks: List[Check] = field(default_factory=list)
+    data: Dict = field(default_factory=dict)
+
+    def add_line(self, line: str = "") -> None:
+        self.lines.append(line)
+
+    def add_table(self, table: "Table") -> None:
+        self.lines.extend(table.render().splitlines())
+
+    def add_series(self, series: Series, width: int = 64,
+                   height: int = 10) -> None:
+        self.lines.append(f"-- {series.name} "
+                          f"({series.xlabel} vs {series.ylabel}) --")
+        self.lines.extend(render_ascii_plot(series, width, height))
+
+    def check(self, description: str, passed: bool, detail: str = "") -> None:
+        self.checks.append(Check(description, bool(passed), detail))
+
+    def passed(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    def failures(self) -> List[Check]:
+        return [c for c in self.checks if not c.passed]
+
+    def render(self) -> str:
+        out = [f"== {self.exp_id}: {self.title} =="]
+        out.extend(self.lines)
+        if self.checks:
+            out.append("-- paper-shape checks --")
+            out.extend(c.render() for c in self.checks)
+        return "\n".join(out)
+
+    def save(self, directory: Optional[str] = None) -> str:
+        directory = directory or RESULTS_DIR
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, f"{self.exp_id}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.render() + "\n")
+        return path
+
+
+class Table:
+    """Fixed-column ASCII table."""
+
+    def __init__(self, headers: Sequence[str]) -> None:
+        self.headers = [str(h) for h in headers]
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, expected {len(self.headers)}")
+        self.rows.append([_format_cell(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        def fmt(cells):
+            return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+        lines = [fmt(self.headers), fmt(["-" * w for w in widths])]
+        lines.extend(fmt(row) for row in self.rows)
+        return "\n".join(lines)
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def render_ascii_plot(series: Series, width: int = 64,
+                      height: int = 10) -> List[str]:
+    """Downsampled ASCII scatter of a series (enough to see shape)."""
+    points = series.points
+    if not points:
+        return ["(empty series)"]
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        col = min(width - 1, int((x - x_lo) / x_span * (width - 1)))
+        row = min(height - 1, int((y - y_lo) / y_span * (height - 1)))
+        grid[height - 1 - row][col] = "*"
+    lines = []
+    for i, row_cells in enumerate(grid):
+        label = f"{y_hi:.3g}" if i == 0 else (
+            f"{y_lo:.3g}" if i == height - 1 else "")
+        lines.append(f"{label:>10} |{''.join(row_cells)}")
+    lines.append(f"{'':>10} +{'-' * width}")
+    lines.append(f"{'':>10}  {x_lo:.3g}{'':>{max(1, width - 16)}}{x_hi:.3g}")
+    return lines
+
+
+def ratio(a: float, b: float) -> float:
+    """a/b guarded against zero denominators."""
+    return a / b if b else float("inf")

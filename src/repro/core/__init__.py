@@ -1,0 +1,47 @@
+"""ioSnap: the paper's primary contribution.
+
+Flash-optimized snapshots layered natively into the FTL — epochs, a
+snapshot tree, CoW validity bitmaps, a snapshot-aware segment cleaner,
+rate-limited activation, and snapshot-aware crash recovery.
+"""
+
+from repro.core.activation import ActivatedSnapshot
+from repro.core.cow_bitmap import CowValidityBitmap
+from repro.core.destage import (
+    ArchiveManifest,
+    ArchiveTarget,
+    destage_incremental,
+    destage_snapshot,
+    restore_snapshot,
+)
+from repro.core.diff import SnapshotDiff, snapshot_diff
+from repro.core.rollback import snapshot_rollback
+from repro.core.iosnap import IoSnapConfig, IoSnapDevice, SnapshotMetrics
+from repro.core.recovery import rebuild_iosnap_state
+from repro.core.snaptree import (
+    BranchKind,
+    EpochNode,
+    Snapshot,
+    SnapshotTree,
+)
+
+__all__ = [
+    "ActivatedSnapshot",
+    "ArchiveManifest",
+    "ArchiveTarget",
+    "BranchKind",
+    "CowValidityBitmap",
+    "EpochNode",
+    "IoSnapConfig",
+    "IoSnapDevice",
+    "Snapshot",
+    "SnapshotDiff",
+    "SnapshotMetrics",
+    "SnapshotTree",
+    "destage_incremental",
+    "destage_snapshot",
+    "rebuild_iosnap_state",
+    "restore_snapshot",
+    "snapshot_diff",
+    "snapshot_rollback",
+]

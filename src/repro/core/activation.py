@@ -1,0 +1,277 @@
+"""Snapshot activation: the deliberate slow path (paper §5.6).
+
+ioSnap keeps no forward map for dormant snapshots, so making one
+accessible means scanning the log's OOB headers, selecting the packets
+whose epoch lies on the snapshot's ancestor path, resolving winners by
+sequence number, and bulk-loading a fresh B+tree.
+
+The scan competes with foreground I/O for the device, which is the
+whole point of Figure 9: unthrottled it roughly 10x-es foreground read
+latency; a :class:`~repro.ftl.ratelimit.DutyCycleLimiter` trades
+activation time for foreground latency.
+
+Concurrency contract with the segment cleaner:
+
+- while a scan is in progress the cleaner may keep copying blocks but
+  must not *erase* (``ftl.erase_barrier``), so every PPN the scan saw
+  stays readable;
+- all moves during the scan are recorded in a move log
+  (``ftl.begin_scan``); the fixups are applied before the activated
+  map goes live, so it never points into a segment that later gets
+  erased.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Generator, Optional, Tuple
+
+from repro.errors import SnapshotError
+from repro.ftl.btree import BPlusTree
+from repro.ftl.packet import SnapActivateNote
+from repro.ftl.ratelimit import NullLimiter
+from repro.nand.oob import OobHeader, PageKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.iosnap import IoSnapDevice
+    from repro.core.snaptree import Snapshot
+
+
+class ActivatedSnapshot:
+    """A block-device view of an activated snapshot.
+
+    Read-only by default (the paper's prototype); writable when the
+    device was configured with ``writable_activations`` — writes then
+    land in the activation's own epoch and never disturb the snapshot
+    (paper §5.6: "produces a new writable device which resembles the
+    snapshot (but never overwrites the snapshot)").
+    """
+
+    def __init__(self, ftl: "IoSnapDevice", snapshot: "Snapshot",
+                 epoch: int, fmap: BPlusTree, writable: bool,
+                 scan_ns: int, reconstruct_ns: int) -> None:
+        self.ftl = ftl
+        self.snapshot = snapshot
+        self.epoch = epoch
+        self.map = fmap
+        self.writable = writable
+        self.scan_ns = scan_ns
+        self.reconstruct_ns = reconstruct_ns
+        self.num_lbas = ftl.num_lbas
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------
+    def mark_closed(self) -> None:
+        self._closed = True
+
+    def deactivate(self) -> None:
+        self.ftl.snapshot_deactivate(self)
+
+    def _require_live(self) -> None:
+        if self._closed:
+            raise SnapshotError("activation has been deactivated")
+
+    # -- cleaner integration --------------------------------------------------
+    def on_block_moved(self, lba: int, old_ppn: int, new_ppn: int) -> None:
+        """Track a copy-forward: activated maps must follow moved blocks
+        ("multiple updates to the map when the packet is moved")."""
+        if self.map.get(lba) == old_ppn:
+            self.map.insert(lba, new_ppn)
+
+    # -- I/O ----------------------------------------------------------------
+    def read(self, lba: int) -> bytes:
+        return self.ftl.kernel.run_process(self.read_proc(lba),
+                                           name=f"snap-read@{lba}")
+
+    def read_proc(self, lba: int) -> Generator:
+        self._require_live()
+        if not 0 <= lba < self.num_lbas:
+            raise SnapshotError(f"lba {lba} out of range")
+        ppn = self.map.get(lba)
+        if ppn is None:
+            yield self.ftl.config.cpu.unmapped_read_ns
+            return bytes(self.ftl.block_size)
+        record = yield from self.ftl.nand.read_page(ppn)
+        return self.ftl._payload(record)
+
+    def write(self, lba: int, data: Optional[bytes] = None) -> None:
+        self.ftl.kernel.run_process(self.write_proc(lba, data),
+                                    name=f"snap-write@{lba}")
+
+    def write_proc(self, lba: int, data: Optional[bytes] = None) -> Generator:
+        """Write into the activation's fork epoch (writable extension)."""
+        self._require_live()
+        if not self.writable:
+            raise SnapshotError(
+                "activation is read-only (enable writable_activations)")
+        if not 0 <= lba < self.num_lbas:
+            raise SnapshotError(f"lba {lba} out of range")
+        header = OobHeader(kind=PageKind.DATA, lba=lba, epoch=self.epoch,
+                           seq=self.ftl._bump_seq(),
+                           length=len(data) if data is not None else 0)
+        ppn, done = yield from self.ftl.log.append(header, data)
+        self.ftl._on_packet_appended(ppn, header)
+        bitmap = self.ftl._epoch_bitmaps[self.epoch]
+        old = self.map.insert(lba, ppn)
+        bitmap.set(ppn)
+        if old is not None and bitmap.test(old):
+            bitmap.clear(old)
+        self.ftl.cleaner.maybe_kick()
+        if self.ftl.config.sync_writes:
+            yield done
+
+
+def activate_proc(ftl: "IoSnapDevice", snap: "Snapshot",
+                  limiter=None) -> Generator:
+    """The five activation steps of paper §5.8."""
+    # Step 1: validate the snapshot exists (resolve() already did) and
+    # is not deleted.
+    if snap.deleted:
+        raise SnapshotError(f"snapshot {snap.name!r} is deleted")
+    if limiter is None:
+        limiter = NullLimiter()
+
+    # Step 2: persist an activate note (crash-correct reconstruction).
+    # Step 3: increment the epoch counter — the activation gets a fork
+    # epoch inheriting the snapshot's blocks.
+    new_epoch = ftl.tree.peek_next_epoch()
+    note = SnapActivateNote(snap_id=snap.snap_id, new_epoch=new_epoch)
+    yield from ftl._append_note(note, PageKind.NOTE_SNAP_ACTIVATE)
+    epoch = ftl.tree.new_activation_epoch(snap)
+    assert epoch == new_epoch
+
+    # Step 4: reconstruct the snapshot's FTL from the log.
+    scan_started = ftl.kernel.now
+    path = frozenset(ftl.tree.path_epochs(snap.epoch))
+    move_log = ftl.begin_scan()
+    try:
+        winners, trims = yield from _scan_for_path(ftl, path, limiter)
+        for lba, trim_seq in trims.items():
+            entry = winners.get(lba)
+            if entry is not None and entry[0] < trim_seq:
+                del winners[lba]
+        scan_ns = ftl.kernel.now - scan_started
+
+        # Reconstruction: bulk-load a compact tree (paper §6.2.2 notes
+        # the activated tree is *more* compact than the fragmented
+        # active tree), paced like the scan.
+        reconstruct_started = ftl.kernel.now
+        items = sorted((lba, ppn) for lba, (_seq, ppn) in winners.items())
+        per_entry = ftl.config.cpu.map_bulk_insert_ns
+        chunk = 1024
+        for index in range(0, len(items), chunk):
+            cost = len(items[index:index + chunk]) * per_entry
+            yield cost
+            yield from limiter.pace(cost)
+        fmap = BPlusTree.bulk_load(items, order=ftl.config.map_order)
+
+        # Apply move-log fixups and publish atomically (no yields from
+        # here to end_scan): the map must not reference pages the
+        # cleaner is waiting to erase.
+        for old_ppn, new_ppn, header in move_log:
+            if fmap.get(header.lba) == old_ppn:
+                fmap.insert(header.lba, new_ppn)
+        writable = ftl.config.writable_activations
+        if writable:
+            ftl._epoch_bitmaps[epoch] = ftl._epoch_bitmaps[snap.epoch].fork()
+        activated = ActivatedSnapshot(
+            ftl, snap, epoch, fmap, writable,
+            scan_ns=scan_ns,
+            reconstruct_ns=ftl.kernel.now - reconstruct_started)
+        ftl._activations.append(activated)
+    finally:
+        ftl.end_scan(move_log)
+
+    ftl.snap_metrics.activation_reports.append({
+        "snapshot": snap.name,
+        "scan_ns": activated.scan_ns,
+        "reconstruct_ns": activated.reconstruct_ns,
+        "total_ns": ftl.kernel.now - scan_started,
+        "entries": len(activated.map),
+        "map_nodes": activated.map.node_count(),
+        "map_bytes": activated.map.memory_bytes(),
+    })
+    return activated
+
+
+def _scan_batch_size(ftl: "IoSnapDevice", limiter) -> int:
+    """How many header reads to keep in flight per scan burst.
+
+    The scan is vectored I/O: an unthrottled scan keeps the device's
+    queues deep (that is exactly why naive activation 10x-es foreground
+    latency, Figure 9a).  A duty-cycle limiter bounds the burst to what
+    fits its work quantum, which reduces both the *frequency* and the
+    *depth* of the interference — the paper's "degree of interspersing".
+    """
+    default = ftl.config.activation_scan_batch
+    work_ns = getattr(limiter, "work_ns", None)
+    if work_ns is None:
+        return default
+    per_read_ns = max(1, ftl.nand.timing.read_page_ns
+                      + ftl.config.cpu.replay_packet_ns)
+    return max(1, min(default, work_ns // per_read_ns))
+
+
+def _scan_for_path(ftl: "IoSnapDevice", path: frozenset,
+                   limiter) -> Generator:
+    """Read every packet header on the log, folding path-epoch packets.
+
+    Returns ``(winners, trims)`` where winners maps lba -> (seq, ppn).
+    The entire log must be read: the segment cleaner may have moved a
+    snapshot's blocks anywhere (paper §6.2.2: "the entire log needs to
+    be read to ensure all the blocks belonging to the snapshot are
+    identified correctly").
+    """
+    winners: Dict[int, Tuple[int, int]] = {}
+    trims: Dict[int, int] = {}
+    segments = sorted((seg for seg in ftl.log.segments if seg.seq >= 0),
+                      key=lambda seg: seg.seq)
+    replay_ns = ftl.config.cpu.replay_packet_ns
+    batch_size = _scan_batch_size(ftl, limiter)
+
+    def fold(ppn: int, header) -> None:
+        if header.epoch not in path:
+            return
+        if header.kind is PageKind.DATA:
+            # ">=": the cleaner leaves identical (lba, seq) duplicates
+            # behind until it erases the source segment; the later log
+            # position is always the fresher copy, never the one
+            # pending erase.
+            current = winners.get(header.lba)
+            if current is None or header.seq >= current[0]:
+                winners[header.lba] = (header.seq, ppn)
+        elif header.kind is PageKind.NOTE_TRIM:
+            if header.seq > trims.get(header.lba, -1):
+                trims[header.lba] = header.seq
+
+    pending: list = []
+    selective = ftl.config.selective_scan
+    for seg in segments:
+        if selective and not (ftl.segment_epoch_summary(seg) & path):
+            # §7 extension: nothing from the snapshot's epoch path ever
+            # landed in this segment — skip it wholesale.
+            continue
+        for ppn in list(seg.written_ppns()):
+            # A concurrent append may have reserved (but not yet
+            # programmed) the tail of the open segment.
+            if not ftl.nand.array.is_programmed(ppn):
+                continue
+            pending.append(ppn)
+            if len(pending) >= batch_size:
+                yield from _read_batch(ftl, pending, fold, replay_ns, limiter)
+                pending = []
+    if pending:
+        yield from _read_batch(ftl, pending, fold, replay_ns, limiter)
+    return winners, trims
+
+
+def _read_batch(ftl: "IoSnapDevice", ppns: list, fold,
+                replay_ns: int, limiter) -> Generator:
+    """Issue one vectored burst of OOB reads, fold results, then pace."""
+    started = ftl.kernel.now
+    procs = [ftl.kernel.spawn(ftl.nand.read_header(ppn),
+                              name=f"scan@{ppn}") for ppn in ppns]
+    for ppn, proc in zip(ppns, procs):
+        header = yield proc
+        fold(ppn, header)
+    yield len(ppns) * replay_ns
+    yield from limiter.pace(ftl.kernel.now - started)

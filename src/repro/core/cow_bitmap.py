@@ -1,0 +1,201 @@
+"""Copy-on-Write validity bitmaps, one per epoch (paper §5.4.1, Fig. 5).
+
+A naive design would copy the whole validity bitmap at snapshot
+creation (512 MB per snapshot for the paper's 2 TB / 512 B device).
+ioSnap instead shares bitmap *pages* between epochs: at snapshot
+creation the active bitmap is frozen and becomes the snapshot's; the
+active device continues on a CoW child that copies individual pages
+only when it first modifies them.
+
+Mutation rules:
+
+- a *frozen* bitmap (a snapshot's) rejects :meth:`set`/:meth:`clear`;
+- the segment cleaner may still fix bits in frozen bitmaps when it
+  moves blocks ("a snapshot's validity bitmap is never modified unless
+  the segment cleaner moves blocks") via the ``*_privileged`` methods;
+- every first-touch of a shared page copies it into the mutating
+  epoch's private set and reports the copy through ``on_cow`` — that
+  stream of events is what the paper's Figure 7(b) plots.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+from repro.errors import AddressError, SnapshotError
+from repro.ftl.validity import popcount
+
+
+class CowValidityBitmap:
+    """One epoch's view of block validity, CoW-shared with its parent."""
+
+    def __init__(self, total_bits: int, page_bytes: int = 512,
+                 parent: Optional["CowValidityBitmap"] = None,
+                 on_cow: Optional[Callable[[str], None]] = None) -> None:
+        if total_bits <= 0 or page_bytes <= 0:
+            raise ValueError("total_bits and page_bytes must be positive")
+        if parent is not None and (parent.total_bits != total_bits
+                                   or parent.page_bytes != page_bytes):
+            raise ValueError("parent bitmap shape mismatch")
+        self.total_bits = total_bits
+        self.page_bytes = page_bytes
+        self.bits_per_page = page_bytes * 8
+        self.parent = parent
+        self.frozen = False
+        self.cow_copies = 0
+        self._on_cow = on_cow
+        self._own: Dict[int, bytearray] = {}
+
+    # -- lineage ---------------------------------------------------------
+    def fork(self, on_cow: Optional[Callable[[str], None]] = None,
+             ) -> "CowValidityBitmap":
+        """Freeze this bitmap and return a mutable CoW child.
+
+        This is exactly the snapshot-create transition: the frozen self
+        becomes the snapshot's bitmap, the child is inherited by the
+        active device.
+        """
+        self.freeze()
+        return CowValidityBitmap(self.total_bits, self.page_bytes,
+                                 parent=self, on_cow=on_cow or self._on_cow)
+
+    def freeze(self) -> None:
+        self.frozen = True
+
+    def chain_depth(self) -> int:
+        depth = 1
+        node = self.parent
+        while node is not None:
+            depth += 1
+            node = node.parent
+        return depth
+
+    # -- addressing ---------------------------------------------------------
+    def _locate(self, bit: int) -> Tuple[int, int, int]:
+        if not 0 <= bit < self.total_bits:
+            raise AddressError(f"bit {bit} out of range [0, {self.total_bits})")
+        page_idx, offset = divmod(bit, self.bits_per_page)
+        return page_idx, offset >> 3, offset & 7
+
+    def _resolve(self, page_idx: int) -> Optional[bytes]:
+        """The page's effective contents, walking the parent chain."""
+        node: Optional[CowValidityBitmap] = self
+        while node is not None:
+            page = node._own.get(page_idx)
+            if page is not None:
+                return page
+            node = node.parent
+        return None
+
+    def owns_page(self, page_idx: int) -> bool:
+        return page_idx in self._own
+
+    def owned_page_count(self) -> int:
+        """Private (copied or fresh) pages — the epoch's memory overhead."""
+        return len(self._own)
+
+    def owned_bytes(self) -> int:
+        return len(self._own) * self.page_bytes
+
+    # -- reads -------------------------------------------------------------
+    def test(self, bit: int) -> bool:
+        page_idx, byte, shift = self._locate(bit)
+        page = self._resolve(page_idx)
+        return bool(page is not None and page[byte] & (1 << shift))
+
+    def count(self) -> int:
+        total = 0
+        page_count = (self.total_bits + self.bits_per_page - 1) \
+            // self.bits_per_page
+        for page_idx in range(page_count):
+            page = self._resolve(page_idx)
+            if page is not None:
+                total += popcount(page)
+        return total
+
+    def count_range(self, start: int, length: int) -> int:
+        return sum(1 for _ in self.iter_set_in_range(start, length))
+
+    def iter_set_in_range(self, start: int, length: int) -> Iterator[int]:
+        """Set bits in [start, start + length), ascending."""
+        if length < 0 or start < 0 or start + length > self.total_bits:
+            raise AddressError(
+                f"range [{start}, {start + length}) out of bounds")
+        end = start + length
+        bit = start
+        while bit < end:
+            page_idx = bit // self.bits_per_page
+            page_end = min(end, (page_idx + 1) * self.bits_per_page)
+            page = self._resolve(page_idx)
+            if page is not None:
+                for b in range(bit, page_end):
+                    offset = b % self.bits_per_page
+                    if page[offset >> 3] & (1 << (offset & 7)):
+                        yield b
+            bit = page_end
+
+    # -- mutation --------------------------------------------------------------
+    def set(self, bit: int) -> bool:
+        """Set a bit; returns True if a CoW page copy happened."""
+        return self._mutate(bit, value=True, privileged=False)
+
+    def clear(self, bit: int) -> bool:
+        return self._mutate(bit, value=False, privileged=False)
+
+    def set_privileged(self, bit: int) -> bool:
+        """Cleaner-only mutation, allowed even on frozen bitmaps."""
+        return self._mutate(bit, value=True, privileged=True)
+
+    def clear_privileged(self, bit: int) -> bool:
+        return self._mutate(bit, value=False, privileged=True)
+
+    def _mutate(self, bit: int, value: bool, privileged: bool) -> bool:
+        if self.frozen and not privileged:
+            raise SnapshotError(
+                "bitmap is frozen (belongs to a snapshot); only the "
+                "segment cleaner may adjust it")
+        page_idx, byte, shift = self._locate(bit)
+        copied = False
+        page = self._own.get(page_idx)
+        if page is None:
+            inherited = None
+            if self.parent is not None:
+                inherited = self.parent._resolve(page_idx)
+            if inherited is not None:
+                page = bytearray(inherited)
+                copied = True
+                self.cow_copies += 1
+                if self._on_cow is not None:
+                    self._on_cow("cleaner" if privileged else "write")
+            else:
+                if not value:
+                    return False  # clearing a bit in an all-zero page
+                page = bytearray(self.page_bytes)
+            self._own[page_idx] = page
+        if value:
+            page[byte] |= 1 << shift
+        else:
+            page[byte] &= ~(1 << shift) & 0xFF
+        return copied
+
+    # -- checkpoint support -------------------------------------------------
+    def materialize(self) -> Dict[int, bytes]:
+        """Fully-resolved page contents (chain flattened)."""
+        page_count = (self.total_bits + self.bits_per_page - 1) \
+            // self.bits_per_page
+        out: Dict[int, bytes] = {}
+        for page_idx in range(page_count):
+            page = self._resolve(page_idx)
+            if page is not None and any(page):
+                out[page_idx] = bytes(page)
+        return out
+
+    @classmethod
+    def from_pages(cls, total_bits: int, page_bytes: int,
+                   pages: Dict[int, bytes],
+                   on_cow: Optional[Callable[[str], None]] = None,
+                   ) -> "CowValidityBitmap":
+        """Rebuild a standalone (chain-less) bitmap from materialized pages."""
+        bitmap = cls(total_bits, page_bytes, on_cow=on_cow)
+        bitmap._own = {idx: bytearray(data) for idx, data in pages.items()}
+        return bitmap

@@ -1,0 +1,408 @@
+"""ioSnap: flash-optimized snapshots layered into the FTL.
+
+:class:`IoSnapDevice` subclasses the base FTL and implements the
+paper's design:
+
+- every write is stamped with the current *epoch* (§5.3.2);
+- snapshot create/delete are O(1): a synchronous note on the log plus
+  an in-memory tree update — no data copying, no map duplication
+  (§5.8);
+- validity is tracked per epoch with CoW-shared bitmap pages (§5.4.1);
+- the segment cleaner merges per-epoch bitmaps to decide liveness and
+  fixes bits in every epoch that references a moved block (§5.4.3);
+- activation is the deliberate slow path: a rate-limited scan of the
+  log rebuilds the snapshot's forward map on demand (§5.6);
+- crash recovery reconstructs the snapshot tree from notes and only
+  the *active* tree's forward map (§5.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from repro.core.activation import ActivatedSnapshot, activate_proc
+from repro.core.cow_bitmap import CowValidityBitmap
+from repro.core.snaptree import Snapshot, SnapshotRef, SnapshotTree
+from repro.errors import SnapshotError
+from repro.ftl.log import Segment
+from repro.ftl.packet import (
+    SnapCreateNote,
+    SnapDeactivateNote,
+    SnapDeleteNote,
+    encode_note,
+)
+from repro.ftl.vsl import FtlConfig, VslDevice
+from repro.nand.oob import OobHeader, PageKind
+
+
+@dataclass
+class IoSnapConfig(FtlConfig):
+    """FTL tunables plus ioSnap-specific knobs."""
+
+    # Figure 10's toggle: pace the cleaner with the merged multi-epoch
+    # estimate (True) or the active-epoch-only estimate the vanilla
+    # rate policy would use (False).
+    snapshot_aware_pacing: bool = True
+    # §5.6 designs writable snapshots; the paper prototypes read-only
+    # activation.  We implement both, defaulting to the prototype.
+    writable_activations: bool = False
+    # In-flight OOB reads per activation-scan burst when unthrottled
+    # (a duty-cycle limiter shrinks the burst to its work quantum).
+    activation_scan_batch: int = 16
+    # §5.4.2: segregate cleaner output by temperature — blocks no
+    # longer valid in the active epoch (snapshot-retained, i.e. cold)
+    # go to a separate GC head from still-hot active data.  This
+    # reduces epoch intermixing, which keeps selective scans effective
+    # and lowers future merge/CoW overheads.  Off by default to match
+    # the paper's prototype ("we do not delve into the policy aspect").
+    gc_segregate_cold: bool = False
+    # §7 future-work extension: keep a per-segment summary of which
+    # epochs have packets there, letting activation skip segments with
+    # nothing on the snapshot's path ("selectively scanning only those
+    # segments that have data corresponding to the snapshot").  Off by
+    # default to match the paper's prototype (full scans).
+    selective_scan: bool = False
+
+
+@dataclass
+class SnapshotMetrics:
+    """ioSnap-specific counters layered over FtlMetrics."""
+
+    creates: int = 0
+    deletes: int = 0
+    activations: int = 0
+    deactivations: int = 0
+    create_latencies_ns: List[int] = field(default_factory=list)
+    delete_latencies_ns: List[int] = field(default_factory=list)
+    activation_reports: List[Dict[str, Any]] = field(default_factory=list)
+
+
+class IoSnapDevice(VslDevice):
+    """The paper's system: an FTL with native snapshots."""
+
+    config: IoSnapConfig
+    CONFIG_CLS = IoSnapConfig
+
+    def __init__(self, kernel, nand, config: Optional[IoSnapConfig] = None):
+        super().__init__(kernel, nand, config or IoSnapConfig())
+        self.snap_metrics = SnapshotMetrics()
+
+    # ------------------------------------------------------------------
+    # Snapshot API (synchronous façade)
+    # ------------------------------------------------------------------
+    def snapshot_create(self, name: Optional[str] = None) -> Snapshot:
+        return self.kernel.run_process(self.snapshot_create_proc(name),
+                                       name="snap-create")
+
+    def snapshot_delete(self, ref: SnapshotRef) -> None:
+        self.kernel.run_process(self.snapshot_delete_proc(ref),
+                                name="snap-delete")
+
+    def snapshot_activate(self, ref: SnapshotRef,
+                          limiter=None) -> ActivatedSnapshot:
+        return self.kernel.run_process(
+            self.snapshot_activate_proc(ref, limiter), name="snap-activate")
+
+    def snapshot_deactivate(self, activated: ActivatedSnapshot) -> None:
+        self.kernel.run_process(self.snapshot_deactivate_proc(activated),
+                                name="snap-deactivate")
+
+    def snapshots(self, include_deleted: bool = False) -> List[Snapshot]:
+        return self.tree.snapshots(include_deleted=include_deleted)
+
+    def activations(self) -> List[ActivatedSnapshot]:
+        return list(self._activations)
+
+    # ------------------------------------------------------------------
+    # Snapshot API (process form)
+    # ------------------------------------------------------------------
+    def snapshot_create_proc(self, name: Optional[str] = None) -> Generator:
+        """Create a snapshot: one synchronous note, O(1) in data volume.
+
+        The paper makes quiescing the application's job (§5.8, step 1);
+        here the device enforces it — the write gate closes, in-flight
+        writes drain, and only then does the epoch advance, so no write
+        ever straddles the boundary.
+        """
+        self._require_open()
+        started = self.kernel.now
+        yield from self.quiesce_begin()
+        try:
+            snap_id = self.tree.peek_next_snap_id()
+            resolved_name = name if name is not None else f"snap-{snap_id}"
+            note = SnapCreateNote(snap_id=snap_id, name=resolved_name,
+                                  captured_epoch=self.tree.active_epoch,
+                                  new_epoch=self.tree.peek_next_epoch())
+            yield from self._append_note(note, PageKind.NOTE_SNAP_CREATE)
+            snap = self.tree.create_snapshot(name,
+                                             created_seq=self._next_seq)
+            snap.map_nodes_at_create = self.map.node_count()
+            snap.map_bytes_at_create = self.map.memory_bytes()
+            # The captured epoch's bitmap freezes; the active device
+            # continues on a CoW child (paper Figure 5).
+            captured_bitmap = self._epoch_bitmaps[snap.epoch]
+            self._epoch_bitmaps[self.tree.active_epoch] = \
+                captured_bitmap.fork()
+        finally:
+            self.quiesce_end()
+        self.snap_metrics.creates += 1
+        self.snap_metrics.create_latencies_ns.append(self.kernel.now - started)
+        return snap
+
+    def snapshot_delete_proc(self, ref: SnapshotRef) -> Generator:
+        """Delete a snapshot: a note plus tree bookkeeping; space comes
+        back lazily via the segment cleaner (paper Figure 6C)."""
+        self._require_open()
+        started = self.kernel.now
+        snap = self.tree.resolve(ref)
+        if snap.deleted:
+            raise SnapshotError(f"snapshot {snap.name!r} already deleted")
+        if any(act.snapshot.snap_id == snap.snap_id
+               for act in self._activations):
+            raise SnapshotError(
+                f"snapshot {snap.name!r} is activated; deactivate first")
+        note = SnapDeleteNote(snap_id=snap.snap_id)
+        yield from self._append_note(note, PageKind.NOTE_SNAP_DELETE)
+        self.tree.delete_snapshot(snap)
+        # Drop the epoch's bitmap from the live set: the cleaner's
+        # merged view no longer includes it, which implicitly
+        # invalidates blocks only this snapshot kept alive.
+        self._epoch_bitmaps.pop(snap.epoch, None)
+        self.snap_metrics.deletes += 1
+        self.snap_metrics.delete_latencies_ns.append(self.kernel.now - started)
+        self.cleaner.maybe_kick()
+
+    def snapshot_activate_proc(self, ref: SnapshotRef,
+                               limiter=None) -> Generator:
+        """Activate a snapshot: rate-limited log scan + map rebuild."""
+        self._require_open()
+        snap = self.tree.resolve(ref)
+        activated = yield from activate_proc(self, snap, limiter)
+        self.snap_metrics.activations += 1
+        return activated
+
+    def snapshot_deactivate_proc(self,
+                                 activated: ActivatedSnapshot) -> Generator:
+        self._require_open()
+        if activated not in self._activations:
+            raise SnapshotError("snapshot is not activated")
+        note = SnapDeactivateNote(snap_id=activated.snapshot.snap_id,
+                                  epoch=activated.epoch)
+        yield from self._append_note(note, PageKind.NOTE_SNAP_DEACTIVATE)
+        self._activations.remove(activated)
+        self._epoch_bitmaps.pop(activated.epoch, None)
+        activated.mark_closed()
+        self.snap_metrics.deactivations += 1
+        self.cleaner.maybe_kick()
+
+    def _append_note(self, note, kind: PageKind) -> Generator:
+        payload = encode_note(note)
+        header = OobHeader(kind=kind, lba=0, epoch=self.tree.active_epoch,
+                           seq=self._bump_seq(), length=len(payload))
+        # Delete/deactivate *release* space, and they are exactly the
+        # operations an administrator issues to heal a full device —
+        # they may dip into the cleaner's reserve rather than deadlock
+        # behind the very snapshot being removed.
+        privileged = kind in (PageKind.NOTE_SNAP_DELETE,
+                              PageKind.NOTE_SNAP_DEACTIVATE)
+        ppn, done = yield from self.log.append(header, payload,
+                                               privileged=privileged)
+        self._note_registry[ppn] = note
+        yield done  # notes persist the operation; wait for durability
+        return ppn
+
+    # ------------------------------------------------------------------
+    # State shared with activation / recovery / cleaner
+    # ------------------------------------------------------------------
+    @property
+    def active_bitmap(self) -> CowValidityBitmap:
+        return self._epoch_bitmaps[self.tree.active_epoch]
+
+    def live_epoch_bitmaps(self) -> List[Tuple[int, CowValidityBitmap]]:
+        """(epoch, bitmap) for every epoch the cleaner must honor."""
+        return sorted(self._epoch_bitmaps.items())
+
+    def _new_bitmap(self, parent: Optional[CowValidityBitmap] = None,
+                    ) -> CowValidityBitmap:
+        return CowValidityBitmap(self.nand.geometry.total_pages,
+                                 page_bytes=self.config.bitmap_page_bytes,
+                                 parent=parent, on_cow=self._note_cow)
+
+    def _note_cow(self, kind: str) -> None:
+        if kind == "write":
+            self.metrics.bitmap_cow_copies += 1
+            self.metrics.cow_timestamps.append(self.kernel.now)
+
+    def bitmap_memory_bytes(self) -> int:
+        """Private bitmap bytes across live epochs (paper §6.2.1)."""
+        return sum(bm.owned_bytes() for bm in self._epoch_bitmaps.values())
+
+    def info(self) -> Dict[str, Any]:
+        summary = super().info()
+        summary["snapshots"] = {
+            "live": len(self.snapshots()),
+            "total_ever": len(self.snapshots(include_deleted=True)),
+            "activated": len(self._activations),
+            "active_epoch": self.tree.active_epoch,
+            "bitmap_memory_bytes": self.bitmap_memory_bytes(),
+        }
+        return summary
+
+    # ------------------------------------------------------------------
+    # FTL hook overrides
+    # ------------------------------------------------------------------
+    def _make_structures(self) -> None:
+        self.tree = SnapshotTree()
+        self._activations: List[ActivatedSnapshot] = []
+        # Per-segment epoch summary for the selective-scan extension:
+        # which epochs have DATA/TRIM packets in each segment.
+        self._segment_epochs: Dict[int, set] = {}
+        self._epoch_bitmaps: Dict[int, CowValidityBitmap] = {}
+        self._epoch_bitmaps[0] = CowValidityBitmap(
+            self.nand.geometry.total_pages,
+            page_bytes=self.config.bitmap_page_bytes,
+            on_cow=self._note_cow)
+
+    def _current_epoch(self) -> int:
+        return self.tree.active_epoch
+
+    def _install_mapping(self, lba: int, ppn: int) -> Generator:
+        bitmap = self.active_bitmap
+        old = self.map.insert(lba, ppn)
+        copies = 1 if bitmap.set(ppn) else 0
+        if old is not None:
+            # Clearing the old block's bit touches the bitmap page that
+            # described the *previous* epoch's data — this is the CoW
+            # the paper's Figure 7 measures.
+            copies += 1 if bitmap.clear(old) else 0
+        if copies:
+            yield copies * self.config.cpu.bitmap_cow_ns
+
+    def _uninstall_mapping(self, old_ppn: int) -> Generator:
+        if self.active_bitmap.clear(old_ppn):
+            yield self.config.cpu.bitmap_cow_ns
+
+    def _compute_valid(self, seg: Segment) -> Tuple[List[int], int]:
+        """Merged validity across live epochs (paper Figure 6)."""
+        bitmaps = self.live_epoch_bitmaps()
+        valid: set = set()
+        for _epoch, bitmap in bitmaps:
+            valid.update(bitmap.iter_set_in_range(seg.first_ppn, seg.npages))
+        pages_touched = (seg.npages + self.active_bitmap.bits_per_page - 1) \
+            // self.active_bitmap.bits_per_page
+        merge_cost = pages_touched * len(bitmaps) \
+            * self.config.cpu.bitmap_merge_page_ns
+        return sorted(valid), merge_cost
+
+    def _estimate_valid_count(self, seg: Segment) -> int:
+        if self.config.snapshot_aware_pacing:
+            valid, _cost = self._compute_valid(seg)
+            return len(valid)
+        # Vanilla rate policy: only the active epoch's validity — an
+        # underestimate whenever the segment holds snapshotted data.
+        return self.active_bitmap.count_range(seg.first_ppn, seg.npages)
+
+    def _block_still_valid(self, ppn: int) -> bool:
+        return any(bitmap.test(ppn)
+                   for _epoch, bitmap in self.live_epoch_bitmaps())
+
+    def _relocate(self, old_ppn: int, new_ppn: int,
+                  header: OobHeader) -> Generator:
+        """Fix every epoch that references a moved block (§5.4.3):
+        "in the worst case, every valid epoch may refer to this block"."""
+        active_epoch = self.tree.active_epoch
+        # Decide which epochs reference the block BEFORE mutating any
+        # bitmap: epochs share pages through CoW, so fixing a parent's
+        # page changes what a child that never copied it reads.
+        referencing = [(epoch, bitmap)
+                       for epoch, bitmap in self.live_epoch_bitmaps()
+                       if bitmap.test(old_ppn)]
+        adjustments = 0
+        for epoch, bitmap in referencing:
+            adjustments += 1
+            if epoch == active_epoch:
+                if self.map.get(header.lba) == old_ppn:
+                    self.map.insert(header.lba, new_ppn)
+                    bitmap.clear(old_ppn)
+                    bitmap.set(new_ppn)
+                else:
+                    # Overwritten while the copy was in flight.
+                    bitmap.clear(old_ppn)
+            else:
+                bitmap.clear_privileged(old_ppn)
+                bitmap.set_privileged(new_ppn)
+        for activated in self._activations:
+            activated.on_block_moved(header.lba, old_ppn, new_ppn)
+        self.record_move(old_ppn, new_ppn, header)
+        if adjustments:
+            yield adjustments * self.config.cpu.bitmap_adjust_ns
+
+    def _on_packet_appended(self, ppn: int, header: OobHeader) -> None:
+        if header.kind in (PageKind.DATA, PageKind.NOTE_TRIM):
+            index = self.log.segment_of(ppn).index
+            self._segment_epochs.setdefault(index, set()).add(header.epoch)
+
+    def _gc_head_for(self, old_ppn: int, header: OobHeader) -> str:
+        if not self.config.gc_segregate_cold:
+            return "gc"
+        if header.kind is not PageKind.DATA:
+            return "gc"
+        # Cold = retained only by snapshots (invalid in the active
+        # epoch); hot = still live on the active device.
+        if self.active_bitmap.test(old_ppn):
+            return "gc-hot"
+        return "gc-cold"
+
+    def _on_segment_erased(self, seg: Segment) -> None:
+        super()._on_segment_erased(seg)
+        self._segment_epochs.pop(seg.index, None)
+
+    def segment_epoch_summary(self, seg: Segment) -> frozenset:
+        """Epochs with DATA/TRIM packets in ``seg`` (selective scan)."""
+        return frozenset(self._segment_epochs.get(seg.index, ()))
+
+    def _note_is_live(self, ppn: int, header: OobHeader) -> bool:
+        """Create/delete notes are kept forever: deleted snapshots'
+        epochs can still be ancestors of live data, and recovery needs
+        the full main-chain epoch lineage.  Activate/deactivate notes
+        die with the crash-ephemeral activations they describe."""
+        del ppn
+        return header.kind in (PageKind.NOTE_TRIM,
+                               PageKind.NOTE_SNAP_CREATE,
+                               PageKind.NOTE_SNAP_DELETE)
+
+    def _rebuild_state(self, packets: List[Any]) -> Generator:
+        from repro.core.recovery import rebuild_iosnap_state
+
+        yield from rebuild_iosnap_state(self, packets)
+
+    def _dump_extra(self) -> Dict[str, Any]:
+        return {
+            "tree": self.tree.dump(),
+            "epoch_bitmaps": {
+                epoch: bitmap.materialize()
+                for epoch, bitmap in self._epoch_bitmaps.items()
+            },
+            "segment_epochs": {
+                index: sorted(epochs)
+                for index, epochs in self._segment_epochs.items()
+            },
+        }
+
+    def _load_extra(self, extra: Dict[str, Any]) -> None:
+        self.tree = SnapshotTree.restore(extra["tree"])
+        self._segment_epochs = {
+            index: set(epochs)
+            for index, epochs in extra.get("segment_epochs", {}).items()
+        }
+        self._epoch_bitmaps = {}
+        for epoch, pages in extra["epoch_bitmaps"].items():
+            bitmap = CowValidityBitmap.from_pages(
+                self.nand.geometry.total_pages,
+                self.config.bitmap_page_bytes, pages, on_cow=self._note_cow)
+            if epoch != self.tree.active_epoch:
+                bitmap.freeze()
+            self._epoch_bitmaps[epoch] = bitmap
+        # Checkpoint restore flattens CoW chains: correctness is
+        # preserved, page sharing is rebuilt from the next snapshot on.

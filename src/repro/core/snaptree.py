@@ -1,0 +1,256 @@
+"""Epochs and the snapshot tree (paper §5.3.2, Figure 4).
+
+Epochs divide the log into time-ordered sets: the epoch counter is
+incremented on every snapshot operation, and every block written
+carries its epoch in its OOB header.  Snapshots point at epochs; the
+tree of epochs records lineage — snapshot creation extends the main
+chain, activation forks a branch.
+
+A snapshot's state is the fold of all packets written in the epochs on
+the path from the root to its captured epoch; that path is what
+:meth:`SnapshotTree.path_epochs` returns and what both activation and
+crash recovery use to isolate one snapshot's data from its siblings.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.errors import SnapshotError
+
+
+class BranchKind(enum.Enum):
+    MAIN = "main"
+    ACTIVATION = "activation"
+
+
+@dataclass
+class Snapshot:
+    """A point-in-time image: the fold of epochs up to ``epoch``."""
+
+    snap_id: int
+    name: str
+    epoch: int              # the captured epoch
+    created_seq: int        # log sequence number of the create note
+    deleted: bool = False
+    # Forward-map footprint at creation time (paper Table 3 reporting).
+    map_nodes_at_create: int = 0
+    map_bytes_at_create: int = 0
+
+
+@dataclass
+class EpochNode:
+    number: int
+    parent: Optional["EpochNode"]
+    kind: BranchKind
+    snapshot_id: Optional[int] = None   # snapshot capturing this epoch
+    children: List["EpochNode"] = field(default_factory=list)
+
+
+SnapshotRef = Union[int, str, Snapshot]
+
+
+class SnapshotTree:
+    """Registry of epochs and snapshots plus the active main epoch."""
+
+    def __init__(self) -> None:
+        root = EpochNode(number=0, parent=None, kind=BranchKind.MAIN)
+        self._nodes: Dict[int, EpochNode] = {0: root}
+        self._snapshots: Dict[int, Snapshot] = {}
+        self._by_name: Dict[str, int] = {}
+        self.active_epoch = 0
+        self._next_epoch = 1
+        self._next_snap_id = 1
+
+    # -- lookups -----------------------------------------------------------
+    def node(self, epoch: int) -> EpochNode:
+        try:
+            return self._nodes[epoch]
+        except KeyError:
+            raise SnapshotError(f"unknown epoch {epoch}") from None
+
+    def resolve(self, ref: SnapshotRef) -> Snapshot:
+        """Find a snapshot by id, name, or identity."""
+        if isinstance(ref, Snapshot):
+            ref = ref.snap_id
+        if isinstance(ref, str):
+            snap_id = self._by_name.get(ref)
+            if snap_id is None:
+                raise SnapshotError(f"no snapshot named {ref!r}")
+            ref = snap_id
+        snap = self._snapshots.get(ref)
+        if snap is None:
+            raise SnapshotError(f"no snapshot with id {ref}")
+        return snap
+
+    def snapshots(self, include_deleted: bool = False) -> List[Snapshot]:
+        snaps = sorted(self._snapshots.values(), key=lambda s: s.snap_id)
+        if include_deleted:
+            return snaps
+        return [s for s in snaps if not s.deleted]
+
+    def live_snapshot_epochs(self) -> List[int]:
+        """Epochs whose validity bitmaps must be honored by the cleaner."""
+        return [s.epoch for s in self._snapshots.values() if not s.deleted]
+
+    def path_epochs(self, epoch: int) -> List[int]:
+        """Epoch numbers from the root down to ``epoch`` (inclusive)."""
+        path: List[int] = []
+        node: Optional[EpochNode] = self.node(epoch)
+        while node is not None:
+            path.append(node.number)
+            node = node.parent
+        path.reverse()
+        return path
+
+    def depth_of(self, ref: SnapshotRef) -> int:
+        """Number of ancestor snapshots this snapshot depends on."""
+        snap = self.resolve(ref)
+        return sum(
+            1 for epoch in self.path_epochs(snap.epoch)
+            if epoch != snap.epoch and self._nodes[epoch].snapshot_id is not None
+        )
+
+    def peek_next_epoch(self) -> int:
+        return self._next_epoch
+
+    def peek_next_snap_id(self) -> int:
+        return self._next_snap_id
+
+    # -- transitions -----------------------------------------------------------
+    def create_snapshot(self, name: Optional[str], created_seq: int) -> Snapshot:
+        """Capture the active epoch; the main chain moves to a new epoch."""
+        snap_id = self._next_snap_id
+        if name is None:
+            name = f"snap-{snap_id}"
+        if name in self._by_name:
+            raise SnapshotError(f"snapshot name {name!r} already in use")
+        captured = self.active_epoch
+        snap = Snapshot(snap_id=snap_id, name=name, epoch=captured,
+                        created_seq=created_seq)
+        self._next_snap_id += 1
+        self._snapshots[snap_id] = snap
+        self._by_name[name] = snap_id
+        self._nodes[captured].snapshot_id = snap_id
+        self.active_epoch = self._add_epoch(parent=captured,
+                                            kind=BranchKind.MAIN)
+        return snap
+
+    def delete_snapshot(self, ref: SnapshotRef) -> Snapshot:
+        snap = self.resolve(ref)
+        if snap.deleted:
+            raise SnapshotError(f"snapshot {snap.name!r} already deleted")
+        snap.deleted = True
+        return snap
+
+    def new_activation_epoch(self, ref: SnapshotRef) -> int:
+        """Fork a branch epoch off a snapshot (activation, §5.6)."""
+        snap = self.resolve(ref)
+        if snap.deleted:
+            raise SnapshotError(f"snapshot {snap.name!r} is deleted")
+        return self._add_epoch(parent=snap.epoch, kind=BranchKind.ACTIVATION)
+
+    def _add_epoch(self, parent: int, kind: BranchKind) -> int:
+        number = self._next_epoch
+        self._next_epoch += 1
+        node = EpochNode(number=number, parent=self._nodes[parent], kind=kind)
+        self._nodes[parent].children.append(node)
+        self._nodes[number] = node
+        return number
+
+    # -- recovery/checkpoint construction -------------------------------------
+    def register_recovered_epoch(self, number: int, parent: int,
+                                 kind: BranchKind) -> None:
+        """Re-add an epoch edge learned from a note during recovery."""
+        if number in self._nodes:
+            raise SnapshotError(f"epoch {number} registered twice")
+        node = EpochNode(number=number, parent=self._nodes[parent], kind=kind)
+        self._nodes[parent].children.append(node)
+        self._nodes[number] = node
+        self._next_epoch = max(self._next_epoch, number + 1)
+
+    def register_recovered_snapshot(self, snap: Snapshot) -> None:
+        if snap.snap_id in self._snapshots:
+            raise SnapshotError(f"snapshot id {snap.snap_id} registered twice")
+        self._snapshots[snap.snap_id] = snap
+        self._by_name[snap.name] = snap.snap_id
+        self._nodes[snap.epoch].snapshot_id = snap.snap_id
+        self._next_snap_id = max(self._next_snap_id, snap.snap_id + 1)
+
+    def note_epoch_consumed(self, number: int) -> None:
+        """Keep the epoch counter above numbers seen on the media."""
+        self._next_epoch = max(self._next_epoch, number + 1)
+
+    def render(self) -> str:
+        """ASCII rendering of the epoch tree (operator tooling).
+
+        Example::
+
+            epoch 0 [snapshot 'base']
+            ├── epoch 1 [snapshot 'daily'] (deleted)
+            │   └── epoch 3 (active)
+            └── epoch 2 (activation)
+        """
+        lines: List[str] = []
+
+        def label(node: EpochNode) -> str:
+            parts = [f"epoch {node.number}"]
+            if node.snapshot_id is not None:
+                snap = self._snapshots[node.snapshot_id]
+                tag = f"snapshot {snap.name!r}"
+                if snap.deleted:
+                    tag += " (deleted)"
+                parts.append(f"[{tag}]")
+            if node.kind is BranchKind.ACTIVATION:
+                parts.append("(activation)")
+            if node.number == self.active_epoch:
+                parts.append("(active)")
+            return " ".join(parts)
+
+        def walk(node: EpochNode, prefix: str, is_last: bool,
+                 is_root: bool) -> None:
+            if is_root:
+                lines.append(label(node))
+                child_prefix = ""
+            else:
+                connector = "└── " if is_last else "├── "
+                lines.append(prefix + connector + label(node))
+                child_prefix = prefix + ("    " if is_last else "│   ")
+            for i, child in enumerate(node.children):
+                walk(child, child_prefix, i == len(node.children) - 1,
+                     is_root=False)
+
+        walk(self._nodes[0], "", True, is_root=True)
+        return "\n".join(lines)
+
+    def dump(self) -> Dict:
+        """Checkpoint image of the tree."""
+        return {
+            "epochs": [
+                (node.number,
+                 node.parent.number if node.parent is not None else None,
+                 node.kind.value)
+                for node in sorted(self._nodes.values(),
+                                   key=lambda n: n.number)
+            ],
+            "snapshots": [vars(s).copy() for s in self._snapshots.values()],
+            "active_epoch": self.active_epoch,
+            "next_epoch": self._next_epoch,
+            "next_snap_id": self._next_snap_id,
+        }
+
+    @classmethod
+    def restore(cls, image: Dict) -> "SnapshotTree":
+        tree = cls()
+        for number, parent, kind in image["epochs"]:
+            if number == 0:
+                continue
+            tree.register_recovered_epoch(number, parent, BranchKind(kind))
+        for fields in image["snapshots"]:
+            tree.register_recovered_snapshot(Snapshot(**fields))
+        tree.active_epoch = image["active_epoch"]
+        tree._next_epoch = image["next_epoch"]
+        tree._next_snap_id = image["next_snap_id"]
+        return tree

@@ -1,0 +1,47 @@
+"""Exception hierarchy shared across the reproduction."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class NandError(ReproError):
+    """Physical-layer misuse or failure (bad address, program order, wear)."""
+
+
+class AddressError(NandError):
+    """Physical or logical address out of range."""
+
+
+class ProgramOrderError(NandError):
+    """Pages within an erase block must be programmed sequentially."""
+
+
+class WearOutError(NandError):
+    """An erase block exceeded its program/erase cycle budget."""
+
+
+class UncorrectableError(NandError):
+    """Injected bit errors exceeded correction capability on a read."""
+
+
+class FtlError(ReproError):
+    """Logical-layer error in the FTL."""
+
+
+class OutOfSpaceError(FtlError):
+    """The log has no free segments and cleaning cannot make progress."""
+
+
+class LbaError(FtlError):
+    """Logical block address out of the exported range."""
+
+
+class CheckpointError(FtlError):
+    """Missing or unusable checkpoint on device open."""
+
+
+class SnapshotError(ReproError):
+    """Snapshot-layer misuse (unknown snapshot, double delete, ...)."""

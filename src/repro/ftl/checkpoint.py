@@ -1,0 +1,96 @@
+"""Clean-shutdown checkpointing (paper §5.5: "the device state is fully
+checkpointed only on a clean shutdown").
+
+The checkpoint is the pickled FTL state (forward map items, validity
+pages, sequence counters, live notes, and whatever extra state the
+ioSnap layer adds via ``_dump_extra``), chunked into CHECKPOINT pages
+appended to the log.  The superblock — the device's small out-of-band
+config area — records where the chunks live plus the log's segment
+bookkeeping, and the ``clean`` flag that decides between checkpoint
+restore and log-scan recovery at the next open.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import TYPE_CHECKING, Generator
+
+from repro.errors import CheckpointError
+from repro.ftl.btree import BPlusTree
+from repro.nand.oob import OobHeader, PageKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ftl.vsl import VslDevice
+
+CHECKPOINT_VERSION = 1
+
+
+def write_checkpoint(ftl: "VslDevice") -> Generator:
+    """Serialize FTL state onto the log and mark the superblock clean.
+
+    The caller must have stopped the cleaner and waited for it to park
+    (see ``VslDevice._shutdown_proc``), so the state captured here
+    cannot change under us.
+    """
+    state = {
+        "version": CHECKPOINT_VERSION,
+        "seq": ftl._next_seq,
+        "map_items": list(ftl.map.items()),
+        "notes": dict(ftl._note_registry),
+        "extra": ftl._dump_extra(),
+    }
+    blob = pickle.dumps(state)
+    chunk_size = ftl.nand.geometry.page_size
+    ppns = []
+    for index in range(0, len(blob), chunk_size):
+        chunk = blob[index:index + chunk_size]
+        header = OobHeader(kind=PageKind.CHECKPOINT, lba=index // chunk_size,
+                           epoch=0, seq=ftl._bump_seq(), length=len(chunk))
+        # Privileged: with the cleaner stopped nobody can free space,
+        # so the checkpoint may dip into the cleaner's reserve.
+        ppn, done = yield from ftl.log.append(header, chunk, privileged=True)
+        ppns.append(ppn)
+        yield done  # checkpoints must be durable
+
+    ftl.nand.superblock.update({
+        "clean": True,
+        "checkpoint_ppns": ppns,
+        "log_state": ftl.log.dump_state(),
+        "next_seq": ftl._next_seq,
+    })
+
+
+def restore_checkpoint(ftl: "VslDevice") -> Generator:
+    """Rebuild FTL state from the checkpoint referenced by the superblock."""
+    sb = ftl.nand.superblock
+    ppns = sb.get("checkpoint_ppns")
+    if not sb.get("clean") or ppns is None:
+        raise CheckpointError("superblock has no clean checkpoint")
+
+    blob = b""
+    for ppn in ppns:
+        try:
+            record = yield from ftl.nand.read_page(ppn)
+        except Exception as exc:  # noqa: BLE001 - any media error is fatal
+            raise CheckpointError(
+                f"checkpoint page {ppn} unreadable: {exc}") from exc
+        if record.header.kind is not PageKind.CHECKPOINT:
+            raise CheckpointError(f"ppn {ppn} is not a checkpoint page")
+        if record.data is None:
+            raise CheckpointError(f"checkpoint page {ppn} lost its payload")
+        blob += record.data[:record.header.length]
+    try:
+        state = pickle.loads(blob)
+    except Exception as exc:  # noqa: BLE001 - any unpickle failure is fatal
+        raise CheckpointError(f"corrupt checkpoint: {exc}") from exc
+    if state.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint version {state.get('version')}")
+
+    ftl._next_seq = state["seq"]
+    ftl.map = BPlusTree.bulk_load(state["map_items"],
+                                  order=ftl.config.map_order)
+    yield len(state["map_items"]) * ftl.config.cpu.map_bulk_insert_ns
+    ftl._note_registry = state["notes"]
+    ftl._load_extra(state["extra"])
+    ftl.log.adopt_state(*sb["log_state"])

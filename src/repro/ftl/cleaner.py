@@ -1,0 +1,228 @@
+"""The segment cleaner (garbage collector), paper §5.2.3 and §5.4.
+
+A background process that, when free segments run low, picks the closed
+segment with the least valid data, copy-forwards the valid pages to the
+head of the log (preserving their OOB headers: LBA, epoch, and sequence
+number — activation-by-scan depends on this), then erases the segment
+and returns it to the free pool.
+
+All validity decisions go through hook methods on the owning FTL
+(``_compute_valid`` / ``_block_still_valid`` / ``_relocate`` /
+``_note_is_live``), so the same cleaner drives both the vanilla FTL and
+the snapshot-aware ioSnap layer; ioSnap's hooks implement the merged
+per-epoch bitmaps of Figure 6.
+
+Pacing: moves are spread over ``cleaner_budget_ms`` using the move-count
+estimate from ``_estimate_valid_count`` (see
+:class:`repro.ftl.ratelimit.CleanerPacer` for why the quality of that
+estimate is exactly the paper's Figure 10 story).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+from repro.errors import FtlError, OutOfSpaceError, WearOutError
+from repro.ftl.log import Segment, SegmentState
+from repro.ftl.ratelimit import CleanerPacer
+from repro.nand.oob import PageKind
+from repro.sim.stats import NS_PER_MS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ftl.vsl import VslDevice
+
+
+class SegmentCleaner:
+    """Snapshot-agnostic cleaning engine driven by FTL hooks."""
+
+    def __init__(self, ftl: "VslDevice") -> None:
+        self.ftl = ftl
+        self.kernel = ftl.kernel
+        self.pacer = CleanerPacer(
+            self.kernel, budget_ns=int(ftl.config.cleaner_budget_ms * NS_PER_MS))
+        self._stopped = False
+        self._wakeup = None
+        self.segments_cleaned = 0
+        self.segments_retired = 0
+        self.pages_moved = 0
+        self.notes_moved = 0
+
+    # -- control -----------------------------------------------------------
+    def stop(self) -> None:
+        self._stopped = True
+        self.maybe_kick(force=True)
+
+    def maybe_kick(self, force: bool = False) -> None:
+        """Wake the cleaner if free space is low (or unconditionally)."""
+        if not force and not self._pressure():
+            return
+        if self._wakeup is not None and not self._wakeup.triggered:
+            wakeup, self._wakeup = self._wakeup, None
+            wakeup.trigger()
+
+    def _pressure(self) -> bool:
+        return (self.ftl.log.free_segment_count()
+                < self.ftl.config.gc_low_watermark)
+
+    # -- main loop -----------------------------------------------------------
+    def run(self) -> Generator:
+        """Background process: clean whenever under space pressure."""
+        while not self._stopped:
+            if not self._pressure():
+                self._wakeup = self.kernel.event()
+                yield self._wakeup
+                continue
+            candidate = self.select_candidate()
+            if candidate is None and self.ftl.log.free_segment_count() == 0:
+                # Last resort: reclaimable pages may be trapped in the
+                # open head segment; close it and look again.
+                if self.ftl.log.force_close_head():
+                    candidate = self.select_candidate()
+            if candidate is None:
+                if self.ftl.log.free_segment_count() == 0:
+                    self.ftl.log.fail_waiters(OutOfSpaceError(
+                        "no reclaimable segments: device is full "
+                        "(all data is live or snapshot-retained)"))
+                self._wakeup = self.kernel.event()
+                yield self._wakeup
+                continue
+            try:
+                yield from self.clean_segment(candidate)
+            except OutOfSpaceError as exc:
+                # Even the reserve ran dry mid-clean.  The media is
+                # still consistent (moved blocks were relocated, the
+                # source segment simply wasn't erased); report the
+                # condition to stalled writers and park.
+                self.ftl.log.fail_waiters(exc)
+                self._wakeup = self.kernel.event()
+                yield self._wakeup
+
+    # -- selection ------------------------------------------------------------
+    def _occupied_count(self, seg: Segment) -> int:
+        valid = self.ftl._estimate_valid_count(seg)
+        live_notes = sum(
+            1 for ppn in seg.written_ppns()
+            if ppn in self.ftl._note_registry
+            and self.ftl._note_is_live(
+                ppn, self.ftl.nand.array.read_header(ppn))
+        )
+        return valid + live_notes
+
+    def select_candidate(self) -> Optional[Segment]:
+        """Pick the next segment to clean per the configured policy.
+
+        "greedy" takes the most-reclaimable closed segment;
+        "cost_benefit" scores (1 - u) * age / (1 + u), preferring old,
+        cold segments (Rosenblum & Ousterhout).  Returns None when no
+        closed segment would free anything.
+        """
+        policy = self.ftl.config.gc_policy
+        newest_seq = max((seg.seq for seg in self.ftl.log.closed_segments()),
+                         default=0)
+        best: Optional[Segment] = None
+        best_score = None
+        for seg in self.ftl.log.closed_segments():
+            occupied = self._occupied_count(seg)
+            if occupied >= seg.data_capacity:
+                continue  # nothing reclaimable
+            if policy == "greedy":
+                score = -occupied
+            else:
+                u = occupied / seg.data_capacity
+                age = newest_seq - seg.seq + 1
+                score = (1.0 - u) * age / (1.0 + u)
+            if best_score is None or score > best_score:
+                best, best_score = seg, score
+        return best
+
+    # -- cleaning one segment ---------------------------------------------------
+    def clean_segment(self, seg: Segment, paced: bool = True) -> Generator:
+        """Copy-forward valid data and live notes, then erase ``seg``."""
+        if seg.state is not SegmentState.CLOSED:
+            raise FtlError(f"cannot clean segment in state {seg.state}")
+        started = self.kernel.now
+
+        valid_ppns, merge_cost_ns = self.ftl._compute_valid(seg)
+        yield merge_cost_ns  # CPU: merging/scanning validity bitmaps
+        estimate = self.ftl._estimate_valid_count(seg)
+        if paced:
+            self.pacer.start(estimate)
+
+        moved = 0
+        moves_done_at = self.kernel.now
+        for ppn in valid_ppns:
+            if not self.ftl._block_still_valid(ppn):
+                continue  # invalidated by foreground I/O mid-clean
+            move_started = self.kernel.now
+            record = yield from self.ftl.nand.read_page(ppn)
+            new_ppn, _done = yield from self.ftl.log.append(
+                record.header, record.data, privileged=True,
+                head=self.ftl._gc_head_for(ppn, record.header))
+            self.ftl._on_packet_appended(new_ppn, record.header)
+            yield from self.ftl._relocate(ppn, new_ppn, record.header)
+            moved += 1
+            if paced:
+                yield from self.pacer.pace(self.kernel.now - move_started)
+        moves_done_at = self.kernel.now
+
+        for ppn in seg.written_ppns():
+            header = self.ftl.nand.array.read_header(ppn) \
+                if self.ftl.nand.array.is_programmed(ppn) else None
+            if header is None or header.kind is PageKind.DATA:
+                continue
+            if ppn in self.ftl._note_registry and self.ftl._note_is_live(ppn, header):
+                record = yield from self.ftl.nand.read_page(ppn)
+                new_ppn, _done = yield from self.ftl.log.append(
+                    record.header, record.data, privileged=True)
+                self.ftl._on_packet_appended(new_ppn, record.header)
+                self.ftl._relocate_note(ppn, new_ppn)
+                self.notes_moved += 1
+
+        # Never pull media out from under an in-progress activation or
+        # recovery scan (they hold references into this segment).
+        yield from self.ftl.erase_barrier()
+        first_block = seg.first_ppn // self.ftl.nand.geometry.pages_per_block
+        worn_out = False
+        for block in range(first_block,
+                           first_block + self.ftl.log.blocks_per_segment):
+            try:
+                yield from self.ftl.nand.erase_block(block)
+            except WearOutError:
+                worn_out = True
+        self.ftl._on_segment_erased(seg)
+        if worn_out:
+            # All valid data was already copied out; take the segment
+            # out of circulation and keep running at reduced capacity.
+            self.ftl.log.retire_segment(seg.index)
+            self.segments_retired += 1
+        else:
+            self.ftl.log.release_segment(seg.index)
+
+        self.segments_cleaned += 1
+        self.pages_moved += moved
+        self.ftl.metrics.cleaner_runs.append({
+            "segment": seg.index,
+            "moved": moved,
+            "estimate": estimate,
+            "merge_ns": merge_cost_ns,
+            "total_ns": self.kernel.now - started,
+            "at": started,
+            "moves_done_at": moves_done_at,
+        })
+
+    def ensure_free(self, target: int) -> Generator:
+        """Clean (unpaced) until at least ``target`` segments are free.
+
+        Used at shutdown to make room for the checkpoint; stops early
+        when nothing reclaimable remains.
+        """
+        while self.ftl.log.free_segment_count() < target:
+            candidate = self.select_candidate()
+            if candidate is None:
+                break
+            yield from self.clean_segment(candidate, paced=False)
+
+    def force_clean(self, seg: Segment, paced: bool = True) -> None:
+        """Synchronously clean one specific segment (experiment helper)."""
+        self.kernel.run_process(self.clean_segment(seg, paced=paced),
+                                name=f"force-clean@{seg.index}")

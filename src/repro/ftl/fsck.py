@@ -1,0 +1,273 @@
+"""Offline consistency checker ("fsck") for the FTL and ioSnap.
+
+Audits the invariants the rest of the system relies on, by comparing
+the in-memory structures against what is actually on the media.  Runs
+outside virtual time (it is a debugging/validation tool, like a
+device's offline diagnostics):
+
+Base FTL invariants
+  F1  every forward-map entry points at a programmed DATA page whose
+      OOB header carries the same LBA;
+  F2  no two LBAs share a physical page;
+  F3  the validity bitmap marks exactly the mapped pages;
+  F4  segment bookkeeping matches the media (header pages, sequence
+      numbers, programmed extents; FREE segments are erased);
+  F5  every registered note is programmed with a matching kind.
+
+ioSnap invariants (additionally)
+  S1  the active epoch's bitmap marks exactly the mapped pages;
+  S2  every live snapshot's bitmap equals the fold of on-media packets
+      over its epoch path (the ground truth an activation would build);
+  S3  every valid bit in any live epoch points at a programmed page
+      whose epoch lies on that epoch's path;
+  S4  the epoch counter exceeds every epoch present on the media;
+  S5  per-segment epoch summaries are supersets of the epochs actually
+      present (they may over-approximate, never under-approximate).
+
+Usage::
+
+    from repro.ftl.fsck import fsck
+    violations = fsck(device)
+    assert not violations, "\\n".join(violations)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.ftl.log import SegmentState
+from repro.nand.oob import PageKind
+
+_NOTE_KIND_BY_TYPE = {
+    "TrimNote": PageKind.NOTE_TRIM,
+    "SnapCreateNote": PageKind.NOTE_SNAP_CREATE,
+    "SnapDeleteNote": PageKind.NOTE_SNAP_DELETE,
+    "SnapActivateNote": PageKind.NOTE_SNAP_ACTIVATE,
+    "SnapDeactivateNote": PageKind.NOTE_SNAP_DEACTIVATE,
+}
+
+
+def fsck(device) -> List[str]:
+    """Run every applicable invariant check; return violations found."""
+    violations = _check_base(device)
+    if hasattr(device, "tree"):  # ioSnap device
+        violations.extend(_check_iosnap(device))
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Base FTL
+# ---------------------------------------------------------------------------
+def _check_base(device) -> List[str]:
+    out: List[str] = []
+    array = device.nand.array
+    seen_ppns: Dict[int, int] = {}
+
+    for lba, ppn in device.map.items():
+        if not array.is_programmed(ppn):
+            out.append(f"F1: lba {lba} maps to unprogrammed ppn {ppn}")
+            continue
+        header = array.read_header(ppn)
+        if header.kind is not PageKind.DATA:
+            out.append(f"F1: lba {lba} maps to non-DATA page {ppn} "
+                       f"({header.kind.name})")
+        elif header.lba != lba:
+            out.append(f"F1: lba {lba} maps to ppn {ppn} whose header "
+                       f"says lba {header.lba}")
+        if ppn in seen_ppns:
+            out.append(f"F2: ppn {ppn} shared by lbas {seen_ppns[ppn]} "
+                       f"and {lba}")
+        seen_ppns[ppn] = lba
+
+    # F3 only applies to the base FTL's single bitmap (ioSnap replaces
+    # it with per-epoch CoW bitmaps, checked as S1).
+    if hasattr(device, "validity"):
+        valid_bits = set(device.validity.iter_set_in_range(
+            0, device.nand.geometry.total_pages))
+        mapped = set(seen_ppns)
+        for extra in sorted(valid_bits - mapped):
+            out.append(f"F3: validity bit set for unmapped ppn {extra}")
+        for missing in sorted(mapped - valid_bits):
+            out.append(f"F3: mapped ppn {missing} not marked valid")
+
+    out.extend(_check_segments(device))
+    out.extend(_check_notes(device))
+    return out
+
+
+def _check_segments(device) -> List[str]:
+    out: List[str] = []
+    array = device.nand.array
+    geometry = device.nand.geometry
+    for seg in device.log.segments:
+        if seg.state is SegmentState.FREE:
+            first_block = seg.first_ppn // geometry.pages_per_block
+            for block in range(first_block,
+                               first_block + device.log.blocks_per_segment):
+                if not array.block_is_erased(block):
+                    out.append(f"F4: FREE segment {seg.index} has "
+                               f"programmed pages in block {block}")
+            continue
+        if seg.state is SegmentState.RETIRED:
+            continue
+        if not array.is_programmed(seg.first_ppn):
+            out.append(f"F4: {seg.state.value} segment {seg.index} missing "
+                       "its header page")
+            continue
+        header = array.read_header(seg.first_ppn)
+        if header.kind is not PageKind.SEGMENT_HEADER:
+            out.append(f"F4: segment {seg.index} first page is "
+                       f"{header.kind.name}, not SEGMENT_HEADER")
+        elif header.lba != seg.seq:
+            out.append(f"F4: segment {seg.index} header seq {header.lba} "
+                       f"!= bookkeeping seq {seg.seq}")
+        for ppn in seg.written_ppns():
+            if not array.is_programmed(ppn):
+                out.append(f"F4: segment {seg.index} claims ppn {ppn} "
+                           "written but it is unprogrammed")
+                break
+    return out
+
+
+def _check_notes(device) -> List[str]:
+    out: List[str] = []
+    array = device.nand.array
+    for ppn, note in device._note_registry.items():
+        if not array.is_programmed(ppn):
+            out.append(f"F5: registered note at unprogrammed ppn {ppn}")
+            continue
+        header = array.read_header(ppn)
+        expected = _NOTE_KIND_BY_TYPE.get(type(note).__name__)
+        if expected is None:
+            out.append(f"F5: unknown note type {type(note).__name__} "
+                       f"at ppn {ppn}")
+        elif header.kind is not expected:
+            out.append(f"F5: note at ppn {ppn} is {header.kind.name}, "
+                       f"registry says {expected.name}")
+    return out
+
+
+# ---------------------------------------------------------------------------
+# ioSnap
+# ---------------------------------------------------------------------------
+def _scan_media(device) -> List[Tuple[int, object]]:
+    """All programmed packets in log order, without advancing time."""
+    array = device.nand.array
+    packets = []
+    segments = sorted((seg for seg in device.log.segments if seg.seq >= 0),
+                      key=lambda seg: seg.seq)
+    for seg in segments:
+        for ppn in seg.written_ppns():
+            if array.is_programmed(ppn):
+                packets.append((ppn, array.read_header(ppn)))
+    return packets
+
+
+def _fold_path(packets, path: frozenset) -> Dict[int, int]:
+    """{lba: ppn} ground truth for one epoch path (later seq wins)."""
+    best: Dict[int, Tuple[int, int]] = {}
+    trims: Dict[int, int] = {}
+    for ppn, header in packets:
+        if header.epoch not in path:
+            continue
+        if header.kind is PageKind.DATA:
+            current = best.get(header.lba)
+            if current is None or header.seq >= current[0]:
+                best[header.lba] = (header.seq, ppn)
+        elif header.kind is PageKind.NOTE_TRIM:
+            if header.seq > trims.get(header.lba, -1):
+                trims[header.lba] = header.seq
+    for lba, trim_seq in trims.items():
+        entry = best.get(lba)
+        if entry is not None and entry[0] < trim_seq:
+            del best[lba]
+    return {lba: ppn for lba, (_seq, ppn) in best.items()}
+
+
+def _check_iosnap(device) -> List[str]:
+    out: List[str] = []
+    total_pages = device.nand.geometry.total_pages
+    packets = _scan_media(device)
+    tree = device.tree
+
+    # S1: active bitmap == mapped pages.
+    active_bits = set(device.active_bitmap.iter_set_in_range(0, total_pages))
+    mapped = {ppn for _lba, ppn in device.map.items()}
+    for extra in sorted(active_bits - mapped):
+        out.append(f"S1: active bitmap marks unmapped ppn {extra}")
+    for missing in sorted(mapped - active_bits):
+        out.append(f"S1: mapped ppn {missing} missing from active bitmap")
+
+    # S2: each live snapshot's bitmap == media fold over its path.
+    # (Duplicate copies awaiting erase make the bitmap the arbiter of
+    # *which* copy is valid; fold ties resolve the same way.)
+    for snap in tree.snapshots():
+        bitmap = device._epoch_bitmaps.get(snap.epoch)
+        if bitmap is None:
+            out.append(f"S2: live snapshot {snap.name!r} has no bitmap")
+            continue
+        path = frozenset(tree.path_epochs(snap.epoch))
+        truth = _fold_path(packets, path)
+        bits = set(bitmap.iter_set_in_range(0, total_pages))
+        expected = set(truth.values())
+        # The cleaner may leave a not-yet-erased duplicate; the bitmap
+        # points at the surviving copy.  Compare by LBA content.
+        if bits != expected:
+            by_lba_bits = {}
+            array = device.nand.array
+            for ppn in bits:
+                if not array.is_programmed(ppn):
+                    out.append(f"S2: snapshot {snap.name!r} bitmap marks "
+                               f"unprogrammed ppn {ppn}")
+                    continue
+                header = array.read_header(ppn)
+                by_lba_bits[header.lba] = (header.seq, ppn)
+            truth_seqs = {}
+            for lba, ppn in truth.items():
+                truth_seqs[lba] = array.read_header(ppn).seq
+            if set(by_lba_bits) != set(truth):
+                out.append(
+                    f"S2: snapshot {snap.name!r} bitmap covers lbas "
+                    f"{sorted(set(by_lba_bits) ^ set(truth))[:5]}... "
+                    "differently from the media fold")
+            else:
+                for lba, (seq, _ppn) in by_lba_bits.items():
+                    if seq != truth_seqs[lba]:
+                        out.append(
+                            f"S2: snapshot {snap.name!r} lba {lba}: bitmap "
+                            f"has seq {seq}, fold says {truth_seqs[lba]}")
+
+    # S3: every valid bit points at a programmed page with a path epoch.
+    for epoch, bitmap in device.live_epoch_bitmaps():
+        path = frozenset(tree.path_epochs(epoch))
+        for ppn in bitmap.iter_set_in_range(0, total_pages):
+            if not device.nand.array.is_programmed(ppn):
+                out.append(f"S3: epoch {epoch} marks unprogrammed "
+                           f"ppn {ppn}")
+            else:
+                header = device.nand.array.read_header(ppn)
+                if header.epoch not in path:
+                    out.append(
+                        f"S3: epoch {epoch} marks ppn {ppn} from epoch "
+                        f"{header.epoch}, not on its path")
+
+    # S4: epoch counter beyond anything on media.
+    max_epoch = max((h.epoch for _p, h in packets), default=0)
+    if tree.peek_next_epoch() <= max_epoch:
+        out.append(f"S4: epoch counter {tree.peek_next_epoch()} <= max "
+                   f"on-media epoch {max_epoch}")
+
+    # S5: segment summaries are supersets of reality.
+    actual: Dict[int, set] = {}
+    for ppn, header in packets:
+        if header.kind in (PageKind.DATA, PageKind.NOTE_TRIM):
+            index = device.log.segment_of(ppn).index
+            actual.setdefault(index, set()).add(header.epoch)
+    for index, epochs in actual.items():
+        summary = device._segment_epochs.get(index, set())
+        missing = epochs - summary
+        if missing:
+            out.append(f"S5: segment {index} summary missing epochs "
+                       f"{sorted(missing)}")
+
+    return out

@@ -1,0 +1,323 @@
+"""The log: physical space carved into segments with one append head.
+
+A *segment* is the cleaning/erase unit (paper §5.2.3): one or more
+whole erase blocks.  Segments move through FREE -> OPEN -> CLOSED and
+back to FREE when the cleaner reclaims them.  Each segment's first page
+is a SEGMENT_HEADER recording the segment's allocation sequence number,
+which is how log-order is recovered after a crash.
+
+Appends serialize on the log head (one open segment), which mirrors a
+single log-structured write front.  A small *reserve* of free segments
+is only allocatable by the cleaner, so cleaning can always make forward
+progress even when foreground writers have exhausted free space.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro.errors import FtlError, OutOfSpaceError
+from repro.nand.device import NandDevice
+from repro.nand.oob import OobHeader, PageKind
+from repro.sim import Event, Kernel, Lock
+
+
+class SegmentState(enum.Enum):
+    FREE = "free"
+    OPEN = "open"
+    CLOSED = "closed"
+    RETIRED = "retired"   # a block wore out; never allocated again
+
+
+@dataclass
+class Segment:
+    """Bookkeeping for one segment of the log."""
+
+    index: int
+    first_ppn: int
+    npages: int
+    state: SegmentState = SegmentState.FREE
+    seq: int = -1            # allocation sequence number (log order)
+    next_offset: int = 0     # next page to program, relative to first_ppn
+
+    @property
+    def data_capacity(self) -> int:
+        """Pages available for packets (excludes the segment header)."""
+        return self.npages - 1
+
+    @property
+    def end_ppn(self) -> int:
+        return self.first_ppn + self.npages
+
+    def contains(self, ppn: int) -> bool:
+        return self.first_ppn <= ppn < self.end_ppn
+
+    def written_ppns(self) -> range:
+        """Packet pages programmed so far (excludes the header page)."""
+        return range(self.first_ppn + 1, self.first_ppn + self.next_offset)
+
+
+@dataclass
+class LogStats:
+    appends: int = 0
+    segments_opened: int = 0
+    stall_ns: int = 0        # virtual time writers spent waiting for space
+    stalls: int = 0
+
+
+class Log:
+    """Segment allocator plus the single append head."""
+
+    def __init__(self, kernel: Kernel, device: NandDevice,
+                 blocks_per_segment: int = 1,
+                 reserve_segments: int = 2) -> None:
+        geometry = device.geometry
+        if geometry.total_blocks % blocks_per_segment:
+            raise FtlError(
+                f"{geometry.total_blocks} blocks not divisible by "
+                f"blocks_per_segment={blocks_per_segment}")
+        self.kernel = kernel
+        self.device = device
+        self.blocks_per_segment = blocks_per_segment
+        self.segment_pages = blocks_per_segment * geometry.pages_per_block
+        self.segment_count = geometry.total_blocks // blocks_per_segment
+        if reserve_segments >= self.segment_count - 1:
+            raise FtlError("reserve would leave no writable segments")
+        self.segments: List[Segment] = [
+            Segment(index=i, first_ppn=i * self.segment_pages,
+                    npages=self.segment_pages)
+            for i in range(self.segment_count)
+        ]
+        self._free: List[int] = list(range(self.segment_count))
+        self._reserve_target = reserve_segments
+        self._reserve: List[int] = [self._free.pop() for _ in range(reserve_segments)]
+        # Named append heads: foreground writes use "user"; cleaner
+        # copy-forwards use "gc" (or "gc-hot"/"gc-cold" when epoch
+        # segregation is on, paper §5.4.2).  Sharing one head would let
+        # foreground writes leak into reserve segments the cleaner
+        # opened, starving it.
+        self._open: Dict[str, Optional[Segment]] = {"user": None, "gc": None}
+        self._next_seg_seq = 0
+        self._alloc_lock = Lock(kernel)
+        self._space_waiters: List[Event] = []
+        self.stats = LogStats()
+        # Called when a writer is about to stall on free space; the FTL
+        # wires this to kick the cleaner so a stalled writer can't
+        # deadlock waiting for a cleaner that was never woken.
+        self.on_space_pressure = lambda: None
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def open_segment(self) -> Optional[Segment]:
+        """The foreground (user) append head's open segment."""
+        return self._open.get("user")
+
+    @property
+    def gc_open_segment(self) -> Optional[Segment]:
+        """The cleaner's default append head's open segment."""
+        return self._open.get("gc")
+
+    def head_names(self) -> List[str]:
+        return sorted(self._open)
+
+    def free_segment_count(self) -> int:
+        return len(self._free)
+
+    def reserve_segment_count(self) -> int:
+        return len(self._reserve)
+
+    def closed_segments(self) -> List[Segment]:
+        return [s for s in self.segments if s.state is SegmentState.CLOSED]
+
+    def segment_of(self, ppn: int) -> Segment:
+        seg = self.segments[ppn // self.segment_pages]
+        if not seg.contains(ppn):
+            raise FtlError(f"ppn {ppn} not in computed segment")
+        return seg
+
+    # -- appending -----------------------------------------------------------
+    def append(self, header: OobHeader, data: Optional[bytes],
+               privileged: bool = False,
+               head: Optional[str] = None) -> Generator:
+        """Append one packet at an append head.
+
+        Returns ``(ppn, done_event)``; the event triggers when the die
+        program completes (callers wanting durability yield it).
+        ``privileged`` lets the caller (the cleaner, and management
+        operations that release space) dip into the reserve pool when
+        the general free list is empty.  ``head`` selects the open
+        segment: defaults to "user" ("gc" when privileged); the cleaner
+        passes "gc-hot"/"gc-cold" for epoch segregation.
+
+        When the log is out of free segments, the allocation lock is
+        dropped while waiting so the cleaner can still append its
+        copy-forwards — holding it would deadlock the whole device.
+        """
+        if head is None:
+            head = "gc" if privileged else "user"
+        while True:
+            yield self._alloc_lock.acquire()
+            wait_ev: Optional[Event] = None
+            try:
+                seg = self._open.get(head)
+                if seg is None or seg.next_offset >= seg.npages:
+                    wait_ev = yield from self._open_new_segment(privileged,
+                                                                head)
+                if wait_ev is None:
+                    seg = self._open[head]
+                    ppn = seg.first_ppn + seg.next_offset
+                    seg.next_offset += 1
+                    done = yield from self.device.program_page(ppn, header, data)
+                    if seg.next_offset >= seg.npages:
+                        # Close eagerly: a full segment is immediately
+                        # visible to the cleaner as a candidate.
+                        seg.state = SegmentState.CLOSED
+                        self._open[head] = None
+                    self.stats.appends += 1
+                    return ppn, done
+            finally:
+                self._alloc_lock.release()
+            started = self.kernel.now
+            yield wait_ev
+            self.stats.stall_ns += self.kernel.now - started
+
+    def _open_new_segment(self, privileged: bool, head: str) -> Generator:
+        """Open a fresh segment; returns a wait event instead if out of space."""
+        index = self._pop_free_index(privileged)
+        if index is None:
+            ev = self.kernel.event()
+            self._space_waiters.append(ev)
+            self.stats.stalls += 1
+            self.on_space_pressure()
+            return ev
+        if self._open.get(head) is not None:
+            self._open[head].state = SegmentState.CLOSED
+            self._open[head] = None
+        seg = self.segments[index]
+        seg.state = SegmentState.OPEN
+        seg.seq = self._next_seg_seq
+        self._next_seg_seq += 1
+        seg.next_offset = 1
+        self._open[head] = seg
+        self.stats.segments_opened += 1
+        header = OobHeader(kind=PageKind.SEGMENT_HEADER, lba=seg.seq)
+        done = yield from self.device.program_page(seg.first_ppn, header, None)
+        del done  # segment headers need not be durable before use
+        return None
+
+    def _pop_free_index(self, privileged: bool) -> Optional[int]:
+        if self._free:
+            return self._free.pop(0)
+        if privileged and self._reserve:
+            return self._reserve.pop(0)
+        if privileged:
+            raise OutOfSpaceError("cleaner exhausted its reserve segments")
+        return None
+
+    def force_close_head(self, head: str = "user") -> bool:
+        """Close a partially-written head segment (GC escape hatch).
+
+        At very high utilization all reclaimable pages can sit in the
+        open head while every closed segment is fully valid; padding
+        out and closing the head makes its stale pages cleanable.
+        Refuses (returns False) if an append is in flight or the head
+        is empty.
+        """
+        if self._alloc_lock.locked:
+            return False
+        seg = self._open.get(head)
+        if seg is None or seg.next_offset <= 1:
+            return False
+        seg.state = SegmentState.CLOSED
+        self._open[head] = None
+        return True
+
+    # -- reclamation -----------------------------------------------------------
+    def release_segment(self, index: int) -> None:
+        """Return an erased segment to the pools (reserve refills first)."""
+        seg = self.segments[index]
+        if seg.state is not SegmentState.CLOSED:
+            raise FtlError(f"segment {index} not CLOSED (is {seg.state})")
+        first_block = seg.first_ppn // self.device.geometry.pages_per_block
+        for block in range(first_block, first_block + self.blocks_per_segment):
+            if not self.device.array.block_is_erased(block):
+                raise FtlError(
+                    f"segment {index} released without erasing block {block}")
+        seg.state = SegmentState.FREE
+        seg.seq = -1
+        seg.next_offset = 0
+        if len(self._reserve) < self._reserve_target:
+            self._reserve.append(index)
+        else:
+            self._free.append(index)
+            waiters, self._space_waiters = self._space_waiters, []
+            for ev in waiters:
+                ev.trigger()
+
+    def retire_segment(self, index: int) -> None:
+        """Permanently remove a worn-out segment from circulation.
+
+        The device keeps working with reduced physical capacity — the
+        graceful end-of-life behaviour real FTLs implement.
+        """
+        seg = self.segments[index]
+        if seg.state not in (SegmentState.CLOSED, SegmentState.FREE):
+            raise FtlError(
+                f"cannot retire segment {index} in state {seg.state}")
+        if index in self._free:
+            self._free.remove(index)
+        if index in self._reserve:
+            self._reserve.remove(index)
+        seg.state = SegmentState.RETIRED
+        seg.seq = -1
+
+    def retired_segment_count(self) -> int:
+        return sum(1 for seg in self.segments
+                   if seg.state is SegmentState.RETIRED)
+
+    def fail_waiters(self, error: BaseException) -> None:
+        """Propagate an unrecoverable out-of-space condition to writers."""
+        waiters, self._space_waiters = self._space_waiters, []
+        for ev in waiters:
+            ev.fail(error)
+
+    # -- recovery support -----------------------------------------------------
+    def adopt_state(self, seg_states: Dict[int, Tuple[str, int, int]],
+                    next_seg_seq: int,
+                    open_heads: Optional[Dict[str, int]]) -> None:
+        """Restore segment bookkeeping from checkpoint/recovery.
+
+        ``seg_states`` maps index -> (state_name, seq, next_offset);
+        ``open_heads`` maps head name -> open segment index (None after
+        crash recovery: all recovered segments come back CLOSED).
+        """
+        self._free = []
+        self._reserve = []
+        self._open = {"user": None, "gc": None}
+        for seg in self.segments:
+            state_name, seq, next_offset = seg_states[seg.index]
+            seg.state = SegmentState(state_name)
+            seg.seq = seq
+            seg.next_offset = next_offset
+            if seg.state is SegmentState.FREE:
+                if len(self._reserve) < self._reserve_target:
+                    self._reserve.append(seg.index)
+                else:
+                    self._free.append(seg.index)
+        self._next_seg_seq = next_seg_seq
+        if open_heads:
+            for head, index in open_heads.items():
+                self._open[head] = self.segments[index]
+
+    def dump_state(self):
+        seg_states = {
+            seg.index: (seg.state.value, seg.seq, seg.next_offset)
+            for seg in self.segments
+        }
+        open_heads = {
+            head: seg.index for head, seg in self._open.items()
+            if seg is not None
+        }
+        return seg_states, self._next_seg_seq, open_heads

@@ -1,0 +1,110 @@
+"""On-log packet payloads.
+
+Every page on the log carries an :class:`~repro.nand.OobHeader` telling
+the FTL what it is.  DATA pages hold user bytes.  NOTE pages hold a
+small JSON payload describing a snapshot operation or trim — the
+paper's "snapshot-create note", "snapshot-delete note", etc. (§5.8).
+CHECKPOINT pages hold chunks of the serialized FTL state written on
+clean shutdown.
+
+Notes are tiny and must survive crashes, so they are written
+synchronously (the caller waits for the die program to finish).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, Type
+
+from repro.errors import FtlError
+from repro.nand.oob import PageKind
+
+
+def encode_payload(fields: Dict) -> bytes:
+    """Serialize a note payload to bytes for the page body."""
+    return json.dumps(fields, sort_keys=True).encode("utf-8")
+
+
+def decode_payload(raw: bytes) -> Dict:
+    try:
+        return json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FtlError(f"corrupt note payload: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class SnapCreateNote:
+    """Persisted when a snapshot is created (paper §5.8, step 2).
+
+    ``captured_epoch`` is the epoch frozen into the snapshot;
+    ``new_epoch`` is the fresh epoch the active device moves to.
+    Together the create notes reconstruct the epoch tree after a crash.
+    """
+
+    snap_id: int
+    name: str
+    captured_epoch: int
+    new_epoch: int
+
+    kind = PageKind.NOTE_SNAP_CREATE
+
+
+@dataclass(frozen=True)
+class SnapDeleteNote:
+    """Persisted synchronously when a snapshot is deleted."""
+
+    snap_id: int
+
+    kind = PageKind.NOTE_SNAP_DELETE
+
+
+@dataclass(frozen=True)
+class SnapActivateNote:
+    """Persisted when a snapshot is activated; records the fork epoch."""
+
+    snap_id: int
+    new_epoch: int
+
+    kind = PageKind.NOTE_SNAP_ACTIVATE
+
+
+@dataclass(frozen=True)
+class SnapDeactivateNote:
+    """Persisted when an activated snapshot is deactivated."""
+
+    snap_id: int
+    epoch: int
+
+    kind = PageKind.NOTE_SNAP_DEACTIVATE
+
+
+@dataclass(frozen=True)
+class TrimNote:
+    """Persisted on trim so recovery does not resurrect the LBA."""
+
+    lba: int
+
+    kind = PageKind.NOTE_TRIM
+
+
+_NOTE_CLASSES: Dict[PageKind, Type] = {
+    cls.kind: cls
+    for cls in (SnapCreateNote, SnapDeleteNote, SnapActivateNote,
+                SnapDeactivateNote, TrimNote)
+}
+
+
+def encode_note(note) -> bytes:
+    """Serialize any of the note dataclasses above."""
+    if type(note) not in _NOTE_CLASSES.values():
+        raise FtlError(f"not a note: {note!r}")
+    return encode_payload(asdict(note))
+
+
+def decode_note(kind: PageKind, raw: bytes):
+    """Reconstruct the note dataclass for a NOTE_* page."""
+    cls = _NOTE_CLASSES.get(kind)
+    if cls is None:
+        raise FtlError(f"page kind {kind!r} is not a note")
+    return cls(**decode_payload(raw))

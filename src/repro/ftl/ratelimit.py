@@ -1,0 +1,102 @@
+"""Rate limiting for background work (paper §5.6–5.7, Figures 9–10).
+
+Two mechanisms:
+
+- :class:`DutyCycleLimiter` — the paper's activation knob, quoted as
+  "for every x usec of activation work done, the activation thread has
+  to sleep for y msecs" (Figure 9 caption).  Background processes call
+  :meth:`DutyCycleLimiter.pace` after each unit of work.
+
+- :class:`CleanerPacer` — the segment cleaner's budget-based pacing.
+  The cleaner is given an *estimate* of the valid pages it must move
+  and a time budget; it spreads the moves evenly across the budget.
+  If the estimate is too low (the vanilla policy counting only the
+  active epoch's validity, ignoring snapshotted data), the budget runs
+  out early and the tail of the clean runs at full speed, hammering
+  foreground latency — exactly the pathology Figure 10(b) shows and the
+  snapshot-aware estimate of Figure 10(c) fixes.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.sim import Kernel
+from repro.sim.stats import NS_PER_MS, NS_PER_US
+
+
+class DutyCycleLimiter:
+    """Sleep ``sleep_ns`` after every ``work_ns`` of accumulated work."""
+
+    def __init__(self, kernel: Kernel, work_ns: int, sleep_ns: int) -> None:
+        if work_ns <= 0 or sleep_ns < 0:
+            raise ValueError("work_ns must be > 0 and sleep_ns >= 0")
+        self.kernel = kernel
+        self.work_ns = work_ns
+        self.sleep_ns = sleep_ns
+        self._accumulated = 0
+        self.total_slept_ns = 0
+
+    @classmethod
+    def from_paper_knob(cls, kernel: Kernel, work_us: float,
+                        sleep_ms: float) -> "DutyCycleLimiter":
+        """Build from the paper's "x usec / y msec" notation."""
+        return cls(kernel, work_ns=int(work_us * NS_PER_US),
+                   sleep_ns=int(sleep_ms * NS_PER_MS))
+
+    def pace(self, work_done_ns: int) -> Generator:
+        """Account ``work_done_ns`` of work; sleep if the quantum is full."""
+        self._accumulated += work_done_ns
+        while self._accumulated >= self.work_ns:
+            self._accumulated -= self.work_ns
+            self.total_slept_ns += self.sleep_ns
+            yield self.sleep_ns
+
+
+class NullLimiter:
+    """No rate limiting (Figure 9(a)'s naive activation)."""
+
+    total_slept_ns = 0
+
+    def pace(self, work_done_ns: int) -> Generator:
+        del work_done_ns
+        return
+        yield  # pragma: no cover - makes this a generator function
+
+
+class CleanerPacer:
+    """Spread an estimated number of moves across a time budget.
+
+    ``start(estimated_moves)`` computes the per-move delay; each call to
+    :meth:`pace` sleeps whatever remains of that allotment after the
+    move's actual I/O time.  Once more moves than estimated have
+    happened, the allotment is zero and the cleaner runs flat out.
+    """
+
+    def __init__(self, kernel: Kernel, budget_ns: int) -> None:
+        if budget_ns < 0:
+            raise ValueError("budget must be >= 0")
+        self.kernel = kernel
+        self.budget_ns = budget_ns
+        self._delay_per_move = 0
+        self._moves_left = 0
+        self.total_slept_ns = 0
+
+    def start(self, estimated_moves: int) -> None:
+        """Begin pacing one segment clean sized to ``estimated_moves``."""
+        if estimated_moves <= 0:
+            self._delay_per_move = 0
+            self._moves_left = 0
+        else:
+            self._delay_per_move = self.budget_ns // estimated_moves
+            self._moves_left = estimated_moves
+
+    def pace(self, move_io_ns: int) -> Generator:
+        """Called after each block move with its actual I/O time."""
+        if self._moves_left <= 0:
+            return
+        self._moves_left -= 1
+        remaining = self._delay_per_move - move_io_ns
+        if remaining > 0:
+            self.total_slept_ns += remaining
+            yield remaining

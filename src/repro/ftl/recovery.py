@@ -1,0 +1,129 @@
+"""Crash recovery by log scan (paper §5.5).
+
+After an unclean shutdown there is no checkpoint to restore, so the FTL
+is rebuilt from what the log itself says: every programmed page carries
+an OOB header with (kind, lba, epoch, seq), segments carry their
+allocation sequence number in their header page, and snapshot/trim
+operations left synchronous notes behind.
+
+The generic driver here scans the media (timed: one OOB read per page
+plus per-packet replay CPU) and hands the sorted packet lists to the
+FTL's ``_rebuild_state`` hook — the base FTL folds every data packet
+into a single winners map; the ioSnap layer overrides the hook with the
+two-phase snapshot-aware reconstruction of §5.5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Generator, List, Optional, Tuple
+
+from repro.ftl.log import SegmentState
+from repro.ftl.packet import decode_note
+from repro.nand.oob import NOTE_KINDS, OobHeader, PageKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ftl.vsl import VslDevice
+
+
+@dataclass(frozen=True)
+class ScannedPacket:
+    """One packet found on the log during a scan."""
+
+    ppn: int
+    header: OobHeader
+    note: object = None  # decoded note dataclass for NOTE_* pages
+
+
+def scan_log(ftl: "VslDevice") -> Generator:
+    """Read every programmed page's header, in log order.
+
+    Returns ``(packets, seg_states, next_seg_seq)`` where ``packets``
+    is ordered by (segment allocation seq, offset) and ``seg_states``
+    is the :meth:`repro.ftl.log.Log.adopt_state` input.
+    """
+    found: List[Tuple[int, List[ScannedPacket], int]] = []
+    seg_states: Dict[int, Tuple[str, int, int]] = {}
+    for seg in ftl.log.segments:
+        if not ftl.nand.array.is_programmed(seg.first_ppn):
+            seg_states[seg.index] = (SegmentState.FREE.value, -1, 0)
+            continue
+        first = yield from ftl.nand.read_header(seg.first_ppn)
+        if first.kind is not PageKind.SEGMENT_HEADER:
+            # Half-erased or foreign segment; treat as free.
+            seg_states[seg.index] = (SegmentState.FREE.value, -1, 0)
+            continue
+        seg_seq = first.lba
+        packets: List[ScannedPacket] = []
+        offset = 1
+        while (seg.first_ppn + offset < seg.end_ppn
+               and ftl.nand.array.is_programmed(seg.first_ppn + offset)):
+            ppn = seg.first_ppn + offset
+            header = yield from ftl.nand.read_header(ppn)
+            yield ftl.config.cpu.replay_packet_ns
+            note = None
+            if header.kind in NOTE_KINDS:
+                record = yield from ftl.nand.read_page(ppn)
+                note = decode_note(header.kind, record.data[:header.length])
+            packets.append(ScannedPacket(ppn=ppn, header=header, note=note))
+            offset += 1
+        # Recovered segments all come back CLOSED; the next append
+        # opens a fresh segment rather than risking a partially
+        # programmed one.
+        seg_states[seg.index] = (SegmentState.CLOSED.value, seg_seq, offset)
+        found.append((seg_seq, packets, seg.index))
+
+    found.sort(key=lambda item: item[0])
+    ordered: List[ScannedPacket] = []
+    for _seq, packets, _idx in found:
+        ordered.extend(packets)
+    next_seg_seq = (max(item[0] for item in found) + 1) if found else 0
+    return ordered, seg_states, next_seg_seq
+
+
+def recover(ftl: "VslDevice") -> Generator:
+    """Full crash recovery: scan, restore log bookkeeping, rebuild state."""
+    packets, seg_states, next_seg_seq = yield from scan_log(ftl)
+    ftl.log.adopt_state(seg_states, next_seg_seq, open_heads=None)
+
+    max_seq = max((p.header.seq for p in packets), default=0)
+    ftl._next_seq = max_seq
+
+    for packet in packets:
+        if packet.note is not None:
+            ftl._note_registry[packet.ppn] = packet.note
+
+    yield from ftl._rebuild_state(packets)
+
+
+def fold_winners(packets: List[ScannedPacket],
+                 epoch_filter: Optional[frozenset] = None,
+                 ) -> Dict[int, Tuple[int, int]]:
+    """Resolve packets to per-LBA winners: {lba: (seq, ppn)}.
+
+    Later sequence numbers win; trim notes kill older data.  When
+    ``epoch_filter`` is given, only packets written in those epochs
+    participate (this is how a snapshot's state is isolated from
+    sibling branches).
+    """
+    best: Dict[int, Tuple[int, int]] = {}
+    trims: Dict[int, int] = {}
+    for packet in packets:
+        header = packet.header
+        if epoch_filter is not None and header.epoch not in epoch_filter:
+            continue
+        if header.kind is PageKind.DATA:
+            # ">=": cleaner copy-forwards preserve (lba, seq); of two
+            # identical copies prefer the later log position, matching
+            # the activation scan's tie-break.
+            current = best.get(header.lba)
+            if current is None or header.seq >= current[0]:
+                best[header.lba] = (header.seq, packet.ppn)
+        elif header.kind is PageKind.NOTE_TRIM:
+            if header.seq > trims.get(header.lba, -1):
+                trims[header.lba] = header.seq
+    for lba, trim_seq in trims.items():
+        entry = best.get(lba)
+        if entry is not None and entry[0] < trim_seq:
+            del best[lba]
+    return best

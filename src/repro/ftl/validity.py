@@ -1,0 +1,128 @@
+"""Paged validity bitmaps.
+
+The validity bitmap records, for every physical page, whether it holds
+live data (paper §5.2.2, Figure 2).  It is organized as fixed-size
+*bitmap pages* so that ioSnap can apply copy-on-write at bitmap-page
+granularity (paper §5.4.1, Figure 5); the base FTL uses the same layout
+without CoW.
+
+Bitmap pages are allocated lazily: an absent page reads as all-zero.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.errors import AddressError
+
+_POPCOUNT = [bin(i).count("1") for i in range(256)]
+
+
+class ValidityBitmap:
+    """A flat validity bitmap over ``total_bits`` physical pages."""
+
+    def __init__(self, total_bits: int, page_bytes: int = 512) -> None:
+        if total_bits <= 0:
+            raise ValueError("total_bits must be positive")
+        if page_bytes <= 0:
+            raise ValueError("page_bytes must be positive")
+        self.total_bits = total_bits
+        self.page_bytes = page_bytes
+        self.bits_per_page = page_bytes * 8
+        self._pages: Dict[int, bytearray] = {}
+
+    # -- addressing -----------------------------------------------------
+    def _locate(self, bit: int) -> Tuple[int, int, int]:
+        if not 0 <= bit < self.total_bits:
+            raise AddressError(f"bit {bit} out of range [0, {self.total_bits})")
+        page_idx, offset = divmod(bit, self.bits_per_page)
+        return page_idx, offset >> 3, offset & 7
+
+    def page_index_of(self, bit: int) -> int:
+        return self._locate(bit)[0]
+
+    @property
+    def page_count(self) -> int:
+        """Number of bitmap pages needed to cover the whole device."""
+        return (self.total_bits + self.bits_per_page - 1) // self.bits_per_page
+
+    # -- bit operations ---------------------------------------------------
+    def set(self, bit: int) -> None:
+        page_idx, byte, shift = self._locate(bit)
+        page = self._pages.get(page_idx)
+        if page is None:
+            page = bytearray(self.page_bytes)
+            self._pages[page_idx] = page
+        page[byte] |= 1 << shift
+
+    def clear(self, bit: int) -> None:
+        page_idx, byte, shift = self._locate(bit)
+        page = self._pages.get(page_idx)
+        if page is not None:
+            page[byte] &= ~(1 << shift) & 0xFF
+
+    def test(self, bit: int) -> bool:
+        page_idx, byte, shift = self._locate(bit)
+        page = self._pages.get(page_idx)
+        return bool(page is not None and page[byte] & (1 << shift))
+
+    # -- bulk queries ------------------------------------------------------
+    def count(self) -> int:
+        """Total number of set bits."""
+        return sum(
+            sum(_POPCOUNT[b] for b in page) for page in self._pages.values()
+        )
+
+    def count_range(self, start: int, length: int) -> int:
+        """Number of set bits in [start, start + length)."""
+        return sum(1 for _ in self.iter_set_in_range(start, length))
+
+    def iter_set_in_range(self, start: int, length: int) -> Iterator[int]:
+        """Yield set bit indices in [start, start + length), ascending."""
+        if length < 0 or start < 0 or start + length > self.total_bits:
+            raise AddressError(
+                f"range [{start}, {start + length}) out of bounds")
+        end = start + length
+        bit = start
+        while bit < end:
+            page_idx = bit // self.bits_per_page
+            page_end = min(end, (page_idx + 1) * self.bits_per_page)
+            page = self._pages.get(page_idx)
+            if page is not None:
+                for b in range(bit, page_end):
+                    offset = b % self.bits_per_page
+                    if page[offset >> 3] & (1 << (offset & 7)):
+                        yield b
+            bit = page_end
+
+    # -- page-level access (used by CoW layering and checkpoints) ---------
+    def materialized_pages(self) -> Dict[int, bytes]:
+        """Copies of all allocated bitmap pages, keyed by page index."""
+        return {idx: bytes(page) for idx, page in self._pages.items()}
+
+    def load_pages(self, pages: Dict[int, bytes]) -> None:
+        """Replace contents from a checkpoint image."""
+        self._pages = {idx: bytearray(data) for idx, data in pages.items()}
+
+    def get_page(self, page_idx: int) -> bytes:
+        """Contents of one bitmap page (zeros if never allocated)."""
+        page = self._pages.get(page_idx)
+        return bytes(page) if page is not None else bytes(self.page_bytes)
+
+    def allocated_page_count(self) -> int:
+        return len(self._pages)
+
+
+def merge_pages(pages: List[bytes], page_bytes: int) -> bytearray:
+    """Logical OR of several same-sized bitmap pages (paper Figure 6)."""
+    merged = bytearray(page_bytes)
+    for page in pages:
+        if len(page) != page_bytes:
+            raise ValueError("bitmap page size mismatch")
+        for i, byte in enumerate(page):
+            merged[i] |= byte
+    return merged
+
+
+def popcount(page: bytes) -> int:
+    return sum(_POPCOUNT[b] for b in page)

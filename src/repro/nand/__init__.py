@@ -1,0 +1,40 @@
+"""Simulated NAND flash: geometry, timing, array state, timed device.
+
+This package stands in for the Fusion-io ioMemory hardware the paper
+ran on.  The FTL above it interacts with flash only through page
+program/read, OOB-header read, and block erase — exactly the interface
+exposed here, with latencies accounted in virtual time.
+"""
+
+from repro.nand.chip import Block, NandArray, PageRecord
+from repro.nand.device import BitErrorModel, DeviceStats, NandDevice
+from repro.nand.geometry import (
+    KIB,
+    MIB,
+    NandConfig,
+    NandGeometry,
+    NandTiming,
+    PageAddress,
+    WearModel,
+)
+from repro.nand.oob import HEADER_SIZE, NOTE_KINDS, OobHeader, PageKind
+
+__all__ = [
+    "BitErrorModel",
+    "Block",
+    "DeviceStats",
+    "HEADER_SIZE",
+    "KIB",
+    "MIB",
+    "NandArray",
+    "NandConfig",
+    "NandDevice",
+    "NandGeometry",
+    "NandTiming",
+    "NOTE_KINDS",
+    "OobHeader",
+    "PageAddress",
+    "PageKind",
+    "PageRecord",
+    "WearModel",
+]

@@ -1,0 +1,132 @@
+"""Functional state of the NAND array: dies, blocks, pages.
+
+This module holds *state and rules* only (what is programmed where,
+sequential-program-within-a-block, erase-before-reuse, wear counts).
+Timing and contention live in :mod:`repro.nand.device`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import (
+    AddressError,
+    NandError,
+    ProgramOrderError,
+    WearOutError,
+)
+from repro.nand.geometry import NandGeometry, WearModel
+from repro.nand.oob import OobHeader, PageKind
+
+
+@dataclass
+class PageRecord:
+    """Contents of one programmed page: header always, payload optionally."""
+
+    header: OobHeader
+    data: Optional[bytes]
+
+
+class Block:
+    """One erase block: pages must be programmed in order, erased in bulk."""
+
+    __slots__ = ("pages_per_block", "next_page", "erase_count", "_pages")
+
+    def __init__(self, pages_per_block: int) -> None:
+        self.pages_per_block = pages_per_block
+        self.next_page = 0
+        self.erase_count = 0
+        self._pages: Dict[int, PageRecord] = {}
+
+    def program(self, page: int, record: PageRecord) -> None:
+        if page != self.next_page:
+            raise ProgramOrderError(
+                f"page {page} programmed out of order (expected {self.next_page})")
+        if page >= self.pages_per_block:
+            raise AddressError(f"page {page} beyond block end")
+        self._pages[page] = record
+        self.next_page += 1
+
+    def read(self, page: int) -> PageRecord:
+        if not 0 <= page < self.pages_per_block:
+            raise AddressError(f"page {page} out of block range")
+        record = self._pages.get(page)
+        if record is None:
+            raise NandError(f"read of unprogrammed page {page}")
+        return record
+
+    def is_programmed(self, page: int) -> bool:
+        return page in self._pages
+
+    def erase(self, wear: WearModel) -> None:
+        self.erase_count += 1
+        if wear.max_pe_cycles > 0 and self.erase_count > wear.max_pe_cycles:
+            raise WearOutError(
+                f"block exceeded {wear.max_pe_cycles} P/E cycles")
+        self._pages.clear()
+        self.next_page = 0
+
+
+class NandArray:
+    """The full array of blocks, addressed by flat PPN / global block index."""
+
+    def __init__(self, geometry: NandGeometry, wear: WearModel,
+                 store_data: bool = True) -> None:
+        self.geometry = geometry
+        self.wear = wear
+        self.store_data = store_data
+        self._blocks: List[Block] = [
+            Block(geometry.pages_per_block) for _ in range(geometry.total_blocks)
+        ]
+
+    def _locate(self, ppn: int) -> Tuple[Block, int]:
+        addr = self.geometry.split_ppn(ppn)
+        block = self._blocks[addr.die * self.geometry.blocks_per_die + addr.block]
+        return block, addr.page
+
+    def program(self, ppn: int, header: OobHeader,
+                data: Optional[bytes]) -> None:
+        """Program one page; payload dropped if ``store_data`` is off."""
+        if data is not None and len(data) > self.geometry.page_size:
+            raise NandError(
+                f"payload {len(data)} exceeds page size {self.geometry.page_size}")
+        block, page = self._locate(ppn)
+        # Payloads may be dropped to bound simulator memory on large
+        # benchmarks, but notes and checkpoints are always kept: the FTL
+        # cannot recover without them.
+        keep = (self.store_data
+                or header.kind is not PageKind.DATA)
+        block.program(page, PageRecord(header=header, data=data if keep else None))
+
+    def read(self, ppn: int) -> PageRecord:
+        block, page = self._locate(ppn)
+        return block.read(page)
+
+    def read_header(self, ppn: int) -> OobHeader:
+        return self.read(ppn).header
+
+    def is_programmed(self, ppn: int) -> bool:
+        block, page = self._locate(ppn)
+        return block.is_programmed(page)
+
+    def erase_block(self, global_block: int) -> None:
+        if not 0 <= global_block < self.geometry.total_blocks:
+            raise AddressError(f"block {global_block} out of range")
+        self._blocks[global_block].erase(self.wear)
+
+    def erase_count(self, global_block: int) -> int:
+        return self._blocks[global_block].erase_count
+
+    def block_is_erased(self, global_block: int) -> bool:
+        """True if no page of the block is currently programmed."""
+        return self._blocks[global_block].next_page == 0
+
+    def wear_stats(self) -> Dict[str, Any]:
+        counts = [b.erase_count for b in self._blocks]
+        return {
+            "min": min(counts),
+            "max": max(counts),
+            "total": sum(counts),
+            "mean": sum(counts) / len(counts),
+        }

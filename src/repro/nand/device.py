@@ -1,0 +1,185 @@
+"""Timed NAND device: the array plus channels, dies, and latencies.
+
+All public operations are *simulation processes* (generators to be
+driven by :class:`repro.sim.Kernel`):
+
+- :meth:`NandDevice.read_page`
+- :meth:`NandDevice.program_page` (async ack after bus transfer;
+  the die stays busy in the background, as write-buffered controllers do)
+- :meth:`NandDevice.program_page_sync` (ack after the die finishes)
+- :meth:`NandDevice.erase_block`
+- :meth:`NandDevice.read_header` (OOB-only read: cheaper transfer)
+
+Contention model: each *channel* is a capacity-1 resource shared by its
+dies (bus transfers serialize); each *die* is a capacity-1 resource
+(array operations serialize).  This is enough to reproduce foreground /
+background interference, which is what the paper's rate-limiting
+experiments measure.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from repro.errors import UncorrectableError
+from repro.nand.chip import NandArray, PageRecord
+from repro.nand.geometry import NandConfig
+from repro.nand.oob import HEADER_SIZE, OobHeader
+from repro.sim import Kernel, Resource
+
+
+@dataclass
+class DeviceStats:
+    """Operation counters, updated on completion of each operation."""
+
+    page_reads: int = 0
+    header_reads: int = 0
+    page_programs: int = 0
+    block_erases: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    def snapshot(self) -> "DeviceStats":
+        return DeviceStats(**vars(self))
+
+    def delta(self, earlier: "DeviceStats") -> "DeviceStats":
+        return DeviceStats(**{
+            k: getattr(self, k) - getattr(earlier, k) for k in vars(self)
+        })
+
+
+@dataclass
+class BitErrorModel:
+    """Optional injected read failures (defaults off; paper doesn't use it)."""
+
+    uncorrectable_prob: float = 0.0
+    seed: int = 0
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def read_fails(self) -> bool:
+        return (self.uncorrectable_prob > 0.0
+                and self._rng.random() < self.uncorrectable_prob)
+
+
+class NandDevice:
+    """A simulated NAND flash device attached to a simulation kernel."""
+
+    def __init__(self, kernel: Kernel, config: Optional[NandConfig] = None,
+                 error_model: Optional[BitErrorModel] = None) -> None:
+        self.kernel = kernel
+        self.config = config or NandConfig()
+        self.geometry = self.config.geometry
+        self.timing = self.config.timing
+        self.array = NandArray(self.geometry, self.config.wear,
+                               store_data=self.config.store_data)
+        self.stats = DeviceStats()
+        self.error_model = error_model
+        # Small out-of-band config area (real devices keep a superblock
+        # in NOR or a reserved region); survives simulated crashes.
+        self.superblock: dict = {}
+        self._channels = [Resource(kernel) for _ in range(self.geometry.channels)]
+        self._dies = [Resource(kernel) for _ in range(self.geometry.dies)]
+
+    # -- helpers ----------------------------------------------------------
+    def _resources_for(self, ppn: int) -> tuple:
+        die = self.geometry.split_ppn(ppn).die
+        return self._dies[die], self._channels[self.geometry.channel_of_die(die)]
+
+    # -- operations (simulation processes) --------------------------------
+    def read_page(self, ppn: int) -> Generator:
+        """Read one full page; returns its :class:`PageRecord`."""
+        record = self.array.read(ppn)  # validates before any time passes
+        die, channel = self._resources_for(ppn)
+        yield die.acquire()
+        try:
+            yield self.timing.read_page_ns
+        finally:
+            die.release()
+        yield channel.acquire()
+        try:
+            yield self.timing.xfer_ns(self.geometry.page_size)
+        finally:
+            channel.release()
+        if self.error_model is not None and self.error_model.read_fails():
+            raise UncorrectableError(f"uncorrectable read at ppn {ppn}")
+        self.stats.page_reads += 1
+        self.stats.bytes_read += self.geometry.page_size
+        return record
+
+    def read_header(self, ppn: int) -> Generator:
+        """OOB-only read: full array sense but a tiny bus transfer.
+
+        This is the operation activation/recovery scans are built on.
+        """
+        header = self.array.read_header(ppn)
+        die, channel = self._resources_for(ppn)
+        yield die.acquire()
+        try:
+            yield self.timing.read_page_ns
+        finally:
+            die.release()
+        yield channel.acquire()
+        try:
+            yield self.timing.xfer_ns(HEADER_SIZE)
+        finally:
+            channel.release()
+        self.stats.header_reads += 1
+        self.stats.bytes_read += HEADER_SIZE
+        return header
+
+    def program_page(self, ppn: int, header: OobHeader,
+                     data: Optional[bytes]) -> Generator:
+        """Buffered program; returns an :class:`Event` for die completion.
+
+        The generator finishes once the bus transfer is done and the
+        page contents are latched (how write-buffered controllers ack).
+        The returned event triggers when the die-internal program
+        finishes; the die stays busy until then, so later operations on
+        the same die queue behind it — the asynchrony is real, not free.
+        Callers wanting synchronous semantics ``yield`` the event.
+        """
+        die, channel = self._resources_for(ppn)
+        yield channel.acquire()
+        try:
+            yield self.timing.xfer_ns(self.geometry.page_size)
+        finally:
+            channel.release()
+        self.array.program(ppn, header, data)
+        yield die.acquire()
+        done = self.kernel.event()
+        self.kernel.spawn(self._finish_program(die, done), name=f"program@{ppn}")
+        self.stats.page_programs += 1
+        self.stats.bytes_written += self.geometry.page_size
+        return done
+
+    def _finish_program(self, die: Resource, done) -> Generator:
+        try:
+            yield self.timing.program_page_ns
+        finally:
+            die.release()
+            done.trigger()
+
+    def erase_block(self, global_block: int) -> Generator:
+        """Erase one block; the owning die is busy for the whole erase."""
+        die_index = global_block // self.geometry.blocks_per_die
+        die = self._dies[die_index]
+        yield die.acquire()
+        try:
+            yield self.timing.erase_block_ns
+        finally:
+            die.release()
+        self.array.erase_block(global_block)
+        self.stats.block_erases += 1
+
+    # -- unguarded state inspection (no virtual time) ----------------------
+    def peek(self, ppn: int) -> PageRecord:
+        """Read page state without consuming virtual time (tests only)."""
+        return self.array.read(ppn)
+
+    def is_programmed(self, ppn: int) -> bool:
+        return self.array.is_programmed(ppn)

@@ -1,0 +1,141 @@
+"""NAND geometry and timing parameters.
+
+The geometry follows the usual hierarchy: the device has a number of
+*channels*; each channel serves one or more *dies*; a die is an array of
+*erase blocks*; a block is an array of *pages*, the program/read unit.
+Pages carry a small out-of-band (OOB) area used by the FTL for headers.
+
+Physical pages are addressed by a flat physical page number (PPN)::
+
+    ppn = die_index * pages_per_die + block_in_die * pages_per_block + page
+
+Timings default to values representative of the MLC-era devices the
+paper used (reads tens of microseconds, programs hundreds, erases a few
+milliseconds, a fast shared bus per channel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AddressError
+
+KIB = 1024
+MIB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class NandGeometry:
+    """Static shape of a simulated NAND device."""
+
+    page_size: int = 4 * KIB
+    oob_size: int = 64
+    pages_per_block: int = 64
+    blocks_per_die: int = 64
+    dies: int = 4
+    channels: int = 2
+
+    def __post_init__(self) -> None:
+        for name in ("page_size", "oob_size", "pages_per_block",
+                     "blocks_per_die", "dies", "channels"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.channels > self.dies:
+            raise ValueError("more channels than dies")
+
+    @property
+    def pages_per_die(self) -> int:
+        return self.pages_per_block * self.blocks_per_die
+
+    @property
+    def total_blocks(self) -> int:
+        return self.blocks_per_die * self.dies
+
+    @property
+    def total_pages(self) -> int:
+        return self.pages_per_die * self.dies
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.total_pages * self.page_size
+
+    def check_ppn(self, ppn: int) -> None:
+        if not 0 <= ppn < self.total_pages:
+            raise AddressError(
+                f"ppn {ppn} out of range [0, {self.total_pages})")
+
+    def split_ppn(self, ppn: int) -> "PageAddress":
+        """Decompose a flat PPN into (die, block-in-die, page-in-block)."""
+        self.check_ppn(ppn)
+        die, rest = divmod(ppn, self.pages_per_die)
+        block, page = divmod(rest, self.pages_per_block)
+        return PageAddress(die=die, block=block, page=page)
+
+    def join(self, die: int, block: int, page: int) -> int:
+        """Compose a flat PPN from its components."""
+        if not (0 <= die < self.dies and 0 <= block < self.blocks_per_die
+                and 0 <= page < self.pages_per_block):
+            raise AddressError(f"bad address die={die} block={block} page={page}")
+        return die * self.pages_per_die + block * self.pages_per_block + page
+
+    def block_of(self, ppn: int) -> int:
+        """Global block index (across all dies) containing ``ppn``."""
+        addr = self.split_ppn(ppn)
+        return addr.die * self.blocks_per_die + addr.block
+
+    def first_ppn_of_block(self, global_block: int) -> int:
+        if not 0 <= global_block < self.total_blocks:
+            raise AddressError(f"block {global_block} out of range")
+        die, block = divmod(global_block, self.blocks_per_die)
+        return self.join(die, block, 0)
+
+    def channel_of_die(self, die: int) -> int:
+        if not 0 <= die < self.dies:
+            raise AddressError(f"die {die} out of range")
+        return die % self.channels
+
+
+@dataclass(frozen=True)
+class PageAddress:
+    """A decomposed physical page address."""
+
+    die: int
+    block: int
+    page: int
+
+
+@dataclass(frozen=True)
+class NandTiming:
+    """Operation latencies for the simulated device, in nanoseconds.
+
+    ``bus_ns_per_kib`` models the per-channel transfer cost; it is paid
+    with the channel held, so it is the main source of contention
+    between concurrent streams on the same channel.
+    """
+
+    read_page_ns: int = 40_000
+    program_page_ns: int = 200_000
+    erase_block_ns: int = 2_000_000
+    bus_ns_per_kib: int = 600
+    cmd_overhead_ns: int = 2_000
+
+    def xfer_ns(self, nbytes: int) -> int:
+        """Channel transfer time for ``nbytes`` (rounded up to whole ns)."""
+        return self.cmd_overhead_ns + (nbytes * self.bus_ns_per_kib + KIB - 1) // KIB
+
+
+@dataclass(frozen=True)
+class WearModel:
+    """Endurance parameters; ``max_pe_cycles <= 0`` disables wear-out."""
+
+    max_pe_cycles: int = 0
+
+
+@dataclass
+class NandConfig:
+    """Bundle of everything needed to instantiate a device."""
+
+    geometry: NandGeometry = field(default_factory=NandGeometry)
+    timing: NandTiming = field(default_factory=NandTiming)
+    wear: WearModel = field(default_factory=WearModel)
+    store_data: bool = True

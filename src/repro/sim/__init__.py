@@ -1,0 +1,46 @@
+"""Discrete-event simulation kernel.
+
+This package provides the cooperative-concurrency substrate on which the
+NAND device model, the FTL, and the ioSnap layer run.  It is a small,
+dependency-free kernel in the style of simpy:
+
+- time is virtual, counted in integer nanoseconds;
+- activities are *processes*: plain generator functions that ``yield``
+  delays, events, other processes (join), or resource acquisitions;
+- the :class:`Kernel` owns the event queue and advances time.
+
+Example::
+
+    kernel = Kernel()
+
+    def worker():
+        yield 1_000          # sleep 1 us of virtual time
+        return 42
+
+    result = kernel.run_process(worker())
+    assert result == 42 and kernel.now == 1_000
+"""
+
+from repro.sim.kernel import Event, Kernel, Process, SimError
+from repro.sim.resources import Lock, Resource
+from repro.sim.stats import (
+    BandwidthTracker,
+    Histogram,
+    LatencyRecorder,
+    Series,
+    percentile,
+)
+
+__all__ = [
+    "BandwidthTracker",
+    "Event",
+    "Histogram",
+    "Kernel",
+    "LatencyRecorder",
+    "Lock",
+    "Process",
+    "Resource",
+    "Series",
+    "SimError",
+    "percentile",
+]

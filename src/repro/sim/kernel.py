@@ -1,0 +1,254 @@
+"""Event loop, processes, and events for the simulation kernel.
+
+The kernel is deliberately small.  A *process* is a generator; the value
+it yields decides how it is resumed:
+
+==================  =========================================================
+yielded value       behaviour
+==================  =========================================================
+``int`` / ``float`` sleep that many virtual nanoseconds, resume with ``None``
+:class:`Event`      park until the event triggers, resume with its value
+:class:`Process`    join: park until the process finishes, resume with its
+                    return value (or re-raise its exception)
+==================  =========================================================
+
+Resources (see :mod:`repro.sim.resources`) hand out events from their
+``acquire()`` methods, so they compose with the same protocol.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+
+class SimError(RuntimeError):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Event:
+    """A one-shot occurrence processes can wait on.
+
+    An event starts *untriggered*; :meth:`trigger` (or :meth:`fail`)
+    fires it exactly once, resuming every waiting process with the
+    attached value (or exception).
+    """
+
+    __slots__ = ("kernel", "_value", "_error", "_triggered", "_waiters")
+
+    def __init__(self, kernel: "Kernel") -> None:
+        self.kernel = kernel
+        self._value: Any = None
+        self._error: Optional[BaseException] = None
+        self._triggered = False
+        self._waiters: List["Process"] = []
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    def trigger(self, value: Any = None) -> None:
+        """Fire the event, resuming all waiters with ``value``."""
+        if self._triggered:
+            raise SimError("event already triggered")
+        self._triggered = True
+        self._value = value
+        for proc in self._waiters:
+            self.kernel._schedule_resume(proc, value, None)
+        self._waiters.clear()
+
+    def fail(self, error: BaseException) -> None:
+        """Fire the event, raising ``error`` inside all waiters."""
+        if self._triggered:
+            raise SimError("event already triggered")
+        self._triggered = True
+        self._error = error
+        for proc in self._waiters:
+            self.kernel._schedule_resume(proc, None, error)
+        self._waiters.clear()
+
+    def _add_waiter(self, proc: "Process") -> None:
+        if self._triggered:
+            self.kernel._schedule_resume(proc, self._value, self._error)
+        else:
+            self._waiters.append(proc)
+
+
+class Process:
+    """A running generator coroutine inside the kernel."""
+
+    __slots__ = ("kernel", "name", "_gen", "_done", "_result", "_error",
+                 "_error_observed", "_joiners")
+
+    def __init__(self, kernel: "Kernel", gen: Generator, name: str = "") -> None:
+        self.kernel = kernel
+        self.name = name or getattr(gen, "__name__", "process")
+        self._gen = gen
+        self._done = False
+        self._result: Any = None
+        self._error: Optional[BaseException] = None
+        self._error_observed = False
+        self._joiners: List["Process"] = []
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def result(self) -> Any:
+        """Return value of the finished process (raises if it failed)."""
+        if not self._done:
+            raise SimError(f"process {self.name!r} still running")
+        if self._error is not None:
+            self._error_observed = True
+            raise self._error
+        return self._result
+
+    @property
+    def error(self) -> Optional[BaseException]:
+        if self._error is not None:
+            self._error_observed = True
+        return self._error
+
+    def _add_joiner(self, proc: "Process") -> None:
+        if self._done:
+            self._error_observed = self._error_observed or self._error is not None
+            self.kernel._schedule_resume(proc, self._result, self._error)
+        else:
+            self._joiners.append(proc)
+
+    def _finish(self, result: Any, error: Optional[BaseException]) -> None:
+        self._done = True
+        self._result = result
+        self._error = error
+        if self._joiners:
+            self._error_observed = self._error_observed or error is not None
+            for joiner in self._joiners:
+                self.kernel._schedule_resume(joiner, result, error)
+            self._joiners.clear()
+        if error is not None and not self._error_observed:
+            self.kernel._note_unobserved_failure(self)
+
+
+class Kernel:
+    """The discrete-event loop: a clock plus a priority queue of work."""
+
+    def __init__(self) -> None:
+        self._now = 0
+        self._seq = 0
+        self._queue: List[Tuple[int, int, Callable[[], None]]] = []
+        self._failed: List[Process] = []
+
+    @property
+    def now(self) -> int:
+        """Current virtual time, in nanoseconds."""
+        return self._now
+
+    # -- construction ----------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh untriggered :class:`Event`."""
+        return Event(self)
+
+    def spawn(self, gen: Generator, name: str = "") -> Process:
+        """Start ``gen`` as a new process, scheduled to run immediately."""
+        proc = Process(self, gen, name=name)
+        self._push(0, lambda: self._step(proc, None, None))
+        return proc
+
+    def timeout(self, delay: int) -> Event:
+        """An event that triggers ``delay`` virtual ns from now."""
+        if delay < 0:
+            raise SimError(f"negative delay {delay}")
+        ev = Event(self)
+        self._push(int(delay), lambda: ev.trigger())
+        return ev
+
+    def call_at(self, when: int, fn: Callable[[], None]) -> None:
+        """Run plain callable ``fn`` at absolute virtual time ``when``."""
+        if when < self._now:
+            raise SimError(f"cannot schedule in the past ({when} < {self._now})")
+        self._push(when - self._now, fn)
+
+    # -- running ---------------------------------------------------------
+    def run(self, until: Optional[int] = None) -> None:
+        """Drain the event queue (optionally stopping at time ``until``)."""
+        while self._queue:
+            when, _seq, fn = self._queue[0]
+            if until is not None and when > until:
+                break
+            heapq.heappop(self._queue)
+            self._now = when
+            fn()
+            self._raise_unobserved()
+        if until is not None and until > self._now:
+            self._now = until
+
+    def run_process(self, gen: Generator, name: str = "") -> Any:
+        """Spawn ``gen`` and run the loop until it finishes; return its result.
+
+        This is the synchronous façade used by callers that do not care
+        about concurrency (e.g. tests doing one read at a time).
+        """
+        proc = self.spawn(gen, name=name)
+        # The caller observes this process's outcome directly; a
+        # failure must surface as proc.result raising, not as an
+        # unobserved-failure kernel error.
+        proc._error_observed = True
+        while not proc.done and self._queue:
+            when, _seq, fn = heapq.heappop(self._queue)
+            self._now = when
+            fn()
+            self._raise_unobserved()
+        if not proc.done:
+            raise SimError(f"process {proc.name!r} deadlocked (queue empty)")
+        return proc.result
+
+    # -- internals -------------------------------------------------------
+    def _push(self, delay: int, fn: Callable[[], None]) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + int(delay), self._seq, fn))
+
+    def _schedule_resume(self, proc: Process, value: Any,
+                         error: Optional[BaseException]) -> None:
+        self._push(0, lambda: self._step(proc, value, error))
+
+    def _note_unobserved_failure(self, proc: Process) -> None:
+        self._failed.append(proc)
+
+    def _raise_unobserved(self) -> None:
+        if self._failed:
+            proc = self._failed.pop(0)
+            raise SimError(
+                f"process {proc.name!r} died with no observer"
+            ) from proc._error
+
+    def _step(self, proc: Process, value: Any,
+              error: Optional[BaseException]) -> None:
+        """Advance ``proc`` by one yield."""
+        try:
+            if error is not None:
+                yielded = proc._gen.throw(error)
+            else:
+                yielded = proc._gen.send(value)
+        except StopIteration as stop:
+            proc._finish(stop.value, None)
+            return
+        except BaseException as exc:  # noqa: BLE001 - must capture to re-route
+            proc._finish(None, exc)
+            return
+
+        if isinstance(yielded, (int, float)):
+            if yielded < 0:
+                self._step(proc, None, SimError(f"negative delay {yielded}"))
+                return
+            self._push(int(yielded), lambda: self._step(proc, None, None))
+        elif isinstance(yielded, Event):
+            yielded._add_waiter(proc)
+        elif isinstance(yielded, Process):
+            yielded._add_joiner(proc)
+        else:
+            self._step(
+                proc, None,
+                SimError(f"process {proc.name!r} yielded {yielded!r}; "
+                         "expected delay, Event, or Process"),
+            )

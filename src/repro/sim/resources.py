@@ -1,0 +1,84 @@
+"""Counting resources and locks for the simulation kernel.
+
+A :class:`Resource` models a contended unit of capacity (a NAND channel,
+a die, a host queue slot).  Processes acquire it by yielding the event
+returned from :meth:`Resource.acquire` and must call
+:meth:`Resource.release` when done::
+
+    yield channel.acquire()
+    try:
+        yield transfer_time
+    finally:
+        channel.release()
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+from repro.sim.kernel import Event, Kernel, SimError
+
+
+class Resource:
+    """FIFO counting semaphore living in virtual time."""
+
+    def __init__(self, kernel: Kernel, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimError(f"capacity must be >= 1, got {capacity}")
+        self.kernel = kernel
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiting: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_depth(self) -> int:
+        """Number of processes currently parked waiting for capacity."""
+        return len(self._waiting)
+
+    def acquire(self) -> Event:
+        """Return an event that triggers once a unit of capacity is held.
+
+        The capacity is considered held from the moment the returned
+        event triggers until :meth:`release` is called.
+        """
+        ev = self.kernel.event()
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.trigger()
+        else:
+            self._waiting.append(ev)
+        return ev
+
+    def try_acquire(self) -> bool:
+        """Non-blocking acquire; returns True if capacity was taken."""
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            return True
+        return False
+
+    def release(self) -> None:
+        """Give back one unit of capacity, waking the next waiter if any."""
+        if self._in_use <= 0:
+            raise SimError("release() without matching acquire()")
+        if self._waiting:
+            # Hand the capacity straight to the next waiter: _in_use
+            # stays constant across the hand-off.
+            self._waiting.popleft().trigger()
+        else:
+            self._in_use -= 1
+
+
+class Lock(Resource):
+    """A mutex: a :class:`Resource` with capacity 1."""
+
+    def __init__(self, kernel: Kernel) -> None:
+        super().__init__(kernel, capacity=1)
+
+    @property
+    def locked(self) -> bool:
+        return self._in_use > 0

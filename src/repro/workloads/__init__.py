@@ -1,0 +1,53 @@
+"""Workload generation and execution for experiments."""
+
+from repro.workloads.generators import (
+    READ,
+    WRITE,
+    Op,
+    hotspot_writes,
+    mixed,
+    random_reads,
+    random_reads_over,
+    random_writes,
+    sequential_reads,
+    sequential_writes,
+)
+from repro.workloads.runner import (
+    gather,
+    io_stream,
+    payload_for,
+    preload,
+    run_stream,
+)
+from repro.workloads.traces import (
+    TraceError,
+    TraceOp,
+    TraceRecorder,
+    format_trace,
+    parse_trace,
+    replay_trace,
+)
+
+__all__ = [
+    "Op",
+    "READ",
+    "TraceError",
+    "TraceOp",
+    "TraceRecorder",
+    "WRITE",
+    "format_trace",
+    "parse_trace",
+    "replay_trace",
+    "gather",
+    "hotspot_writes",
+    "io_stream",
+    "mixed",
+    "payload_for",
+    "preload",
+    "random_reads",
+    "random_reads_over",
+    "random_writes",
+    "run_stream",
+    "sequential_reads",
+    "sequential_writes",
+]

@@ -1,0 +1,87 @@
+"""Workload generators: streams of (op, lba) the paper's experiments use.
+
+Each generator yields :class:`Op` records; runners in
+:mod:`repro.workloads.runner` execute them against any device exposing
+``read_proc``/``write_proc``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+READ = "read"
+WRITE = "write"
+
+
+@dataclass(frozen=True)
+class Op:
+    kind: str
+    lba: int
+
+
+def sequential_writes(count: int, start: int = 0,
+                      wrap: Optional[int] = None) -> Iterator[Op]:
+    """``count`` writes at consecutive LBAs (wrapping at ``wrap``)."""
+    for i in range(count):
+        lba = start + i
+        if wrap is not None:
+            lba %= wrap
+        yield Op(WRITE, lba)
+
+
+def sequential_reads(count: int, start: int = 0,
+                     wrap: Optional[int] = None) -> Iterator[Op]:
+    for i in range(count):
+        lba = start + i
+        if wrap is not None:
+            lba %= wrap
+        yield Op(READ, lba)
+
+
+def random_writes(count: int, num_lbas: int, seed: int = 0) -> Iterator[Op]:
+    """``count`` uniform random writes over [0, num_lbas)."""
+    rng = random.Random(seed)
+    for _ in range(count):
+        yield Op(WRITE, rng.randrange(num_lbas))
+
+
+def random_reads(count: int, num_lbas: int, seed: int = 0) -> Iterator[Op]:
+    rng = random.Random(seed)
+    for _ in range(count):
+        yield Op(READ, rng.randrange(num_lbas))
+
+
+def random_reads_over(count: int, max_lba: int, seed: int = 0) -> Iterator[Op]:
+    """Random reads restricted to [0, max_lba) — for reading preloaded data."""
+    rng = random.Random(seed)
+    for _ in range(count):
+        yield Op(READ, rng.randrange(max_lba))
+
+
+def mixed(count: int, num_lbas: int, read_fraction: float = 0.5,
+          seed: int = 0) -> Iterator[Op]:
+    """A read/write mix, uniform over the LBA space."""
+    if not 0.0 <= read_fraction <= 1.0:
+        raise ValueError(f"read_fraction out of range: {read_fraction}")
+    rng = random.Random(seed)
+    for _ in range(count):
+        kind = READ if rng.random() < read_fraction else WRITE
+        yield Op(kind, rng.randrange(num_lbas))
+
+
+def hotspot_writes(count: int, num_lbas: int, hot_fraction: float = 0.1,
+                   hot_probability: float = 0.9, seed: int = 0) -> Iterator[Op]:
+    """Skewed writes: ``hot_probability`` of ops hit the hot region.
+
+    Used by the cleaner ablations — hot/cold separation is what segment
+    selection policies exploit.
+    """
+    rng = random.Random(seed)
+    hot_limit = max(1, int(num_lbas * hot_fraction))
+    for _ in range(count):
+        if rng.random() < hot_probability:
+            yield Op(WRITE, rng.randrange(hot_limit))
+        else:
+            yield Op(WRITE, hot_limit + rng.randrange(num_lbas - hot_limit))

@@ -1,0 +1,93 @@
+"""Workload runners: execute op streams against devices in virtual time.
+
+A *stream* is a simulation process executing ops back-to-back
+(closed-loop, like an fio job with iodepth=1); experiments needing
+concurrency spawn several streams plus background activity and
+:func:`gather` them.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Generator, Iterable, List, Optional
+
+from repro.sim import Kernel
+from repro.sim.stats import BandwidthTracker, LatencyRecorder
+from repro.workloads.generators import READ, WRITE, Op
+
+
+def payload_for(op: Op, size: int, seed: int = 0) -> bytes:
+    """Deterministic per-(lba, seed) payload for verification."""
+    rng = random.Random((op.lba << 16) ^ seed)
+    return bytes(rng.randrange(256) for _ in range(min(size, 16)))
+
+
+def io_stream(kernel: Kernel, device, ops: Iterable[Op],
+              latency: Optional[LatencyRecorder] = None,
+              bandwidth: Optional[BandwidthTracker] = None,
+              think_ns: int = 0,
+              data_fn: Optional[Callable[[Op], Optional[bytes]]] = None,
+              stop_flag: Optional[List[bool]] = None) -> Generator:
+    """Run ``ops`` sequentially; record per-op latency and bandwidth.
+
+    ``stop_flag`` is a single-element list; setting it true ends the
+    stream early (used to bound open-ended background workloads).
+    Returns the number of ops executed.
+    """
+    executed = 0
+    for op in ops:
+        if stop_flag is not None and stop_flag[0]:
+            break
+        started = kernel.now
+        if op.kind == WRITE:
+            data = data_fn(op) if data_fn is not None else None
+            yield from device.write_proc(op.lba, data)
+        elif op.kind == READ:
+            yield from device.read_proc(op.lba)
+        else:
+            raise ValueError(f"unknown op kind {op.kind!r}")
+        now = kernel.now
+        if latency is not None:
+            latency.record(started, now - started)
+        if bandwidth is not None:
+            bandwidth.record(now, device.block_size)
+        executed += 1
+        if think_ns:
+            yield think_ns
+    return executed
+
+
+def run_stream(kernel: Kernel, device, ops: Iterable[Op],
+               **kwargs) -> LatencyRecorder:
+    """Synchronous convenience: run one stream, return its latencies."""
+    latency = kwargs.pop("latency", None) or LatencyRecorder("stream")
+    kernel.run_process(
+        io_stream(kernel, device, ops, latency=latency, **kwargs),
+        name="io-stream")
+    return latency
+
+
+def gather(kernel: Kernel, generators: List[Generator]) -> List:
+    """Spawn all generators concurrently; wait for all; return results."""
+    procs = [kernel.spawn(gen, name=f"gathered-{i}")
+             for i, gen in enumerate(generators)]
+
+    def waiter():
+        results = []
+        for proc in procs:
+            results.append((yield proc))
+        return results
+
+    return kernel.run_process(waiter(), name="gather")
+
+
+def preload(kernel: Kernel, device, count: int,
+            data_fn: Optional[Callable[[Op], Optional[bytes]]] = None,
+            start: int = 0) -> None:
+    """Sequentially fill ``count`` LBAs (the experiments' initial data)."""
+    from repro.workloads.generators import sequential_writes
+
+    kernel.run_process(
+        io_stream(kernel, device, sequential_writes(count, start=start),
+                  data_fn=data_fn),
+        name="preload")

@@ -1,0 +1,133 @@
+"""Block-trace capture and replay.
+
+The paper evaluates with synthetic fio-style patterns; real deployments
+replay captured block traces.  This module provides a minimal,
+dependency-free trace format so workloads are portable and repeatable:
+
+- one operation per line: ``<op>,<lba>[,<annotation>]`` where ``op`` is
+  ``R``, ``W``, ``T`` (trim), or ``S`` (snapshot; the annotation is the
+  snapshot name);
+- ``#`` comments and blank lines are ignored;
+- :func:`record_trace` wraps a device so every operation performed
+  through it is appended to a trace;
+- :func:`replay_trace` runs a trace against any device, optionally
+  asserting read contents against a prior recording.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import Generator, Iterable, Iterator, List, TextIO, Union
+
+from repro.errors import ReproError
+
+_OPS = {"R": "read", "W": "write", "T": "trim", "S": "snapshot"}
+
+
+class TraceError(ReproError):
+    """Malformed trace input."""
+
+
+@dataclass(frozen=True)
+class TraceOp:
+    """One trace record."""
+
+    op: str                      # "R" | "W" | "T" | "S"
+    lba: int = 0
+    annotation: str = ""         # payload tag or snapshot name
+
+    def render(self) -> str:
+        if self.op == "S":
+            return f"S,{self.annotation}" if self.annotation else "S"
+        if self.annotation:
+            return f"{self.op},{self.lba},{self.annotation}"
+        return f"{self.op},{self.lba}"
+
+
+def parse_trace(source: Union[str, TextIO]) -> Iterator[TraceOp]:
+    """Parse trace text (a string or file-like) into ops."""
+    handle = io.StringIO(source) if isinstance(source, str) else source
+    for line_no, raw in enumerate(handle, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split(",")
+        op = parts[0].strip().upper()
+        if op not in _OPS:
+            raise TraceError(f"line {line_no}: unknown op {parts[0]!r}")
+        if op == "S":
+            name = parts[1].strip() if len(parts) > 1 else ""
+            yield TraceOp(op="S", annotation=name)
+            continue
+        if len(parts) < 2:
+            raise TraceError(f"line {line_no}: missing lba")
+        try:
+            lba = int(parts[1])
+        except ValueError as exc:
+            raise TraceError(f"line {line_no}: bad lba {parts[1]!r}") from exc
+        if lba < 0:
+            raise TraceError(f"line {line_no}: negative lba")
+        annotation = parts[2].strip() if len(parts) > 2 else ""
+        yield TraceOp(op=op, lba=lba, annotation=annotation)
+
+
+def format_trace(ops: Iterable[TraceOp]) -> str:
+    """Serialize ops to trace text."""
+    return "\n".join(op.render() for op in ops) + "\n"
+
+
+class TraceRecorder:
+    """Collects TraceOps as a device is exercised."""
+
+    def __init__(self) -> None:
+        self.ops: List[TraceOp] = []
+
+    def read(self, lba: int) -> None:
+        self.ops.append(TraceOp("R", lba))
+
+    def write(self, lba: int, tag: str = "") -> None:
+        self.ops.append(TraceOp("W", lba, tag))
+
+    def trim(self, lba: int) -> None:
+        self.ops.append(TraceOp("T", lba))
+
+    def snapshot(self, name: str) -> None:
+        self.ops.append(TraceOp("S", annotation=name))
+
+    def render(self) -> str:
+        return format_trace(self.ops)
+
+
+def replay_trace(device, ops: Iterable[TraceOp],
+                 data_for=None) -> dict:
+    """Synchronous façade for :func:`replay_trace_proc`."""
+    return device.kernel.run_process(
+        replay_trace_proc(device, ops, data_for), name="trace-replay")
+
+
+def replay_trace_proc(device, ops: Iterable[TraceOp],
+                      data_for=None) -> Generator:
+    """Replay a trace against a device inside the simulation.
+
+    ``data_for(op)`` supplies write payloads (defaults to encoding the
+    op's annotation, or None).  Returns counters per op type.
+    """
+    counts = {"R": 0, "W": 0, "T": 0, "S": 0}
+    for op in ops:
+        if op.op == "W":
+            if data_for is not None:
+                data = data_for(op)
+            elif op.annotation:
+                data = op.annotation.encode()
+            else:
+                data = None
+            yield from device.write_proc(op.lba, data)
+        elif op.op == "R":
+            yield from device.read_proc(op.lba)
+        elif op.op == "T":
+            yield from device.trim_proc(op.lba)
+        elif op.op == "S":
+            yield from device.snapshot_create_proc(op.annotation or None)
+        counts[op.op] += 1
+    return counts

@@ -1,0 +1,151 @@
+"""Tests for the Btrfs-like disk-optimized baseline."""
+
+import random
+
+import pytest
+
+from repro.baselines.btrfs import BtrfsConfig, BtrfsLikeDevice
+from repro.errors import LbaError, SnapshotError
+from repro.nand.geometry import NandConfig
+
+from tests.conftest import small_geometry
+
+
+@pytest.fixture
+def device(kernel):
+    return BtrfsLikeDevice.create(
+        kernel, NandConfig(geometry=small_geometry()),
+        BtrfsConfig(commit_interval_writes=16))
+
+
+def drain(kernel):
+    kernel.run()
+
+
+class TestBlockDevice:
+    def test_roundtrip(self, kernel, device):
+        device.write(0, b"hello")
+        drain(kernel)
+        assert device.read(0)[:5] == b"hello"
+
+    def test_overwrite(self, kernel, device):
+        device.write(1, b"one")
+        device.write(1, b"two")
+        drain(kernel)
+        assert device.read(1)[:3] == b"two"
+
+    def test_unwritten_reads_zero(self, device):
+        assert device.read(9) == bytes(device.block_size)
+
+    def test_out_of_range(self, device):
+        with pytest.raises(LbaError):
+            device.write(device.num_lbas, b"x")
+
+    def test_random_writes_vs_model(self, kernel, device):
+        rng = random.Random(1)
+        model = {}
+        for i in range(600):
+            lba = rng.randrange(100)
+            data = bytes([i % 256]) * 3
+            device.write(lba, data)
+            model[lba] = data
+        drain(kernel)
+        for lba, data in model.items():
+            assert device.read(lba)[:3] == data
+
+    def test_commits_happen_in_background(self, kernel, device):
+        for i in range(40):
+            device.write(i, b"x")
+        drain(kernel)
+        assert device.metrics.commits >= 2
+        assert device.metrics.metadata_pages_written > 0
+
+
+class TestSnapshots:
+    def test_snapshot_isolation(self, kernel, device):
+        device.write(0, b"before")
+        device.snapshot_create("s")
+        device.write(0, b"after")
+        drain(kernel)
+        assert device.read(0)[:5] == b"after"
+        assert device.read_snapshot("s", 0)[:6] == b"before"
+
+    def test_snapshot_of_unwritten_lba(self, kernel, device):
+        device.snapshot_create("s")
+        drain(kernel)
+        assert device.read_snapshot("s", 5) == bytes(device.block_size)
+
+    def test_duplicate_snapshot_name(self, kernel, device):
+        device.snapshot_create("s")
+        with pytest.raises(SnapshotError):
+            device.snapshot_create("s")
+
+    def test_unknown_snapshot_read(self, device):
+        with pytest.raises(SnapshotError):
+            device.read_snapshot("ghost", 0)
+
+    def test_snapshot_delete_unpins(self, kernel, device):
+        device.snapshot_create("s")
+        device.snapshot_delete("s")
+        assert device.snapshots() == []
+        with pytest.raises(SnapshotError):
+            device.read_snapshot("s", 0)
+
+    def test_multiple_snapshot_generations(self, kernel, device):
+        for gen in range(4):
+            for lba in range(20):
+                device.write(lba, f"g{gen}-{lba}".encode())
+            device.snapshot_create(f"gen-{gen}")
+        drain(kernel)
+        for gen in range(4):
+            expected = f"g{gen}-7".encode()
+            assert device.read_snapshot(f"gen-{gen}", 7)[:len(expected)] \
+                == expected
+
+
+class TestCostModel:
+    def test_post_snapshot_writes_cost_metadata(self, kernel, device):
+        for lba in range(100):
+            device.write(lba, b"x")
+        drain(kernel)
+        meta_before = device.metrics.metadata_pages_written
+        writes_before = device.metrics.writes
+        for lba in range(64):
+            device.write(lba, b"y")
+        drain(kernel)
+        baseline_meta = (device.metrics.metadata_pages_written - meta_before)
+
+        device.snapshot_create("s")
+        drain(kernel)
+        meta_before = device.metrics.metadata_pages_written
+        for lba in range(64):
+            device.write(lba, b"z")
+        drain(kernel)
+        post_snap_meta = (device.metrics.metadata_pages_written - meta_before)
+        assert post_snap_meta > baseline_meta
+        assert device.metrics.shadow_copies > 0
+
+    def test_extent_tree_growth_increases_commit_cost(self, kernel, device):
+        # Pin lots of extents with snapshots; the same write pattern
+        # must dirty more extent pages per commit afterwards.
+        span = 200
+        for lba in range(span):
+            device.write(lba, b"x")
+        for i in range(4):
+            device.snapshot_create(f"pin-{i}")
+            for lba in range(span):
+                device.write(lba, bytes([i]))
+        drain(kernel)
+        assert device._live_extents > span  # snapshots pinned versions
+
+    def test_stale_blocks_recycled_without_snapshots(self, kernel):
+        from tests.conftest import tiny_geometry
+        device = BtrfsLikeDevice.create(
+            kernel, NandConfig(geometry=tiny_geometry()),
+            BtrfsConfig(commit_interval_writes=16))
+        rng = random.Random(2)
+        # Far more writes than physical pages: requires recycling.
+        for i in range(1500):
+            device.write(rng.randrange(64), b"x")
+        drain(kernel)
+        assert device.nand.stats.block_erases > 0

@@ -1,0 +1,142 @@
+"""Unit + property tests for the refcounted CoW B-tree substrate."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.cow_btree import CowBTree
+
+
+class TestBasics:
+    def test_insert_get(self):
+        tree = CowBTree(order=4)
+        assert tree.insert(1, 10) is None
+        assert tree.get(1) == 10
+
+    def test_overwrite_returns_old(self):
+        tree = CowBTree(order=4)
+        tree.insert(1, 10)
+        assert tree.insert(1, 20) == 10
+
+    def test_delete(self):
+        tree = CowBTree(order=4)
+        tree.insert(1, 10)
+        assert tree.delete(1) == 10
+        assert tree.get(1) is None
+        assert tree.delete(1) is None
+
+    def test_items_sorted(self):
+        tree = CowBTree(order=4)
+        for key in (5, 1, 9, 3):
+            tree.insert(key, key)
+        assert tree.items() == [(1, 1), (3, 3), (5, 5), (9, 9)]
+
+    def test_bad_order(self):
+        with pytest.raises(ValueError):
+            CowBTree(order=2)
+
+    def test_many_inserts_vs_dict(self):
+        rng = random.Random(0)
+        tree = CowBTree(order=8)
+        model = {}
+        for _ in range(1500):
+            k = rng.randrange(300)
+            v = rng.randrange(1000)
+            assert tree.insert(k, v) == model.get(k)
+            model[k] = v
+        assert tree.items() == sorted(model.items())
+
+
+class TestSnapshotSemantics:
+    def commit_all(self, tree):
+        """Pretend-commit: give every dirty node a fake PPN."""
+        for node_id in tree.dirty_nodes():
+            tree.node(node_id).ppn = 1000 + node_id
+        tree.clear_dirty()
+
+    def test_pinned_root_sees_old_state(self):
+        tree = CowBTree(order=4)
+        for k in range(50):
+            tree.insert(k, k)
+        self.commit_all(tree)
+        pinned = tree.root_id
+        tree.mark_tree_shared()
+        for k in range(25):
+            tree.insert(k, k + 1000)
+        assert tree.get(0) == 1000
+        assert tree.get(0, root_id=pinned) == 0
+        assert tree.get(40, root_id=pinned) == 40
+
+    def test_shadowing_counts_copies_and_refs(self):
+        tree = CowBTree(order=4)
+        for k in range(50):
+            tree.insert(k, k)
+        self.commit_all(tree)
+        tree.mark_tree_shared()
+        assert tree.shadow_copies == 0
+        tree.insert(0, 999)
+        assert tree.shadow_copies >= 2  # root + leaf at minimum
+        assert tree.pending_refcount_updates > 0
+
+    def test_second_write_same_path_no_new_shadow(self):
+        tree = CowBTree(order=4)
+        for k in range(10):
+            tree.insert(k, k)
+        self.commit_all(tree)
+        tree.mark_tree_shared()
+        tree.insert(0, 100)
+        copies_after_first = tree.shadow_copies
+        tree.insert(0, 200)
+        assert tree.shadow_copies == copies_after_first
+
+    def test_uncommitted_nodes_not_shared(self):
+        tree = CowBTree(order=4)
+        tree.insert(1, 1)
+        tree.mark_tree_shared()  # node has no ppn yet -> not shared
+        tree.insert(1, 2)
+        assert tree.shadow_copies == 0
+
+    def test_pinned_roots_survive_many_generations(self):
+        tree = CowBTree(order=4)
+        roots = []
+        for gen in range(5):
+            for k in range(20):
+                tree.insert(k, gen * 100 + k)
+            self.commit_all(tree)
+            roots.append(tree.root_id)
+            tree.mark_tree_shared()
+        for gen, root in enumerate(roots):
+            assert tree.get(7, root_id=root) == gen * 100 + 7
+
+    def test_items_of_pinned_root(self):
+        tree = CowBTree(order=4)
+        for k in range(10):
+            tree.insert(k, k)
+        self.commit_all(tree)
+        pinned = tree.root_id
+        tree.mark_tree_shared()
+        tree.insert(99, 99)
+        assert (99, 99) not in tree.items(root_id=pinned)
+        assert (99, 99) in tree.items()
+
+
+@settings(max_examples=30)
+@given(st.lists(st.tuples(st.integers(0, 100), st.integers(0, 1000)),
+                min_size=1, max_size=120))
+def test_property_snapshot_isolation(writes):
+    tree = CowBTree(order=4)
+    half = len(writes) // 2
+    for k, v in writes[:half]:
+        tree.insert(k, v)
+    for node_id in tree.dirty_nodes():
+        tree.node(node_id).ppn = 5000 + node_id
+    tree.clear_dirty()
+    frozen_model = dict(writes[:half])
+    pinned = tree.root_id
+    tree.mark_tree_shared()
+    for k, v in writes[half:]:
+        tree.insert(k, v)
+    live_model = dict(writes)
+    assert tree.items(root_id=pinned) == sorted(frozen_model.items())
+    assert tree.items() == sorted(live_model.items())

@@ -1,0 +1,202 @@
+"""Unit + property tests for CoW validity bitmaps."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cow_bitmap import CowValidityBitmap
+from repro.errors import AddressError, SnapshotError
+
+
+def make(total=1024, page_bytes=16, **kw):
+    return CowValidityBitmap(total, page_bytes=page_bytes, **kw)
+
+
+class TestStandalone:
+    def test_set_test_clear(self):
+        bm = make()
+        bm.set(5)
+        assert bm.test(5)
+        bm.clear(5)
+        assert not bm.test(5)
+
+    def test_out_of_range(self):
+        bm = make()
+        with pytest.raises(AddressError):
+            bm.set(1024)
+
+    def test_clear_on_empty_allocates_nothing(self):
+        bm = make()
+        assert bm.clear(10) is False
+        assert bm.owned_page_count() == 0
+
+    def test_count_and_iter(self):
+        bm = make()
+        for bit in (1, 200, 1023):
+            bm.set(bit)
+        assert bm.count() == 3
+        assert list(bm.iter_set_in_range(0, 1024)) == [1, 200, 1023]
+        assert bm.count_range(0, 202) == 2
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            CowValidityBitmap(0)
+        with pytest.raises(ValueError):
+            CowValidityBitmap(8, page_bytes=0)
+
+
+class TestForking:
+    def test_fork_freezes_parent(self):
+        parent = make()
+        child = parent.fork()
+        assert parent.frozen
+        assert not child.frozen
+        with pytest.raises(SnapshotError):
+            parent.set(1)
+
+    def test_child_inherits_parent_bits(self):
+        parent = make()
+        parent.set(7)
+        child = parent.fork()
+        assert child.test(7)
+        assert child.owned_page_count() == 0  # pure sharing
+
+    def test_child_mutation_does_not_leak_to_parent(self):
+        parent = make()
+        parent.set(7)
+        child = parent.fork()
+        child.clear(7)
+        assert not child.test(7)
+        assert parent.test(7)
+
+    def test_first_touch_copies_page(self):
+        parent = make()
+        parent.set(7)
+        child = parent.fork()
+        copied = child.clear(7)
+        assert copied is True
+        assert child.owned_page_count() == 1
+        assert child.cow_copies == 1
+
+    def test_second_touch_same_page_no_copy(self):
+        parent = make()
+        parent.set(7)
+        parent.set(8)
+        child = parent.fork()
+        assert child.clear(7) is True
+        assert child.clear(8) is False
+        assert child.cow_copies == 1
+
+    def test_fresh_region_needs_no_copy(self):
+        parent = make()
+        parent.set(0)  # page 0 only
+        child = parent.fork()
+        copied = child.set(1000)  # page never touched by parent
+        assert copied is False
+        assert child.test(1000)
+        assert not parent.test(1000)
+
+    def test_chain_resolution_through_grandparent(self):
+        a = make()
+        a.set(5)
+        b = a.fork()
+        c = b.fork()
+        assert c.test(5)
+        assert c.chain_depth() == 3
+
+    def test_shape_mismatch_rejected(self):
+        parent = make(total=1024)
+        with pytest.raises(ValueError):
+            CowValidityBitmap(512, page_bytes=16, parent=parent)
+
+    def test_on_cow_callback(self):
+        events = []
+        parent = make(on_cow=events.append)
+        parent.set(3)
+        child = parent.fork()
+        child.clear(3)
+        assert events == ["write"]
+
+    def test_privileged_cow_reports_cleaner(self):
+        events = []
+        parent = make(on_cow=events.append)
+        parent.set(3)
+        parent.set(100)
+        child = parent.fork()
+        child.fork()  # freeze child too (simulate another snapshot)
+        child.clear_privileged(3)
+        assert events == ["cleaner"]
+
+
+class TestPrivileged:
+    def test_privileged_mutates_frozen(self):
+        bm = make()
+        bm.set(9)
+        bm.freeze()
+        bm.clear_privileged(9)
+        bm.set_privileged(10)
+        assert not bm.test(9)
+        assert bm.test(10)
+
+    def test_unprivileged_mutation_of_frozen_raises(self):
+        bm = make()
+        bm.freeze()
+        with pytest.raises(SnapshotError):
+            bm.set(1)
+        with pytest.raises(SnapshotError):
+            bm.clear(1)
+
+    def test_privileged_on_parent_copies_into_own(self):
+        # A frozen bitmap sharing pages with ITS parent still copies on
+        # privileged mutation, leaving the parent intact.
+        a = make()
+        a.set(5)
+        b = a.fork()
+        b.freeze()
+        b.clear_privileged(5)
+        assert a.test(5)
+        assert not b.test(5)
+
+
+class TestMaterialize:
+    def test_materialize_flattens_chain(self):
+        a = make()
+        a.set(1)
+        b = a.fork()
+        b.set(500)
+        pages = b.materialize()
+        rebuilt = CowValidityBitmap.from_pages(1024, 16, pages)
+        assert rebuilt.test(1)
+        assert rebuilt.test(500)
+        assert rebuilt.count() == 2
+
+    def test_materialize_skips_all_zero_pages(self):
+        a = make()
+        a.set(1)
+        a.clear(1)
+        assert a.materialize() == {}
+
+    def test_owned_bytes(self):
+        a = make(page_bytes=16)
+        a.set(1)
+        a.set(500)
+        assert a.owned_bytes() == 32
+
+
+@settings(max_examples=40)
+@given(parent_bits=st.sets(st.integers(0, 511), max_size=60),
+       child_sets=st.sets(st.integers(0, 511), max_size=30),
+       child_clears=st.sets(st.integers(0, 511), max_size=30))
+def test_property_fork_isolation(parent_bits, child_sets, child_clears):
+    parent = CowValidityBitmap(512, page_bytes=8)
+    for bit in parent_bits:
+        parent.set(bit)
+    child = parent.fork()
+    for bit in child_sets:
+        child.set(bit)
+    for bit in child_clears:
+        child.clear(bit)
+    # Parent view unchanged.
+    assert set(parent.iter_set_in_range(0, 512)) == parent_bits
+    # Child view = model applied on top of parent.
+    expected = (parent_bits | child_sets) - child_clears
+    assert set(child.iter_set_in_range(0, 512)) == expected

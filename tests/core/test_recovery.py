@@ -1,0 +1,198 @@
+"""Tests for snapshot-aware crash recovery and checkpointing."""
+
+import random
+
+import pytest
+
+from repro.core.iosnap import IoSnapDevice
+
+
+def reopen_after_crash(kernel, device):
+    device.crash()
+    return IoSnapDevice.open(kernel, device.nand)
+
+
+def reopen_after_shutdown(kernel, device):
+    device.shutdown()
+    return IoSnapDevice.open(kernel, device.nand)
+
+
+@pytest.fixture(params=["crash", "shutdown"])
+def reopen(request):
+    return (reopen_after_crash if request.param == "crash"
+            else reopen_after_shutdown)
+
+
+class TestBothPaths:
+    """Properties that must hold for checkpoint restore AND log recovery."""
+
+    def test_active_data_survives(self, kernel, iosnap, reopen):
+        model = {}
+        rng = random.Random(1)
+        for i in range(300):
+            lba = rng.randrange(80)
+            data = bytes([i % 256]) * 4
+            iosnap.write(lba, data)
+            model[lba] = data
+        device = reopen(kernel, iosnap)
+        for lba, data in model.items():
+            assert device.read(lba)[:4] == data
+
+    def test_snapshot_registry_survives(self, kernel, iosnap, reopen):
+        iosnap.write(0, b"x")
+        iosnap.snapshot_create("a")
+        iosnap.write(0, b"y")
+        iosnap.snapshot_create("b")
+        iosnap.snapshot_delete("a")
+        device = reopen(kernel, iosnap)
+        names = [s.name for s in device.snapshots()]
+        assert names == ["b"]
+        all_names = [s.name for s in device.snapshots(include_deleted=True)]
+        assert all_names == ["a", "b"]
+
+    def test_snapshot_content_survives(self, kernel, iosnap, reopen):
+        for lba in range(50):
+            iosnap.write(lba, f"old-{lba}".encode())
+        iosnap.snapshot_create("s")
+        for lba in range(25):
+            iosnap.write(lba, f"new-{lba}".encode())
+        device = reopen(kernel, iosnap)
+        view = device.snapshot_activate("s")
+        for lba in range(50):
+            expected = f"old-{lba}".encode()
+            assert view.read(lba)[:len(expected)] == expected
+        view.deactivate()
+
+    def test_active_epoch_survives(self, kernel, iosnap, reopen):
+        iosnap.snapshot_create("a")
+        iosnap.snapshot_create("b")
+        old_epoch = iosnap.tree.active_epoch
+        device = reopen(kernel, iosnap)
+        assert device.tree.active_epoch == old_epoch
+
+    def test_epoch_counter_never_reused(self, kernel, iosnap, reopen):
+        iosnap.snapshot_create("a")
+        view = iosnap.snapshot_activate("a")  # consumes an epoch
+        view.deactivate()
+        counter = iosnap.tree.peek_next_epoch()
+        device = reopen(kernel, iosnap)
+        assert device.tree.peek_next_epoch() >= counter
+
+    def test_new_snapshots_after_reopen(self, kernel, iosnap, reopen):
+        iosnap.write(0, b"one")
+        iosnap.snapshot_create("before")
+        device = reopen(kernel, iosnap)
+        device.write(0, b"two")
+        device.snapshot_create("after")
+        device.write(0, b"three")
+        v1 = device.snapshot_activate("before")
+        v2 = device.snapshot_activate("after")
+        assert v1.read(0)[:3] == b"one"
+        assert v2.read(0)[:3] == b"two"
+        assert device.read(0)[:5] == b"three"
+        v1.deactivate()
+        v2.deactivate()
+
+
+class TestCrashSpecifics:
+    def test_open_activation_dies_with_crash(self, kernel, iosnap):
+        iosnap.write(0, b"x")
+        iosnap.snapshot_create("s")
+        iosnap.snapshot_activate("s")  # never deactivated
+        device = reopen_after_crash(kernel, iosnap)
+        assert device.activations() == []
+        # Snapshot itself is still fine.
+        view = device.snapshot_activate("s")
+        assert view.read(0)[:1] == b"x"
+        view.deactivate()
+
+    def test_writable_activation_data_lost_on_crash(self, kernel):
+        from tests.conftest import make_iosnap
+        device = make_iosnap(kernel, writable_activations=True)
+        device.write(0, b"prod")
+        device.snapshot_create("s")
+        clone = device.snapshot_activate("s")
+        clone.write(0, b"scratch")
+        recovered = reopen_after_crash(kernel, device)
+        assert recovered.read(0)[:4] == b"prod"
+        view = recovered.snapshot_activate("s")
+        assert view.read(0)[:4] == b"prod"
+        view.deactivate()
+
+    def test_recovery_after_heavy_cleaning(self, kernel, iosnap):
+        for lba in range(100):
+            iosnap.write(lba, f"keep-{lba}".encode())
+        iosnap.snapshot_create("s")
+        rng = random.Random(3)
+        for i in range(2500):
+            iosnap.write(rng.randrange(300), bytes([i % 256]))
+        assert iosnap.cleaner.segments_cleaned > 0
+        device = reopen_after_crash(kernel, iosnap)
+        view = device.snapshot_activate("s")
+        for lba in range(100):
+            expected = f"keep-{lba}".encode()
+            assert view.read(lba)[:len(expected)] == expected
+        view.deactivate()
+
+    def test_deleted_snapshot_stays_deleted_after_multiple_crashes(
+            self, kernel, iosnap):
+        iosnap.snapshot_create("zombie")
+        iosnap.snapshot_delete("zombie")
+        device = iosnap
+        for _ in range(3):
+            device = reopen_after_crash(kernel, device)
+            assert device.snapshots() == []
+
+    def test_trim_per_epoch_respected_after_crash(self, kernel, iosnap):
+        iosnap.write(3, b"kept-by-snap")
+        iosnap.snapshot_create("s")
+        iosnap.trim(3)
+        device = reopen_after_crash(kernel, iosnap)
+        assert device.read(3) == bytes(device.block_size)
+        view = device.snapshot_activate("s")
+        assert view.read(3)[:12] == b"kept-by-snap"
+        view.deactivate()
+
+    def test_rebuilt_bitmaps_share_pages(self, kernel, iosnap):
+        for lba in range(100):
+            iosnap.write(lba, b"base")
+        iosnap.snapshot_create("s")
+        iosnap.write(0, b"tiny-divergence")
+        device = reopen_after_crash(kernel, iosnap)
+        snap_epoch = device.tree.resolve("s").epoch
+        active = device.active_bitmap
+        # The active bitmap must be a CoW child of the snapshot's, not
+        # a full materialized copy.
+        assert active.parent is device._epoch_bitmaps[snap_epoch]
+        assert active.owned_page_count() <= 2
+
+
+class TestCheckpointSpecifics:
+    def test_bitmap_state_exact_after_checkpoint(self, kernel, iosnap):
+        for lba in range(60):
+            iosnap.write(lba, b"a")
+        iosnap.snapshot_create("s")
+        for lba in range(30):
+            iosnap.write(lba, b"b")
+        live_before = {
+            epoch: set(bm.iter_set_in_range(
+                0, iosnap.nand.geometry.total_pages))
+            for epoch, bm in iosnap.live_epoch_bitmaps()
+        }
+        device = reopen_after_shutdown(kernel, iosnap)
+        live_after = {
+            epoch: set(bm.iter_set_in_range(
+                0, device.nand.geometry.total_pages))
+            for epoch, bm in device.live_epoch_bitmaps()
+        }
+        assert live_before == live_after
+
+    def test_shutdown_with_activation_open_rejects_nothing(self, kernel,
+                                                           iosnap):
+        # Shutdown while an activation is open simply drops it (same as
+        # crash semantics for activations).
+        iosnap.write(0, b"x")
+        iosnap.snapshot_create("s")
+        iosnap.snapshot_activate("s")
+        device = reopen_after_shutdown(kernel, iosnap)
+        assert device.activations() == []

@@ -1,0 +1,98 @@
+"""Tests for snapshot rollback."""
+
+import random
+
+import pytest
+
+from repro.core.rollback import snapshot_rollback
+from repro.ftl.fsck import fsck
+
+
+class TestRollback:
+    def test_restores_exact_state(self, iosnap):
+        state = {}
+        for lba in range(40):
+            data = f"golden-{lba}".encode()
+            iosnap.write(lba, data)
+            state[lba] = data
+        iosnap.snapshot_create("golden")
+        # Wreck things: overwrite, add, trim.
+        for lba in range(20):
+            iosnap.write(lba, b"WRECK")
+        iosnap.write(50, b"stray")
+        iosnap.trim(30)
+
+        report = snapshot_rollback(iosnap, "golden")
+        for lba, data in state.items():
+            assert iosnap.read(lba)[:len(data)] == data
+        assert iosnap.read(50) == bytes(iosnap.block_size)
+        assert report["trimmed"] == 1            # lba 50
+        assert report["rewritten"] == 21         # 20 wrecked + 1 trimmed-back
+        assert report["skipped_identical"] == 19
+        assert fsck(iosnap) == []
+
+    def test_rollback_noop_when_unchanged(self, iosnap):
+        for lba in range(10):
+            iosnap.write(lba, b"x")
+        iosnap.snapshot_create("s")
+        report = snapshot_rollback(iosnap, "s")
+        assert report["rewritten"] == 0
+        assert report["trimmed"] == 0
+        assert report["skipped_identical"] == 10
+
+    def test_snapshot_survives_rollback(self, iosnap):
+        iosnap.write(0, b"keep")
+        iosnap.snapshot_create("s")
+        iosnap.write(0, b"junk")
+        snapshot_rollback(iosnap, "s")
+        snapshot_rollback(iosnap, "s")  # idempotent; snapshot still live
+        assert [s.name for s in iosnap.snapshots()] == ["s"]
+        assert iosnap.read(0)[:4] == b"keep"
+
+    def test_rollback_to_older_of_two(self, iosnap):
+        iosnap.write(0, b"v1")
+        iosnap.snapshot_create("old")
+        iosnap.write(0, b"v2")
+        iosnap.snapshot_create("new")
+        iosnap.write(0, b"v3")
+        snapshot_rollback(iosnap, "old")
+        assert iosnap.read(0)[:2] == b"v1"
+        # "new" still shows v2 afterwards.
+        view = iosnap.snapshot_activate("new")
+        assert view.read(0)[:2] == b"v2"
+        view.deactivate()
+
+    def test_rollback_state_is_snapshottable(self, iosnap):
+        iosnap.write(0, b"base")
+        iosnap.snapshot_create("s")
+        iosnap.write(0, b"changed")
+        snapshot_rollback(iosnap, "s")
+        iosnap.snapshot_create("after-rollback")
+        iosnap.write(0, b"again")
+        view = iosnap.snapshot_activate("after-rollback")
+        assert view.read(0)[:4] == b"base"
+        view.deactivate()
+
+    def test_rollback_under_churned_device(self, iosnap):
+        rng = random.Random(4)
+        state = {}
+        for lba in range(60):
+            data = f"pin-{lba}".encode()
+            iosnap.write(lba, data)
+            state[lba] = data
+        iosnap.snapshot_create("pin")
+        for i in range(2500):
+            iosnap.write(rng.randrange(300), bytes([i % 256]))
+        assert iosnap.cleaner.segments_cleaned > 0
+        snapshot_rollback(iosnap, "pin")
+        for lba, data in state.items():
+            assert iosnap.read(lba)[:len(data)] == data
+        assert len(iosnap.map) == len(state)
+        assert fsck(iosnap) == []
+
+    def test_rollback_deleted_snapshot_rejected(self, iosnap):
+        from repro.errors import SnapshotError
+        iosnap.snapshot_create("dead")
+        iosnap.snapshot_delete("dead")
+        with pytest.raises(SnapshotError):
+            snapshot_rollback(iosnap, "dead")

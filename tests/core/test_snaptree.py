@@ -1,0 +1,164 @@
+"""Unit tests for epochs and the snapshot tree."""
+
+import pytest
+
+from repro.core.snaptree import BranchKind, Snapshot, SnapshotTree
+from repro.errors import SnapshotError
+
+
+@pytest.fixture
+def tree():
+    return SnapshotTree()
+
+
+class TestEpochs:
+    def test_initial_state(self, tree):
+        assert tree.active_epoch == 0
+        assert tree.peek_next_epoch() == 1
+        assert tree.path_epochs(0) == [0]
+        assert tree.snapshots() == []
+
+    def test_create_advances_main_chain(self, tree):
+        snap = tree.create_snapshot("s1", created_seq=10)
+        assert snap.epoch == 0
+        assert tree.active_epoch == 1
+        assert tree.path_epochs(1) == [0, 1]
+
+    def test_epoch_numbers_monotonic(self, tree):
+        tree.create_snapshot("a", 1)
+        tree.create_snapshot("b", 2)
+        fork = tree.new_activation_epoch("a")
+        tree.create_snapshot("c", 3)
+        numbers = [0, 1, 2, fork, tree.active_epoch]
+        assert len(set(numbers)) == len(numbers)
+
+    def test_activation_forks_from_snapshot_epoch(self, tree):
+        tree.create_snapshot("a", 1)       # captures epoch 0, active 1
+        tree.create_snapshot("b", 2)       # captures epoch 1, active 2
+        fork = tree.new_activation_epoch("a")
+        assert tree.path_epochs(fork) == [0, fork]
+        assert tree.node(fork).kind is BranchKind.ACTIVATION
+
+    def test_activating_deleted_snapshot_rejected(self, tree):
+        tree.create_snapshot("a", 1)
+        tree.delete_snapshot("a")
+        with pytest.raises(SnapshotError, match="deleted"):
+            tree.new_activation_epoch("a")
+
+    def test_unknown_epoch_raises(self, tree):
+        with pytest.raises(SnapshotError):
+            tree.node(99)
+
+
+class TestSnapshots:
+    def test_resolve_by_name_id_and_identity(self, tree):
+        snap = tree.create_snapshot("x", 1)
+        assert tree.resolve("x") is snap
+        assert tree.resolve(snap.snap_id) is snap
+        assert tree.resolve(snap) is snap
+
+    def test_resolve_unknown(self, tree):
+        with pytest.raises(SnapshotError):
+            tree.resolve("ghost")
+        with pytest.raises(SnapshotError):
+            tree.resolve(42)
+
+    def test_auto_names(self, tree):
+        snap = tree.create_snapshot(None, 1)
+        assert snap.name == "snap-1"
+
+    def test_duplicate_name_rejected(self, tree):
+        tree.create_snapshot("dup", 1)
+        with pytest.raises(SnapshotError, match="in use"):
+            tree.create_snapshot("dup", 2)
+
+    def test_delete_marks_and_filters(self, tree):
+        snap = tree.create_snapshot("d", 1)
+        tree.delete_snapshot(snap)
+        assert tree.snapshots() == []
+        assert tree.snapshots(include_deleted=True) == [snap]
+        assert snap.deleted
+
+    def test_double_delete_rejected(self, tree):
+        tree.create_snapshot("d", 1)
+        tree.delete_snapshot("d")
+        with pytest.raises(SnapshotError, match="already deleted"):
+            tree.delete_snapshot("d")
+
+    def test_live_snapshot_epochs(self, tree):
+        a = tree.create_snapshot("a", 1)
+        b = tree.create_snapshot("b", 2)
+        tree.delete_snapshot(a)
+        assert tree.live_snapshot_epochs() == [b.epoch]
+
+    def test_depth_of(self, tree):
+        a = tree.create_snapshot("a", 1)
+        b = tree.create_snapshot("b", 2)
+        c = tree.create_snapshot("c", 3)
+        assert tree.depth_of(a) == 0
+        assert tree.depth_of(b) == 1
+        assert tree.depth_of(c) == 2
+
+
+class TestRender:
+    def test_render_linear_chain(self, tree):
+        tree.create_snapshot("a", 1)
+        out = tree.render()
+        assert "epoch 0 [snapshot 'a']" in out
+        assert "epoch 1" in out and "(active)" in out
+
+    def test_render_marks_deleted_and_activation(self, tree):
+        a = tree.create_snapshot("a", 1)
+        tree.new_activation_epoch(a)
+        tree.delete_snapshot(a)
+        out = tree.render()
+        assert "(deleted)" in out
+        assert "(activation)" in out
+
+    def test_render_branch_connectors(self, tree):
+        a = tree.create_snapshot("a", 1)
+        tree.new_activation_epoch(a)
+        out = tree.render()
+        assert "├── " in out
+        assert "└── " in out
+
+    def test_render_empty_tree(self, tree):
+        assert tree.render() == "epoch 0 (active)"
+
+
+class TestRecoveryConstruction:
+    def test_register_recovered_epoch_and_snapshot(self, tree):
+        tree.register_recovered_epoch(1, parent=0, kind=BranchKind.MAIN)
+        snap = Snapshot(snap_id=1, name="r", epoch=0, created_seq=5)
+        tree.register_recovered_snapshot(snap)
+        tree.active_epoch = 1
+        assert tree.resolve("r").epoch == 0
+        assert tree.path_epochs(1) == [0, 1]
+        assert tree.peek_next_epoch() == 2
+        assert tree.peek_next_snap_id() == 2
+
+    def test_duplicate_epoch_rejected(self, tree):
+        tree.register_recovered_epoch(1, 0, BranchKind.MAIN)
+        with pytest.raises(SnapshotError):
+            tree.register_recovered_epoch(1, 0, BranchKind.MAIN)
+
+    def test_note_epoch_consumed_bumps_counter(self, tree):
+        tree.note_epoch_consumed(17)
+        assert tree.peek_next_epoch() == 18
+        tree.note_epoch_consumed(3)  # never regresses
+        assert tree.peek_next_epoch() == 18
+
+    def test_dump_restore_roundtrip(self, tree):
+        a = tree.create_snapshot("a", 1)
+        tree.create_snapshot("b", 2)
+        tree.new_activation_epoch(a)
+        tree.delete_snapshot("b")
+        image = tree.dump()
+        restored = SnapshotTree.restore(image)
+        assert restored.active_epoch == tree.active_epoch
+        assert restored.peek_next_epoch() == tree.peek_next_epoch()
+        assert [s.name for s in restored.snapshots()] == ["a"]
+        assert [s.name for s in restored.snapshots(include_deleted=True)] \
+            == ["a", "b"]
+        assert restored.path_epochs(tree.active_epoch) == \
+            tree.path_epochs(tree.active_epoch)

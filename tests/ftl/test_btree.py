@@ -1,0 +1,227 @@
+"""Unit + property tests for the B+tree forward map."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ftl.btree import BPlusTree
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = BPlusTree()
+        assert len(tree) == 0
+        assert tree.get(5) is None
+        assert 5 not in tree
+        assert list(tree.items()) == []
+        assert tree.depth() == 1
+        assert tree.node_count() == 1
+
+    def test_insert_get(self):
+        tree = BPlusTree()
+        assert tree.insert(10, 100) is None
+        assert tree.get(10) == 100
+        assert 10 in tree
+        assert len(tree) == 1
+
+    def test_overwrite_returns_old(self):
+        tree = BPlusTree()
+        tree.insert(10, 100)
+        assert tree.insert(10, 200) == 100
+        assert tree.get(10) == 200
+        assert len(tree) == 1
+
+    def test_negative_key_rejected(self):
+        with pytest.raises(ValueError):
+            BPlusTree().insert(-1, 0)
+
+    def test_order_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=3)
+
+    def test_delete(self):
+        tree = BPlusTree()
+        tree.insert(1, 10)
+        tree.insert(2, 20)
+        assert tree.delete(1) == 10
+        assert tree.get(1) is None
+        assert tree.get(2) == 20
+        assert len(tree) == 1
+
+    def test_delete_missing_returns_none(self):
+        tree = BPlusTree()
+        assert tree.delete(42) is None
+
+    def test_items_sorted(self):
+        tree = BPlusTree(order=4)
+        keys = [5, 1, 9, 3, 7, 2, 8]
+        for k in keys:
+            tree.insert(k, k * 10)
+        assert list(tree.items()) == [(k, k * 10) for k in sorted(keys)]
+
+
+class TestScaling:
+    def test_many_inserts_split_correctly(self):
+        tree = BPlusTree(order=4)
+        n = 500
+        for k in range(n):
+            tree.insert(k, k)
+        assert len(tree) == n
+        assert tree.depth() > 2
+        for k in range(n):
+            assert tree.get(k) == k
+
+    def test_reverse_order_inserts(self):
+        tree = BPlusTree(order=4)
+        for k in reversed(range(300)):
+            tree.insert(k, k + 1)
+        assert list(tree.items()) == [(k, k + 1) for k in range(300)]
+
+    def test_random_inserts_vs_dict(self):
+        rng = random.Random(7)
+        tree = BPlusTree(order=8)
+        model = {}
+        for _ in range(2000):
+            k = rng.randrange(500)
+            v = rng.randrange(10_000)
+            assert tree.insert(k, v) == model.get(k)
+            model[k] = v
+        assert sorted(model.items()) == list(tree.items())
+        assert len(tree) == len(model)
+
+    def test_interleaved_delete_vs_dict(self):
+        rng = random.Random(13)
+        tree = BPlusTree(order=6)
+        model = {}
+        for _ in range(3000):
+            k = rng.randrange(200)
+            if rng.random() < 0.3:
+                assert tree.delete(k) == model.pop(k, None)
+            else:
+                v = rng.randrange(1000)
+                assert tree.insert(k, v) == model.get(k)
+                model[k] = v
+        assert sorted(model.items()) == list(tree.items())
+
+
+class TestRangeQueries:
+    def test_range_items(self):
+        tree = BPlusTree(order=4)
+        for k in range(0, 100, 2):
+            tree.insert(k, k)
+        assert [k for k, _ in tree.range_items(10, 20)] == [10, 12, 14, 16, 18]
+
+    def test_range_empty_span(self):
+        tree = BPlusTree()
+        tree.insert(5, 5)
+        assert list(tree.range_items(6, 10)) == []
+
+    def test_range_spans_leaves(self):
+        tree = BPlusTree(order=4)
+        for k in range(200):
+            tree.insert(k, k)
+        got = [k for k, _ in tree.range_items(50, 150)]
+        assert got == list(range(50, 150))
+
+
+class TestBulkLoad:
+    def test_roundtrip(self):
+        items = [(k, k * 2) for k in range(0, 1000, 3)]
+        tree = BPlusTree.bulk_load(items, order=16)
+        assert list(tree.items()) == items
+        assert len(tree) == len(items)
+        for k, v in items:
+            assert tree.get(k) == v
+
+    def test_empty(self):
+        tree = BPlusTree.bulk_load([])
+        assert len(tree) == 0
+        assert tree.get(0) is None
+
+    def test_single_item(self):
+        tree = BPlusTree.bulk_load([(5, 50)])
+        assert tree.get(5) == 50
+
+    def test_unsorted_input_rejected(self):
+        with pytest.raises(ValueError, match="ascending"):
+            BPlusTree.bulk_load([(2, 0), (1, 0)])
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(ValueError, match="ascending"):
+            BPlusTree.bulk_load([(1, 0), (1, 0)])
+
+    def test_bad_fill_factor_rejected(self):
+        with pytest.raises(ValueError):
+            BPlusTree.bulk_load([(1, 1)], fill_factor=0.01)
+
+    def test_bulk_loaded_tree_is_more_compact(self):
+        # Paper Table 3: the activated (bulk-loaded) tree is smaller
+        # than a random-insert tree with identical contents.
+        rng = random.Random(3)
+        keys = rng.sample(range(100_000), 5_000)
+        incremental = BPlusTree(order=32)
+        for k in keys:
+            incremental.insert(k, k)
+        bulk = BPlusTree.bulk_load(sorted((k, k) for k in keys), order=32)
+        assert bulk.memory_bytes() < incremental.memory_bytes()
+        assert bulk.node_count() < incremental.node_count()
+        assert list(bulk.items()) == list(incremental.items())
+
+    def test_mutable_after_bulk_load(self):
+        tree = BPlusTree.bulk_load([(k, k) for k in range(100)], order=8)
+        tree.insert(1000, 1)
+        tree.insert(50, 99)
+        assert tree.get(1000) == 1
+        assert tree.get(50) == 99
+        assert len(tree) == 101
+
+    def test_fill_factor_changes_node_count(self):
+        items = [(k, k) for k in range(1000)]
+        packed = BPlusTree.bulk_load(items, order=16, fill_factor=1.0)
+        loose = BPlusTree.bulk_load(items, order=16, fill_factor=0.5)
+        assert loose.node_count() > packed.node_count()
+        assert list(loose.items()) == list(packed.items())
+
+
+class TestAccounting:
+    def test_fill_factor_bounds(self):
+        tree = BPlusTree(order=8)
+        assert tree.fill_factor() == 0.0
+        for k in range(100):
+            tree.insert(k, k)
+        assert 0.3 < tree.fill_factor() <= 1.0
+
+    def test_memory_grows_with_content(self):
+        tree = BPlusTree(order=8)
+        empty = tree.memory_bytes()
+        for k in range(500):
+            tree.insert(k, k)
+        assert tree.memory_bytes() > empty
+
+
+@settings(max_examples=50)
+@given(st.lists(st.tuples(st.integers(0, 300), st.integers(0, 2 ** 32)),
+                max_size=300))
+def test_property_tree_matches_dict(operations):
+    tree = BPlusTree(order=5)
+    model = {}
+    for key, value in operations:
+        if value % 5 == 0:
+            assert tree.delete(key) == model.pop(key, None)
+        else:
+            assert tree.insert(key, value) == model.get(key)
+            model[key] = value
+    assert list(tree.items()) == sorted(model.items())
+
+
+@settings(max_examples=30)
+@given(st.sets(st.integers(0, 10_000), max_size=400))
+def test_property_bulk_load_equals_incremental(keys):
+    items = sorted((k, k ^ 0xABCD) for k in keys)
+    bulk = BPlusTree.bulk_load(items, order=8)
+    incremental = BPlusTree(order=8)
+    for k, v in items:
+        incremental.insert(k, v)
+    assert list(bulk.items()) == list(incremental.items())
+    assert len(bulk) == len(incremental)

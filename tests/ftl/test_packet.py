@@ -1,0 +1,70 @@
+"""Unit tests for on-log note payloads."""
+
+import pytest
+
+from repro.errors import FtlError
+from repro.ftl.packet import (
+    SnapActivateNote,
+    SnapCreateNote,
+    SnapDeactivateNote,
+    SnapDeleteNote,
+    TrimNote,
+    decode_note,
+    decode_payload,
+    encode_note,
+    encode_payload,
+)
+from repro.nand.oob import PageKind
+
+
+ALL_NOTES = [
+    SnapCreateNote(snap_id=1, name="s", captured_epoch=0, new_epoch=1),
+    SnapDeleteNote(snap_id=1),
+    SnapActivateNote(snap_id=1, new_epoch=2),
+    SnapDeactivateNote(snap_id=1, epoch=2),
+    TrimNote(lba=42),
+]
+
+
+@pytest.mark.parametrize("note", ALL_NOTES, ids=lambda n: type(n).__name__)
+def test_note_roundtrip(note):
+    raw = encode_note(note)
+    assert decode_note(note.kind, raw) == note
+
+
+def test_payload_roundtrip():
+    fields = {"a": 1, "b": "text", "c": [1, 2]}
+    assert decode_payload(encode_payload(fields)) == fields
+
+
+def test_corrupt_payload_raises():
+    with pytest.raises(FtlError, match="corrupt"):
+        decode_payload(b"\xff\xfe not json")
+
+
+def test_decode_note_wrong_kind():
+    with pytest.raises(FtlError, match="not a note"):
+        decode_note(PageKind.DATA, b"{}")
+
+
+def test_encode_non_note_rejected():
+    with pytest.raises(FtlError, match="not a note"):
+        encode_note({"snap_id": 1})
+
+
+def test_note_kinds_are_distinct():
+    kinds = {note.kind for note in ALL_NOTES}
+    assert len(kinds) == len(ALL_NOTES)
+
+
+def test_create_note_records_epoch_edge():
+    note = SnapCreateNote(snap_id=3, name="x", captured_epoch=4, new_epoch=5)
+    decoded = decode_note(PageKind.NOTE_SNAP_CREATE, encode_note(note))
+    assert decoded.captured_epoch == 4
+    assert decoded.new_epoch == 5
+
+
+def test_notes_are_frozen():
+    note = TrimNote(lba=1)
+    with pytest.raises(AttributeError):
+        note.lba = 2

@@ -1,0 +1,101 @@
+"""Unit tests for rate limiters (duty cycle + cleaner pacer)."""
+
+import pytest
+
+from repro.ftl.ratelimit import CleanerPacer, DutyCycleLimiter, NullLimiter
+from repro.sim.stats import NS_PER_MS, NS_PER_US
+
+
+def drive(kernel, gen):
+    def proc():
+        yield from gen
+    kernel.run_process(proc())
+
+
+class TestDutyCycle:
+    def test_no_sleep_before_quantum(self, kernel):
+        limiter = DutyCycleLimiter(kernel, work_ns=1000, sleep_ns=500)
+        drive(kernel, limiter.pace(999))
+        assert kernel.now == 0
+        assert limiter.total_slept_ns == 0
+
+    def test_sleeps_when_quantum_filled(self, kernel):
+        limiter = DutyCycleLimiter(kernel, work_ns=1000, sleep_ns=500)
+        drive(kernel, limiter.pace(1000))
+        assert kernel.now == 500
+        assert limiter.total_slept_ns == 500
+
+    def test_work_accumulates_across_calls(self, kernel):
+        limiter = DutyCycleLimiter(kernel, work_ns=1000, sleep_ns=500)
+        drive(kernel, limiter.pace(600))
+        drive(kernel, limiter.pace(600))
+        assert kernel.now == 500  # one quantum crossed, 200 carried over
+
+    def test_large_work_sleeps_multiple_quanta(self, kernel):
+        limiter = DutyCycleLimiter(kernel, work_ns=1000, sleep_ns=500)
+        drive(kernel, limiter.pace(3_500))
+        assert kernel.now == 3 * 500
+
+    def test_from_paper_knob(self, kernel):
+        limiter = DutyCycleLimiter.from_paper_knob(kernel, 50, 250)
+        assert limiter.work_ns == 50 * NS_PER_US
+        assert limiter.sleep_ns == 250 * NS_PER_MS
+
+    def test_invalid_params_rejected(self, kernel):
+        with pytest.raises(ValueError):
+            DutyCycleLimiter(kernel, work_ns=0, sleep_ns=1)
+        with pytest.raises(ValueError):
+            DutyCycleLimiter(kernel, work_ns=1, sleep_ns=-1)
+
+
+class TestNullLimiter:
+    def test_never_sleeps(self, kernel):
+        limiter = NullLimiter()
+        drive(kernel, limiter.pace(10 ** 12))
+        assert kernel.now == 0
+        assert limiter.total_slept_ns == 0
+
+
+class TestCleanerPacer:
+    def test_spreads_moves_over_budget(self, kernel):
+        pacer = CleanerPacer(kernel, budget_ns=1_000_000)
+        pacer.start(estimated_moves=10)
+        for _ in range(10):
+            drive(kernel, pacer.pace(move_io_ns=10_000))
+        # Each move gets 100us of budget; 10us was I/O, 90us slept.
+        assert kernel.now == 10 * 90_000
+
+    def test_slow_moves_get_no_extra_sleep(self, kernel):
+        pacer = CleanerPacer(kernel, budget_ns=100_000)
+        pacer.start(estimated_moves=10)
+        drive(kernel, pacer.pace(move_io_ns=50_000))  # > 10us allotment
+        assert kernel.now == 0
+
+    def test_moves_beyond_estimate_run_unpaced(self, kernel):
+        # The Figure 10 pathology: once the estimate is exhausted, the
+        # remaining moves burst at full speed.
+        pacer = CleanerPacer(kernel, budget_ns=1_000_000)
+        pacer.start(estimated_moves=2)
+        drive(kernel, pacer.pace(1_000))
+        drive(kernel, pacer.pace(1_000))
+        slept_so_far = kernel.now
+        drive(kernel, pacer.pace(1_000))  # third move: no pacing left
+        assert kernel.now == slept_so_far
+
+    def test_zero_estimate_never_paces(self, kernel):
+        pacer = CleanerPacer(kernel, budget_ns=1_000_000)
+        pacer.start(estimated_moves=0)
+        drive(kernel, pacer.pace(1_000))
+        assert kernel.now == 0
+
+    def test_restart_resets_allotment(self, kernel):
+        pacer = CleanerPacer(kernel, budget_ns=100_000)
+        pacer.start(estimated_moves=1)
+        drive(kernel, pacer.pace(0))
+        pacer.start(estimated_moves=1)
+        drive(kernel, pacer.pace(0))
+        assert kernel.now == 200_000
+
+    def test_negative_budget_rejected(self, kernel):
+        with pytest.raises(ValueError):
+            CleanerPacer(kernel, budget_ns=-1)

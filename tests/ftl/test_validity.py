@@ -1,0 +1,141 @@
+"""Unit + property tests for the paged validity bitmap."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AddressError
+from repro.ftl.validity import ValidityBitmap, merge_pages, popcount
+
+
+@pytest.fixture
+def bitmap():
+    return ValidityBitmap(total_bits=1024, page_bytes=16)  # 128 bits/page
+
+
+class TestBitOps:
+    def test_initially_clear(self, bitmap):
+        assert not bitmap.test(0)
+        assert bitmap.count() == 0
+        assert bitmap.allocated_page_count() == 0
+
+    def test_set_test_clear(self, bitmap):
+        bitmap.set(5)
+        assert bitmap.test(5)
+        bitmap.clear(5)
+        assert not bitmap.test(5)
+
+    def test_set_idempotent(self, bitmap):
+        bitmap.set(9)
+        bitmap.set(9)
+        assert bitmap.count() == 1
+
+    def test_clear_unallocated_page_is_noop(self, bitmap):
+        bitmap.clear(500)
+        assert bitmap.allocated_page_count() == 0
+
+    def test_out_of_range_raises(self, bitmap):
+        with pytest.raises(AddressError):
+            bitmap.set(1024)
+        with pytest.raises(AddressError):
+            bitmap.test(-1)
+
+    def test_bad_construction(self):
+        with pytest.raises(ValueError):
+            ValidityBitmap(0)
+        with pytest.raises(ValueError):
+            ValidityBitmap(10, page_bytes=0)
+
+    def test_lazy_page_allocation(self, bitmap):
+        bitmap.set(0)      # page 0
+        bitmap.set(1000)   # page 7
+        assert bitmap.allocated_page_count() == 2
+
+    def test_page_count(self, bitmap):
+        assert bitmap.page_count == 8  # 1024 bits / 128 per page
+        assert ValidityBitmap(129, page_bytes=16).page_count == 2
+
+
+class TestRangeQueries:
+    def test_count_range(self, bitmap):
+        for bit in (10, 20, 30, 200):
+            bitmap.set(bit)
+        assert bitmap.count_range(0, 100) == 3
+        assert bitmap.count_range(0, 1024) == 4
+
+    def test_iter_set_in_range_ordered(self, bitmap):
+        bits = [3, 130, 127, 128, 900]
+        for bit in bits:
+            bitmap.set(bit)
+        assert list(bitmap.iter_set_in_range(0, 1024)) == sorted(bits)
+
+    def test_iter_range_boundaries_exclusive(self, bitmap):
+        bitmap.set(10)
+        bitmap.set(20)
+        assert list(bitmap.iter_set_in_range(10, 10)) == [10]
+        assert list(bitmap.iter_set_in_range(11, 9)) == []
+
+    def test_iter_bad_range_raises(self, bitmap):
+        with pytest.raises(AddressError):
+            list(bitmap.iter_set_in_range(1000, 100))
+
+    def test_iter_skips_unallocated_pages(self, bitmap):
+        bitmap.set(1023)
+        assert list(bitmap.iter_set_in_range(0, 1024)) == [1023]
+
+
+class TestPersistence:
+    def test_materialize_load_roundtrip(self, bitmap):
+        for bit in (1, 127, 128, 555):
+            bitmap.set(bit)
+        pages = bitmap.materialized_pages()
+        other = ValidityBitmap(1024, page_bytes=16)
+        other.load_pages(pages)
+        assert list(other.iter_set_in_range(0, 1024)) == [1, 127, 128, 555]
+
+    def test_get_page_of_unallocated_is_zeros(self, bitmap):
+        assert bitmap.get_page(3) == bytes(16)
+
+    def test_get_page_reflects_bits(self, bitmap):
+        bitmap.set(0)
+        assert bitmap.get_page(0)[0] == 1
+
+
+class TestHelpers:
+    def test_merge_pages_or(self):
+        a = bytes([0b0001, 0])
+        b = bytes([0b0100, 0b1000])
+        assert bytes(merge_pages([a, b], 2)) == bytes([0b0101, 0b1000])
+
+    def test_merge_size_mismatch(self):
+        with pytest.raises(ValueError):
+            merge_pages([bytes(2), bytes(3)], 2)
+
+    def test_popcount(self):
+        assert popcount(bytes([0xFF, 0x01])) == 9
+        assert popcount(bytes(4)) == 0
+
+
+@settings(max_examples=50)
+@given(st.sets(st.integers(0, 1023), max_size=200))
+def test_property_set_bits_equal_model(bits):
+    bitmap = ValidityBitmap(1024, page_bytes=8)
+    for bit in bits:
+        bitmap.set(bit)
+    assert bitmap.count() == len(bits)
+    assert set(bitmap.iter_set_in_range(0, 1024)) == bits
+    for bit in list(bits)[: len(bits) // 2]:
+        bitmap.clear(bit)
+    remaining = bits - set(list(bits)[: len(bits) // 2])
+    assert set(bitmap.iter_set_in_range(0, 1024)) == remaining
+
+
+@settings(max_examples=30)
+@given(st.sets(st.integers(0, 511), max_size=100),
+       st.integers(0, 511), st.integers(0, 512))
+def test_property_count_range_consistent(bits, start, length):
+    bitmap = ValidityBitmap(512, page_bytes=4)
+    for bit in bits:
+        bitmap.set(bit)
+    length = min(length, 512 - start)
+    expected = sum(1 for b in bits if start <= b < start + length)
+    assert bitmap.count_range(start, length) == expected

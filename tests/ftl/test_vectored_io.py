@@ -1,0 +1,91 @@
+"""Tests for vectored (range) reads and writes."""
+
+import pytest
+
+from repro.errors import LbaError
+
+
+class TestWriteRange:
+    def test_roundtrip(self, vsl):
+        vsl.write_range(10, [b"one", b"two", b"three"])
+        assert vsl.read(10)[:3] == b"one"
+        assert vsl.read(11)[:3] == b"two"
+        assert vsl.read(12)[:5] == b"three"
+
+    def test_empty_is_noop(self, kernel, vsl):
+        assert kernel.run_process(vsl.write_range_proc(0, [])) == []
+
+    def test_out_of_range_tail_rejected(self, vsl):
+        with pytest.raises(LbaError):
+            vsl.write_range(vsl.num_lbas - 1, [b"a", b"b"])
+
+    def test_oversized_block_rejected(self, vsl):
+        with pytest.raises(LbaError):
+            vsl.write_range(0, [b"x" * (vsl.block_size + 1)])
+
+    def test_returns_ppns_in_order(self, kernel, vsl):
+        ppns = kernel.run_process(vsl.write_range_proc(0, [b"a", b"b"]))
+        assert len(ppns) == 2
+        headers = [vsl.nand.array.read_header(p) for p in ppns]
+        assert [h.lba for h in headers] == [0, 1]
+        assert headers[0].seq < headers[1].seq
+
+    def test_sync_waits_for_all_programs(self, kernel, vsl):
+        kernel.run_process(vsl.write_range_proc(0, [b"a"] * 4, sync=False))
+        async_elapsed = kernel.now
+        start = kernel.now
+        kernel.run_process(vsl.write_range_proc(10, [b"a"] * 4, sync=True))
+        sync_elapsed = kernel.now - start
+        assert sync_elapsed > vsl.nand.timing.program_page_ns
+
+    def test_range_write_on_iosnap_respects_epochs(self, kernel, iosnap):
+        iosnap.snapshot_create("s")
+        ppns = kernel.run_process(
+            iosnap.write_range_proc(0, [b"a", b"b"]))
+        for ppn in ppns:
+            assert iosnap.nand.array.read_header(ppn).epoch == 1
+
+
+class TestReadRange:
+    def test_roundtrip(self, vsl):
+        vsl.write_range(5, [bytes([i]) * 4 for i in range(6)])
+        blocks = vsl.read_range(5, 6)
+        assert len(blocks) == 6
+        for i, block in enumerate(blocks):
+            assert block[:4] == bytes([i]) * 4
+
+    def test_zero_count(self, kernel, vsl):
+        assert kernel.run_process(vsl.read_range_proc(0, 0)) == []
+
+    def test_mixed_mapped_unmapped(self, vsl):
+        vsl.write(3, b"mapped")
+        blocks = vsl.read_range(2, 3)
+        assert blocks[0] == bytes(vsl.block_size)
+        assert blocks[1][:6] == b"mapped"
+        assert blocks[2] == bytes(vsl.block_size)
+
+    def test_out_of_range(self, vsl):
+        with pytest.raises(LbaError):
+            vsl.read_range(vsl.num_lbas - 1, 2)
+
+    def test_parallel_reads_faster_than_serial(self, kernel, vsl):
+        # Write blocks that land on different dies (via many segments).
+        import random
+        rng = random.Random(0)
+        lbas = list(range(0, 512, 8))
+        for lba in lbas:
+            vsl.write(lba, b"x")
+        # Serial reads of 8 scattered blocks:
+        sample = rng.sample(lbas, 8)
+        start = kernel.now
+        for lba in sample:
+            vsl.read(lba)
+        serial = kernel.now - start
+
+        # Vectored read of 8 consecutive blocks written to one region
+        # still parallelizes header/die access where possible.
+        vsl.write_range(600, [b"y"] * 8)
+        start = kernel.now
+        vsl.read_range(600, 8)
+        vectored = kernel.now - start
+        assert vectored <= serial  # at minimum never slower

@@ -1,0 +1,156 @@
+"""Configuration-space coverage: multi-block segments, sector sizes,
+determinism, and multi-seed stability."""
+
+import random
+
+import pytest
+
+from repro.core.iosnap import IoSnapConfig, IoSnapDevice
+from repro.ftl.fsck import fsck
+from repro.ftl.vsl import FtlConfig, VslDevice
+from repro.nand.geometry import NandConfig, NandGeometry
+from repro.sim import Kernel
+
+
+def multi_block_geometry():
+    return NandGeometry(page_size=4096, pages_per_block=16,
+                        blocks_per_die=16, dies=4, channels=2)
+
+
+class TestMultiBlockSegments:
+    """blocks_per_segment > 1: segments span several erase blocks."""
+
+    def make_device(self, kernel, cls=IoSnapDevice):
+        return cls.create(
+            kernel, NandConfig(geometry=multi_block_geometry()),
+            IoSnapConfig(blocks_per_segment=2) if cls is IoSnapDevice
+            else FtlConfig(blocks_per_segment=2))
+
+    def test_layout(self, kernel):
+        device = self.make_device(kernel)
+        assert device.log.segment_pages == 32
+        assert device.log.segment_count == 32
+
+    def test_full_lifecycle(self, kernel):
+        device = self.make_device(kernel)
+        model = {}
+        rng = random.Random(3)
+        for lba in range(80):
+            device.write(lba, f"s-{lba}".encode())
+            model[lba] = f"s-{lba}".encode()
+        device.snapshot_create("s")
+        for i in range(2500):
+            lba = rng.randrange(200)
+            data = bytes([i % 256]) * 3
+            device.write(lba, data)
+            model[lba] = data
+        assert device.cleaner.segments_cleaned > 0
+        assert fsck(device) == []
+        for lba, data in model.items():
+            assert device.read(lba)[:len(data)] == data
+        view = device.snapshot_activate("s")
+        for lba in range(80):
+            expected = f"s-{lba}".encode()
+            assert view.read(lba)[:len(expected)] == expected
+        view.deactivate()
+
+    def test_crash_recovery(self, kernel):
+        device = self.make_device(kernel)
+        for lba in range(50):
+            device.write(lba, bytes([lba]))
+        device.snapshot_create("s")
+        device.write(0, b"\xff")
+        device.crash()
+        recovered = IoSnapDevice.open(kernel, device.nand)
+        assert fsck(recovered) == []
+        assert recovered.read(0)[0] == 0xFF
+        assert [s.name for s in recovered.snapshots()] == ["s"]
+
+    def test_erase_covers_all_blocks(self, kernel):
+        device = self.make_device(kernel, cls=VslDevice)
+        pages = device.log.segment_pages - 1
+        for lba in range(pages):
+            device.write(lba, b"x")
+        for lba in range(pages):
+            device.write(lba, b"y")  # invalidate segment 0 fully
+        seg = device.log.segments[0]
+        device.cleaner.force_clean(seg)
+        for block in (0, 1):
+            assert device.nand.array.block_is_erased(block)
+
+
+class TestFormatPersistence:
+    """The superblock records the on-media format; opens honour it."""
+
+    def test_open_without_config_uses_format(self, kernel):
+        device = IoSnapDevice.create(
+            kernel, NandConfig(geometry=multi_block_geometry()),
+            IoSnapConfig(blocks_per_segment=2))
+        device.write(0, b"x")
+        device.crash()
+        reopened = IoSnapDevice.open(kernel, device.nand)  # no config!
+        assert reopened.config.blocks_per_segment == 2
+        assert reopened.read(0)[:1] == b"x"
+        assert fsck(reopened) == []
+
+    def test_open_with_conflicting_format_rejected(self, kernel):
+        from repro.errors import FtlError
+        device = IoSnapDevice.create(
+            kernel, NandConfig(geometry=multi_block_geometry()),
+            IoSnapConfig(blocks_per_segment=2))
+        device.crash()
+        with pytest.raises(FtlError, match="format"):
+            IoSnapDevice.open(kernel, device.nand,
+                              IoSnapConfig(blocks_per_segment=1))
+
+    def test_open_with_matching_format_accepted(self, kernel):
+        device = IoSnapDevice.create(
+            kernel, NandConfig(geometry=multi_block_geometry()),
+            IoSnapConfig(blocks_per_segment=2))
+        device.crash()
+        reopened = IoSnapDevice.open(
+            kernel, device.nand,
+            IoSnapConfig(blocks_per_segment=2, selective_scan=True))
+        assert reopened.config.selective_scan  # behaviour knob still free
+
+
+class TestSectorSizes:
+    @pytest.mark.parametrize("page_size", [512, 2048, 8192])
+    def test_roundtrip_at_size(self, page_size):
+        kernel = Kernel()
+        geo = NandGeometry(page_size=page_size, pages_per_block=16,
+                           blocks_per_die=16, dies=4, channels=2)
+        device = IoSnapDevice.create(kernel, NandConfig(geometry=geo))
+        assert device.block_size == page_size
+        payload = bytes(range(256)) * (page_size // 256)
+        device.write(0, payload)
+        assert device.read(0) == payload
+        device.snapshot_create("s")
+        device.write(0, b"\x00" * page_size)
+        view = device.snapshot_activate("s")
+        assert view.read(0) == payload
+        view.deactivate()
+
+
+class TestDeterminism:
+    def run_session(self, seed=7):
+        kernel = Kernel()
+        device = IoSnapDevice.create(kernel)
+        rng = random.Random(seed)
+        for i in range(800):
+            device.write(rng.randrange(400), bytes([i % 256]))
+            if i % 200 == 199:
+                device.snapshot_create(f"s{i}")
+        view = device.snapshot_activate("s199")
+        scan_ns = device.snap_metrics.activation_reports[-1]["scan_ns"]
+        view.deactivate()
+        state = tuple(sorted(device.map.items()))
+        return kernel.now, scan_ns, hash(state)
+
+    def test_identical_runs_identical_results(self):
+        first = self.run_session()
+        second = self.run_session()
+        assert first == second
+
+    def test_different_seeds_diverge(self):
+        assert self.run_session(seed=7) != self.run_session(seed=8)

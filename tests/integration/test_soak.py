@@ -1,0 +1,126 @@
+"""Long-run deterministic soak test: every subsystem interacting.
+
+One scripted pseudo-random session mixes writes, trims, vectored I/O,
+snapshot create/delete, activations (read-only and writable), crashes,
+clean shutdowns, and destaging — with fsck audits and model comparisons
+at every lifecycle boundary.  This is the closest thing to "a week in
+production" the simulator can compress into seconds.
+"""
+
+import random
+
+import pytest
+
+from repro.core.destage import ArchiveTarget, destage_snapshot
+from repro.core.iosnap import IoSnapConfig, IoSnapDevice
+from repro.errors import OutOfSpaceError
+from repro.ftl.fsck import fsck
+from repro.nand.geometry import NandConfig, NandGeometry
+from repro.sim import Kernel
+
+SPAN = 150
+
+
+def soak_geometry():
+    return NandGeometry(page_size=4096, pages_per_block=32,
+                        blocks_per_die=32, dies=4, channels=2)
+
+
+class SoakModel:
+    def __init__(self):
+        self.active = {}
+        self.snapshots = {}
+
+    def verify(self, device):
+        violations = fsck(device)
+        assert not violations, "\n".join(violations[:10])
+        for lba, data in self.active.items():
+            assert device.read(lba)[:len(data)] == data
+        assert {s.name for s in device.snapshots()} == set(self.snapshots)
+
+
+@pytest.mark.parametrize("seed", [1, 2])
+def test_soak(seed):
+    rng = random.Random(seed)
+    kernel = Kernel()
+    device = IoSnapDevice.create(
+        kernel, NandConfig(geometry=soak_geometry()),
+        IoSnapConfig(writable_activations=True, selective_scan=True,
+                     gc_segregate_cold=bool(seed % 2)))
+    model = SoakModel()
+    archive = ArchiveTarget(kernel)
+    snap_counter = 0
+    out_of_space_events = 0
+
+    for phase in range(6):
+        # -- a burst of foreground I/O --------------------------------
+        for i in range(600):
+            lba = rng.randrange(SPAN)
+            roll = rng.random()
+            try:
+                if roll < 0.75:
+                    data = bytes([phase, i % 256, lba % 256])
+                    device.write(lba, data)
+                    model.active[lba] = data
+                elif roll < 0.85:
+                    device.trim(lba)
+                    model.active.pop(lba, None)
+                else:
+                    count = rng.randrange(1, 5)
+                    if lba + count <= SPAN:
+                        blocks = [bytes([phase, b]) for b in range(count)]
+                        device.write_range(lba, blocks)
+                        for off, data in enumerate(blocks):
+                            model.active[lba + off] = data
+            except OutOfSpaceError:
+                out_of_space_events += 1
+                # Heal: drop the oldest snapshot and keep going.
+                if model.snapshots:
+                    name = next(iter(model.snapshots))
+                    device.snapshot_delete(name)
+                    del model.snapshots[name]
+
+        # -- snapshot management ---------------------------------------
+        if rng.random() < 0.8:
+            name = f"soak-{snap_counter}"
+            snap_counter += 1
+            device.snapshot_create(name)
+            model.snapshots[name] = dict(model.active)
+        if len(model.snapshots) > 2:
+            name = rng.choice(sorted(model.snapshots))
+            device.snapshot_delete(name)
+            del model.snapshots[name]
+
+        # -- occasionally inspect a snapshot ---------------------------
+        if model.snapshots and rng.random() < 0.6:
+            name = rng.choice(sorted(model.snapshots))
+            view = device.snapshot_activate(name)
+            frozen = model.snapshots[name]
+            for lba in rng.sample(range(SPAN), 20):
+                expected = frozen.get(lba, bytes(device.block_size))
+                assert view.read(lba)[:len(expected)] == expected
+            if rng.random() < 0.5 and view.writable:
+                view.write(0, b"clone scratch")
+            view.deactivate()
+
+        # -- occasionally archive a snapshot ---------------------------
+        if model.snapshots and rng.random() < 0.3:
+            name = rng.choice(sorted(model.snapshots))
+            if name not in archive.images():
+                destage_snapshot(device, name, archive)
+
+        # -- lifecycle boundary: crash or clean shutdown ----------------
+        model.verify(device)
+        if rng.random() < 0.5:
+            device.crash()
+        else:
+            device.shutdown()
+        device = IoSnapDevice.open(kernel, device.nand)
+        model.verify(device)
+
+    # Final audit: everything still consistent after 6 lifecycles.
+    model.verify(device)
+    info = device.info()
+    assert info["mapped_lbas"] == len(model.active)
+    # The soak must have actually exercised the machinery.
+    assert device.nand.stats.block_erases > 0 or out_of_space_events == 0

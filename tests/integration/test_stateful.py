@@ -1,0 +1,151 @@
+"""Hypothesis stateful testing: random operation interleavings.
+
+A rule-based state machine drives the full public API — writes, trims,
+snapshots, deletes, activations, rollbacks, forced cleaning, crashes,
+and clean shutdowns — against a dict-of-dicts model, with an fsck audit
+at every lifecycle boundary and at teardown.
+"""
+
+import pytest
+from hypothesis import HealthCheck, settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core.iosnap import IoSnapDevice
+from repro.core.rollback import snapshot_rollback
+from repro.errors import OutOfSpaceError, SnapshotError
+from repro.ftl.fsck import fsck
+from repro.nand.geometry import NandConfig
+from repro.sim import Kernel
+
+from tests.conftest import small_geometry
+
+SPAN = 48
+
+
+class IoSnapMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.kernel = Kernel()
+        self.device = IoSnapDevice.create(
+            self.kernel, NandConfig(geometry=small_geometry()))
+        self.active = {}
+        self.snapshots = {}
+        self.counter = 0
+        self.full = False
+
+    # -- helpers -------------------------------------------------------------
+    def _heal_if_full(self):
+        """On capacity exhaustion, drop the oldest snapshot."""
+        self.full = True
+        if self.snapshots:
+            name = next(iter(self.snapshots))
+            self.device.snapshot_delete(name)
+            del self.snapshots[name]
+
+    # -- rules -------------------------------------------------------------
+    @rule(lba=st.integers(0, SPAN - 1), byte=st.integers(0, 255))
+    def write(self, lba, byte):
+        data = bytes([byte]) * 3
+        try:
+            self.device.write(lba, data)
+            self.active[lba] = data
+        except OutOfSpaceError:
+            self._heal_if_full()
+
+    @rule(lba=st.integers(0, SPAN - 1))
+    def trim(self, lba):
+        try:
+            self.device.trim(lba)
+            self.active.pop(lba, None)
+        except OutOfSpaceError:
+            self._heal_if_full()
+
+    @rule()
+    def snapshot(self):
+        name = f"m{self.counter}"
+        self.counter += 1
+        try:
+            self.device.snapshot_create(name)
+            self.snapshots[name] = dict(self.active)
+        except OutOfSpaceError:
+            self._heal_if_full()
+
+    @precondition(lambda self: self.snapshots)
+    @rule(data=st.data())
+    def delete_snapshot(self, data):
+        name = data.draw(st.sampled_from(sorted(self.snapshots)))
+        self.device.snapshot_delete(name)
+        del self.snapshots[name]
+
+    @precondition(lambda self: self.snapshots)
+    @rule(data=st.data())
+    def activate_and_verify(self, data):
+        name = data.draw(st.sampled_from(sorted(self.snapshots)))
+        view = self.device.snapshot_activate(name)
+        frozen = self.snapshots[name]
+        for lba in range(0, SPAN, 7):
+            expected = frozen.get(lba, bytes(self.device.block_size))
+            assert view.read(lba)[:len(expected)] == expected
+        view.deactivate()
+
+    @precondition(lambda self: self.snapshots)
+    @rule(data=st.data())
+    def rollback(self, data):
+        name = data.draw(st.sampled_from(sorted(self.snapshots)))
+        try:
+            snapshot_rollback(self.device, name)
+            self.active = dict(self.snapshots[name])
+        except OutOfSpaceError:
+            self._heal_if_full()
+
+    @rule()
+    def force_clean(self):
+        candidate = self.device.cleaner.select_candidate()
+        if candidate is not None:
+            self.device.cleaner.force_clean(candidate)
+
+    @rule()
+    def crash_and_recover(self):
+        self.device.crash()
+        self.device = IoSnapDevice.open(self.kernel, self.device.nand)
+        self.check_consistency()
+
+    @rule()
+    def shutdown_and_reopen(self):
+        try:
+            self.device.shutdown()
+        except OutOfSpaceError:
+            # Not even checkpoint headroom left: recover via crash path.
+            self.device.nand.superblock["clean"] = False
+        self.device = IoSnapDevice.open(self.kernel, self.device.nand)
+        self.check_consistency()
+
+    # -- invariants --------------------------------------------------------
+    def check_consistency(self):
+        violations = fsck(self.device)
+        assert not violations, "\n".join(violations[:10])
+        for lba, data in self.active.items():
+            assert self.device.read(lba)[:len(data)] == data
+        assert {s.name for s in self.device.snapshots()} \
+            == set(self.snapshots)
+
+    @invariant()
+    def snapshots_listed_correctly(self):
+        assert {s.name for s in self.device.snapshots()} \
+            == set(self.snapshots)
+
+    def teardown(self):
+        self.check_consistency()
+
+
+TestIoSnapStateful = IoSnapMachine.TestCase
+TestIoSnapStateful.settings = settings(
+    max_examples=12, stateful_step_count=30, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])

@@ -1,0 +1,126 @@
+"""Unit tests for the functional NAND array (program rules, erase, wear)."""
+
+import pytest
+
+from repro.errors import (
+    AddressError,
+    NandError,
+    ProgramOrderError,
+    WearOutError,
+)
+from repro.nand.chip import Block, NandArray
+from repro.nand.geometry import NandGeometry, WearModel
+from repro.nand.oob import OobHeader, PageKind
+
+
+def header(lba=0, kind=PageKind.DATA):
+    return OobHeader(kind=kind, lba=lba)
+
+
+@pytest.fixture
+def array():
+    geo = NandGeometry(page_size=512, pages_per_block=4, blocks_per_die=2,
+                       dies=2, channels=1)
+    return NandArray(geo, WearModel())
+
+
+class TestBlock:
+    def test_sequential_program_required(self):
+        block = Block(pages_per_block=4)
+        block.program(0, None)
+        with pytest.raises(ProgramOrderError):
+            block.program(2, None)
+
+    def test_reprogram_without_erase_rejected(self):
+        block = Block(pages_per_block=4)
+        block.program(0, None)
+        with pytest.raises(ProgramOrderError):
+            block.program(0, None)
+
+    def test_program_past_end_rejected(self):
+        block = Block(pages_per_block=2)
+        block.program(0, None)
+        block.program(1, None)
+        with pytest.raises((ProgramOrderError, AddressError)):
+            block.program(2, None)
+
+    def test_erase_resets_program_pointer(self):
+        block = Block(pages_per_block=2)
+        block.program(0, None)
+        block.erase(WearModel())
+        assert block.next_page == 0
+        assert block.erase_count == 1
+        block.program(0, None)  # programmable again
+
+    def test_read_unprogrammed_raises(self):
+        block = Block(pages_per_block=4)
+        with pytest.raises(NandError, match="unprogrammed"):
+            block.read(0)
+
+    def test_wear_out_enforced(self):
+        block = Block(pages_per_block=1)
+        wear = WearModel(max_pe_cycles=2)
+        block.erase(wear)
+        block.erase(wear)
+        with pytest.raises(WearOutError):
+            block.erase(wear)
+
+
+class TestNandArray:
+    def test_program_read_roundtrip(self, array):
+        array.program(0, header(lba=9), b"payload")
+        record = array.read(0)
+        assert record.header.lba == 9
+        assert record.data == b"payload"
+
+    def test_oversize_payload_rejected(self, array):
+        with pytest.raises(NandError, match="exceeds page size"):
+            array.program(0, header(), b"x" * 513)
+
+    def test_store_data_false_drops_data_payloads(self):
+        geo = NandGeometry(page_size=512, pages_per_block=4,
+                           blocks_per_die=2, dies=1, channels=1)
+        array = NandArray(geo, WearModel(), store_data=False)
+        array.program(0, header(), b"dropped")
+        assert array.read(0).data is None
+        assert array.read(0).header.lba == 0
+
+    def test_store_data_false_keeps_note_payloads(self):
+        geo = NandGeometry(page_size=512, pages_per_block=4,
+                           blocks_per_die=2, dies=1, channels=1)
+        array = NandArray(geo, WearModel(), store_data=False)
+        array.program(0, header(kind=PageKind.NOTE_SNAP_CREATE), b"note")
+        assert array.read(0).data == b"note"
+        array.program(1, header(kind=PageKind.CHECKPOINT), b"ckpt")
+        assert array.read(1).data == b"ckpt"
+
+    def test_is_programmed(self, array):
+        assert not array.is_programmed(0)
+        array.program(0, header(), None)
+        assert array.is_programmed(0)
+
+    def test_erase_block_clears_pages(self, array):
+        array.program(0, header(), b"a")
+        array.erase_block(0)
+        assert not array.is_programmed(0)
+        assert array.erase_count(0) == 1
+
+    def test_erase_block_out_of_range(self, array):
+        with pytest.raises(AddressError):
+            array.erase_block(99)
+
+    def test_blocks_independent_across_dies(self, array):
+        # Page 0 of die 0 and page 0 of die 1 are different blocks.
+        array.program(0, header(lba=1), None)
+        array.program(8, header(lba=2), None)  # die 1 starts at ppn 8
+        assert array.read(0).header.lba == 1
+        assert array.read(8).header.lba == 2
+
+    def test_wear_stats(self, array):
+        array.erase_block(0)
+        array.erase_block(0)
+        array.erase_block(1)
+        stats = array.wear_stats()
+        assert stats["max"] == 2
+        assert stats["total"] == 3
+        assert stats["min"] == 0

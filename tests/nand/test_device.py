@@ -1,0 +1,178 @@
+"""Unit tests for the timed NAND device (latency, contention, stats)."""
+
+import pytest
+
+from repro.errors import UncorrectableError
+from repro.nand.device import BitErrorModel, NandDevice
+from repro.nand.geometry import NandConfig, NandGeometry, NandTiming
+from repro.nand.oob import HEADER_SIZE, OobHeader, PageKind
+
+
+TIMING = NandTiming(read_page_ns=40_000, program_page_ns=200_000,
+                    erase_block_ns=2_000_000, bus_ns_per_kib=1_000,
+                    cmd_overhead_ns=2_000)
+
+
+@pytest.fixture
+def device(kernel):
+    geo = NandGeometry(page_size=4096, pages_per_block=8, blocks_per_die=4,
+                       dies=2, channels=1)
+    return NandDevice(kernel, NandConfig(geometry=geo, timing=TIMING))
+
+
+def header(lba=0, kind=PageKind.DATA):
+    return OobHeader(kind=kind, lba=lba)
+
+
+def test_program_acks_after_transfer(kernel, device):
+    def proc():
+        yield from device.program_page(0, header(), b"x")
+
+    kernel.run_process(proc())
+    # Ack = bus transfer only: 2000 + 4 KiB * 1000.
+    assert kernel.now == 6_000
+
+
+def test_sync_program_waits_for_die(kernel, device):
+    def proc():
+        done = yield from device.program_page(0, header(), b"x")
+        yield done
+
+    kernel.run_process(proc())
+    assert kernel.now == 6_000 + 200_000
+
+
+def test_read_page_timing(kernel, device):
+    def proc():
+        yield from device.program_page(0, header(), b"x")
+        done_write = kernel.now
+        record = yield from device.read_page(0)
+        return done_write, record
+
+    done_write, record = kernel.run_process(proc())
+    # Read waits for the background program on the same die, then
+    # senses 40us, then transfers the page.
+    assert kernel.now - done_write == 200_000 + 40_000 + 6_000
+    assert record.data == b"x"
+
+
+def test_header_read_cheaper_than_page_read(kernel, device):
+    def write_two():
+        yield from device.program_page(0, header(lba=5), b"x")
+        done = yield from device.program_page(1, header(lba=6), b"y")
+        yield done
+
+    kernel.run_process(write_two())
+
+    def read_full():
+        yield from device.read_page(0)
+
+    def read_oob():
+        hdr = yield from device.read_header(1)
+        return hdr
+
+    start = kernel.now
+    kernel.run_process(read_full())
+    full_time = kernel.now - start
+    start = kernel.now
+    hdr = kernel.run_process(read_oob())
+    oob_time = kernel.now - start
+    assert oob_time < full_time
+    assert hdr.lba == 6
+
+
+def test_consecutive_programs_same_die_queue(kernel, device):
+    def proc():
+        yield from device.program_page(0, header(), b"a")
+        first_ack = kernel.now
+        yield from device.program_page(1, header(), b"b")
+        return first_ack
+
+    first_ack = kernel.run_process(proc())
+    # Second program's die.acquire waits for the first's 200us program.
+    assert kernel.now - first_ack >= 200_000
+
+
+def test_programs_on_different_dies_overlap(kernel, device):
+    geo = device.geometry
+    die1_ppn = geo.pages_per_die  # first page of die 1
+
+    def proc():
+        yield from device.program_page(0, header(), b"a")
+        yield from device.program_page(die1_ppn, header(), b"b")
+
+    kernel.run_process(proc())
+    # Two transfers back-to-back on the shared channel; no die wait.
+    assert kernel.now == 2 * 6_000
+
+
+def test_erase_block_timing_and_effect(kernel, device):
+    def proc():
+        done = yield from device.program_page(0, header(), b"x")
+        yield done
+        start = kernel.now
+        yield from device.erase_block(0)
+        return start
+
+    start = kernel.run_process(proc())
+    assert kernel.now - start == 2_000_000
+    assert not device.is_programmed(0)
+
+
+def test_stats_counters(kernel, device):
+    def proc():
+        done = yield from device.program_page(0, header(), b"x")
+        yield done
+        yield from device.read_page(0)
+        yield from device.read_header(0)
+        yield from device.erase_block(1)
+
+    kernel.run_process(proc())
+    stats = device.stats
+    assert stats.page_programs == 1
+    assert stats.page_reads == 1
+    assert stats.header_reads == 1
+    assert stats.block_erases == 1
+    assert stats.bytes_written == 4096
+    assert stats.bytes_read == 4096 + HEADER_SIZE
+
+
+def test_stats_delta(kernel, device):
+    def wr(ppn):
+        yield from device.program_page(ppn, header(), b"x")
+
+    kernel.run_process(wr(0))
+    before = device.stats.snapshot()
+    kernel.run_process(wr(1))
+    delta = device.stats.delta(before)
+    assert delta.page_programs == 1
+
+
+def test_bit_error_injection(kernel):
+    geo = NandGeometry(page_size=512, pages_per_block=8, blocks_per_die=2,
+                       dies=1, channels=1)
+    device = NandDevice(kernel, NandConfig(geometry=geo),
+                        error_model=BitErrorModel(uncorrectable_prob=1.0))
+
+    def proc():
+        done = yield from device.program_page(0, header(), b"x")
+        yield done
+        yield from device.read_page(0)
+
+    with pytest.raises(UncorrectableError):
+        kernel.run_process(proc())
+
+
+def test_bit_errors_default_off(kernel, device):
+    def proc():
+        done = yield from device.program_page(0, header(), b"x")
+        yield done
+        for _ in range(50):
+            yield from device.read_page(0)
+
+    kernel.run_process(proc())  # must not raise
+
+
+def test_superblock_is_plain_dict(device):
+    device.superblock["clean"] = True
+    assert device.superblock == {"clean": True}

@@ -1,0 +1,107 @@
+"""Unit tests for NAND geometry and timing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AddressError
+from repro.nand.geometry import (
+    NandGeometry,
+    NandTiming,
+    WearModel,
+)
+
+
+@pytest.fixture
+def geo():
+    return NandGeometry(page_size=4096, pages_per_block=16,
+                        blocks_per_die=8, dies=4, channels=2)
+
+
+class TestGeometry:
+    def test_derived_sizes(self, geo):
+        assert geo.pages_per_die == 128
+        assert geo.total_blocks == 32
+        assert geo.total_pages == 512
+        assert geo.capacity_bytes == 512 * 4096
+
+    def test_invalid_field_raises(self):
+        with pytest.raises(ValueError):
+            NandGeometry(page_size=0)
+
+    def test_more_channels_than_dies_raises(self):
+        with pytest.raises(ValueError):
+            NandGeometry(dies=2, channels=4)
+
+    def test_split_join_roundtrip(self, geo):
+        for ppn in (0, 1, 127, 128, 511):
+            addr = geo.split_ppn(ppn)
+            assert geo.join(addr.die, addr.block, addr.page) == ppn
+
+    def test_split_components(self, geo):
+        addr = geo.split_ppn(128 + 16 + 3)  # die 1, block 1, page 3
+        assert (addr.die, addr.block, addr.page) == (1, 1, 3)
+
+    def test_out_of_range_ppn_raises(self, geo):
+        with pytest.raises(AddressError):
+            geo.split_ppn(512)
+        with pytest.raises(AddressError):
+            geo.split_ppn(-1)
+
+    def test_join_out_of_range_raises(self, geo):
+        with pytest.raises(AddressError):
+            geo.join(4, 0, 0)
+        with pytest.raises(AddressError):
+            geo.join(0, 8, 0)
+        with pytest.raises(AddressError):
+            geo.join(0, 0, 16)
+
+    def test_block_of(self, geo):
+        assert geo.block_of(0) == 0
+        assert geo.block_of(16) == 1
+        assert geo.block_of(128) == 8  # first page of die 1
+
+    def test_first_ppn_of_block_inverts_block_of(self, geo):
+        for block in range(geo.total_blocks):
+            ppn = geo.first_ppn_of_block(block)
+            assert geo.block_of(ppn) == block
+
+    def test_first_ppn_of_block_out_of_range(self, geo):
+        with pytest.raises(AddressError):
+            geo.first_ppn_of_block(32)
+
+    def test_channel_mapping_round_robin(self, geo):
+        assert [geo.channel_of_die(d) for d in range(4)] == [0, 1, 0, 1]
+
+    def test_channel_of_bad_die(self, geo):
+        with pytest.raises(AddressError):
+            geo.channel_of_die(4)
+
+    @given(st.integers(0, 511))
+    def test_split_join_property(self, ppn):
+        geo = NandGeometry(page_size=512, pages_per_block=16,
+                           blocks_per_die=8, dies=4, channels=2)
+        addr = geo.split_ppn(ppn)
+        assert geo.join(addr.die, addr.block, addr.page) == ppn
+        assert 0 <= addr.die < 4
+        assert 0 <= addr.block < 8
+        assert 0 <= addr.page < 16
+
+
+class TestTiming:
+    def test_xfer_includes_command_overhead(self):
+        timing = NandTiming(bus_ns_per_kib=1000, cmd_overhead_ns=500)
+        assert timing.xfer_ns(1024) == 1500
+
+    def test_xfer_is_proportional_with_ns_ceiling(self):
+        timing = NandTiming(bus_ns_per_kib=1024, cmd_overhead_ns=0)
+        assert timing.xfer_ns(1) == 1      # ceil(1 * 1024 / 1024)
+        assert timing.xfer_ns(1024) == 1024
+        assert timing.xfer_ns(1025) == 1025
+
+    def test_xfer_zero_bytes(self):
+        timing = NandTiming(bus_ns_per_kib=1000, cmd_overhead_ns=500)
+        assert timing.xfer_ns(0) == 500
+
+
+def test_wear_model_default_disabled():
+    assert WearModel().max_pe_cycles == 0

@@ -1,0 +1,142 @@
+"""Unit tests for simulation resources and locks."""
+
+import pytest
+
+from repro.sim import Kernel, Lock, Resource, SimError
+
+
+def test_capacity_must_be_positive(kernel):
+    with pytest.raises(SimError):
+        Resource(kernel, capacity=0)
+
+
+def test_acquire_release_cycle(kernel):
+    res = Resource(kernel, capacity=1)
+
+    def proc():
+        yield res.acquire()
+        assert res.in_use == 1
+        res.release()
+        assert res.in_use == 0
+
+    kernel.run_process(proc())
+
+
+def test_release_without_acquire_raises(kernel):
+    res = Resource(kernel, capacity=1)
+    with pytest.raises(SimError, match="release"):
+        res.release()
+
+
+def test_contention_serializes(kernel):
+    res = Resource(kernel, capacity=1)
+    spans = []
+
+    def worker(name):
+        yield res.acquire()
+        start = kernel.now
+        yield 100
+        res.release()
+        spans.append((name, start, kernel.now))
+
+    kernel.spawn(worker("a"))
+    kernel.spawn(worker("b"))
+    kernel.run()
+    # The two 100ns critical sections must not overlap.
+    (_, a0, a1), (_, b0, b1) = sorted(spans, key=lambda s: s[1])
+    assert a1 <= b0
+    assert b1 == 200
+
+
+def test_capacity_two_allows_parallelism(kernel):
+    res = Resource(kernel, capacity=2)
+    done_at = []
+
+    def worker():
+        yield res.acquire()
+        yield 100
+        res.release()
+        done_at.append(kernel.now)
+
+    for _ in range(2):
+        kernel.spawn(worker())
+    kernel.run()
+    assert done_at == [100, 100]
+
+
+def test_fifo_ordering(kernel):
+    res = Resource(kernel, capacity=1)
+    order = []
+
+    def worker(name):
+        yield res.acquire()
+        order.append(name)
+        yield 10
+        res.release()
+
+    for name in ("first", "second", "third"):
+        kernel.spawn(worker(name))
+    kernel.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_try_acquire(kernel):
+    res = Resource(kernel, capacity=1)
+    assert res.try_acquire() is True
+    assert res.try_acquire() is False
+    res.release()
+    assert res.try_acquire() is True
+
+
+def test_queue_depth(kernel):
+    res = Resource(kernel, capacity=1)
+
+    def holder():
+        yield res.acquire()
+        yield 100
+        res.release()
+
+    def waiter():
+        yield res.acquire()
+        res.release()
+
+    kernel.spawn(holder())
+    kernel.spawn(waiter())
+    kernel.spawn(waiter())
+    kernel.run(until=50)
+    assert res.queue_depth == 2
+    kernel.run()
+    assert res.queue_depth == 0
+
+
+def test_handoff_keeps_capacity_accounted(kernel):
+    res = Resource(kernel, capacity=1)
+
+    def holder():
+        yield res.acquire()
+        yield 10
+        res.release()
+
+    def waiter():
+        yield res.acquire()
+        assert res.in_use == 1
+        res.release()
+
+    kernel.spawn(holder())
+    kernel.spawn(waiter())
+    kernel.run()
+    assert res.in_use == 0
+
+
+def test_lock_is_capacity_one(kernel):
+    lock = Lock(kernel)
+    assert lock.capacity == 1
+    assert not lock.locked
+
+    def proc():
+        yield lock.acquire()
+        assert lock.locked
+        lock.release()
+
+    kernel.run_process(proc())
+    assert not lock.locked

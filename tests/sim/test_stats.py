@@ -1,0 +1,169 @@
+"""Unit tests for measurement helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.stats import (
+    BandwidthTracker,
+    Histogram,
+    LatencyRecorder,
+    NS_PER_SEC,
+    Series,
+    percentile,
+    worst_window_mean,
+)
+
+
+class TestPercentile:
+    def test_single_sample(self):
+        assert percentile([42], 50) == 42
+
+    def test_median_of_odd(self):
+        assert percentile([1, 2, 3], 50) == 2
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 50) == 5
+
+    def test_p0_and_p100(self):
+        data = [5, 1, 9, 3]
+        assert percentile(data, 0) == 1
+        assert percentile(data, 100) == 9
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    @given(st.lists(st.integers(0, 10_000), min_size=1, max_size=200),
+           st.floats(0, 100))
+    def test_bounded_by_min_max(self, samples, pct):
+        value = percentile(samples, pct)
+        assert min(samples) <= value <= max(samples)
+
+    @given(st.lists(st.integers(0, 1_000), min_size=2, max_size=50))
+    def test_monotonic_in_pct(self, samples):
+        assert percentile(samples, 25) <= percentile(samples, 75)
+
+
+class TestLatencyRecorder:
+    def test_record_and_stats(self):
+        rec = LatencyRecorder("r")
+        for i, v in enumerate([100, 200, 300]):
+            rec.record(i * 10, v)
+        assert len(rec) == 3
+        assert rec.mean() == 200
+        assert rec.max() == 300
+        assert rec.min() == 100
+
+    def test_empty_mean_raises(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().mean()
+
+    def test_stdev_of_constant_is_zero(self):
+        rec = LatencyRecorder()
+        for i in range(5):
+            rec.record(i, 7)
+        assert rec.stdev() == 0.0
+
+    def test_stdev_single_sample(self):
+        rec = LatencyRecorder()
+        rec.record(0, 5)
+        assert rec.stdev() == 0.0
+
+    def test_between_window(self):
+        rec = LatencyRecorder()
+        for t in range(10):
+            rec.record(t * 100, t)
+        window = rec.between(200, 500)
+        assert window.values == [2, 3, 4]
+
+    def test_timeline_pairs(self):
+        rec = LatencyRecorder()
+        rec.record(5, 50)
+        assert rec.timeline() == [(5, 50)]
+
+
+class TestWorstWindowMean:
+    def test_flat_series(self):
+        rec = LatencyRecorder()
+        for t in range(10):
+            rec.record(t * 100, 10)
+        assert worst_window_mean(rec, 0, 1_000, 300) == 10
+
+    def test_detects_burst(self):
+        rec = LatencyRecorder()
+        for t in range(20):
+            rec.record(t * 100, 10)
+        for t in range(20, 25):  # dense burst of slow ops
+            rec.record(2_000 + (t - 20) * 10, 100)
+        worst = worst_window_mean(rec, 0, 3_000, 50)
+        assert worst == 100
+
+    def test_empty_window(self):
+        rec = LatencyRecorder()
+        assert worst_window_mean(rec, 0, 100, 10) == 0.0
+
+
+class TestHistogram:
+    def test_counts_land_in_buckets(self):
+        hist = Histogram(bounds=[10, 100])
+        hist.add(5)
+        hist.add(50)
+        hist.add(5_000)
+        assert hist.total == 3
+        assert [c for _, c in hist.buckets()] == [1, 1, 1]
+
+    def test_boundary_goes_to_upper_bucket(self):
+        hist = Histogram(bounds=[10])
+        hist.add(10)
+        assert [c for _, c in hist.buckets()] == [0, 1]
+
+    def test_nonzero_buckets(self):
+        hist = Histogram(bounds=[10, 100, 1000])
+        hist.add(50)
+        assert hist.nonzero_buckets() == [(100, 1)]
+
+    def test_bad_bounds_raise(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=[10, 10])
+
+
+class TestSeries:
+    def test_add_and_access(self):
+        s = Series("s")
+        s.add(1, 10)
+        s.add(2, 20)
+        assert s.xs == [1, 2]
+        assert s.ys == [10, 20]
+        assert s.max_y() == 20
+        assert s.mean_y() == 15
+
+    def test_empty_mean_raises(self):
+        with pytest.raises(ValueError):
+            Series("s").mean_y()
+
+
+class TestBandwidthTracker:
+    def test_bytes_fold_into_windows(self):
+        bw = BandwidthTracker(window_ns=NS_PER_SEC)
+        bw.record(100, 1_000_000)
+        bw.record(200, 1_000_000)
+        bw.record(NS_PER_SEC + 1, 4_000_000)
+        series = bw.series()
+        assert series.ys == [2.0, 4.0]  # MB/s per 1s window
+
+    def test_gap_windows_report_zero(self):
+        bw = BandwidthTracker(window_ns=NS_PER_SEC)
+        bw.record(0, 1_000_000)
+        bw.record(3 * NS_PER_SEC, 1_000_000)
+        assert bw.series().ys == [1.0, 0.0, 0.0, 1.0]
+
+    def test_empty_series(self):
+        assert len(BandwidthTracker().series()) == 0
+
+    def test_bad_window_raises(self):
+        with pytest.raises(ValueError):
+            BandwidthTracker(window_ns=0)

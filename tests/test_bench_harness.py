@@ -1,0 +1,93 @@
+"""Unit tests for the experiment harness."""
+
+import os
+
+import pytest
+
+from repro.bench.harness import (
+    Check,
+    ExperimentResult,
+    Table,
+    ratio,
+    render_ascii_plot,
+)
+from repro.sim.stats import Series
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table(["name", "value"])
+        table.add_row("a", 1.5)
+        table.add_row("long-name", 100)
+        out = table.render()
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1  # aligned
+
+    def test_wrong_arity_rejected(self):
+        table = Table(["one"])
+        with pytest.raises(ValueError):
+            table.add_row(1, 2)
+
+    def test_float_formatting(self):
+        table = Table(["v"])
+        table.add_row(0.12345)
+        table.add_row(12.345)
+        table.add_row(1234.5)
+        body = table.render()
+        assert "0.1234" in body or "0.1235" in body
+        assert "12.35" in body or "12.34" in body
+        assert "1234" in body
+
+
+class TestExperimentResult:
+    def test_checks_and_pass(self):
+        result = ExperimentResult("x", "t")
+        result.check("good", True)
+        assert result.passed()
+        result.check("bad", False, "why")
+        assert not result.passed()
+        assert len(result.failures()) == 1
+        rendered = result.render()
+        assert "[PASS] good" in rendered
+        assert "[FAIL] bad (why)" in rendered
+
+    def test_save(self, tmp_path):
+        result = ExperimentResult("save_test", "t")
+        result.add_line("row 1")
+        path = result.save(str(tmp_path))
+        assert os.path.exists(path)
+        with open(path) as handle:
+            assert "row 1" in handle.read()
+
+    def test_add_series(self):
+        result = ExperimentResult("x", "t")
+        series = Series("s")
+        series.add(0, 1)
+        series.add(1, 2)
+        result.add_series(series)
+        assert any("*" in line for line in result.lines)
+
+
+class TestPlot:
+    def test_empty_series(self):
+        assert render_ascii_plot(Series("e")) == ["(empty series)"]
+
+    def test_flat_series(self):
+        series = Series("f")
+        for x in range(10):
+            series.add(x, 5.0)
+        lines = render_ascii_plot(series, width=20, height=4)
+        assert any("*" in line for line in lines)
+
+    def test_dimensions(self):
+        series = Series("d")
+        for x in range(50):
+            series.add(x, x * x)
+        lines = render_ascii_plot(series, width=30, height=6)
+        assert len(lines) == 6 + 2  # rows + axis + labels
+
+
+def test_ratio_guards_zero():
+    assert ratio(1.0, 0.0) == float("inf")
+    assert ratio(6.0, 3.0) == 2.0

@@ -1,0 +1,35 @@
+"""Tests for the ``python -m repro.bench`` experiment runner."""
+
+import pytest
+
+from repro.bench.__main__ import main
+
+
+def test_list(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "table2" in out
+    assert "fig12" in out
+    assert "ablation_destage" in out
+
+
+def test_unknown_experiment_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["no-such-experiment"])
+
+
+def test_run_one_experiment(capsys, tmp_path, monkeypatch):
+    import repro.bench.harness as harness
+    monkeypatch.setattr(harness, "RESULTS_DIR", str(tmp_path))
+    assert main(["create_delete"]) == 0
+    out = capsys.readouterr().out
+    assert "create_delete_latency" in out
+    assert "all 1 experiment(s) passed" in out
+    assert (tmp_path / "create_delete_latency.txt").exists()
+
+
+def test_no_save_writes_nothing(capsys, tmp_path, monkeypatch):
+    import repro.bench.harness as harness
+    monkeypatch.setattr(harness, "RESULTS_DIR", str(tmp_path))
+    assert main(["create_delete", "--no-save"]) == 0
+    assert list(tmp_path.iterdir()) == []

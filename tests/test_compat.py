@@ -1,0 +1,80 @@
+"""Tests for the byte-addressable volume adapter."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.compat import ByteVolume
+from repro.errors import LbaError
+from repro.sim import Kernel
+
+from tests.conftest import make_iosnap
+
+
+@pytest.fixture
+def volume(iosnap):
+    return ByteVolume(iosnap)
+
+
+class TestBasics:
+    def test_size(self, iosnap, volume):
+        assert volume.size_bytes == iosnap.num_lbas * iosnap.block_size
+
+    def test_aligned_roundtrip(self, volume):
+        data = bytes(range(256)) * 16  # exactly one 4K block
+        volume.pwrite(0, data)
+        assert volume.pread(0, len(data)) == data
+
+    def test_unaligned_write_within_block(self, volume):
+        volume.pwrite(100, b"hello")
+        assert volume.pread(100, 5) == b"hello"
+        assert volume.pread(0, 100) == bytes(100)     # untouched prefix
+        assert volume.pread(105, 10) == bytes(10)     # untouched suffix
+
+    def test_write_spanning_blocks(self, volume):
+        block = volume.block_size
+        data = b"A" * (block + 100)
+        volume.pwrite(block - 50, data)
+        assert volume.pread(block - 50, len(data)) == data
+
+    def test_rmw_preserves_neighbors(self, volume):
+        block = volume.block_size
+        volume.pwrite(0, b"X" * block)
+        volume.pwrite(10, b"mid")
+        out = volume.pread(0, block)
+        assert out[:10] == b"X" * 10
+        assert out[10:13] == b"mid"
+        assert out[13:] == b"X" * (block - 13)
+
+    def test_zero_size_ops(self, volume):
+        assert volume.pread(0, 0) == b""
+        volume.pwrite(0, b"")
+
+    def test_bounds_checked(self, volume):
+        with pytest.raises(LbaError):
+            volume.pread(volume.size_bytes - 1, 2)
+        with pytest.raises(LbaError):
+            volume.pwrite(-1, b"x")
+
+    def test_snapshot_view_readable(self, iosnap, volume):
+        volume.pwrite(50, b"frozen")
+        iosnap.snapshot_create("s")
+        volume.pwrite(50, b"mutated")
+        view = ByteVolume(iosnap.snapshot_activate("s"))
+        assert view.pread(50, 6) == b"frozen"
+        assert volume.pread(50, 7) == b"mutated"
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(st.tuples(st.integers(0, 20_000),
+                          st.binary(min_size=1, max_size=600)),
+                min_size=1, max_size=20))
+def test_property_matches_bytearray(writes):
+    kernel = Kernel()
+    device = make_iosnap(kernel)
+    volume = ByteVolume(device)
+    model = bytearray(24_000)
+    for offset, data in writes:
+        volume.pwrite(offset, data)
+        model[offset:offset + len(data)] = data
+    assert volume.pread(0, 24_000) == bytes(model)

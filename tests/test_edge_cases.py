@@ -1,0 +1,117 @@
+"""Edge cases across modules that earlier suites did not pin down."""
+
+import pytest
+
+from repro.core.destage import ArchiveTarget
+from repro.core.iosnap import IoSnapDevice
+from repro.ftl.vsl import VslDevice
+from repro.sim import Kernel
+
+from tests.conftest import make_iosnap
+
+
+class TestSimEdges:
+    def test_event_with_many_waiters(self, kernel):
+        ev = kernel.event()
+        results = []
+
+        def waiter(i):
+            value = yield ev
+            results.append((i, value))
+
+        for i in range(5):
+            kernel.spawn(waiter(i))
+
+        def firer():
+            yield 10
+            ev.trigger("go")
+
+        kernel.spawn(firer())
+        kernel.run()
+        assert sorted(results) == [(i, "go") for i in range(5)]
+
+    def test_run_until_does_not_run_future_work(self, kernel):
+        hits = []
+        kernel.call_at(100, lambda: hits.append("early"))
+        kernel.call_at(500, lambda: hits.append("late"))
+        kernel.run(until=200)
+        assert hits == ["early"]
+        kernel.run()
+        assert hits == ["early", "late"]
+
+    def test_run_until_advances_clock_even_when_idle(self, kernel):
+        kernel.run(until=1_000)
+        assert kernel.now == 1_000
+
+
+class TestCheckpointVersioning:
+    def test_empty_checkpoint_blob_falls_back_to_recovery(self, kernel):
+        from repro.nand.geometry import NandConfig
+        from tests.conftest import small_geometry
+
+        device = VslDevice.create(kernel,
+                                  NandConfig(geometry=small_geometry()))
+        device.write(0, b"survives")
+        device.shutdown()
+        # An empty chunk list unpickles to nothing -> CheckpointError
+        # -> log-scan fallback.
+        device.nand.superblock["checkpoint_ppns"] = []
+        reopened = VslDevice.open(kernel, device.nand)
+        assert reopened.read(0)[:8] == b"survives"
+
+
+class TestArchiveValidation:
+    def test_bad_bandwidth_rejected(self, kernel):
+        with pytest.raises(ValueError):
+            ArchiveTarget(kernel, write_mb_per_s=0)
+        with pytest.raises(ValueError):
+            ArchiveTarget(kernel, read_mb_per_s=-1)
+
+
+class TestBtrfsThrottling:
+    def test_writer_throttled_behind_slow_commit(self, kernel):
+        from repro.baselines.btrfs import BtrfsConfig, BtrfsLikeDevice
+        from repro.nand.geometry import NandConfig
+        from tests.conftest import small_geometry
+
+        device = BtrfsLikeDevice.create(
+            kernel, NandConfig(geometry=small_geometry()),
+            BtrfsConfig(commit_interval_writes=8))
+        # Write enough to trigger several background commits; if the
+        # writer ever gets a full interval ahead it must block on the
+        # in-flight commit rather than grow unbounded dirty state.
+        for i in range(200):
+            device.write(i % 50, b"x")
+        kernel.run()
+        assert device.metrics.commits >= 2
+        # After the dust settles there is no commit in flight.
+        assert device._commit_in_flight is None
+
+
+class TestSnapshotNames:
+    def test_auto_names_monotonic_across_reopen(self, kernel, iosnap):
+        first = iosnap.snapshot_create()
+        iosnap.crash()
+        reopened = IoSnapDevice.open(kernel, iosnap.nand)
+        second = reopened.snapshot_create()
+        assert first.name != second.name
+        assert second.snap_id > first.snap_id
+
+    def test_unicode_names(self, iosnap):
+        snap = iosnap.snapshot_create("snapshot-ünïcødé-⚡")
+        iosnap.write(0, b"x")
+        view = iosnap.snapshot_activate("snapshot-ünïcødé-⚡")
+        view.deactivate()
+        iosnap.snapshot_delete(snap)
+
+    def test_many_snapshots_after_recovery_roundtrip(self, kernel, iosnap):
+        for i in range(15):
+            iosnap.write(i, bytes([i]))
+            iosnap.snapshot_create(f"n{i}")
+        iosnap.crash()
+        reopened = IoSnapDevice.open(kernel, iosnap.nand)
+        assert len(reopened.snapshots()) == 15
+        view = reopened.snapshot_activate("n7")
+        assert view.read(7)[0] == 7
+        assert view.read(8) == bytes(reopened.block_size)
+        view.deactivate()

@@ -1,0 +1,111 @@
+"""Smoke tests for the experiment harness at reduced scale.
+
+The full-scale runs (with their paper-shape assertions) live in
+``benchmarks/``; these only verify each experiment is runnable,
+produces structured output, and — where the shape is robust even at
+tiny scale — still passes its checks.
+"""
+
+import pytest
+
+from repro.bench import (
+    exp_ablation_destage,
+    exp_ablation_selective_scan,
+    exp_create_delete,
+    exp_fig7,
+    exp_fig8,
+    exp_fig9,
+    exp_fig10,
+    exp_fig11,
+    exp_fig12,
+    exp_table2,
+    exp_table3,
+    exp_table4,
+)
+
+
+def _structurally_sound(result):
+    assert result.lines, "experiment produced no output rows"
+    assert result.checks, "experiment asserted nothing"
+    rendered = result.render()
+    assert result.exp_id in rendered
+    assert "paper-shape checks" in rendered
+
+
+def test_table2_smoke():
+    result = exp_table2(ops_per_stream=256)
+    _structurally_sound(result)
+    assert result.passed(), result.render()
+
+
+def test_create_delete_smoke():
+    result = exp_create_delete(data_points=(64, 256))
+    _structurally_sound(result)
+    assert result.passed(), result.render()
+
+
+def test_fig7_smoke():
+    result = exp_fig7(preload_pages=1500, burst_writes=200, bursts=1)
+    _structurally_sound(result)
+    assert result.passed(), result.render()
+
+
+def test_fig8_smoke():
+    result = exp_fig8(data_sizes=(32, 256), snapshots=3)
+    _structurally_sound(result)
+    assert result.passed(), result.render()
+
+
+def test_table3_smoke():
+    result = exp_table3(pages_per_snapshot=256, snapshots=3)
+    _structurally_sound(result)
+    assert result.passed(), result.render()
+
+
+def test_fig9_smoke():
+    result = exp_fig9(pages_per_snapshot=384, reads=1500)
+    _structurally_sound(result)
+
+
+def test_table4_smoke():
+    result = exp_table4()
+    _structurally_sound(result)
+    assert result.passed(), result.render()
+
+
+def test_fig10_smoke():
+    result = exp_fig10()
+    _structurally_sound(result)
+    assert result.passed(), result.render()
+
+
+def test_fig11_smoke():
+    result = exp_fig11(preload_pages=2000, writes=2000,
+                       snapshot_every_ms=100.0, max_snapshots=3)
+    _structurally_sound(result)
+
+
+def test_fig12_smoke():
+    result = exp_fig12(preload_pages=2500, writes=2500, snapshots=8)
+    _structurally_sound(result)
+
+
+def test_ablation_selective_scan_smoke():
+    result = exp_ablation_selective_scan(snapshot_pages=128,
+                                         churn_levels=(0, 1500))
+    _structurally_sound(result)
+    assert result.passed(), result.render()
+
+
+def test_ablation_destage_smoke():
+    result = exp_ablation_destage(snapshot_pages=128)
+    _structurally_sound(result)
+    assert result.passed(), result.render()
+
+
+def test_result_save_roundtrip(tmp_path):
+    result = exp_create_delete(data_points=(64,))
+    path = result.save(str(tmp_path))
+    with open(path) as handle:
+        content = handle.read()
+    assert "create_delete_latency" in content

@@ -1,0 +1,68 @@
+"""Unit tests for workload generators."""
+
+import pytest
+
+from repro.workloads.generators import (
+    READ,
+    WRITE,
+    hotspot_writes,
+    mixed,
+    random_reads,
+    random_writes,
+    sequential_reads,
+    sequential_writes,
+)
+
+
+def test_sequential_writes_lbas():
+    ops = list(sequential_writes(5, start=10))
+    assert [op.lba for op in ops] == [10, 11, 12, 13, 14]
+    assert all(op.kind == WRITE for op in ops)
+
+
+def test_sequential_wrap():
+    ops = list(sequential_writes(5, start=3, wrap=4))
+    assert [op.lba for op in ops] == [3, 0, 1, 2, 3]
+
+
+def test_sequential_reads():
+    ops = list(sequential_reads(3))
+    assert all(op.kind == READ for op in ops)
+
+
+def test_random_writes_in_range_and_deterministic():
+    a = [op.lba for op in random_writes(100, 50, seed=1)]
+    b = [op.lba for op in random_writes(100, 50, seed=1)]
+    assert a == b
+    assert all(0 <= lba < 50 for lba in a)
+    c = [op.lba for op in random_writes(100, 50, seed=2)]
+    assert a != c
+
+
+def test_random_reads_kinds():
+    assert all(op.kind == READ for op in random_reads(20, 10))
+
+
+def test_mixed_ratio():
+    ops = list(mixed(2000, 100, read_fraction=0.7, seed=0))
+    reads = sum(1 for op in ops if op.kind == READ)
+    assert 0.6 < reads / len(ops) < 0.8
+
+
+def test_mixed_bad_fraction():
+    with pytest.raises(ValueError):
+        list(mixed(1, 1, read_fraction=1.5))
+
+
+def test_hotspot_concentration():
+    ops = list(hotspot_writes(2000, 1000, hot_fraction=0.1,
+                              hot_probability=0.9, seed=0))
+    hot = sum(1 for op in ops if op.lba < 100)
+    assert hot / len(ops) > 0.8
+    assert all(0 <= op.lba < 1000 for op in ops)
+
+
+def test_hotspot_cold_region_reached():
+    ops = list(hotspot_writes(2000, 1000, hot_fraction=0.1,
+                              hot_probability=0.5, seed=0))
+    assert any(op.lba >= 100 for op in ops)
