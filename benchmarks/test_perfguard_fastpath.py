@@ -1,0 +1,43 @@
+"""Benchmark: perfguard fast-path assertions.
+
+Times a snapshot-aware cleaner pass and an activation scan via the
+perfguard suite, and asserts the word-level fast paths actually carried
+them: the ``word_*`` counters must advance and ``bit_fallback`` — which
+only the naive per-bit reference increments — must stay at zero.  A
+production code path regressing to per-bit work fails here before it
+shows up as wall-clock drift.
+"""
+
+from repro.bench.perfguard import (
+    bench_activation_scan,
+    bench_bitmap_count,
+    bench_bitmap_merge,
+    bench_cleaner_pass,
+)
+
+
+def test_cleaner_pass_uses_word_fast_paths(benchmark):
+    report = benchmark.pedantic(bench_cleaner_pass, rounds=1, iterations=1)
+    assert report["segments_cleaned"] > 0
+    counters = report["counters"]
+    assert counters["bit_fallback"] == 0, (
+        "cleaner pass fell back to per-bit work: "
+        f"{counters['bit_fallback']} bit ops")
+    assert counters["word_merge"] > 0
+    assert counters["word_count"] > 0
+    assert counters["word_iter"] > 0
+    assert report["fast_path_only"]
+
+
+def test_activation_scan_uses_word_fast_paths(benchmark):
+    report = benchmark.pedantic(bench_activation_scan, rounds=1, iterations=1)
+    assert report["counters"]["bit_fallback"] == 0
+    assert report["fast_path_only"]
+
+
+def test_word_engine_beats_naive_reference(benchmark):
+    merge = benchmark.pedantic(bench_bitmap_merge, args=(True,),
+                               rounds=1, iterations=1)
+    count = bench_bitmap_count(smoke=True)
+    assert merge["speedup"] >= 5.0, f"merge speedup {merge['speedup']:.1f}x"
+    assert count["speedup"] >= 5.0, f"count speedup {count['speedup']:.1f}x"

@@ -87,7 +87,8 @@ class _PageAllocator:
 
     def alloc(self) -> Generator:
         """Yieldable allocation: may erase-recycle a fully stale block."""
-        yield self._lock.acquire()
+        if not self._lock.try_acquire():
+            yield self._lock.acquire()
         try:
             if (self._current_block is None
                     or self._next_in_block >= self.pages_per_block):

@@ -21,12 +21,13 @@ simulation scale, just as 16 KB btrfs nodes are visible at disk scale.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 
 
-@dataclass
+@dataclass(slots=True)
 class CowNode:
     """One B-tree node; ``ppn`` is None while dirty (not yet committed)."""
 
@@ -134,21 +135,11 @@ class CowBTree:
 
     @staticmethod
     def _child_index(node: CowNode, key: int) -> int:
-        idx = 0
-        while idx < len(node.keys) and key >= node.keys[idx]:
-            idx += 1
-        return idx
+        return bisect_right(node.keys, key)
 
     @staticmethod
     def _leaf_index(node: CowNode, key: int) -> int:
-        lo, hi = 0, len(node.keys)
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if node.keys[mid] < key:
-                lo = mid + 1
-            else:
-                hi = mid
-        return lo
+        return bisect_left(node.keys, key)
 
     # -- mutation -------------------------------------------------------------
     def insert(self, key: int, value: int) -> Optional[int]:

@@ -30,6 +30,11 @@ def main(argv=None) -> int:
                         help="list available experiments and exit")
     parser.add_argument("--no-save", action="store_true",
                         help="do not write results/ files")
+    parser.add_argument("--profile", action="store_true",
+                        help="run each experiment under cProfile and "
+                             "print the hottest functions")
+    parser.add_argument("--profile-limit", type=int, default=25,
+                        help="rows of profile output (default 25)")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -46,8 +51,18 @@ def main(argv=None) -> int:
     failures = 0
     for name in names:
         started = time.time()
-        result = ALL_EXPERIMENTS[name]()
-        elapsed = time.time() - started
+        if args.profile:
+            import cProfile
+            import pstats
+
+            profiler = cProfile.Profile()
+            result = profiler.runcall(ALL_EXPERIMENTS[name])
+            elapsed = time.time() - started
+            stats = pstats.Stats(profiler, stream=sys.stdout)
+            stats.sort_stats("tottime").print_stats(args.profile_limit)
+        else:
+            result = ALL_EXPERIMENTS[name]()
+            elapsed = time.time() - started
         print(result.render())
         print(f"(wall-clock {elapsed:.1f}s)")
         print()

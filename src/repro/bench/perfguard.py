@@ -1,0 +1,383 @@
+"""Performance-regression guard for the hot paths ("perfguard").
+
+The word-level bitmap engine (:mod:`repro.ftl.validity`,
+:mod:`repro.core.cow_bitmap`), the incremental valid-count accounting,
+and the kernel scheduling fast paths are the load-bearing optimizations
+of the simulator.  This module pins them down two ways:
+
+- micro-benchmarks comparing the word engine against a deliberately
+  naive per-bit reference (:class:`NaiveBitmap`) on identical inputs —
+  the measured speedups are recorded, and a regression back to
+  per-bit work shows up as the ratios collapsing toward 1x;
+- end-to-end timings of the paths those micro-operations carry: a
+  snapshot-aware cleaner pass, an activation scan, and raw kernel
+  event throughput.
+
+``PERF_COUNTERS`` (from :mod:`repro.ftl.validity`) is sampled around
+the end-to-end benches: production paths must drive the ``word_*``
+counters and must never touch ``bit_fallback`` (only the naive
+reference increments it), which is also asserted by
+``benchmarks/test_perfguard_fastpath.py``.
+
+Usage::
+
+    python -m repro.bench.perfguard                   # full run
+    python -m repro.bench.perfguard --smoke           # CI-sized run
+    python -m repro.bench.perfguard --out BENCH.json  # choose output
+
+The results are written as JSON (default ``BENCH_PR1.json`` in the
+current directory) including the seed-commit wall-clock reference for
+the end-to-end experiments, so speedups stay attributable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import random
+import sys
+import time
+from typing import Callable, Dict, Iterator, List
+
+from repro.ftl.validity import (
+    PERF_COUNTERS,
+    ValidityBitmap,
+    merge_pages,
+    reset_perf_counters,
+)
+
+# Wall-clock of the end-to-end experiments at the seed commit, measured
+# on the same machine/methodology as run() uses (best of 1, warm
+# imports).  Re-measure when moving machines: the ratios are the
+# meaningful part, not the absolute seconds.
+SEED_REFERENCE = {"table4_s": 0.0527, "fig12_s": 1.9243}
+
+
+class NaiveBitmap:
+    """Per-bit reference implementation the word engine is judged against.
+
+    Intentionally does everything one bit at a time, charging every
+    touched bit to ``PERF_COUNTERS["bit_fallback"]`` — so any
+    production path that ends up doing per-bit work is indistinguishable
+    from this class in the counters.
+    """
+
+    def __init__(self, total_bits: int) -> None:
+        self.total_bits = total_bits
+        self._bits = bytearray(total_bits)
+
+    def set(self, bit: int) -> None:
+        PERF_COUNTERS["bit_fallback"] += 1
+        self._bits[bit] = 1
+
+    def clear(self, bit: int) -> None:
+        PERF_COUNTERS["bit_fallback"] += 1
+        self._bits[bit] = 0
+
+    def test(self, bit: int) -> bool:
+        PERF_COUNTERS["bit_fallback"] += 1
+        return bool(self._bits[bit])
+
+    def count_range(self, start: int, length: int) -> int:
+        total = 0
+        for bit in range(start, start + length):
+            PERF_COUNTERS["bit_fallback"] += 1
+            total += self._bits[bit]
+        return total
+
+    def iter_set_in_range(self, start: int, length: int) -> Iterator[int]:
+        for bit in range(start, start + length):
+            PERF_COUNTERS["bit_fallback"] += 1
+            if self._bits[bit]:
+                yield bit
+
+    @staticmethod
+    def merge_pages(pages: List[bytes], page_bytes: int) -> bytearray:
+        out = bytearray(page_bytes)
+        for page in pages:
+            for byte_idx in range(page_bytes):
+                for bit_idx in range(8):
+                    PERF_COUNTERS["bit_fallback"] += 1
+                    if page[byte_idx] >> bit_idx & 1:
+                        out[byte_idx] |= 1 << bit_idx
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Timing helpers
+# ---------------------------------------------------------------------------
+def _best_of(fn: Callable[[], object], repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _random_pages(count: int, page_bytes: int, density: float,
+                  seed: int) -> List[bytes]:
+    rng = random.Random(seed)
+    pages = []
+    for _ in range(count):
+        page = bytearray(page_bytes)
+        for bit in rng.sample(range(page_bytes * 8),
+                              int(page_bytes * 8 * density)):
+            page[bit // 8] |= 1 << (bit % 8)
+        pages.append(bytes(page))
+    return pages
+
+
+# ---------------------------------------------------------------------------
+# Micro-benchmarks: word engine vs naive reference
+# ---------------------------------------------------------------------------
+def bench_bitmap_merge(smoke: bool = False) -> Dict:
+    """Cross-epoch page merge: big-int OR vs per-bit OR."""
+    page_bytes = 512
+    epochs = 8
+    iters = 20 if smoke else 200
+    naive_iters = 1 if smoke else 3
+    pages = _random_pages(epochs, page_bytes, density=0.25, seed=7)
+
+    word_s = _best_of(
+        lambda: [merge_pages(pages, page_bytes) for _ in range(iters)],
+        repeats=3) / iters
+    naive_s = _best_of(
+        lambda: NaiveBitmap.merge_pages(pages, page_bytes),
+        repeats=naive_iters)
+    assert bytes(merge_pages(pages, page_bytes)) == bytes(
+        NaiveBitmap.merge_pages(pages, page_bytes))
+    return {"word_s": word_s, "naive_s": naive_s,
+            "speedup": naive_s / word_s if word_s else float("inf")}
+
+
+def bench_bitmap_count(smoke: bool = False) -> Dict:
+    """count_range over a populated bitmap: masked popcount vs loop."""
+    total_bits = 1 << 16
+    iters = 20 if smoke else 200
+    rng = random.Random(11)
+    bitmap = ValidityBitmap(total_bits)
+    naive = NaiveBitmap(total_bits)
+    for bit in rng.sample(range(total_bits), total_bits // 4):
+        bitmap.set(bit)
+        naive._bits[bit] = 1
+    ranges = [(rng.randrange(total_bits // 2), total_bits // 4)
+              for _ in range(16)]
+
+    word_s = _best_of(
+        lambda: [bitmap.count_range(s, n) for s, n in ranges
+                 for _ in range(iters)],
+        repeats=3) / (iters * len(ranges))
+    naive_s = _best_of(
+        lambda: [naive.count_range(s, n) for s, n in ranges],
+        repeats=1 if smoke else 3) / len(ranges)
+    assert all(bitmap.count_range(s, n) == naive.count_range(s, n)
+               for s, n in ranges)
+    return {"word_s": word_s, "naive_s": naive_s,
+            "speedup": naive_s / word_s if word_s else float("inf")}
+
+
+def bench_bitmap_iter(smoke: bool = False) -> Dict:
+    """iter_set_in_range on a sparse bitmap: zero-word skip vs scan."""
+    total_bits = 1 << 16
+    iters = 10 if smoke else 100
+    rng = random.Random(13)
+    bitmap = ValidityBitmap(total_bits)
+    naive = NaiveBitmap(total_bits)
+    for bit in rng.sample(range(total_bits), total_bits // 64):
+        bitmap.set(bit)
+        naive._bits[bit] = 1
+
+    word_s = _best_of(
+        lambda: [list(bitmap.iter_set_in_range(0, total_bits))
+                 for _ in range(iters)],
+        repeats=3) / iters
+    naive_s = _best_of(
+        lambda: list(naive.iter_set_in_range(0, total_bits)),
+        repeats=1 if smoke else 3)
+    assert (list(bitmap.iter_set_in_range(0, total_bits))
+            == list(naive.iter_set_in_range(0, total_bits)))
+    return {"word_s": word_s, "naive_s": naive_s,
+            "speedup": naive_s / word_s if word_s else float("inf")}
+
+
+# ---------------------------------------------------------------------------
+# End-to-end benches: the paths the word engine carries
+# ---------------------------------------------------------------------------
+def _build_snapshotted_device():
+    from repro.bench.configs import (
+        bench_iosnap_config,
+        bench_nand,
+        small_geometry,
+    )
+    from repro.core.iosnap import IoSnapDevice
+    from repro.sim import Kernel
+
+    kernel = Kernel()
+    device = IoSnapDevice.create(kernel, bench_nand(small_geometry()),
+                                 bench_iosnap_config())
+    span = min(device.num_lbas, 512)
+    rng = random.Random(17)
+    for _ in range(3 * span):      # overwrites create invalid pages
+        device.write(rng.randrange(span))
+    device.snapshot_create("perfguard-snap")
+    for _ in range(2 * span):
+        device.write(rng.randrange(span))
+    return kernel, device
+
+
+def bench_cleaner_pass(smoke: bool = False) -> Dict:
+    """One snapshot-aware cleaner pass, with counters sampled around it."""
+    kernel, device = _build_snapshotted_device()
+    reset_perf_counters()
+    started = time.perf_counter()
+    cleaned = 0
+    for _ in range(1 if smoke else 4):
+        candidate = device.cleaner.select_candidate()
+        if candidate is None:
+            break
+        device.cleaner.force_clean(candidate)
+        cleaned += 1
+    elapsed = time.perf_counter() - started
+    counters = dict(PERF_COUNTERS)
+    return {"wall_s": elapsed, "segments_cleaned": cleaned,
+            "counters": counters,
+            "fast_path_only": counters["bit_fallback"] == 0
+            and counters["word_iter"] > 0}
+
+
+def bench_activation_scan(smoke: bool = False) -> Dict:
+    """Activate the snapshot (log scan + bitmap rebuild), then drop it."""
+    _kernel, device = _build_snapshotted_device()
+    reset_perf_counters()
+    started = time.perf_counter()
+    activated = device.snapshot_activate("perfguard-snap")
+    elapsed = time.perf_counter() - started
+    activated.deactivate()
+    counters = dict(PERF_COUNTERS)
+    return {"wall_s": elapsed, "counters": counters,
+            "fast_path_only": counters["bit_fallback"] == 0}
+
+
+def bench_kernel_throughput(smoke: bool = False) -> Dict:
+    """Scheduler dispatch rate: timer yields + event ping-pong."""
+    from repro.sim import Kernel
+
+    events = 20_000 if smoke else 200_000
+
+    def timers(n):
+        for _ in range(n):
+            yield 10
+
+    def ping(kernel, n):
+        for _ in range(n):
+            ev = kernel.event()
+            kernel.call_at(kernel.now, ev.trigger)
+            yield ev
+
+    kernel = Kernel()
+    started = time.perf_counter()
+    kernel.spawn(timers(events // 2), name="timers")
+    kernel.run_process(ping(kernel, events // 2), name="ping")
+    kernel.run()
+    elapsed = time.perf_counter() - started
+    return {"wall_s": elapsed, "events": events,
+            "events_per_s": events / elapsed if elapsed else float("inf")}
+
+
+def bench_end_to_end(smoke: bool = False) -> Dict:
+    """Wall-clock of the seed-referenced experiments (table4, fig12)."""
+    from repro.bench import exp_fig12, exp_table4
+
+    out: Dict = {}
+    started = time.perf_counter()
+    table4 = exp_table4()
+    out["table4"] = {"now_s": time.perf_counter() - started,
+                     "seed_s": SEED_REFERENCE["table4_s"],
+                     "passed": table4.passed()}
+    out["table4"]["speedup"] = (out["table4"]["seed_s"]
+                                / out["table4"]["now_s"])
+    if not smoke:
+        started = time.perf_counter()
+        fig12 = exp_fig12()
+        out["fig12"] = {"now_s": time.perf_counter() - started,
+                        "seed_s": SEED_REFERENCE["fig12_s"],
+                        "passed": fig12.passed()}
+        out["fig12"]["speedup"] = (out["fig12"]["seed_s"]
+                                   / out["fig12"]["now_s"])
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+def run(smoke: bool = False) -> Dict:
+    reset_perf_counters()
+    report = {
+        "suite": "perfguard",
+        "smoke": smoke,
+        "machine": {
+            "python": sys.version.split()[0],
+            "implementation": platform.python_implementation(),
+            "platform": platform.platform(),
+        },
+        "micro": {
+            "bitmap_merge": bench_bitmap_merge(smoke),
+            "bitmap_count": bench_bitmap_count(smoke),
+            "bitmap_iter": bench_bitmap_iter(smoke),
+        },
+        "cleaner_pass": bench_cleaner_pass(smoke),
+        "activation_scan": bench_activation_scan(smoke),
+        "kernel_throughput": bench_kernel_throughput(smoke),
+        "end_to_end": bench_end_to_end(smoke),
+    }
+    reset_perf_counters()   # don't leak naive-reference counts
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.perfguard",
+        description="Hot-path micro-benchmarks and regression guard.")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (seconds, skips fig12)")
+    parser.add_argument("--out", default="BENCH_PR1.json",
+                        help="output JSON path (default: BENCH_PR1.json)")
+    args = parser.parse_args(argv)
+    out_dir = os.path.dirname(os.path.abspath(args.out))
+    if not os.path.isdir(out_dir):   # fail before the minutes-long run
+        parser.error(f"--out directory does not exist: {out_dir}")
+
+    report = run(smoke=args.smoke)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    for name, micro in report["micro"].items():
+        print(f"{name:16s} word {micro['word_s'] * 1e6:9.2f} us   "
+              f"naive {micro['naive_s'] * 1e6:9.2f} us   "
+              f"speedup {micro['speedup']:.1f}x")
+    cleaner = report["cleaner_pass"]
+    print(f"cleaner pass     {cleaner['wall_s'] * 1e3:.2f} ms "
+          f"({cleaner['segments_cleaned']} segments, fast-path only: "
+          f"{cleaner['fast_path_only']})")
+    print(f"activation scan  "
+          f"{report['activation_scan']['wall_s'] * 1e3:.2f} ms")
+    print(f"kernel           "
+          f"{report['kernel_throughput']['events_per_s']:,.0f} events/s")
+    for name, e2e in report["end_to_end"].items():
+        print(f"{name:16s} {e2e['now_s']:.3f}s vs seed {e2e['seed_s']:.3f}s "
+              f"= {e2e['speedup']:.2f}x (checks "
+              f"{'pass' if e2e['passed'] else 'FAIL'})")
+    print(f"wrote {os.path.abspath(args.out)}")
+
+    ok = (all(m["speedup"] >= 5.0 for m in report["micro"].values())
+          and cleaner["fast_path_only"]
+          and all(e["passed"] for e in report["end_to_end"].values()))
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,14 +16,30 @@ Mutation rules:
 - every first-touch of a shared page copies it into the mutating
   epoch's private set and reports the copy through ``on_cow`` — that
   stream of events is what the paper's Figure 7(b) plots.
+
+Pages are stored as little-endian big-ints (one word per bitmap page,
+same layout as :mod:`repro.ftl.validity`), so a CoW "copy" is just
+binding the parent's immutable int, counting is a masked
+``bit_count()``, and the cleaner's cross-epoch merge is a single OR per
+page (:func:`merged_count_range` / :func:`merged_iter_range`).
+
+``on_mutate`` (if given) is invoked with the bit index on every
+mutation, including privileged ones, and is inherited across
+:meth:`fork`; the device uses it to invalidate cached per-segment
+valid counts.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import AddressError, SnapshotError
-from repro.ftl.validity import popcount
+from repro.ftl.validity import (
+    PERF_COUNTERS,
+    _mask_word,
+    iter_word_bits,
+    merge_words,
+)
 
 
 class CowValidityBitmap:
@@ -31,7 +47,8 @@ class CowValidityBitmap:
 
     def __init__(self, total_bits: int, page_bytes: int = 512,
                  parent: Optional["CowValidityBitmap"] = None,
-                 on_cow: Optional[Callable[[str], None]] = None) -> None:
+                 on_cow: Optional[Callable[[str], None]] = None,
+                 on_mutate: Optional[Callable[[int], None]] = None) -> None:
         if total_bits <= 0 or page_bytes <= 0:
             raise ValueError("total_bits and page_bytes must be positive")
         if parent is not None and (parent.total_bits != total_bits
@@ -44,7 +61,8 @@ class CowValidityBitmap:
         self.frozen = False
         self.cow_copies = 0
         self._on_cow = on_cow
-        self._own: Dict[int, bytearray] = {}
+        self._on_mutate = on_mutate
+        self._own: Dict[int, int] = {}
 
     # -- lineage ---------------------------------------------------------
     def fork(self, on_cow: Optional[Callable[[str], None]] = None,
@@ -57,7 +75,8 @@ class CowValidityBitmap:
         """
         self.freeze()
         return CowValidityBitmap(self.total_bits, self.page_bytes,
-                                 parent=self, on_cow=on_cow or self._on_cow)
+                                 parent=self, on_cow=on_cow or self._on_cow,
+                                 on_mutate=self._on_mutate)
 
     def freeze(self) -> None:
         self.frozen = True
@@ -71,21 +90,25 @@ class CowValidityBitmap:
         return depth
 
     # -- addressing ---------------------------------------------------------
-    def _locate(self, bit: int) -> Tuple[int, int, int]:
+    def _locate(self, bit: int) -> Tuple[int, int]:
         if not 0 <= bit < self.total_bits:
             raise AddressError(f"bit {bit} out of range [0, {self.total_bits})")
-        page_idx, offset = divmod(bit, self.bits_per_page)
-        return page_idx, offset >> 3, offset & 7
+        return divmod(bit, self.bits_per_page)
 
-    def _resolve(self, page_idx: int) -> Optional[bytes]:
-        """The page's effective contents, walking the parent chain."""
+    def _resolve(self, page_idx: int) -> Optional[int]:
+        """The page's effective word, walking the parent chain."""
         node: Optional[CowValidityBitmap] = self
         while node is not None:
-            page = node._own.get(page_idx)
-            if page is not None:
-                return page
+            word = node._own.get(page_idx)
+            if word is not None:
+                return word
             node = node.parent
         return None
+
+    def resolve_word(self, page_idx: int) -> int:
+        """Effective page word through the CoW chain (0 if absent)."""
+        word = self._resolve(page_idx)
+        return word if word is not None else 0
 
     def owns_page(self, page_idx: int) -> bool:
         return page_idx in self._own
@@ -99,40 +122,63 @@ class CowValidityBitmap:
 
     # -- reads -------------------------------------------------------------
     def test(self, bit: int) -> bool:
-        page_idx, byte, shift = self._locate(bit)
-        page = self._resolve(page_idx)
-        return bool(page is not None and page[byte] & (1 << shift))
+        page_idx, offset = self._locate(bit)
+        word = self._resolve(page_idx)
+        return bool(word is not None and word >> offset & 1)
 
     def count(self) -> int:
+        PERF_COUNTERS["word_count"] += 1
         total = 0
-        page_count = (self.total_bits + self.bits_per_page - 1) \
-            // self.bits_per_page
-        for page_idx in range(page_count):
-            page = self._resolve(page_idx)
-            if page is not None:
-                total += popcount(page)
+        for page_idx in range(self._page_count()):
+            word = self._resolve(page_idx)
+            if word:
+                total += word.bit_count()
         return total
 
-    def count_range(self, start: int, length: int) -> int:
-        return sum(1 for _ in self.iter_set_in_range(start, length))
+    def _page_count(self) -> int:
+        return (self.total_bits + self.bits_per_page - 1) // self.bits_per_page
 
-    def iter_set_in_range(self, start: int, length: int) -> Iterator[int]:
-        """Set bits in [start, start + length), ascending."""
+    @property
+    def page_count(self) -> int:
+        """Number of bitmap pages covering ``total_bits``."""
+        return self._page_count()
+
+    def _check_range(self, start: int, length: int) -> None:
         if length < 0 or start < 0 or start + length > self.total_bits:
             raise AddressError(
                 f"range [{start}, {start + length}) out of bounds")
+
+    def count_range(self, start: int, length: int) -> int:
+        self._check_range(start, length)
+        if length == 0:
+            return 0
+        PERF_COUNTERS["word_count"] += 1
         end = start + length
-        bit = start
-        while bit < end:
-            page_idx = bit // self.bits_per_page
-            page_end = min(end, (page_idx + 1) * self.bits_per_page)
-            page = self._resolve(page_idx)
-            if page is not None:
-                for b in range(bit, page_end):
-                    offset = b % self.bits_per_page
-                    if page[offset >> 3] & (1 << (offset & 7)):
-                        yield b
-            bit = page_end
+        bpp = self.bits_per_page
+        total = 0
+        for page_idx in range(start // bpp, (end - 1) // bpp + 1):
+            word = self._resolve(page_idx)
+            if not word:
+                continue
+            total += _mask_word(word, page_idx * bpp, start, end,
+                                bpp).bit_count()
+        return total
+
+    def iter_set_in_range(self, start: int, length: int) -> Iterator[int]:
+        """Set bits in [start, start + length), ascending."""
+        self._check_range(start, length)
+        if length == 0:
+            return
+        PERF_COUNTERS["word_iter"] += 1
+        end = start + length
+        bpp = self.bits_per_page
+        for page_idx in range(start // bpp, (end - 1) // bpp + 1):
+            word = self._resolve(page_idx)
+            if not word:
+                continue
+            base = page_idx * bpp
+            yield from iter_word_bits(
+                _mask_word(word, base, start, end, bpp), base)
 
     # -- mutation --------------------------------------------------------------
     def set(self, bit: int) -> bool:
@@ -154,15 +200,15 @@ class CowValidityBitmap:
             raise SnapshotError(
                 "bitmap is frozen (belongs to a snapshot); only the "
                 "segment cleaner may adjust it")
-        page_idx, byte, shift = self._locate(bit)
+        page_idx, offset = self._locate(bit)
         copied = False
-        page = self._own.get(page_idx)
-        if page is None:
+        word = self._own.get(page_idx)
+        if word is None:
             inherited = None
             if self.parent is not None:
                 inherited = self.parent._resolve(page_idx)
             if inherited is not None:
-                page = bytearray(inherited)
+                word = inherited
                 copied = True
                 self.cow_copies += 1
                 if self._on_cow is not None:
@@ -170,32 +216,74 @@ class CowValidityBitmap:
             else:
                 if not value:
                     return False  # clearing a bit in an all-zero page
-                page = bytearray(self.page_bytes)
-            self._own[page_idx] = page
+                word = 0
         if value:
-            page[byte] |= 1 << shift
+            word |= 1 << offset
         else:
-            page[byte] &= ~(1 << shift) & 0xFF
+            word &= ~(1 << offset)
+        self._own[page_idx] = word
+        if self._on_mutate is not None:
+            self._on_mutate(bit)
         return copied
 
     # -- checkpoint support -------------------------------------------------
     def materialize(self) -> Dict[int, bytes]:
         """Fully-resolved page contents (chain flattened)."""
-        page_count = (self.total_bits + self.bits_per_page - 1) \
-            // self.bits_per_page
+        nbytes = self.page_bytes
         out: Dict[int, bytes] = {}
-        for page_idx in range(page_count):
-            page = self._resolve(page_idx)
-            if page is not None and any(page):
-                out[page_idx] = bytes(page)
+        for page_idx in range(self._page_count()):
+            word = self._resolve(page_idx)
+            if word:
+                out[page_idx] = word.to_bytes(nbytes, "little")
         return out
 
     @classmethod
     def from_pages(cls, total_bits: int, page_bytes: int,
                    pages: Dict[int, bytes],
                    on_cow: Optional[Callable[[str], None]] = None,
+                   on_mutate: Optional[Callable[[int], None]] = None,
                    ) -> "CowValidityBitmap":
         """Rebuild a standalone (chain-less) bitmap from materialized pages."""
-        bitmap = cls(total_bits, page_bytes, on_cow=on_cow)
-        bitmap._own = {idx: bytearray(data) for idx, data in pages.items()}
+        bitmap = cls(total_bits, page_bytes, on_cow=on_cow,
+                     on_mutate=on_mutate)
+        bitmap._own = {idx: int.from_bytes(data, "little")
+                       for idx, data in pages.items()}
         return bitmap
+
+
+# ---------------------------------------------------------------------------
+# Cross-epoch merged views (the cleaner's Figure 6 operation)
+# ---------------------------------------------------------------------------
+def _merged_words(bitmaps: Sequence[CowValidityBitmap], start: int,
+                  end: int) -> Iterator[Tuple[int, int]]:
+    """(page_base, merged masked word) per bitmap page over [start, end)."""
+    first = bitmaps[0]
+    bpp = first.bits_per_page
+    for page_idx in range(start // bpp, (end - 1) // bpp + 1):
+        merged = merge_words([bm.resolve_word(page_idx) for bm in bitmaps])
+        if not merged:
+            continue
+        base = page_idx * bpp
+        yield base, _mask_word(merged, base, start, end, bpp)
+
+
+def merged_count_range(bitmaps: Sequence[CowValidityBitmap], start: int,
+                       length: int) -> int:
+    """Popcount of the union of several epochs' bitmaps over a range."""
+    if not bitmaps or length <= 0:
+        return 0
+    bitmaps[0]._check_range(start, length)
+    PERF_COUNTERS["word_count"] += 1
+    return sum(word.bit_count()
+               for _base, word in _merged_words(bitmaps, start, start + length))
+
+
+def merged_iter_range(bitmaps: Sequence[CowValidityBitmap], start: int,
+                      length: int) -> Iterator[int]:
+    """Ascending set-bit indices of the union of several epochs' bitmaps."""
+    if not bitmaps or length <= 0:
+        return
+    bitmaps[0]._check_range(start, length)
+    PERF_COUNTERS["word_iter"] += 1
+    for base, word in _merged_words(bitmaps, start, start + length):
+        yield from iter_word_bits(word, base)

@@ -17,6 +17,7 @@ sustained delete-heavy rebalancing is not this structure's workload).
 
 from __future__ import annotations
 
+import bisect
 from typing import Iterable, Iterator, List, Optional, Tuple
 
 _DEFAULT_ORDER = 64
@@ -42,26 +43,10 @@ class _Node:
                                  else len(self.children))
 
 
-def _bisect_right(keys: List[int], key: int) -> int:
-    lo, hi = 0, len(keys)
-    while lo < hi:
-        mid = (lo + hi) // 2
-        if key < keys[mid]:
-            hi = mid
-        else:
-            lo = mid + 1
-    return lo
-
-
-def _bisect_left(keys: List[int], key: int) -> int:
-    lo, hi = 0, len(keys)
-    while lo < hi:
-        mid = (lo + hi) // 2
-        if keys[mid] < key:
-            lo = mid + 1
-        else:
-            hi = mid
-    return lo
+# The C implementations from the bisect module; keeping the old names
+# so the callers below read the same.
+_bisect_right = bisect.bisect_right
+_bisect_left = bisect.bisect_left
 
 
 class BPlusTree:

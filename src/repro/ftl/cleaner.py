@@ -20,7 +20,7 @@ estimate is exactly the paper's Figure 10 story).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Generator, Optional
+from typing import TYPE_CHECKING, Dict, Generator, Optional
 
 from repro.errors import FtlError, OutOfSpaceError, WearOutError
 from repro.ftl.log import Segment, SegmentState
@@ -98,15 +98,27 @@ class SegmentCleaner:
                 yield self._wakeup
 
     # -- selection ------------------------------------------------------------
+    def _live_notes_by_segment(self) -> Dict[int, int]:
+        """Live-note counts per segment index, in one registry pass.
+
+        The registry holds every note page still tracked; grouping it
+        once is O(notes), versus the per-candidate media rescans
+        (O(segments x segment_pages)) this replaces.
+        """
+        counts: Dict[int, int] = {}
+        array = self.ftl.nand.array
+        seg_pages = self.ftl.log.segment_pages
+        for ppn in self.ftl._note_registry:
+            if not array.is_programmed(ppn):
+                continue
+            if self.ftl._note_is_live(ppn, array.read_header(ppn)):
+                index = ppn // seg_pages
+                counts[index] = counts.get(index, 0) + 1
+        return counts
+
     def _occupied_count(self, seg: Segment) -> int:
         valid = self.ftl._estimate_valid_count(seg)
-        live_notes = sum(
-            1 for ppn in seg.written_ppns()
-            if ppn in self.ftl._note_registry
-            and self.ftl._note_is_live(
-                ppn, self.ftl.nand.array.read_header(ppn))
-        )
-        return valid + live_notes
+        return valid + self._live_notes_by_segment().get(seg.index, 0)
 
     def select_candidate(self) -> Optional[Segment]:
         """Pick the next segment to clean per the configured policy.
@@ -119,10 +131,12 @@ class SegmentCleaner:
         policy = self.ftl.config.gc_policy
         newest_seq = max((seg.seq for seg in self.ftl.log.closed_segments()),
                          default=0)
+        notes_by_seg = self._live_notes_by_segment()
         best: Optional[Segment] = None
         best_score = None
         for seg in self.ftl.log.closed_segments():
-            occupied = self._occupied_count(seg)
+            occupied = (self.ftl._estimate_valid_count(seg)
+                        + notes_by_seg.get(seg.index, 0))
             if occupied >= seg.data_capacity:
                 continue  # nothing reclaimable
             if policy == "greedy":

@@ -33,9 +33,10 @@ Usage::
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Tuple
 
 from repro.ftl.log import SegmentState
+from repro.ftl.validity import iter_word_bits
 from repro.nand.oob import PageKind
 
 _NOTE_KIND_BY_TYPE = {
@@ -53,6 +54,40 @@ def fsck(device) -> List[str]:
     if hasattr(device, "tree"):  # ioSnap device
         violations.extend(_check_iosnap(device))
     return violations
+
+
+# ---------------------------------------------------------------------------
+# Page-wise bitmap comparison
+# ---------------------------------------------------------------------------
+# Bitmap audits used to expand every set bit into a Python set and
+# diff the sets; on a realistic device that is millions of ints for a
+# check that almost always finds nothing.  Instead, fold the expected
+# ppns into per-page words and compare word against word (one XOR and
+# popcount per bitmap page), expanding individual bit indices only for
+# the pages that actually mismatch.
+def _expected_words(ppns: Iterable[int], bits_per_page: int) -> Dict[int, int]:
+    """Fold a set of ppns into {bitmap page index: word}."""
+    words: Dict[int, int] = {}
+    for ppn in ppns:
+        idx = ppn // bits_per_page
+        words[idx] = words.get(idx, 0) | 1 << (ppn % bits_per_page)
+    return words
+
+
+def _bitmap_page_diffs(get_word: Callable[[int], int],
+                       expected: Dict[int, int], page_count: int,
+                       bits_per_page: int,
+                       ) -> Iterator[Tuple[List[int], List[int]]]:
+    """Yield (extra bits, missing bits) for each mismatching page."""
+    for page_idx in range(page_count):
+        actual = get_word(page_idx)
+        want = expected.get(page_idx, 0)
+        diff = actual ^ want
+        if not diff:
+            continue
+        base = page_idx * bits_per_page
+        yield (list(iter_word_bits(diff & actual, base)),
+               list(iter_word_bits(diff & want, base)))
 
 
 # ---------------------------------------------------------------------------
@@ -82,13 +117,15 @@ def _check_base(device) -> List[str]:
     # F3 only applies to the base FTL's single bitmap (ioSnap replaces
     # it with per-epoch CoW bitmaps, checked as S1).
     if hasattr(device, "validity"):
-        valid_bits = set(device.validity.iter_set_in_range(
-            0, device.nand.geometry.total_pages))
-        mapped = set(seen_ppns)
-        for extra in sorted(valid_bits - mapped):
-            out.append(f"F3: validity bit set for unmapped ppn {extra}")
-        for missing in sorted(mapped - valid_bits):
-            out.append(f"F3: mapped ppn {missing} not marked valid")
+        bitmap = device.validity
+        expected = _expected_words(seen_ppns, bitmap.bits_per_page)
+        for extras, missings in _bitmap_page_diffs(
+                bitmap.page_word, expected, bitmap.page_count,
+                bitmap.bits_per_page):
+            for extra in extras:
+                out.append(f"F3: validity bit set for unmapped ppn {extra}")
+            for missing in missings:
+                out.append(f"F3: mapped ppn {missing} not marked valid")
 
     out.extend(_check_segments(device))
     out.extend(_check_notes(device))
@@ -190,13 +227,17 @@ def _check_iosnap(device) -> List[str]:
     packets = _scan_media(device)
     tree = device.tree
 
-    # S1: active bitmap == mapped pages.
-    active_bits = set(device.active_bitmap.iter_set_in_range(0, total_pages))
+    # S1: active bitmap == mapped pages (word compare per bitmap page).
+    active = device.active_bitmap
     mapped = {ppn for _lba, ppn in device.map.items()}
-    for extra in sorted(active_bits - mapped):
-        out.append(f"S1: active bitmap marks unmapped ppn {extra}")
-    for missing in sorted(mapped - active_bits):
-        out.append(f"S1: mapped ppn {missing} missing from active bitmap")
+    expected = _expected_words(mapped, active.bits_per_page)
+    for extras, missings in _bitmap_page_diffs(
+            active.resolve_word, expected, active.page_count,
+            active.bits_per_page):
+        for extra in extras:
+            out.append(f"S1: active bitmap marks unmapped ppn {extra}")
+        for missing in missings:
+            out.append(f"S1: mapped ppn {missing} missing from active bitmap")
 
     # S2: each live snapshot's bitmap == media fold over its path.
     # (Duplicate copies awaiting erase make the bitmap the arbiter of
@@ -208,11 +249,14 @@ def _check_iosnap(device) -> List[str]:
             continue
         path = frozenset(tree.path_epochs(snap.epoch))
         truth = _fold_path(packets, path)
-        bits = set(bitmap.iter_set_in_range(0, total_pages))
-        expected = set(truth.values())
-        # The cleaner may leave a not-yet-erased duplicate; the bitmap
-        # points at the surviving copy.  Compare by LBA content.
-        if bits != expected:
+        # Word-compare the bitmap against the fold first; the detailed
+        # per-LBA analysis below only runs for actual mismatches.
+        truth_words = _expected_words(truth.values(), bitmap.bits_per_page)
+        if any(bitmap.resolve_word(idx) != truth_words.get(idx, 0)
+               for idx in range(bitmap.page_count)):
+            bits = set(bitmap.iter_set_in_range(0, total_pages))
+            # The cleaner may leave a not-yet-erased duplicate; the
+            # bitmap points at the surviving copy.  Compare by LBA.
             by_lba_bits = {}
             array = device.nand.array
             for ppn in bits:

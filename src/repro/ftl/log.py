@@ -158,7 +158,8 @@ class Log:
         if head is None:
             head = "gc" if privileged else "user"
         while True:
-            yield self._alloc_lock.acquire()
+            if not self._alloc_lock.try_acquire():
+                yield self._alloc_lock.acquire()
             wait_ev: Optional[Event] = None
             try:
                 seg = self._open.get(head)

@@ -162,6 +162,11 @@ class VslDevice:
         self._inflight_writes = 0
         self._drain_waiters: List[Any] = []
         self._make_structures()
+        # Incremental per-segment valid-data counts (base FTL only;
+        # ioSnap overrides the hooks and keeps a merged-count cache
+        # instead).  Maintained on every validity set/clear so cleaner
+        # candidate selection never re-scans segment bitmap ranges.
+        self._seg_valid: List[int] = [0] * self.log.segment_count
         self.cleaner = SegmentCleaner(self)
         self._cleaner_proc = kernel.spawn(self.cleaner.run(), name="cleaner")
         self.log.on_space_pressure = lambda: self.cleaner.maybe_kick(force=True)
@@ -562,17 +567,32 @@ class VslDevice:
     def _current_epoch(self) -> int:
         return 0
 
+    def _set_valid(self, ppn: int) -> None:
+        if self.validity.set(ppn):
+            self._seg_valid[ppn // self.log.segment_pages] += 1
+
+    def _clear_valid(self, ppn: int) -> None:
+        if self.validity.clear(ppn):
+            self._seg_valid[ppn // self.log.segment_pages] -= 1
+
+    def _recount_seg_valid(self) -> None:
+        """Rebuild the per-segment counts after a bulk bitmap reload."""
+        self._seg_valid = [
+            self.validity.count_range(seg.first_ppn, seg.npages)
+            for seg in self.log.segments
+        ]
+
     def _install_mapping(self, lba: int, ppn: int) -> Generator:
         """Point ``lba`` at ``ppn``, invalidating any older location."""
         old = self.map.insert(lba, ppn)
-        self.validity.set(ppn)
+        self._set_valid(ppn)
         if old is not None:
-            self.validity.clear(old)
+            self._clear_valid(old)
         return
         yield  # pragma: no cover - generator for subclass cost charging
 
     def _uninstall_mapping(self, old_ppn: int) -> Generator:
-        self.validity.clear(old_ppn)
+        self._clear_valid(old_ppn)
         return
         yield  # pragma: no cover
 
@@ -584,8 +604,12 @@ class VslDevice:
         return valid, pages_touched * self.config.cpu.bitmap_merge_page_ns
 
     def _estimate_valid_count(self, seg: Segment) -> int:
-        """Move-count estimate used to pace the cleaner."""
-        return self.validity.count_range(seg.first_ppn, seg.npages)
+        """Move-count estimate used to pace the cleaner.
+
+        O(1): read from the incrementally-maintained per-segment
+        counts rather than re-counting the bitmap range.
+        """
+        return self._seg_valid[seg.index]
 
     def _block_still_valid(self, ppn: int) -> bool:
         """Re-check at move time (foreground may invalidate mid-clean)."""
@@ -596,13 +620,13 @@ class VslDevice:
         """Fix maps/bitmaps after the cleaner copied old -> new."""
         if self.map.get(header.lba) == old_ppn:
             self.map.insert(header.lba, new_ppn)
-            self.validity.clear(old_ppn)
-            self.validity.set(new_ppn)
+            self._clear_valid(old_ppn)
+            self._set_valid(new_ppn)
         else:
             # Overwritten while the copy was in flight: the new copy is
             # stillborn; make sure neither location reads as valid.
-            self.validity.clear(old_ppn)
-            self.validity.clear(new_ppn)
+            self._clear_valid(old_ppn)
+            self._clear_valid(new_ppn)
         self.record_move(old_ppn, new_ppn, header)
         return
         yield  # pragma: no cover
@@ -662,6 +686,7 @@ class VslDevice:
 
     def _load_extra(self, extra: Dict[str, Any]) -> None:
         self.validity.load_pages(extra["validity_pages"])
+        self._recount_seg_valid()
 
     def _rebuild_validity(self, winners: Dict[int, Tuple[int, int]]) -> None:
         """Recovery hook: rebuild validity from {lba: (seq, ppn)} winners."""
@@ -670,6 +695,7 @@ class VslDevice:
             page_bytes=self.config.bitmap_page_bytes)
         for _lba, (_seq, ppn) in winners.items():
             self.validity.set(ppn)
+        self._recount_seg_valid()
 
     def live_note_count(self) -> int:
         return len(self._note_registry)

@@ -20,7 +20,7 @@ from repro.nand.geometry import NandGeometry, WearModel
 from repro.nand.oob import OobHeader, PageKind
 
 
-@dataclass
+@dataclass(slots=True)
 class PageRecord:
     """Contents of one programmed page: header always, payload optionally."""
 
@@ -79,11 +79,19 @@ class NandArray:
         self._blocks: List[Block] = [
             Block(geometry.pages_per_block) for _ in range(geometry.total_blocks)
         ]
+        # Hot-path constants: _locate runs on every program/read/
+        # is_programmed, so it must not allocate a PageAddress.
+        self._pages_per_block = geometry.pages_per_block
+        self._total_pages = geometry.total_pages
 
     def _locate(self, ppn: int) -> Tuple[Block, int]:
-        addr = self.geometry.split_ppn(ppn)
-        block = self._blocks[addr.die * self.geometry.blocks_per_die + addr.block]
-        return block, addr.page
+        # The global block index is ppn // pages_per_block because the
+        # PPN space concatenates dies (see geometry module docstring).
+        if not 0 <= ppn < self._total_pages:
+            raise AddressError(
+                f"ppn {ppn} out of range [0, {self._total_pages})")
+        return (self._blocks[ppn // self._pages_per_block],
+                ppn % self._pages_per_block)
 
     def program(self, ppn: int, header: OobHeader,
                 data: Optional[bytes]) -> None:

@@ -66,6 +66,20 @@ class BitErrorModel:
                 and self._rng.random() < self.uncorrectable_prob)
 
 
+class _ProgramFinish:
+    """Timer callback ending a buffered program: free the die, ack."""
+
+    __slots__ = ("die", "done")
+
+    def __init__(self, die: Resource, done) -> None:
+        self.die = die
+        self.done = done
+
+    def __call__(self) -> None:
+        self.die.release()
+        self.done.trigger()
+
+
 class NandDevice:
     """A simulated NAND flash device attached to a simulation kernel."""
 
@@ -84,25 +98,39 @@ class NandDevice:
         self.superblock: dict = {}
         self._channels = [Resource(kernel) for _ in range(self.geometry.channels)]
         self._dies = [Resource(kernel) for _ in range(self.geometry.dies)]
+        # Hot-path precomputation: every NAND op resolves its (die,
+        # channel) resource pair and pays a fixed-size bus transfer, so
+        # do the geometry math and xfer_ns arithmetic once.
+        self._pages_per_die = self.geometry.pages_per_die
+        self._total_pages = self.geometry.total_pages
+        self._res_by_die = [
+            (self._dies[die], self._channels[self.geometry.channel_of_die(die)])
+            for die in range(self.geometry.dies)
+        ]
+        self._page_xfer_ns = self.timing.xfer_ns(self.geometry.page_size)
+        self._header_xfer_ns = self.timing.xfer_ns(HEADER_SIZE)
 
     # -- helpers ----------------------------------------------------------
     def _resources_for(self, ppn: int) -> tuple:
-        die = self.geometry.split_ppn(ppn).die
-        return self._dies[die], self._channels[self.geometry.channel_of_die(die)]
+        if not 0 <= ppn < self._total_pages:
+            self.geometry.check_ppn(ppn)
+        return self._res_by_die[ppn // self._pages_per_die]
 
     # -- operations (simulation processes) --------------------------------
     def read_page(self, ppn: int) -> Generator:
         """Read one full page; returns its :class:`PageRecord`."""
         record = self.array.read(ppn)  # validates before any time passes
         die, channel = self._resources_for(ppn)
-        yield die.acquire()
+        if not die.try_acquire():   # fast path: skip the event round-trip
+            yield die.acquire()
         try:
             yield self.timing.read_page_ns
         finally:
             die.release()
-        yield channel.acquire()
+        if not channel.try_acquire():
+            yield channel.acquire()
         try:
-            yield self.timing.xfer_ns(self.geometry.page_size)
+            yield self._page_xfer_ns
         finally:
             channel.release()
         if self.error_model is not None and self.error_model.read_fails():
@@ -118,14 +146,16 @@ class NandDevice:
         """
         header = self.array.read_header(ppn)
         die, channel = self._resources_for(ppn)
-        yield die.acquire()
+        if not die.try_acquire():
+            yield die.acquire()
         try:
             yield self.timing.read_page_ns
         finally:
             die.release()
-        yield channel.acquire()
+        if not channel.try_acquire():
+            yield channel.acquire()
         try:
-            yield self.timing.xfer_ns(HEADER_SIZE)
+            yield self._header_xfer_ns
         finally:
             channel.release()
         self.stats.header_reads += 1
@@ -144,31 +174,30 @@ class NandDevice:
         Callers wanting synchronous semantics ``yield`` the event.
         """
         die, channel = self._resources_for(ppn)
-        yield channel.acquire()
+        if not channel.try_acquire():
+            yield channel.acquire()
         try:
-            yield self.timing.xfer_ns(self.geometry.page_size)
+            yield self._page_xfer_ns
         finally:
             channel.release()
         self.array.program(ppn, header, data)
-        yield die.acquire()
+        if not die.try_acquire():
+            yield die.acquire()
         done = self.kernel.event()
-        self.kernel.spawn(self._finish_program(die, done), name=f"program@{ppn}")
+        # Die-busy window: a plain timer callback, not a spawned
+        # process — this path runs once per program.
+        self.kernel.call_at(self.kernel.now + self.timing.program_page_ns,
+                            _ProgramFinish(die, done))
         self.stats.page_programs += 1
         self.stats.bytes_written += self.geometry.page_size
         return done
-
-    def _finish_program(self, die: Resource, done) -> Generator:
-        try:
-            yield self.timing.program_page_ns
-        finally:
-            die.release()
-            done.trigger()
 
     def erase_block(self, global_block: int) -> Generator:
         """Erase one block; the owning die is busy for the whole erase."""
         die_index = global_block // self.geometry.blocks_per_die
         die = self._dies[die_index]
-        yield die.acquire()
+        if not die.try_acquire():
+            yield die.acquire()
         try:
             yield self.timing.erase_block_ns
         finally:

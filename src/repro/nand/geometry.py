@@ -17,6 +17,7 @@ milliseconds, a fast shared bus per channel).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 
 from repro.errors import AddressError
 
@@ -43,15 +44,17 @@ class NandGeometry:
         if self.channels > self.dies:
             raise ValueError("more channels than dies")
 
-    @property
+    # cached_property writes straight into __dict__, which a frozen
+    # dataclass permits — these sit on every NAND operation's path.
+    @cached_property
     def pages_per_die(self) -> int:
         return self.pages_per_block * self.blocks_per_die
 
-    @property
+    @cached_property
     def total_blocks(self) -> int:
         return self.blocks_per_die * self.dies
 
-    @property
+    @cached_property
     def total_pages(self) -> int:
         return self.pages_per_die * self.dies
 

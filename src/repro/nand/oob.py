@@ -58,7 +58,7 @@ NOTE_KINDS = frozenset({
 })
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OobHeader:
     """Decoded OOB header for one physical page."""
 

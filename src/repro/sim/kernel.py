@@ -19,7 +19,8 @@ Resources (see :mod:`repro.sim.resources`) hand out events from their
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, List, Optional, Tuple
+from collections import deque
+from typing import Any, Callable, Deque, Generator, List, Optional, Tuple
 
 
 class SimError(RuntimeError):
@@ -131,12 +132,27 @@ class Process:
 
 
 class Kernel:
-    """The discrete-event loop: a clock plus a priority queue of work."""
+    """The discrete-event loop: a clock plus a priority queue of work.
+
+    Scheduling is allocation-light: work items are tuple-coded
+    ``(proc, value, error)`` entries (``proc is None`` marks a plain
+    callable stored in ``value``) rather than one closure per event,
+    and zero-delay items — the dominant case: every event trigger,
+    process join, spawn, and zero-cost resume — bypass the time heap
+    entirely via a FIFO ready deque.  Heap entries carry a monotonic
+    sequence number, and the dispatch loop compares it against the
+    ready deque's head, so same-timestamp ordering is exactly the
+    global FIFO the closure-based scheduler had.
+    """
 
     def __init__(self) -> None:
         self._now = 0
         self._seq = 0
-        self._queue: List[Tuple[int, int, Callable[[], None]]] = []
+        # Timed work: (when, seq, proc, value, error).
+        self._queue: List[Tuple] = []
+        # Zero-delay work at the current timestamp: (seq, proc, value,
+        # error).  Strictly drained before virtual time advances.
+        self._ready: Deque[Tuple] = deque()
         self._failed: List[Process] = []
 
     @property
@@ -152,7 +168,8 @@ class Kernel:
     def spawn(self, gen: Generator, name: str = "") -> Process:
         """Start ``gen`` as a new process, scheduled to run immediately."""
         proc = Process(self, gen, name=name)
-        self._push(0, lambda: self._step(proc, None, None))
+        self._seq += 1
+        self._ready.append((self._seq, proc, None, None))
         return proc
 
     def timeout(self, delay: int) -> Event:
@@ -160,26 +177,38 @@ class Kernel:
         if delay < 0:
             raise SimError(f"negative delay {delay}")
         ev = Event(self)
-        self._push(int(delay), lambda: ev.trigger())
+        self._push(int(delay), None, ev.trigger, None)
         return ev
 
     def call_at(self, when: int, fn: Callable[[], None]) -> None:
         """Run plain callable ``fn`` at absolute virtual time ``when``."""
         if when < self._now:
             raise SimError(f"cannot schedule in the past ({when} < {self._now})")
-        self._push(when - self._now, fn)
+        self._push(when - self._now, None, fn, None)
 
     # -- running ---------------------------------------------------------
     def run(self, until: Optional[int] = None) -> None:
         """Drain the event queue (optionally stopping at time ``until``)."""
-        while self._queue:
-            when, _seq, fn = self._queue[0]
-            if until is not None and when > until:
-                break
-            heapq.heappop(self._queue)
-            self._now = when
-            fn()
-            self._raise_unobserved()
+        ready, queue = self._ready, self._queue
+        heappop, popleft = heapq.heappop, ready.popleft
+        while ready or queue:
+            if ready and (not queue or queue[0][0] > self._now
+                          or queue[0][1] > ready[0][0]):
+                if until is not None and self._now > until:
+                    break
+                _seq, proc, value, error = popleft()
+            else:
+                when = queue[0][0]
+                if until is not None and when > until:
+                    break
+                when, _seq, proc, value, error = heappop(queue)
+                self._now = when
+            if proc is None:
+                value()
+            else:
+                self._step(proc, value, error)
+            if self._failed:
+                self._raise_unobserved()
         if until is not None and until > self._now:
             self._now = until
 
@@ -194,23 +223,41 @@ class Kernel:
         # failure must surface as proc.result raising, not as an
         # unobserved-failure kernel error.
         proc._error_observed = True
-        while not proc.done and self._queue:
-            when, _seq, fn = heapq.heappop(self._queue)
-            self._now = when
-            fn()
-            self._raise_unobserved()
-        if not proc.done:
+        ready, queue = self._ready, self._queue
+        heappop, popleft = heapq.heappop, ready.popleft
+        while not proc._done and (ready or queue):
+            if ready and (not queue or queue[0][0] > self._now
+                          or queue[0][1] > ready[0][0]):
+                _seq, item, value, error = popleft()
+            else:
+                when, _seq, item, value, error = heappop(queue)
+                self._now = when
+            if item is None:
+                value()
+            else:
+                self._step(item, value, error)
+            if self._failed:
+                self._raise_unobserved()
+        if not proc._done:
             raise SimError(f"process {proc.name!r} deadlocked (queue empty)")
         return proc.result
 
     # -- internals -------------------------------------------------------
-    def _push(self, delay: int, fn: Callable[[], None]) -> None:
+    def _push(self, delay: int, proc: Optional[Process], value: Any,
+              error: Optional[BaseException]) -> None:
         self._seq += 1
-        heapq.heappush(self._queue, (self._now + int(delay), self._seq, fn))
+        if delay == 0:
+            self._ready.append((self._seq, proc, value, error))
+        else:
+            heapq.heappush(self._queue,
+                           (self._now + int(delay), self._seq, proc, value,
+                            error))
 
     def _schedule_resume(self, proc: Process, value: Any,
                          error: Optional[BaseException]) -> None:
-        self._push(0, lambda: self._step(proc, value, error))
+        # Zero-delay resume: straight onto the ready deque, no heap op.
+        self._seq += 1
+        self._ready.append((self._seq, proc, value, error))
 
     def _note_unobserved_failure(self, proc: Process) -> None:
         self._failed.append(proc)
@@ -237,11 +284,17 @@ class Kernel:
             proc._finish(None, exc)
             return
 
-        if isinstance(yielded, (int, float)):
+        if type(yielded) is int or isinstance(yielded, (int, float)):
             if yielded < 0:
                 self._step(proc, None, SimError(f"negative delay {yielded}"))
                 return
-            self._push(int(yielded), lambda: self._step(proc, None, None))
+            delay = int(yielded)
+            self._seq += 1
+            if delay == 0:
+                self._ready.append((self._seq, proc, None, None))
+            else:
+                heapq.heappush(self._queue,
+                               (self._now + delay, self._seq, proc, None, None))
         elif isinstance(yielded, Event):
             yielded._add_waiter(proc)
         elif isinstance(yielded, Process):
