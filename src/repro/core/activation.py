@@ -252,8 +252,10 @@ def _scan_for_path(ftl: "IoSnapDevice", path: frozenset,
             continue
         for ppn in list(seg.written_ppns()):
             # A concurrent append may have reserved (but not yet
-            # programmed) the tail of the open segment.
-            if not ftl.nand.array.is_programmed(ppn):
+            # programmed) the tail of the open segment; a torn page is
+            # power-cut residue awaiting erase — neither holds a packet.
+            if (not ftl.nand.array.is_programmed(ppn)
+                    or ftl.nand.array.is_torn(ppn)):
                 continue
             pending.append(ppn)
             if len(pending) >= batch_size:

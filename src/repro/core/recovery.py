@@ -108,10 +108,28 @@ def rebuild_iosnap_state(ftl: "IoSnapDevice",
     ftl._epoch_bitmaps = bitmaps
     items = sorted((lba, ppn) for lba, (_seq, ppn) in state.items())
     ftl.map = BPlusTree.bulk_load(items, order=ftl.config.map_order)
+    _assert_no_activation_residue(ftl)
     cost = (diff_ops * ftl.config.cpu.bitmap_adjust_ns
             + len(items) * ftl.config.cpu.map_bulk_insert_ns)
     if cost:
         yield cost
+
+
+def _assert_no_activation_residue(ftl: "IoSnapDevice") -> None:
+    """Enforce §5.5's "activation branches do not survive a crash".
+
+    The rebuild above only walks the main chain, so this holds by
+    construction — but recovery is exactly the code the torture rig
+    exists to distrust, so make the invariant explicit (fsck checks
+    the same property as S6 on every audit).
+    """
+    if ftl._activations:
+        raise SnapshotError(
+            f"recovery leaked {len(ftl._activations)} open activation(s)")
+    for epoch in ftl._epoch_bitmaps:
+        if ftl.tree.node(epoch).kind is BranchKind.ACTIVATION:
+            raise SnapshotError(
+                f"recovery leaked a bitmap for activation epoch {epoch}")
 
 
 def _rebuild_tree(packets: List[ScannedPacket]) -> SnapshotTree:
@@ -120,7 +138,14 @@ def _rebuild_tree(packets: List[ScannedPacket]) -> SnapshotTree:
     notes = sorted((p for p in packets if p.note is not None),
                    key=lambda p: p.header.seq)
     active_epoch = 0
+    seen_seqs: set = set()
     for packet in notes:
+        # The cleaner copy-forwards notes verbatim (same header/seq);
+        # until it erases the source segment both copies are on media,
+        # so a crash between copy and erase replays the note twice.
+        if packet.header.seq in seen_seqs:
+            continue
+        seen_seqs.add(packet.header.seq)
         note = packet.note
         if isinstance(note, SnapCreateNote):
             tree.register_recovered_epoch(note.new_epoch,

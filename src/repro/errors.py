@@ -27,6 +27,23 @@ class UncorrectableError(NandError):
     """Injected bit errors exceeded correction capability on a read."""
 
 
+class TornPageError(NandError):
+    """Read of a page whose program was interrupted by power loss.
+
+    The page occupies its slot in the block's program order, but its
+    OOB checksum can never verify — the torture rig's model of a torn
+    write.
+    """
+
+
+class PowerLossError(ReproError):
+    """An injected power cut fired (see :mod:`repro.torture.power`).
+
+    Raised at the crash site and by every subsequent operation on the
+    dead device: after the cut, nothing executes until the next open.
+    """
+
+
 class FtlError(ReproError):
     """Logical-layer error in the FTL."""
 

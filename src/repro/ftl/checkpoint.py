@@ -5,15 +5,30 @@ The checkpoint is the pickled FTL state (forward map items, validity
 pages, sequence counters, live notes, and whatever extra state the
 ioSnap layer adds via ``_dump_extra``), chunked into CHECKPOINT pages
 appended to the log.  The superblock — the device's small out-of-band
-config area — records where the chunks live plus the log's segment
-bookkeeping, and the ``clean`` flag that decides between checkpoint
-restore and log-scan recovery at the next open.
+config area — records where the chunks live, a generation number and a
+CRC32 over the serialized blob, plus the log's segment bookkeeping and
+the ``clean`` flag that decides between checkpoint restore and log-scan
+recovery at the next open.
+
+Torn-checkpoint handling: ``restore_checkpoint`` validates a candidate
+checkpoint *completely* (read every chunk, CRC, unpickle, version
+check) before mutating any FTL state, so a bad checkpoint can never
+leave a half-restored device behind.  If the newest generation fails
+validation, the restore falls back to the previous complete generation
+(its descriptor is stashed in the superblock on every checkpoint
+write) and then replays the log on top of it — the scan-based rebuild
+supersedes whatever the stale generation said, so the result is
+current; the validated old generation is what proves the fallback path
+is intact rather than raising outright.  Only when no generation
+validates does the restore raise, and ``VslDevice.open`` falls back to
+pure log-scan recovery.
 """
 
 from __future__ import annotations
 
 import pickle
-from typing import TYPE_CHECKING, Generator
+import zlib
+from typing import TYPE_CHECKING, Generator, List, Optional
 
 from repro.errors import CheckpointError
 from repro.ftl.btree import BPlusTree
@@ -22,7 +37,7 @@ from repro.nand.oob import OobHeader, PageKind
 if TYPE_CHECKING:  # pragma: no cover
     from repro.ftl.vsl import VslDevice
 
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 2
 
 
 def write_checkpoint(ftl: "VslDevice") -> Generator:
@@ -32,14 +47,18 @@ def write_checkpoint(ftl: "VslDevice") -> Generator:
     (see ``VslDevice._shutdown_proc``), so the state captured here
     cannot change under us.
     """
+    sb = ftl.nand.superblock
+    generation = sb.get("checkpoint_gen", 0) + 1
     state = {
         "version": CHECKPOINT_VERSION,
+        "generation": generation,
         "seq": ftl._next_seq,
         "map_items": list(ftl.map.items()),
         "notes": dict(ftl._note_registry),
         "extra": ftl._dump_extra(),
     }
     blob = pickle.dumps(state)
+    crc = zlib.crc32(blob)
     chunk_size = ftl.nand.geometry.page_size
     ppns = []
     for index in range(0, len(blob), chunk_size):
@@ -52,21 +71,38 @@ def write_checkpoint(ftl: "VslDevice") -> Generator:
         ppns.append(ppn)
         yield done  # checkpoints must be durable
 
-    ftl.nand.superblock.update({
+    # Stash the outgoing generation's descriptor before overwriting it:
+    # if the superblock update below completes but the *next* shutdown
+    # tears its checkpoint, restore can still find this one.  (Its
+    # pages may be cleaned during the coming run; validation decides.)
+    prev = None
+    if sb.get("checkpoint_ppns") is not None:
+        prev = {
+            "ppns": list(sb["checkpoint_ppns"]),
+            "crc": sb.get("checkpoint_crc"),
+            "gen": sb.get("checkpoint_gen", 0),
+        }
+
+    # The superblock write is the checkpoint's commit point: a cut
+    # before it leaves clean=False and the next open scans the log.
+    ftl.nand.power_check("checkpoint.superblock:pre")
+    sb.update({
         "clean": True,
         "checkpoint_ppns": ppns,
+        "checkpoint_crc": crc,
+        "checkpoint_gen": generation,
+        "prev_checkpoint": prev,
         "log_state": ftl.log.dump_state(),
         "next_seq": ftl._next_seq,
     })
 
 
-def restore_checkpoint(ftl: "VslDevice") -> Generator:
-    """Rebuild FTL state from the checkpoint referenced by the superblock."""
-    sb = ftl.nand.superblock
-    ppns = sb.get("checkpoint_ppns")
-    if not sb.get("clean") or ppns is None:
-        raise CheckpointError("superblock has no clean checkpoint")
+def _read_and_validate(ftl: "VslDevice", ppns: List[int],
+                       crc: Optional[int]) -> Generator:
+    """Read one checkpoint generation and validate it end to end.
 
+    Raises :class:`CheckpointError` on any problem; mutates nothing.
+    """
     blob = b""
     for ppn in ppns:
         try:
@@ -79,13 +115,52 @@ def restore_checkpoint(ftl: "VslDevice") -> Generator:
         if record.data is None:
             raise CheckpointError(f"checkpoint page {ppn} lost its payload")
         blob += record.data[:record.header.length]
+    if crc is not None and zlib.crc32(blob) != crc:
+        raise CheckpointError("checkpoint CRC mismatch (torn or corrupt)")
     try:
         state = pickle.loads(blob)
     except Exception as exc:  # noqa: BLE001 - any unpickle failure is fatal
         raise CheckpointError(f"corrupt checkpoint: {exc}") from exc
-    if state.get("version") != CHECKPOINT_VERSION:
-        raise CheckpointError(
-            f"unsupported checkpoint version {state.get('version')}")
+    version = state.get("version")
+    if version not in (1, CHECKPOINT_VERSION):
+        raise CheckpointError(f"unsupported checkpoint version {version}")
+    for key in ("seq", "map_items", "notes", "extra"):
+        if key not in state:
+            raise CheckpointError(f"checkpoint missing field {key!r}")
+    return state
+
+
+def restore_checkpoint(ftl: "VslDevice") -> Generator:
+    """Rebuild FTL state from the checkpoint referenced by the superblock.
+
+    Tries the newest generation first, then the stashed previous
+    generation.  State is only mutated after a generation validates
+    completely, so a failed restore leaves a pristine instance.
+    """
+    sb = ftl.nand.superblock
+    ppns = sb.get("checkpoint_ppns")
+    if not sb.get("clean") or ppns is None:
+        raise CheckpointError("superblock has no clean checkpoint")
+
+    attempts = [(ppns, sb.get("checkpoint_crc"), False)]
+    prev = sb.get("prev_checkpoint")
+    if prev and prev.get("ppns"):
+        attempts.append((prev["ppns"], prev.get("crc"), True))
+
+    state = None
+    fallback = False
+    last_error: Optional[CheckpointError] = None
+    for attempt_ppns, crc, is_prev in attempts:
+        try:
+            state = yield from _read_and_validate(ftl, attempt_ppns, crc)
+        except CheckpointError as exc:
+            last_error = exc
+            continue
+        fallback = is_prev
+        break
+    if state is None:
+        assert last_error is not None
+        raise last_error
 
     ftl._next_seq = state["seq"]
     ftl.map = BPlusTree.bulk_load(state["map_items"],
@@ -93,4 +168,19 @@ def restore_checkpoint(ftl: "VslDevice") -> Generator:
     yield len(state["map_items"]) * ftl.config.cpu.map_bulk_insert_ns
     ftl._note_registry = state["notes"]
     ftl._load_extra(state["extra"])
-    ftl.log.adopt_state(*sb["log_state"])
+    if not fallback:
+        ftl.log.adopt_state(*sb["log_state"])
+        return
+
+    # Fallback path: the previous generation is stale — it predates
+    # the superblock's log bookkeeping and everything written since it
+    # was taken.  Replay the log on top: the scan rebuilds segment
+    # bookkeeping, forward map, validity, and the note registry
+    # wholesale (superseding the stale images), while the validated
+    # old generation established that the fallback is sound instead of
+    # giving up.  Clear the stale registry first so note pages the
+    # cleaner relocated after that generation cannot linger.
+    from repro.ftl.recovery import recover
+
+    ftl._note_registry = {}
+    yield from recover(ftl)

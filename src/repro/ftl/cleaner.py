@@ -171,7 +171,8 @@ class SegmentCleaner:
             record = yield from self.ftl.nand.read_page(ppn)
             new_ppn, _done = yield from self.ftl.log.append(
                 record.header, record.data, privileged=True,
-                head=self.ftl._gc_head_for(ppn, record.header))
+                head=self.ftl._gc_head_for(ppn, record.header),
+                site="gc.copy")
             self.ftl._on_packet_appended(new_ppn, record.header)
             yield from self.ftl._relocate(ppn, new_ppn, record.header)
             moved += 1
@@ -180,14 +181,19 @@ class SegmentCleaner:
         moves_done_at = self.kernel.now
 
         for ppn in seg.written_ppns():
-            header = self.ftl.nand.array.read_header(ppn) \
-                if self.ftl.nand.array.is_programmed(ppn) else None
+            array = self.ftl.nand.array
+            # Torn pages (power-cut residue) occupy their slot but hold
+            # nothing; they are reclaimed with the segment.
+            header = array.read_header(ppn) \
+                if array.is_programmed(ppn) and not array.is_torn(ppn) \
+                else None
             if header is None or header.kind is PageKind.DATA:
                 continue
             if ppn in self.ftl._note_registry and self.ftl._note_is_live(ppn, header):
                 record = yield from self.ftl.nand.read_page(ppn)
                 new_ppn, _done = yield from self.ftl.log.append(
-                    record.header, record.data, privileged=True)
+                    record.header, record.data, privileged=True,
+                    site="gc.note")
                 self.ftl._on_packet_appended(new_ppn, record.header)
                 self.ftl._relocate_note(ppn, new_ppn)
                 self.notes_moved += 1
@@ -200,7 +206,7 @@ class SegmentCleaner:
         for block in range(first_block,
                            first_block + self.ftl.log.blocks_per_segment):
             try:
-                yield from self.ftl.nand.erase_block(block)
+                yield from self.ftl.nand.erase_block(block, site="gc.erase")
             except WearOutError:
                 worn_out = True
         self.ftl._on_segment_erased(seg)

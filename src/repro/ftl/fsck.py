@@ -22,7 +22,11 @@ ioSnap invariants (additionally)
       whose epoch lies on that epoch's path;
   S4  the epoch counter exceeds every epoch present on the media;
   S5  per-segment epoch summaries are supersets of the epochs actually
-      present (they may over-approximate, never under-approximate).
+      present (they may over-approximate, never under-approximate);
+  S6  activation state never leaks: every ACTIVATION-branch epoch that
+      owns a validity bitmap belongs to a currently-open activation
+      (after crash recovery there are none — activations die with
+      host memory, §5.5).
 
 Usage::
 
@@ -35,6 +39,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, Iterator, List, Tuple
 
+from repro.core.snaptree import BranchKind
+from repro.errors import SnapshotError
 from repro.ftl.log import SegmentState
 from repro.ftl.validity import iter_word_bits
 from repro.nand.oob import PageKind
@@ -195,7 +201,7 @@ def _scan_media(device) -> List[Tuple[int, object]]:
                       key=lambda seg: seg.seq)
     for seg in segments:
         for ppn in seg.written_ppns():
-            if array.is_programmed(ppn):
+            if array.is_programmed(ppn) and not array.is_torn(ppn):
                 packets.append((ppn, array.read_header(ppn)))
     return packets
 
@@ -313,5 +319,20 @@ def _check_iosnap(device) -> List[str]:
         if missing:
             out.append(f"S5: segment {index} summary missing epochs "
                        f"{sorted(missing)}")
+
+    # S6: no leaked activation scan state — an ACTIVATION-branch epoch
+    # may own a bitmap only while its activation is open.
+    open_activation_epochs = {act.epoch for act in device._activations}
+    for epoch in device._epoch_bitmaps:
+        try:
+            node = tree.node(epoch)
+        except SnapshotError:
+            out.append(f"S6: epoch {epoch} owns a bitmap but is not in "
+                       "the snapshot tree")
+            continue
+        if (node.kind is BranchKind.ACTIVATION
+                and epoch not in open_activation_epochs):
+            out.append(f"S6: activation epoch {epoch} bitmap leaked "
+                       "(no open activation)")
 
     return out

@@ -24,6 +24,34 @@ from repro.nand.oob import OobHeader, PageKind
 from repro.sim import Event, Kernel, Lock
 
 
+# Crash-site names for power-cut injection (see repro.torture): the
+# site of a page program is derived from what is being appended and on
+# which head, so a cut can target e.g. "mid cleaner copy-forward"
+# (gc.copy:mid) independently of "mid foreground write" (write.data:mid).
+_NOTE_SITES = {
+    PageKind.NOTE_TRIM: "note.trim",
+    PageKind.NOTE_SNAP_CREATE: "note.snap_create",
+    PageKind.NOTE_SNAP_DELETE: "note.snap_delete",
+    PageKind.NOTE_SNAP_ACTIVATE: "note.snap_activate",
+    PageKind.NOTE_SNAP_DEACTIVATE: "note.snap_deactivate",
+}
+
+
+def append_site(kind: PageKind, head: str) -> str:
+    """Crash-site name for appending a ``kind`` packet at ``head``.
+
+    Note kinds map to their ``note.*`` name regardless of head:
+    delete/deactivate notes are privileged (head "gc") yet are original
+    foreground appends.  The cleaner distinguishes its re-appends by
+    passing an explicit ``site`` to :meth:`Log.append`.
+    """
+    if kind is PageKind.DATA:
+        return "write.data" if head == "user" else "gc.copy"
+    if kind is PageKind.CHECKPOINT:
+        return "checkpoint.page"
+    return _NOTE_SITES.get(kind, "log.other")
+
+
 class SegmentState(enum.Enum):
     FREE = "free"
     OPEN = "open"
@@ -140,7 +168,8 @@ class Log:
     # -- appending -----------------------------------------------------------
     def append(self, header: OobHeader, data: Optional[bytes],
                privileged: bool = False,
-               head: Optional[str] = None) -> Generator:
+               head: Optional[str] = None,
+               site: Optional[str] = None) -> Generator:
         """Append one packet at an append head.
 
         Returns ``(ppn, done_event)``; the event triggers when the die
@@ -149,7 +178,10 @@ class Log:
         operations that release space) dip into the reserve pool when
         the general free list is empty.  ``head`` selects the open
         segment: defaults to "user" ("gc" when privileged); the cleaner
-        passes "gc-hot"/"gc-cold" for epoch segregation.
+        passes "gc-hot"/"gc-cold" for epoch segregation.  ``site``
+        overrides the derived crash-site name (the cleaner tags its
+        re-appends "gc.copy"/"gc.note" since the packet kind alone
+        cannot tell a copy-forward from an original append).
 
         When the log is out of free segments, the allocation lock is
         dropped while waiting so the cleaner can still append its
@@ -157,6 +189,8 @@ class Log:
         """
         if head is None:
             head = "gc" if privileged else "user"
+        if site is None:
+            site = append_site(header.kind, head)
         while True:
             if not self._alloc_lock.try_acquire():
                 yield self._alloc_lock.acquire()
@@ -170,7 +204,8 @@ class Log:
                     seg = self._open[head]
                     ppn = seg.first_ppn + seg.next_offset
                     seg.next_offset += 1
-                    done = yield from self.device.program_page(ppn, header, data)
+                    done = yield from self.device.program_page(
+                        ppn, header, data, site=site)
                     if seg.next_offset >= seg.npages:
                         # Close eagerly: a full segment is immediately
                         # visible to the cleaner as a candidate.
@@ -204,7 +239,8 @@ class Log:
         self._open[head] = seg
         self.stats.segments_opened += 1
         header = OobHeader(kind=PageKind.SEGMENT_HEADER, lba=seg.seq)
-        done = yield from self.device.program_page(seg.first_ppn, header, None)
+        done = yield from self.device.program_page(seg.first_ppn, header,
+                                                   None, site="log.seghdr")
         del done  # segment headers need not be durable before use
         return None
 

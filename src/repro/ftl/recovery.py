@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Generator, List, Optional, Tuple
 
+from repro.errors import TornPageError
 from repro.ftl.log import SegmentState
 from repro.ftl.packet import decode_note
 from repro.nand.oob import NOTE_KINDS, OobHeader, PageKind
@@ -35,31 +36,76 @@ class ScannedPacket:
     note: object = None  # decoded note dataclass for NOTE_* pages
 
 
+def _repair_segment(ftl: "VslDevice", seg) -> Generator:
+    """Finish an interrupted erase / scrub a torn segment header.
+
+    A power cut can leave a segment with (a) some blocks erased and
+    some not (cut between the cleaner's per-block erases) or (b) a
+    torn or non-header first page.  Either way nothing in it is
+    recoverable — the cleaner only erases after relocating all live
+    data — so complete the erase and hand the segment back as FREE.
+    """
+    pages_per_block = ftl.nand.geometry.pages_per_block
+    first_block = seg.first_ppn // pages_per_block
+    for block in range(first_block, first_block + ftl.log.blocks_per_segment):
+        if not ftl.nand.array.block_is_erased(block):
+            yield from ftl.nand.erase_block(block)
+
+
 def scan_log(ftl: "VslDevice") -> Generator:
     """Read every programmed page's header, in log order.
 
     Returns ``(packets, seg_states, next_seg_seq)`` where ``packets``
     is ordered by (segment allocation seq, offset) and ``seg_states``
     is the :meth:`repro.ftl.log.Log.adopt_state` input.
+
+    Power-cut residue is tolerated: a torn page ends its segment's
+    packet extent (the slot is consumed but carries nothing), and a
+    segment whose header page is missing or torn while data remains —
+    an interrupted erase — is erased the rest of the way and returned
+    to the free pool.
     """
     found: List[Tuple[int, List[ScannedPacket], int]] = []
     seg_states: Dict[int, Tuple[str, int, int]] = {}
+    array = ftl.nand.array
+    pages_per_block = ftl.nand.geometry.pages_per_block
     for seg in ftl.log.segments:
-        if not ftl.nand.array.is_programmed(seg.first_ppn):
+        if not array.is_programmed(seg.first_ppn):
+            first_block = seg.first_ppn // pages_per_block
+            blocks = range(first_block,
+                           first_block + ftl.log.blocks_per_segment)
+            if not all(array.block_is_erased(b) for b in blocks):
+                # Interrupted erase: the header block went first but
+                # later blocks still hold stale pages.
+                yield from _repair_segment(ftl, seg)
             seg_states[seg.index] = (SegmentState.FREE.value, -1, 0)
             continue
-        first = yield from ftl.nand.read_header(seg.first_ppn)
-        if first.kind is not PageKind.SEGMENT_HEADER:
-            # Half-erased or foreign segment; treat as free.
+        try:
+            first = yield from ftl.nand.read_header(seg.first_ppn)
+        except TornPageError:
+            first = None  # cut mid segment-header program
+        if first is None or first.kind is not PageKind.SEGMENT_HEADER:
+            # Torn, half-erased, or foreign segment: nothing here is
+            # attributable to a log position; scrub it.
+            yield from _repair_segment(ftl, seg)
             seg_states[seg.index] = (SegmentState.FREE.value, -1, 0)
             continue
         seg_seq = first.lba
         packets: List[ScannedPacket] = []
         offset = 1
         while (seg.first_ppn + offset < seg.end_ppn
-               and ftl.nand.array.is_programmed(seg.first_ppn + offset)):
+               and array.is_programmed(seg.first_ppn + offset)):
             ppn = seg.first_ppn + offset
-            header = yield from ftl.nand.read_header(ppn)
+            try:
+                header = yield from ftl.nand.read_header(ppn)
+            except TornPageError:
+                # The cut hit mid-program of this page: the slot is
+                # consumed (keep it inside the written extent so the
+                # bookkeeping matches the media) but the packet never
+                # happened.  Appends serialize on the head, so nothing
+                # can follow it.
+                offset += 1
+                break
             yield ftl.config.cpu.replay_packet_ns
             note = None
             if header.kind in NOTE_KINDS:

@@ -14,6 +14,7 @@ from repro.errors import (
     AddressError,
     NandError,
     ProgramOrderError,
+    TornPageError,
     WearOutError,
 )
 from repro.nand.geometry import NandGeometry, WearModel
@@ -26,6 +27,12 @@ class PageRecord:
 
     header: OobHeader
     data: Optional[bytes]
+
+
+# Sentinel record for a page whose program was cut mid-flight: it
+# occupies its slot in the block's program order (the cells are no
+# longer erased) but neither header nor payload can ever be read back.
+_TORN = object()
 
 
 class Block:
@@ -48,16 +55,31 @@ class Block:
         self._pages[page] = record
         self.next_page += 1
 
+    def program_torn(self, page: int) -> None:
+        """Occupy ``page`` with an unreadable torn record (power cut)."""
+        if page != self.next_page:
+            raise ProgramOrderError(
+                f"page {page} programmed out of order (expected {self.next_page})")
+        if page >= self.pages_per_block:
+            raise AddressError(f"page {page} beyond block end")
+        self._pages[page] = _TORN
+        self.next_page += 1
+
     def read(self, page: int) -> PageRecord:
         if not 0 <= page < self.pages_per_block:
             raise AddressError(f"page {page} out of block range")
         record = self._pages.get(page)
         if record is None:
             raise NandError(f"read of unprogrammed page {page}")
+        if record is _TORN:
+            raise TornPageError(f"page {page} is torn (OOB checksum bad)")
         return record
 
     def is_programmed(self, page: int) -> bool:
         return page in self._pages
+
+    def is_torn(self, page: int) -> bool:
+        return self._pages.get(page) is _TORN
 
     def erase(self, wear: WearModel) -> None:
         self.erase_count += 1
@@ -107,6 +129,12 @@ class NandArray:
                 or header.kind is not PageKind.DATA)
         block.program(page, PageRecord(header=header, data=data if keep else None))
 
+    def program_torn(self, ppn: int) -> None:
+        """Leave a torn page at ``ppn``: the power-cut residue of a
+        program that charged the cells but never finished."""
+        block, page = self._locate(ppn)
+        block.program_torn(page)
+
     def read(self, ppn: int) -> PageRecord:
         block, page = self._locate(ppn)
         return block.read(page)
@@ -117,6 +145,10 @@ class NandArray:
     def is_programmed(self, ppn: int) -> bool:
         block, page = self._locate(ppn)
         return block.is_programmed(page)
+
+    def is_torn(self, ppn: int) -> bool:
+        block, page = self._locate(ppn)
+        return block.is_torn(page)
 
     def erase_block(self, global_block: int) -> None:
         if not 0 <= global_block < self.geometry.total_blocks:

@@ -23,7 +23,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Generator, Optional
 
-from repro.errors import UncorrectableError
+from repro.errors import PowerLossError, UncorrectableError
 from repro.nand.chip import NandArray, PageRecord
 from repro.nand.geometry import NandConfig
 from repro.nand.oob import HEADER_SIZE, OobHeader
@@ -96,6 +96,11 @@ class NandDevice:
         # Small out-of-band config area (real devices keep a superblock
         # in NOR or a reserved region); survives simulated crashes.
         self.superblock: dict = {}
+        # Optional power-cut injector (duck-typed; see
+        # repro.torture.power.PowerModel).  When set, every
+        # media-mutating operation consults it at named sites and a
+        # firing cut raises PowerLossError, leaving realistic residue.
+        self.power = None
         self._channels = [Resource(kernel) for _ in range(self.geometry.channels)]
         self._dies = [Resource(kernel) for _ in range(self.geometry.dies)]
         # Hot-path precomputation: every NAND op resolves its (die,
@@ -111,6 +116,11 @@ class NandDevice:
         self._header_xfer_ns = self.timing.xfer_ns(HEADER_SIZE)
 
     # -- helpers ----------------------------------------------------------
+    def power_check(self, site: str) -> None:
+        """Raise :class:`PowerLossError` if an injected cut fires here."""
+        if self.power is not None and self.power.cut(site):
+            raise PowerLossError(f"power cut at {site}")
+
     def _resources_for(self, ppn: int) -> tuple:
         if not 0 <= ppn < self._total_pages:
             self.geometry.check_ppn(ppn)
@@ -163,7 +173,8 @@ class NandDevice:
         return header
 
     def program_page(self, ppn: int, header: OobHeader,
-                     data: Optional[bytes]) -> Generator:
+                     data: Optional[bytes],
+                     site: str = "nand.program") -> Generator:
         """Buffered program; returns an :class:`Event` for die completion.
 
         The generator finishes once the bus transfer is done and the
@@ -172,7 +183,13 @@ class NandDevice:
         finishes; the die stays busy until then, so later operations on
         the same die queue behind it — the asynchrony is real, not free.
         Callers wanting synchronous semantics ``yield`` the event.
+
+        ``site`` names this program for power-cut injection: a cut at
+        ``site:pre`` leaves the page untouched, at ``site:mid`` leaves
+        it torn (slot consumed, unreadable), at ``site:post`` leaves it
+        fully programmed with the acknowledgement lost.
         """
+        self.power_check(site + ":pre")
         die, channel = self._resources_for(ppn)
         if not channel.try_acquire():
             yield channel.acquire()
@@ -180,7 +197,11 @@ class NandDevice:
             yield self._page_xfer_ns
         finally:
             channel.release()
+        if self.power is not None and self.power.cut(site + ":mid"):
+            self.array.program_torn(ppn)
+            raise PowerLossError(f"power cut at {site}:mid (ppn {ppn} torn)")
         self.array.program(ppn, header, data)
+        self.power_check(site + ":post")
         if not die.try_acquire():
             yield die.acquire()
         done = self.kernel.event()
@@ -192,8 +213,16 @@ class NandDevice:
         self.stats.bytes_written += self.geometry.page_size
         return done
 
-    def erase_block(self, global_block: int) -> Generator:
-        """Erase one block; the owning die is busy for the whole erase."""
+    def erase_block(self, global_block: int,
+                    site: str = "nand.erase") -> Generator:
+        """Erase one block; the owning die is busy for the whole erase.
+
+        A cut at ``site:pre`` leaves the block intact; at ``site:mid``
+        the block is erased but the caller's bookkeeping never learns
+        of it (mid multi-block segment erase is the cut landing between
+        per-block erases).
+        """
+        self.power_check(site + ":pre")
         die_index = global_block // self.geometry.blocks_per_die
         die = self._dies[die_index]
         if not die.try_acquire():
@@ -202,6 +231,10 @@ class NandDevice:
             yield self.timing.erase_block_ns
         finally:
             die.release()
+        if self.power is not None and self.power.cut(site + ":mid"):
+            self.array.erase_block(global_block)
+            raise PowerLossError(f"power cut at {site}:mid "
+                                 f"(block {global_block} erased, ack lost)")
         self.array.erase_block(global_block)
         self.stats.block_erases += 1
 

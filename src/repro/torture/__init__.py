@@ -1,0 +1,38 @@
+"""Deterministic power-cut torture rig for the ioSnap reproduction.
+
+The rig answers one question about every mutation the device makes to
+its media: *if power is lost exactly here, does recovery rebuild a
+state the host could have observed?*  It is built from:
+
+- :mod:`repro.torture.power` — the injection model.  The NAND device
+  consults it at named crash sites (``write.data:mid``,
+  ``gc.erase:pre``, ``checkpoint.superblock:pre``, ...); firing raises
+  :class:`repro.errors.PowerLossError` and leaves realistic residue
+  (torn pages, half-written checkpoints, half-erased segments).
+- :mod:`repro.torture.workload` — a tiny replayable op script DSL
+  (writes, trims, snapshot create/delete/activate/deactivate, forced
+  GC, clean shutdown) plus a seeded generator.
+- :mod:`repro.torture.model` — the model oracle: a pure-dict shadow of
+  the device updated only on *acknowledged* operations, with
+  prefix/atomicity checking of the recovered state.
+- :mod:`repro.torture.harness` — runs a script, cuts power at an
+  enumerated site, reopens through the real recovery paths, and
+  verifies with both oracles (``ftl.fsck`` and the model).
+- :mod:`repro.torture.reduce` — delta-debugging reducer that shrinks a
+  failing script to a minimal repro and emits a replayable JSON file.
+
+Run ``python -m repro.torture --exhaustive --small`` to sweep every
+injection point of the built-in small workload.
+"""
+
+from repro.torture.harness import (  # noqa: F401
+    CutOutcome,
+    TortureFailure,
+    enumerate_sites,
+    run_with_cut,
+    site_kinds,
+)
+from repro.torture.model import Model  # noqa: F401
+from repro.torture.power import PowerModel  # noqa: F401
+from repro.torture.reduce import shrink_failure, write_repro  # noqa: F401
+from repro.torture.workload import generate_script, small_script  # noqa: F401

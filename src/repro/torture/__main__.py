@@ -1,0 +1,174 @@
+"""CLI for the power-cut torture rig.
+
+Exhaustive sweep of the built-in small workload (the CI job):
+
+    python -m repro.torture --exhaustive --small
+
+Seeded random sweep over generated workloads:
+
+    python -m repro.torture --sweep 5 --seed 1234
+
+Replay a repro file emitted by a failing run:
+
+    python -m repro.torture --replay torture-repro.json
+
+Exit status is 0 iff every cut recovered cleanly under both oracles.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+from typing import List, Optional
+
+from repro.torture.harness import (
+    TortureConfig,
+    enumerate_sites,
+    run_with_cut,
+    site_kinds,
+)
+from repro.torture.power import Target
+from repro.torture.reduce import (
+    ShrunkRepro,
+    load_repro,
+    shrink_failure,
+    write_repro,
+)
+from repro.torture.workload import Op, generate_script, small_script
+
+
+def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.torture",
+        description="Deterministic power-cut torture rig")
+    parser.add_argument("--exhaustive", action="store_true",
+                        help="cut at every enumerated injection point")
+    parser.add_argument("--small", action="store_true",
+                        help="use the fixed built-in small workload")
+    parser.add_argument("--sweep", type=int, metavar="N", default=0,
+                        help="run N seeded random workloads, sampling "
+                             "--max-sites cuts from each")
+    parser.add_argument("--seed", type=int, default=2014,
+                        help="base seed for generated workloads/sampling")
+    parser.add_argument("--length", type=int, default=40,
+                        help="ops per generated workload")
+    parser.add_argument("--max-sites", type=int, metavar="K", default=0,
+                        help="cap the number of cuts per workload "
+                             "(0 = no cap for --exhaustive, 12 for --sweep)")
+    parser.add_argument("--no-deep", dest="deep", action="store_false",
+                        help="skip per-snapshot content readback")
+    parser.add_argument("--replay", metavar="FILE",
+                        help="replay a repro file and exit")
+    parser.add_argument("--repro-out", metavar="FILE",
+                        default="torture-repro.json",
+                        help="where to write the shrunk repro on failure")
+    parser.add_argument("--no-shrink", dest="shrink", action="store_false",
+                        help="report the first failure without reducing it")
+    parser.add_argument("--list-sites", action="store_true",
+                        help="print the workload's injection points and exit")
+    return parser.parse_args(argv)
+
+
+def _fail(script: List[Op], target: Target, failures: List[str],
+          args: argparse.Namespace) -> int:
+    print(f"FAIL: cut at {target[0]} (occurrence {target[1]}):")
+    for violation in failures:
+        print(f"  - {violation}")
+    if args.shrink:
+        print("shrinking ...")
+        repro = shrink_failure(script, target[0], deep=args.deep)
+        write_repro(args.repro_out, repro)
+        print(f"shrunk {repro.original_ops} -> {len(repro.script)} ops "
+              f"({repro.attempts} candidates tried)")
+        print(f"repro written to {args.repro_out}; replay with:")
+        print(f"  python -m repro.torture --replay {args.repro_out}")
+    else:
+        repro = ShrunkRepro(script=script, site=target[0],
+                            occurrence=target[1], failures=failures,
+                            original_ops=len(script))
+        write_repro(args.repro_out, repro)
+        print(f"repro written to {args.repro_out} (unshrunk)")
+    return 1
+
+
+def _run_targets(script: List[Op], targets: List[Target],
+                 args: argparse.Namespace, label: str) -> int:
+    ran = 0
+    start = time.monotonic()
+    for target in targets:
+        outcome = run_with_cut(script, target, deep=args.deep)
+        if outcome.invalid:
+            print(f"error: workload {label} is not a valid script")
+            return 2
+        ran += 1
+        if outcome.failed:
+            return _fail(script, target, outcome.failures, args)
+    elapsed = time.monotonic() - start
+    kinds = site_kinds(targets)
+    print(f"{label}: {ran} cuts across {len(kinds)} site kinds "
+          f"passed both oracles in {elapsed:.1f}s")
+    print(f"  site kinds: {', '.join(kinds)}")
+    return 0
+
+
+def _replay(args: argparse.Namespace) -> int:
+    repro = load_repro(args.replay)
+    print(f"replaying {len(repro.script)} ops, cut at {repro.site} "
+          f"(occurrence {repro.occurrence})")
+    outcome = run_with_cut(repro.script, repro.target, deep=args.deep)
+    if outcome.invalid:
+        print("error: repro script is not valid on this build")
+        return 2
+    if not outcome.fired:
+        print("cut never fired (site renumbered?); nothing verified")
+        return 2
+    if outcome.failed:
+        print("reproduced:")
+        for violation in outcome.failures:
+            print(f"  - {violation}")
+        return 1
+    print("repro no longer fails: recovery handled the cut")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parse_args(argv)
+    if args.replay:
+        return _replay(args)
+
+    if args.sweep:
+        cap = args.max_sites or 12
+        for round_no in range(args.sweep):
+            seed = args.seed + round_no
+            script = generate_script(seed, length=args.length)
+            targets = enumerate_sites(script)
+            if len(targets) > cap:
+                targets = random.Random(seed).sample(targets, cap)
+                targets.sort()
+            status = _run_targets(script, targets, args,
+                                  label=f"sweep seed={seed}")
+            if status:
+                return status
+        return 0
+
+    # Default / --exhaustive: one workload, every injection point.
+    script = small_script() if args.small else generate_script(
+        args.seed, length=args.length)
+    targets = enumerate_sites(script)
+    if args.list_sites:
+        for site, occurrence in targets:
+            print(f"{site} x{occurrence}")
+        print(f"{len(targets)} injection points, "
+              f"{len(site_kinds(targets))} site kinds")
+        return 0
+    if args.max_sites and len(targets) > args.max_sites:
+        targets = random.Random(args.seed).sample(targets, args.max_sites)
+        targets.sort()
+    label = "small workload" if args.small else f"workload seed={args.seed}"
+    return _run_targets(script, targets, args, label)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

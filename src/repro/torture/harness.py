@@ -1,0 +1,228 @@
+"""The torture harness: run, cut, reopen, verify.
+
+One torture case is ``run_with_cut(script, target)``:
+
+1. build a fresh simulated device and run ``script`` op by op through
+   the synchronous façade, with a :class:`PowerModel` armed at
+   ``target = (site, occurrence)``;
+2. when the cut fires — in the foreground op or inside the background
+   cleaner — abandon the kernel wholesale (a frozen event loop *is*
+   instantaneous power loss) and keep only what hardware keeps: the
+   NAND array and the superblock;
+3. transplant the media under a fresh kernel/device and reopen through
+   the real recovery stack (``VslDevice.open`` →
+   ``ftl.checkpoint``/``ftl.recovery``/``core.recovery``);
+4. verify with two oracles: the ``ftl.fsck`` invariant audit (F1-F5,
+   S1-S6) and the model oracle's prefix/atomicity check, then prove
+   the recovered device is *usable* by running a cleaner pass and
+   auditing again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.iosnap import IoSnapConfig, IoSnapDevice
+from repro.errors import (
+    FtlError,
+    LbaError,
+    PowerLossError,
+    ReproError,
+    SnapshotError,
+)
+from repro.ftl.fsck import fsck
+from repro.nand.device import NandDevice
+from repro.nand.geometry import NandConfig, NandGeometry
+from repro.sim import Kernel
+from repro.sim.kernel import SimError
+from repro.torture.model import Model
+from repro.torture.power import PowerModel, Target
+from repro.torture.workload import Op, payload_for
+
+
+@dataclass(frozen=True)
+class TortureConfig:
+    """Device shape for torture runs (defaults: ~2 MiB, GC kicks fast)."""
+
+    page_size: int = 4096
+    pages_per_block: int = 16
+    blocks_per_die: int = 8
+    dies: int = 4
+    channels: int = 2
+
+    def nand_config(self) -> NandConfig:
+        return NandConfig(geometry=NandGeometry(
+            page_size=self.page_size,
+            pages_per_block=self.pages_per_block,
+            blocks_per_die=self.blocks_per_die,
+            dies=self.dies, channels=self.channels))
+
+
+class ScriptInvalid(Exception):
+    """The (possibly reducer-mutilated) script is not semantically valid."""
+
+
+@dataclass
+class CutOutcome:
+    """Result of one torture case."""
+
+    target: Optional[Target]
+    fired: bool = False
+    invalid: bool = False
+    pending_index: Optional[int] = None   # op in flight at the cut
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.failures)
+
+
+class TortureFailure(AssertionError):
+    """Raised by callers that want a failing case to be fatal."""
+
+
+# ---------------------------------------------------------------------------
+# Running a script
+# ---------------------------------------------------------------------------
+def _build_device(config: TortureConfig) -> IoSnapDevice:
+    kernel = Kernel()
+    return IoSnapDevice.create(kernel, config.nand_config(), IoSnapConfig())
+
+
+def _apply_op(device: IoSnapDevice, activations: Dict[str, object],
+              op: Op) -> None:
+    kind = op[0]
+    try:
+        if kind == "write":
+            device.write(op[1], payload_for(op[1], op[2]))
+        elif kind == "trim":
+            device.trim(op[1])
+        elif kind == "snap_create":
+            device.snapshot_create(op[1])
+        elif kind == "snap_delete":
+            device.snapshot_delete(op[1])
+        elif kind == "snap_activate":
+            activations[op[1]] = device.snapshot_activate(op[1])
+        elif kind == "snap_deactivate":
+            device.snapshot_deactivate(activations.pop(op[1]))
+        elif kind == "gc":
+            candidate = device.cleaner.select_candidate()
+            if candidate is not None:
+                device.kernel.run_process(
+                    device.cleaner.clean_segment(candidate, paced=False),
+                    name="forced-gc")
+        elif kind == "shutdown":
+            device.shutdown()
+        else:
+            raise ScriptInvalid(f"unknown op {op!r}")
+    except (PowerLossError, SimError):
+        raise
+    except (SnapshotError, LbaError, FtlError, KeyError) as exc:
+        raise ScriptInvalid(f"op {op!r}: {exc}") from exc
+
+
+def _run(script: List[Op], target: Optional[Target],
+         config: TortureConfig) -> Tuple[PowerModel, NandDevice,
+                                         Model, Optional[int]]:
+    """Run ``script`` with ``target`` armed.
+
+    Returns ``(power, nand, model, pending_index)`` where
+    ``pending_index`` is the index of the op in flight when the cut
+    fired (None if it never fired).  Raises :class:`ScriptInvalid` for
+    semantically broken scripts.
+    """
+    device = _build_device(config)
+    power = PowerModel(target)
+    device.nand.power = power
+    model = Model(block_size=device.block_size)
+    activations: Dict[str, object] = {}
+    for index, op in enumerate(script):
+        try:
+            _apply_op(device, activations, op)
+        except (PowerLossError, SimError) as exc:
+            if power.fired is None:
+                raise  # a real bug, not our injected cut
+            del exc
+            return power, device.nand, model, index
+        model.apply(op)
+    return power, device.nand, model, None
+
+
+def enumerate_sites(script: List[Op],
+                    config: Optional[TortureConfig] = None) -> List[Target]:
+    """Every (site, occurrence) injection point this script visits."""
+    power, _nand, _model, _pending = _run(script, None,
+                                          config or TortureConfig())
+    return power.injection_points()
+
+
+def site_kinds(targets: List[Target]) -> List[str]:
+    """Distinct site kinds (site names without the :pre/:mid/:post phase)."""
+    return sorted({site.split(":")[0] for site, _k in targets})
+
+
+# ---------------------------------------------------------------------------
+# Reopen + verify
+# ---------------------------------------------------------------------------
+def _reopen(old_nand: NandDevice) -> IoSnapDevice:
+    """Transplant the surviving media under a fresh kernel and open it.
+
+    What survives a power cut is exactly what hardware keeps: the NAND
+    array contents (including torn pages and wear counts) and the
+    superblock.  Every in-flight process, event, and in-memory FTL
+    structure dies with the abandoned kernel.
+    """
+    kernel = Kernel()
+    nand = NandDevice(kernel, old_nand.config)
+    nand.array = old_nand.array
+    nand.superblock = dict(old_nand.superblock)
+    return IoSnapDevice.open(kernel, nand)
+
+
+def run_with_cut(script: List[Op], target: Target,
+                 config: Optional[TortureConfig] = None,
+                 deep: bool = True) -> CutOutcome:
+    """One torture case; see the module docstring for the phases."""
+    config = config or TortureConfig()
+    outcome = CutOutcome(target=target)
+    try:
+        power, nand, model, pending_index = _run(script, target, config)
+    except ScriptInvalid:
+        outcome.invalid = True
+        return outcome
+    outcome.fired = power.fired is not None
+    if not outcome.fired:
+        # The occurrence was never reached (reduced script); the case
+        # simply does not apply.
+        return outcome
+    outcome.pending_index = pending_index
+    pending_op = script[pending_index] if pending_index is not None else None
+
+    try:
+        device = _reopen(nand)
+    except (ReproError, SimError) as exc:
+        outcome.failures.append(f"recovery: open failed: {exc!r}")
+        return outcome
+
+    outcome.failures.extend(f"fsck: {v}" for v in fsck(device))
+    try:
+        outcome.failures.extend(
+            model.check_recovered(device, pending_op, deep=deep))
+    except (ReproError, SimError) as exc:
+        outcome.failures.append(f"model: verification crashed: {exc!r}")
+        return outcome
+
+    # The recovered device must also be *operable*: reclaim space and
+    # re-audit (catches leaked validity pinning segments forever).
+    try:
+        candidate = device.cleaner.select_candidate()
+        if candidate is not None:
+            device.kernel.run_process(
+                device.cleaner.clean_segment(candidate, paced=False),
+                name="post-recovery-gc")
+        outcome.failures.extend(
+            f"fsck(post-gc): {v}" for v in fsck(device))
+    except (ReproError, SimError) as exc:
+        outcome.failures.append(f"post-recovery gc crashed: {exc!r}")
+    return outcome

@@ -1,0 +1,145 @@
+"""The model oracle: a pure-dict shadow of what the device promised.
+
+The harness applies ops one at a time; :meth:`Model.apply` is called
+only after an op's synchronous façade *returned* — i.e. the device
+acknowledged it.  On a power cut the op in flight (if any) is the
+single *pending* op.  Recovery must then produce a state the host
+could legitimately observe:
+
+- every acknowledged write/trim/snapshot op survives;
+- the pending op is atomic: fully applied or fully absent;
+- activation branches are discarded (activations die with host RAM);
+- nothing else changed (no resurrection of trimmed/overwritten data,
+  no invented snapshots).
+
+Snapshot *content* is checked the strong way: each surviving snapshot
+is activated on the recovered device — through the real activation
+scan — and read back block by block against the frozen shadow dict.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.torture.workload import Op, payload_for
+
+
+class Model:
+    """Shadow state updated only on acknowledged operations."""
+
+    def __init__(self, block_size: int) -> None:
+        self.block_size = block_size
+        self.active: Dict[int, bytes] = {}
+        self.snaps: Dict[str, Dict[int, bytes]] = {}   # live, frozen images
+        self.deleted: Set[str] = set()
+        self.activated: Set[str] = set()
+        self.touched: Set[int] = set()   # every LBA any op ever addressed
+
+    # -- bookkeeping -------------------------------------------------------
+    def apply(self, op: Op) -> None:
+        """Fold one *acknowledged* op into the shadow state."""
+        kind = op[0]
+        if kind == "write":
+            _, lba, tag = op
+            self.active[lba] = payload_for(lba, tag)
+            self.touched.add(lba)
+        elif kind == "trim":
+            _, lba = op
+            self.active.pop(lba, None)
+            self.touched.add(lba)
+        elif kind == "snap_create":
+            self.snaps[op[1]] = dict(self.active)
+        elif kind == "snap_delete":
+            self.snaps.pop(op[1], None)
+            self.deleted.add(op[1])
+        elif kind == "snap_activate":
+            self.activated.add(op[1])
+        elif kind == "snap_deactivate":
+            self.activated.discard(op[1])
+        # "gc" and "shutdown" change no logical state.
+
+    # -- verification ------------------------------------------------------
+    def _pad(self, value: Optional[bytes]) -> bytes:
+        if value is None:
+            return bytes(self.block_size)
+        return value + bytes(self.block_size - len(value))
+
+    def check_recovered(self, device, pending_op: Optional[Op],
+                        deep: bool = True) -> List[str]:
+        """Verify the recovered ``device`` against the shadow state.
+
+        ``pending_op`` is the op in flight when power was cut (None if
+        the cut hit background work or the script completed).  Returns
+        a list of violation strings, empty on success.
+        """
+        failures: List[str] = []
+        pending = pending_op or [None]
+        pend_kind = pending[0]
+
+        # Activations never survive a crash.
+        if device._activations:
+            failures.append(
+                f"model: {len(device._activations)} activation(s) survived "
+                "recovery")
+
+        # -- active tree contents -------------------------------------
+        check_lbas = set(self.touched)
+        if pend_kind in ("write", "trim"):
+            check_lbas.add(pending[1])
+        for lba in sorted(check_lbas):
+            got = device.read(lba)
+            allowed = [self._pad(self.active.get(lba))]
+            if pend_kind == "write" and pending[1] == lba:
+                allowed.append(self._pad(payload_for(lba, pending[2])))
+            elif pend_kind == "trim" and pending[1] == lba:
+                allowed.append(self._pad(None))
+            if got not in allowed:
+                failures.append(
+                    f"model: lba {lba} reads {got[:16]!r}..., expected one "
+                    f"of {[a[:16] for a in allowed]!r}")
+
+        # -- snapshot set ----------------------------------------------
+        live_names = {s.name for s in device.snapshots()}
+        expected = set(self.snaps)
+        maybe_created = pending[1] if pend_kind == "snap_create" else None
+        maybe_deleted = pending[1] if pend_kind == "snap_delete" else None
+        for name in expected - live_names:
+            if name != maybe_deleted:
+                failures.append(f"model: acked snapshot {name!r} lost")
+        for name in live_names - expected:
+            if name != maybe_created:
+                failures.append(f"model: unexpected snapshot {name!r} "
+                                "appeared")
+        for name in self.deleted & live_names:
+            failures.append(f"model: deleted snapshot {name!r} resurrected")
+
+        # -- snapshot contents (via the real activation path) ----------
+        if deep:
+            for name in sorted(live_names):
+                if name == maybe_created:
+                    image = dict(self.active)
+                elif name in self.snaps:
+                    image = self.snaps[name]
+                else:
+                    continue  # already reported above
+                failures.extend(
+                    self._check_snapshot_content(device, name, image,
+                                                 check_lbas))
+        return failures
+
+    def _check_snapshot_content(self, device, name: str,
+                                image: Dict[int, bytes],
+                                check_lbas: Set[int]) -> List[str]:
+        failures: List[str] = []
+        activated = device.snapshot_activate(name)
+        try:
+            for lba in sorted(check_lbas | set(image)):
+                got = activated.read(lba)
+                want = self._pad(image.get(lba))
+                if got != want:
+                    failures.append(
+                        f"model: snapshot {name!r} lba {lba} reads "
+                        f"{got[:16]!r}..., expected {want[:16]!r}...")
+        finally:
+            device.snapshot_deactivate(activated)
+        return failures

@@ -1,0 +1,60 @@
+"""The power-cut injection model.
+
+A :class:`PowerModel` is attached to a :class:`repro.nand.device.
+NandDevice` via its ``power`` slot.  The device calls :meth:`cut` at
+every named crash site; the model counts occurrences and, in injection
+mode, returns True at exactly one ``(site, occurrence)`` — the device
+then leaves that site's residue and raises
+:class:`~repro.errors.PowerLossError`.
+
+Because the simulation is deterministic, an enumeration pass (no
+target) over a script yields the exact site counts any injection pass
+over the same script will see, so every injection point is addressable
+as ``(site name, k-th occurrence)``.
+
+After the cut fires the model is *dead*: any further ``cut()`` call —
+e.g. from the background cleaner interleaved with the dying foreground
+op — raises immediately, so no process can mutate the media after the
+power is gone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import PowerLossError
+
+# An injection point: (site name, 1-based occurrence within the run).
+Target = Tuple[str, int]
+
+
+class PowerModel:
+    """Counts crash-site visits; optionally fires at one of them."""
+
+    def __init__(self, target: Optional[Target] = None) -> None:
+        self.target = target
+        self.counts: Dict[str, int] = {}
+        self.fired: Optional[str] = None
+
+    def cut(self, site: str) -> bool:
+        if self.fired is not None:
+            # Power is already gone; whatever process reached this
+            # site (cleaner, a racing foreground op) dies too, without
+            # touching the media.
+            raise PowerLossError(
+                f"device is dead (cut fired at {self.fired}); "
+                f"refusing {site}")
+        count = self.counts.get(site, 0) + 1
+        self.counts[site] = count
+        if (self.target is not None and site == self.target[0]
+                and count == self.target[1]):
+            self.fired = site
+            return True
+        return False
+
+    def injection_points(self) -> List[Target]:
+        """Every (site, occurrence) this run visited, in a stable order."""
+        points: List[Target] = []
+        for site in sorted(self.counts):
+            points.extend((site, k) for k in range(1, self.counts[site] + 1))
+        return points

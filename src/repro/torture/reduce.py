@@ -1,0 +1,138 @@
+"""Shrink a failing torture case to a minimal replayable repro.
+
+Delta debugging over the op script: repeatedly drop chunks of ops
+(halving the chunk size down to single ops) and keep any candidate
+that still reproduces a failure at the *same crash-site kind*.  The
+occurrence index is re-derived for each candidate — dropping ops
+renumbers the sites — by re-enumerating the candidate's injection
+points and trying every occurrence of the failing site.
+
+Candidates that become semantically invalid (deleting a snapshot that
+was never created, say) simply count as non-reproducing; the harness
+flags them instead of crashing.
+
+The result is written as a JSON repro file that ``python -m
+repro.torture --replay FILE`` re-executes byte-identically.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.torture.harness import (
+    TortureConfig,
+    enumerate_sites,
+    run_with_cut,
+)
+from repro.torture.power import Target
+from repro.torture.workload import Op
+
+REPRO_VERSION = 1
+
+
+@dataclass
+class ShrunkRepro:
+    """A minimal failing case: the script, where to cut, what broke."""
+
+    script: List[Op]
+    site: str
+    occurrence: int
+    failures: List[str] = field(default_factory=list)
+    attempts: int = 0          # candidate scripts tried by the reducer
+    original_ops: int = 0
+
+    @property
+    def target(self) -> Target:
+        return (self.site, self.occurrence)
+
+
+def _first_failure(script: List[Op], site: str,
+                   config: Optional[TortureConfig],
+                   deep: bool) -> Optional[Tuple[Target, List[str]]]:
+    """Does ``script`` still fail when cut at some occurrence of ``site``?"""
+    try:
+        targets = enumerate_sites(script, config)
+    except Exception:
+        return None  # candidate can't even run to enumeration
+    for target in targets:
+        if target[0] != site:
+            continue
+        outcome = run_with_cut(script, target, config, deep=deep)
+        if outcome.failed:
+            return target, outcome.failures
+    return None
+
+
+def shrink_failure(script: List[Op], site: str,
+                   config: Optional[TortureConfig] = None,
+                   deep: bool = True,
+                   max_attempts: int = 400) -> ShrunkRepro:
+    """Minimize ``script`` while a cut at ``site`` still fails.
+
+    ``site`` is the full site name (``"note.trim:post"``); the original
+    occurrence index is *not* required — any occurrence that fails
+    counts, which is what lets shrinking renumber sites freely.
+    """
+    baseline = _first_failure(script, site, config, deep)
+    if baseline is None:
+        raise ValueError(
+            f"script does not fail at any occurrence of {site!r}; "
+            "nothing to shrink")
+    best_target, best_failures = baseline
+    current = list(script)
+    attempts = 0
+
+    chunk = max(1, len(current) // 2)
+    while True:
+        removed_any = False
+        i = 0
+        while i < len(current) and attempts < max_attempts:
+            candidate = current[:i] + current[i + chunk:]
+            if not candidate:
+                i += chunk
+                continue
+            attempts += 1
+            result = _first_failure(candidate, site, config, deep)
+            if result is not None:
+                current = candidate
+                best_target, best_failures = result
+                removed_any = True
+                # stay at the same index: the next chunk slid into place
+            else:
+                i += chunk
+        if attempts >= max_attempts:
+            break
+        if chunk == 1:
+            if not removed_any:
+                break
+        else:
+            chunk = max(1, chunk // 2)
+
+    return ShrunkRepro(script=current, site=best_target[0],
+                       occurrence=best_target[1], failures=best_failures,
+                       attempts=attempts, original_ops=len(script))
+
+
+# ---------------------------------------------------------------------------
+# Repro files
+# ---------------------------------------------------------------------------
+def write_repro(path: str, repro: ShrunkRepro) -> None:
+    payload = {"version": REPRO_VERSION, **asdict(repro)}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+
+def load_repro(path: str) -> ShrunkRepro:
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if payload.get("version") != REPRO_VERSION:
+        raise ValueError(f"unsupported repro version in {path!r}")
+    return ShrunkRepro(
+        script=[list(op) for op in payload["script"]],
+        site=payload["site"], occurrence=payload["occurrence"],
+        failures=list(payload.get("failures", [])),
+        attempts=payload.get("attempts", 0),
+        original_ops=payload.get("original_ops", 0))

@@ -1,0 +1,109 @@
+"""Workload scripts: a tiny replayable op DSL plus a seeded generator.
+
+An op is a plain JSON-serializable list so failing scripts can be
+written to a repro file and replayed byte-identically:
+
+    ["write", lba, tag]          write payload derived from (lba, tag)
+    ["trim", lba]                discard one block
+    ["snap_create", name]        O(1) snapshot
+    ["snap_delete", name]        delete (space returns via GC)
+    ["snap_activate", name]      activation scan (read-only)
+    ["snap_deactivate", name]    close the activation
+    ["gc"]                       force one unpaced cleaner pass
+    ["shutdown"]                 clean shutdown (checkpoint); last op only
+
+The generator keeps scripts *semantically valid* (no deleting unknown
+snapshots, at most one open activation); the reducer may produce
+invalid subsets, which the harness reports as non-reproducing rather
+than crashing.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+Op = List  # ["write", 3, 17] etc.
+
+
+def payload_for(lba: int, tag: int) -> bytes:
+    """Deterministic, self-describing payload for a write op."""
+    return f"L{lba}#T{tag}".encode()
+
+
+def generate_script(seed: int, length: int = 40, span: int = 24,
+                    shutdown_prob: float = 0.5) -> List[Op]:
+    """A seeded, valid script mixing every op kind over ``span`` LBAs."""
+    rng = random.Random(seed)
+    script: List[Op] = []
+    live: List[str] = []       # live snapshot names
+    active: Optional[str] = None   # currently activated snapshot
+    snap_counter = 0
+
+    # Seed some data first so trims/snapshots/GC have something to chew.
+    for i in range(min(8, length)):
+        script.append(["write", rng.randrange(span), i])
+
+    for i in range(len(script), length):
+        roll = rng.random()
+        op: Optional[Op] = None
+        if roll < 0.12:
+            op = ["trim", rng.randrange(span)]
+        elif roll < 0.24:
+            name = f"s{snap_counter}"
+            snap_counter += 1
+            live.append(name)
+            op = ["snap_create", name]
+        elif roll < 0.32:
+            candidates = [n for n in live if n != active]
+            if candidates:
+                name = rng.choice(candidates)
+                live.remove(name)
+                op = ["snap_delete", name]
+        elif roll < 0.38:
+            if live and active is None:
+                active = rng.choice(live)
+                op = ["snap_activate", active]
+        elif roll < 0.44:
+            if active is not None:
+                op = ["snap_deactivate", active]
+                active = None
+        elif roll < 0.52:
+            op = ["gc"]
+        if op is None:
+            op = ["write", rng.randrange(span), 1000 + i]
+        script.append(op)
+
+    if rng.random() < shutdown_prob:
+        script.append(["shutdown"])
+    return script
+
+
+def small_script() -> List[Op]:
+    """The fixed compact script for exhaustive small-config sweeps.
+
+    Deliberately touches every crash-site kind: foreground writes and
+    overwrites (write.data, log.seghdr), a trim note, snapshot
+    create/activate/deactivate/delete notes, two forced cleaner passes
+    (gc.copy, gc.note, gc.erase), and a final clean shutdown
+    (checkpoint.page, checkpoint.superblock).
+    """
+    script: List[Op] = []
+    for i in range(18):
+        script.append(["write", i % 6, i])
+    script.append(["snap_create", "s0"])
+    for i in range(18, 30):
+        script.append(["write", i % 6, i])
+    script += [
+        ["trim", 2],
+        ["snap_create", "s1"],
+        ["snap_activate", "s0"],
+        ["write", 1, 100],
+        ["snap_deactivate", "s0"],
+        ["gc"],
+        ["snap_delete", "s0"],
+        ["gc"],
+        ["write", 3, 101],
+        ["shutdown"],
+    ]
+    return script

@@ -1,0 +1,83 @@
+"""Harness tests: site enumeration, targeted cuts, exhaustive sweep."""
+
+import pytest
+
+from repro.torture import (
+    enumerate_sites,
+    generate_script,
+    run_with_cut,
+    site_kinds,
+    small_script,
+)
+
+# The crash-site kinds the small workload must exercise (the issue's
+# acceptance floor is six; the rig distinguishes twelve).
+EXPECTED_KINDS = {
+    "write.data", "log.seghdr",
+    "note.trim", "note.snap_create", "note.snap_delete",
+    "note.snap_activate", "note.snap_deactivate",
+    "gc.copy", "gc.note", "gc.erase",
+    "checkpoint.page", "checkpoint.superblock",
+}
+
+
+def test_small_script_covers_all_site_kinds():
+    kinds = set(site_kinds(enumerate_sites(small_script())))
+    assert kinds == EXPECTED_KINDS
+    assert len(kinds) >= 6
+
+
+def test_enumeration_is_deterministic():
+    script = small_script()
+    assert enumerate_sites(script) == enumerate_sites(script)
+
+
+@pytest.mark.parametrize("site", [
+    "write.data:mid",
+    "note.snap_create:post",
+    "note.snap_delete:pre",
+    "gc.erase:pre",
+    "checkpoint.page:mid",
+    "checkpoint.superblock:pre",
+])
+def test_representative_cuts_recover_cleanly(site):
+    script = small_script()
+    outcome = run_with_cut(script, (site, 1))
+    assert outcome.fired, f"cut at {site} never fired"
+    assert not outcome.failed, outcome.failures
+
+
+def test_unreached_target_is_reported_not_failed():
+    outcome = run_with_cut(small_script(), ("write.data:pre", 10_000))
+    assert not outcome.fired
+    assert not outcome.failed
+
+
+def test_invalid_script_is_flagged():
+    # The reducer can produce scripts that delete unknown snapshots;
+    # the harness must classify them, not crash.
+    outcome = run_with_cut([["snap_delete", "ghost"]], ("write.data:pre", 1))
+    assert outcome.invalid
+    assert not outcome.failed
+
+
+@pytest.mark.torture
+def test_exhaustive_small_sweep_passes_both_oracles():
+    script = small_script()
+    targets = enumerate_sites(script)
+    assert len(targets) > 100
+    for target in targets:
+        outcome = run_with_cut(script, target)
+        assert outcome.fired, f"{target} never fired"
+        assert not outcome.failed, (target, outcome.failures)
+
+
+@pytest.mark.torture
+@pytest.mark.parametrize("seed", [7, 8, 9])
+def test_generated_workload_sweep(seed):
+    script = generate_script(seed, length=40)
+    targets = enumerate_sites(script)
+    for target in targets[:: max(1, len(targets) // 25)]:
+        outcome = run_with_cut(script, target)
+        if outcome.fired:
+            assert not outcome.failed, (target, outcome.failures)

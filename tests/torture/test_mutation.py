@@ -1,0 +1,72 @@
+"""Mutation test: a deliberately broken recovery must be caught + shrunk.
+
+This is the rig testing itself.  We break recovery in a realistic way
+— the log scan silently drops trim notes, so trimmed data resurrects
+after a crash — and require that (a) the torture sweep catches it via
+the model oracle and (b) the reducer shrinks the failing workload to a
+handful of ops with a replayable repro file.
+"""
+
+import pytest
+
+import repro.ftl.recovery as ftl_recovery
+from repro.nand.oob import PageKind
+from repro.torture import enumerate_sites, run_with_cut, small_script
+from repro.torture.reduce import load_repro, shrink_failure, write_repro
+
+
+@pytest.fixture
+def drop_trim_notes(monkeypatch):
+    """Recovery bug: scan_log loses every NOTE_TRIM packet."""
+    real = ftl_recovery.scan_log
+
+    def broken(ftl):
+        packets, seg_states, next_seq = yield from real(ftl)
+        packets = [p for p in packets
+                   if p.header.kind is not PageKind.NOTE_TRIM]
+        return packets, seg_states, next_seq
+
+    monkeypatch.setattr(ftl_recovery, "scan_log", broken)
+
+
+def _first_failing(script):
+    for target in enumerate_sites(script):
+        outcome = run_with_cut(script, target)
+        if outcome.failed:
+            return target, outcome
+    return None, None
+
+
+def test_trim_resurrection_is_caught(drop_trim_notes):
+    script = [["write", 0, 1], ["write", 1, 2], ["trim", 0],
+              ["write", 1, 3], ["snap_create", "s0"], ["write", 2, 4]]
+    target, outcome = _first_failing(script)
+    assert target is not None, "broken recovery escaped the sweep"
+    assert any("model:" in f for f in outcome.failures), outcome.failures
+
+
+def test_shrinker_reduces_to_small_repro(drop_trim_notes, tmp_path):
+    script = small_script()
+    target, outcome = _first_failing(script)
+    assert target is not None, "broken recovery escaped the sweep"
+
+    repro = shrink_failure(script, target[0])
+    assert len(repro.script) <= 10, repro.script
+    assert repro.failures
+
+    # The shrunk case must still reproduce when replayed from disk.
+    path = tmp_path / "repro.json"
+    write_repro(str(path), repro)
+    loaded = load_repro(str(path))
+    assert loaded.script == repro.script
+    replayed = run_with_cut(loaded.script, loaded.target)
+    assert replayed.fired and replayed.failed
+
+
+def test_repro_no_longer_fails_on_fixed_build(tmp_path):
+    # The same shrunk shape on an *unbroken* build recovers cleanly,
+    # i.e. the reducer's verdict tracks the bug, not the workload.
+    script = [["write", 0, 1], ["trim", 0], ["write", 1, 2]]
+    for target in enumerate_sites(script):
+        outcome = run_with_cut(script, target)
+        assert not outcome.failed, (target, outcome.failures)

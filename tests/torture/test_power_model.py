@@ -1,0 +1,82 @@
+"""Unit tests for torn-page residue and the power-cut injection model."""
+
+import pytest
+
+from repro.errors import PowerLossError, TornPageError
+from repro.nand import WearModel
+from repro.nand.chip import NandArray
+from repro.nand.oob import OobHeader, PageKind
+from repro.torture.power import PowerModel
+
+from tests.conftest import tiny_geometry
+
+
+def _header(lba=0, seq=0):
+    return OobHeader(kind=PageKind.DATA, lba=lba, epoch=0, seq=seq, length=4)
+
+
+class TestTornPages:
+    def test_torn_page_is_programmed_but_unreadable(self):
+        array = NandArray(tiny_geometry(), WearModel())
+        array.program_torn(0)
+        assert array.is_programmed(0)
+        assert array.is_torn(0)
+        with pytest.raises(TornPageError):
+            array.read(0)
+        with pytest.raises(TornPageError):
+            array.read_header(0)
+
+    def test_torn_page_occupies_its_program_order_slot(self):
+        # In-block program order is a NAND constraint; a torn program
+        # still consumed its slot, so the next program lands after it.
+        array = NandArray(tiny_geometry(), WearModel())
+        array.program(0, _header(seq=1), b"a")
+        array.program_torn(1)
+        array.program(2, _header(seq=2), b"b")
+        assert array.read(2).data == b"b"
+
+    def test_erase_clears_torn_residue(self):
+        array = NandArray(tiny_geometry(), WearModel())
+        array.program_torn(0)
+        array.erase_block(0)
+        assert not array.is_programmed(0)
+        assert not array.is_torn(0)
+        array.program(0, _header(seq=3), b"c")
+        assert array.read(0).data == b"c"
+
+    def test_untorn_pages_report_not_torn(self):
+        array = NandArray(tiny_geometry(), WearModel())
+        array.program(0, _header(), b"x")
+        assert not array.is_torn(0)
+        assert not array.is_torn(1)
+
+
+class TestPowerModel:
+    def test_enumeration_counts_every_site(self):
+        power = PowerModel(target=None)
+        for site in ["a:pre", "a:mid", "a:pre", "b:pre"]:
+            assert power.cut(site) is False
+        assert power.counts == {"a:pre": 2, "a:mid": 1, "b:pre": 1}
+        assert power.injection_points() == [
+            ("a:mid", 1), ("a:pre", 1), ("a:pre", 2), ("b:pre", 1)]
+
+    def test_fires_at_exact_occurrence(self):
+        power = PowerModel(target=("a:pre", 2))
+        assert power.cut("a:pre") is False
+        assert power.cut("b:mid") is False
+        assert power.cut("a:pre") is True
+        assert power.fired == "a:pre"
+
+    def test_dead_after_fire(self):
+        # Once power is gone nothing else may touch the media: any
+        # late-arriving site visit (the background cleaner) dies too.
+        power = PowerModel(target=("a:pre", 1))
+        assert power.cut("a:pre") is True
+        with pytest.raises(PowerLossError):
+            power.cut("b:pre")
+
+    def test_untargeted_model_never_fires(self):
+        power = PowerModel(target=None)
+        for _ in range(100):
+            assert power.cut("x:mid") is False
+        assert power.fired is None
