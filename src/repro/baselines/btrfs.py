@@ -41,6 +41,7 @@ from repro.nand.device import NandDevice
 from repro.nand.geometry import NandConfig
 from repro.nand.oob import OobHeader, PageKind
 from repro.sim import Kernel, Lock
+from repro.torture import sites
 
 
 @dataclass
@@ -107,7 +108,8 @@ class _PageAllocator:
     def _recycle(self) -> Generator:
         for block, stale in self._stale.items():
             if len(stale) >= self.pages_per_block:
-                yield from self.nand.erase_block(block)
+                yield from self.nand.erase_block(
+                    block, site=sites.BASELINE_ERASE)
                 del self._stale[block]
                 return block
         raise FtlError(
@@ -280,7 +282,8 @@ class BtrfsLikeDevice:
         self._seq += 1
         header = OobHeader(kind=kind, lba=lba, epoch=0, seq=self._seq,
                            length=len(data) if data is not None else 0)
-        yield from self.nand.program_page(ppn, header, data)
+        yield from self.nand.program_page(ppn, header, data,
+                                          site=sites.BASELINE_PROGRAM)
         self._live_extents += 1
         self._pending_alloc_ops += 1
         return ppn

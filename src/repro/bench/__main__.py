@@ -50,19 +50,19 @@ def main(argv=None) -> int:
 
     failures = 0
     for name in names:
-        started = time.time()
+        started = time.perf_counter()
         if args.profile:
             import cProfile
             import pstats
 
             profiler = cProfile.Profile()
             result = profiler.runcall(ALL_EXPERIMENTS[name])
-            elapsed = time.time() - started
+            elapsed = time.perf_counter() - started
             stats = pstats.Stats(profiler, stream=sys.stdout)
             stats.sort_stats("tottime").print_stats(args.profile_limit)
         else:
             result = ALL_EXPERIMENTS[name]()
-            elapsed = time.time() - started
+            elapsed = time.perf_counter() - started
         print(result.render())
         print(f"(wall-clock {elapsed:.1f}s)")
         print()

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro import sanitize
 from repro.errors import AddressError, SnapshotError
 from repro.ftl.validity import (
     PERF_COUNTERS,
@@ -222,6 +223,21 @@ class CowValidityBitmap:
         else:
             word &= ~(1 << offset)
         self._own[page_idx] = word
+        if sanitize.enabled:
+            # A page word must stay within its page width (a word that
+            # grows past it would double-count in masked popcounts),
+            # every CoW copy must leave the copied page privately
+            # owned, and the mutation must be observable through the
+            # chain resolve path.
+            sanitize.check(word >> self.bits_per_page == 0,
+                           f"bitmap page {page_idx} word overflows "
+                           f"{self.bits_per_page}-bit page width")
+            sanitize.check(self.cow_copies <= len(self._own),
+                           f"cow_copies={self.cow_copies} exceeds "
+                           f"{len(self._own)} privately-owned pages")
+            sanitize.check(self.test(bit) == value,
+                           f"mutation of bit {bit} not visible through "
+                           f"the CoW resolve path")
         if self._on_mutate is not None:
             self._on_mutate(bit)
         return copied
@@ -248,6 +264,14 @@ class CowValidityBitmap:
                      on_mutate=on_mutate)
         bitmap._own = {idx: int.from_bytes(data, "little")
                        for idx, data in pages.items()}
+        if sanitize.enabled:
+            for idx, word in bitmap._own.items():
+                sanitize.check(
+                    0 <= idx < bitmap.page_count,
+                    f"materialized page index {idx} out of range")
+                sanitize.check(
+                    word >> bitmap.bits_per_page == 0,
+                    f"materialized page {idx} overflows page width")
         return bitmap
 
 

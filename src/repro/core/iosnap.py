@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
+from repro import sanitize
 from repro.core.activation import ActivatedSnapshot, activate_proc
 from repro.core.cow_bitmap import (
     CowValidityBitmap,
@@ -334,6 +335,17 @@ class IoSnapDevice(VslDevice):
                 bitmaps = [bm for _e, bm in self.live_epoch_bitmaps()]
                 count = merged_count_range(bitmaps, seg.first_ppn, seg.npages)
                 cache[seg.index] = count
+            elif sanitize.enabled:
+                # The cache must be invalidated on every bitmap
+                # mutation (_note_bitmap_mutation); a stale hit here
+                # silently skews the cleaner's pacing decisions.
+                bitmaps = [bm for _e, bm in self.live_epoch_bitmaps()]
+                actual = merged_count_range(bitmaps, seg.first_ppn,
+                                            seg.npages)
+                sanitize.check(
+                    count == actual,
+                    f"merged-validity cache stale for segment "
+                    f"{seg.index}: cached {count}, bitmaps say {actual}")
             return count
         # Vanilla rate policy: only the active epoch's validity — an
         # underestimate whenever the segment holds snapshotted data.

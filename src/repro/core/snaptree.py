@@ -18,6 +18,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
+from repro import sanitize
 from repro.errors import SnapshotError
 
 
@@ -136,6 +137,13 @@ class SnapshotTree:
         self._nodes[captured].snapshot_id = snap_id
         self.active_epoch = self._add_epoch(parent=captured,
                                             kind=BranchKind.MAIN)
+        if sanitize.enabled:
+            # Epoch stamps on the log are only orderable because the
+            # main chain's epoch strictly advances at every capture.
+            sanitize.check(
+                self.active_epoch > captured,
+                f"active epoch did not advance: {self.active_epoch} "
+                f"after capturing {captured}")
         return snap
 
     def delete_snapshot(self, ref: SnapshotRef) -> Snapshot:

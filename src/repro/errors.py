@@ -44,6 +44,24 @@ class PowerLossError(ReproError):
     """
 
 
+class CrashSiteError(ReproError):
+    """A crash-site name is missing from the central registry.
+
+    Raised by :mod:`repro.torture.sites` when an operation threads a
+    site name the registry does not know — such a site would be
+    invisible to the torture sweep (see IOL001 in :mod:`repro.lint`).
+    """
+
+
+class SanitizerError(ReproError):
+    """A runtime invariant armed by ``REPRO_SANITIZE=1`` failed.
+
+    See :mod:`repro.sanitize`: these checks are compiled out of the hot
+    path unless the sanitizer is enabled, and a failure means internal
+    state broke an invariant the rest of the system relies on.
+    """
+
+
 class FtlError(ReproError):
     """Logical-layer error in the FTL."""
 

@@ -30,9 +30,10 @@ import pickle
 import zlib
 from typing import TYPE_CHECKING, Generator, List, Optional
 
-from repro.errors import CheckpointError
+from repro.errors import CheckpointError, PowerLossError
 from repro.ftl.btree import BPlusTree
 from repro.nand.oob import OobHeader, PageKind
+from repro.torture import sites
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.ftl.vsl import VslDevice
@@ -85,7 +86,7 @@ def write_checkpoint(ftl: "VslDevice") -> Generator:
 
     # The superblock write is the checkpoint's commit point: a cut
     # before it leaves clean=False and the next open scans the log.
-    ftl.nand.power_check("checkpoint.superblock:pre")
+    ftl.nand.power_check(sites.phased(sites.CHECKPOINT_SUPERBLOCK, "pre"))
     sb.update({
         "clean": True,
         "checkpoint_ppns": ppns,
@@ -107,6 +108,10 @@ def _read_and_validate(ftl: "VslDevice", ppns: List[int],
     for ppn in ppns:
         try:
             record = yield from ftl.nand.read_page(ppn)
+        except PowerLossError:
+            # Never convert an injected power cut into a CheckpointError:
+            # the torture rig must see the cut propagate.
+            raise
         except Exception as exc:  # noqa: BLE001 - any media error is fatal
             raise CheckpointError(
                 f"checkpoint page {ppn} unreadable: {exc}") from exc
@@ -119,7 +124,7 @@ def _read_and_validate(ftl: "VslDevice", ppns: List[int],
         raise CheckpointError("checkpoint CRC mismatch (torn or corrupt)")
     try:
         state = pickle.loads(blob)
-    except Exception as exc:  # noqa: BLE001 - any unpickle failure is fatal
+    except Exception as exc:  # lint: allow-broad-except(pickle.loads raises arbitrary exception types on corrupt input; no media I/O happens here so a power cut cannot be swallowed)
         raise CheckpointError(f"corrupt checkpoint: {exc}") from exc
     version = state.get("version")
     if version not in (1, CHECKPOINT_VERSION):

@@ -27,6 +27,7 @@ from repro.ftl.log import Segment, SegmentState
 from repro.ftl.ratelimit import CleanerPacer
 from repro.nand.oob import PageKind
 from repro.sim.stats import NS_PER_MS
+from repro.torture import sites
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.ftl.vsl import VslDevice
@@ -172,7 +173,7 @@ class SegmentCleaner:
             new_ppn, _done = yield from self.ftl.log.append(
                 record.header, record.data, privileged=True,
                 head=self.ftl._gc_head_for(ppn, record.header),
-                site="gc.copy")
+                site=sites.GC_COPY)
             self.ftl._on_packet_appended(new_ppn, record.header)
             yield from self.ftl._relocate(ppn, new_ppn, record.header)
             moved += 1
@@ -193,7 +194,7 @@ class SegmentCleaner:
                 record = yield from self.ftl.nand.read_page(ppn)
                 new_ppn, _done = yield from self.ftl.log.append(
                     record.header, record.data, privileged=True,
-                    site="gc.note")
+                    site=sites.GC_NOTE)
                 self.ftl._on_packet_appended(new_ppn, record.header)
                 self.ftl._relocate_note(ppn, new_ppn)
                 self.notes_moved += 1
@@ -206,7 +207,8 @@ class SegmentCleaner:
         for block in range(first_block,
                            first_block + self.ftl.log.blocks_per_segment):
             try:
-                yield from self.ftl.nand.erase_block(block, site="gc.erase")
+                yield from self.ftl.nand.erase_block(block,
+                                                     site=sites.GC_ERASE)
             except WearOutError:
                 worn_out = True
         self.ftl._on_segment_erased(seg)

@@ -18,22 +18,25 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, Generator, List, Optional, Tuple
 
+from repro import sanitize
 from repro.errors import FtlError, OutOfSpaceError
 from repro.nand.device import NandDevice
 from repro.nand.oob import OobHeader, PageKind
 from repro.sim import Event, Kernel, Lock
+from repro.torture import sites
 
 
-# Crash-site names for power-cut injection (see repro.torture): the
-# site of a page program is derived from what is being appended and on
-# which head, so a cut can target e.g. "mid cleaner copy-forward"
-# (gc.copy:mid) independently of "mid foreground write" (write.data:mid).
+# Crash-site names for power-cut injection (see repro.torture.sites,
+# the central registry): the site of a page program is derived from
+# what is being appended and on which head, so a cut can target e.g.
+# "mid cleaner copy-forward" (gc.copy:mid) independently of "mid
+# foreground write" (write.data:mid).
 _NOTE_SITES = {
-    PageKind.NOTE_TRIM: "note.trim",
-    PageKind.NOTE_SNAP_CREATE: "note.snap_create",
-    PageKind.NOTE_SNAP_DELETE: "note.snap_delete",
-    PageKind.NOTE_SNAP_ACTIVATE: "note.snap_activate",
-    PageKind.NOTE_SNAP_DEACTIVATE: "note.snap_deactivate",
+    PageKind.NOTE_TRIM: sites.NOTE_TRIM,
+    PageKind.NOTE_SNAP_CREATE: sites.NOTE_SNAP_CREATE,
+    PageKind.NOTE_SNAP_DELETE: sites.NOTE_SNAP_DELETE,
+    PageKind.NOTE_SNAP_ACTIVATE: sites.NOTE_SNAP_ACTIVATE,
+    PageKind.NOTE_SNAP_DEACTIVATE: sites.NOTE_SNAP_DEACTIVATE,
 }
 
 
@@ -46,10 +49,10 @@ def append_site(kind: PageKind, head: str) -> str:
     passing an explicit ``site`` to :meth:`Log.append`.
     """
     if kind is PageKind.DATA:
-        return "write.data" if head == "user" else "gc.copy"
+        return sites.WRITE_DATA if head == "user" else sites.GC_COPY
     if kind is PageKind.CHECKPOINT:
-        return "checkpoint.page"
-    return _NOTE_SITES.get(kind, "log.other")
+        return sites.CHECKPOINT_PAGE
+    return _NOTE_SITES.get(kind, sites.LOG_OTHER)
 
 
 class SegmentState(enum.Enum):
@@ -131,6 +134,11 @@ class Log:
         self._alloc_lock = Lock(kernel)
         self._space_waiters: List[Event] = []
         self.stats = LogStats()
+        # Sanitizer state: last (epoch, seq) appended on the user head.
+        # Foreground appends stamp the active epoch and a fresh
+        # sequence number, so both must be monotonic there (cleaner
+        # heads copy old packets and are exempt).
+        self._san_last_user: Tuple[int, int] = (-1, -1)
         # Called when a writer is about to stall on free space; the FTL
         # wires this to kick the cleaner so a stalled writer can't
         # deadlock waiting for a cleaner that was never woken.
@@ -204,6 +212,20 @@ class Log:
                     seg = self._open[head]
                     ppn = seg.first_ppn + seg.next_offset
                     seg.next_offset += 1
+                    if sanitize.enabled and head == "user":
+                        # Foreground appends stamp fresh sequence
+                        # numbers: strict monotonicity on the user head
+                        # is what lets recovery order the log.  (Epoch
+                        # monotonicity is enforced at the stamp's
+                        # source, the snapshot tree — writable
+                        # activations legitimately append older fork
+                        # epochs here.)
+                        last_epoch, last_seq = self._san_last_user
+                        sanitize.check(
+                            header.seq > last_seq,
+                            f"seq not strictly increasing on user head: "
+                            f"{header.seq} after {last_seq}")
+                        self._san_last_user = (header.epoch, header.seq)
                     done = yield from self.device.program_page(
                         ppn, header, data, site=site)
                     if seg.next_offset >= seg.npages:
@@ -240,7 +262,7 @@ class Log:
         self.stats.segments_opened += 1
         header = OobHeader(kind=PageKind.SEGMENT_HEADER, lba=seg.seq)
         done = yield from self.device.program_page(seg.first_ppn, header,
-                                                   None, site="log.seghdr")
+                                                   None, site=sites.LOG_SEGHDR)
         del done  # segment headers need not be durable before use
         return None
 
@@ -333,6 +355,7 @@ class Log:
         self._free = []
         self._reserve = []
         self._open = {"user": None, "gc": None}
+        self._san_last_user = (-1, -1)
         for seg in self.segments:
             state_name, seq, next_offset = seg_states[seg.index]
             seg.state = SegmentState(state_name)

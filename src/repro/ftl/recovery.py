@@ -22,6 +22,7 @@ from repro.errors import TornPageError
 from repro.ftl.log import SegmentState
 from repro.ftl.packet import decode_note
 from repro.nand.oob import NOTE_KINDS, OobHeader, PageKind
+from repro.torture import sites
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.ftl.vsl import VslDevice
@@ -49,7 +50,7 @@ def _repair_segment(ftl: "VslDevice", seg) -> Generator:
     first_block = seg.first_ppn // pages_per_block
     for block in range(first_block, first_block + ftl.log.blocks_per_segment):
         if not ftl.nand.array.block_is_erased(block):
-            yield from ftl.nand.erase_block(block)
+            yield from ftl.nand.erase_block(block, site=sites.RECOVERY_ERASE)
 
 
 def scan_log(ftl: "VslDevice") -> Generator:

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Tuple
 
+from repro import sanitize
 from repro.errors import AddressError
 
 # Observability for the perf-regression harness (see bench/perfguard.py
@@ -167,6 +168,15 @@ class ValidityBitmap:
         """Replace contents from a checkpoint image."""
         self._pages = {idx: int.from_bytes(data, "little")
                        for idx, data in pages.items()}
+        if sanitize.enabled:
+            # A checkpoint image may be stale or corrupt; reject pages
+            # that do not belong to this bitmap's geometry.
+            for idx, word in self._pages.items():
+                sanitize.check(0 <= idx < self.page_count,
+                               f"loaded page index {idx} out of range")
+                sanitize.check(word >> self.bits_per_page == 0,
+                               f"loaded page {idx} overflows "
+                               f"{self.bits_per_page}-bit page width")
 
     def get_page(self, page_idx: int) -> bytes:
         """Contents of one bitmap page (zeros if never allocated)."""

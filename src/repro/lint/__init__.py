@@ -1,0 +1,34 @@
+"""repro.lint — repo-specific static analyzer for the torture rig's contracts.
+
+This is not a general-purpose linter.  Each rule encodes one invariant
+this codebase's crash-consistency story depends on:
+
+==========  ================================================================
+``IOL001``  every NAND program/erase is covered by a *registered* crash
+            site (:mod:`repro.torture.sites`) so the torture sweep can
+            cut there
+``IOL002``  broad exception handlers must not swallow the power-cut
+            injection exception (``PowerLossError``)
+``IOL003``  simulation layers must be deterministic: no wall-clock
+            reads, no module-level/unseeded RNG
+``IOL004``  CoW bitmap privileged/private access stays inside its
+            owner modules
+``IOL005``  epoch arithmetic stays integral (no ``/``, no floats)
+``IOL006``  sim-kernel resources acquired in a function are released
+            in a ``finally`` in that function
+``IOL000``  the suppression pragmas themselves are well-formed
+==========  ================================================================
+
+Run it with ``python -m repro.lint [paths]``; see ``docs/lint.md`` for
+the rule catalog, pragma syntax (``# lint: allow-<name>(reason)``) and
+baseline workflow.
+
+The runtime counterpart is :mod:`repro.sanitize`: invariants that
+cannot be checked statically are asserted at runtime when
+``REPRO_SANITIZE=1``.
+"""
+
+from repro.lint.engine import LintEngine, lint_paths
+from repro.lint.violations import Violation
+
+__all__ = ["LintEngine", "Violation", "lint_paths"]

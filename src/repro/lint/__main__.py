@@ -1,0 +1,109 @@
+"""CLI: ``python -m repro.lint [paths]``.
+
+Exit codes: 0 clean, 1 findings, 2 usage/internal errors (unparseable
+files, bad baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.lint import baseline as baseline_mod
+from repro.lint.engine import LintEngine
+from repro.lint.rules import ALL_RULES
+
+DEFAULT_BASELINE = ".lint-baseline.json"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Repo-specific static analyzer enforcing the "
+                    "torture rig's contracts (see docs/lint.md).")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="machine-readable output")
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help=f"baseline file (default: {DEFAULT_BASELINE} "
+                             f"when it exists)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="record current findings into the baseline "
+                             "and exit 0")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    return parser
+
+
+def _resolve_baseline(args: argparse.Namespace) -> Optional[str]:
+    if args.no_baseline:
+        return None
+    if args.baseline is not None:
+        return args.baseline
+    if Path(DEFAULT_BASELINE).exists():
+        return DEFAULT_BASELINE
+    return None
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            pragma = f"  [# lint: {rule.pragma}(reason)]" if rule.pragma \
+                else ""
+            print(f"{rule.code}  {rule.name}: {rule.description}{pragma}")
+        print("IOL000  pragma-hygiene: suppression pragmas must be "
+              "well-formed and justified")
+        return 0
+
+    engine = LintEngine()
+
+    if args.write_baseline:
+        target = args.baseline or DEFAULT_BASELINE
+        result = engine.run(args.paths, baseline_path=None)
+        if result.errors:
+            for error in result.errors:
+                print(f"error: {error}", file=sys.stderr)
+            return 2
+        baseline_mod.write(target, result.violations)
+        print(f"wrote {len(result.violations)} fingerprint(s) to {target}")
+        return 0
+
+    result = engine.run(args.paths, baseline_path=_resolve_baseline(args))
+
+    if args.as_json:
+        print(json.dumps({
+            "violations": [v.to_json() for v in result.violations],
+            "errors": result.errors,
+            "files_checked": result.files_checked,
+            "suppressed_by_pragma": result.suppressed_by_pragma,
+            "suppressed_by_baseline": result.suppressed_by_baseline,
+        }, indent=2))
+    else:
+        for violation in result.violations:
+            print(violation.render())
+        for error in result.errors:
+            print(f"error: {error}", file=sys.stderr)
+        suppressed = []
+        if result.suppressed_by_pragma:
+            suppressed.append(f"{result.suppressed_by_pragma} by pragma")
+        if result.suppressed_by_baseline:
+            suppressed.append(f"{result.suppressed_by_baseline} by baseline")
+        note = f" (suppressed: {', '.join(suppressed)})" if suppressed else ""
+        print(f"{len(result.violations)} finding(s) in "
+              f"{result.files_checked} file(s){note}")
+
+    if result.errors:
+        return 2
+    return 1 if result.violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

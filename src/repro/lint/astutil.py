@@ -1,0 +1,59 @@
+"""Small AST helpers shared by the rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+
+def dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, None for anything else."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = dotted(node.value)
+        return f"{base}.{node.attr}" if base is not None else None
+    return None
+
+
+def call_target(call: ast.Call) -> Optional[str]:
+    """Dotted name of what a call invokes (None if not name-shaped)."""
+    return dotted(call.func)
+
+
+def keyword_arg(call: ast.Call, name: str) -> Optional[ast.expr]:
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def str_const(node: Optional[ast.AST]) -> Optional[str]:
+    """The value of a string Constant node, else None."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def functions(tree: ast.AST) -> Iterator[ast.AST]:
+    """Every function/method definition in the tree (including nested)."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def walk_own(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function's body without descending into nested defs.
+
+    Statements that belong to a nested function/class have their own
+    scope — a resource acquired here but released in a nested callback
+    is a different analysis (and gets a pragma, not a pass).
+    """
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))

@@ -1,0 +1,67 @@
+"""Baseline files: accepted pre-existing findings, checked in as JSON.
+
+The baseline lets the linter be adopted on a codebase with known debt:
+current findings are recorded once (``--write-baseline``) and stop
+failing the build, while anything *new* still does.  This repo ships an
+empty baseline — the source tree lints clean — so the file mostly
+documents the mechanism and pins the format.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import List, Tuple
+
+from repro.lint.violations import Violation
+
+FORMAT_VERSION = 1
+
+
+def load(path: "str | Path") -> List[dict]:
+    """Fingerprints from a baseline file ([] for a missing file)."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or "fingerprints" not in data:
+        raise ValueError(f"{path}: not a lint baseline file")
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"{path}: unsupported baseline version {version!r}")
+    return list(data["fingerprints"])
+
+
+def write(path: "str | Path", violations: List[Violation]) -> None:
+    payload = {
+        "version": FORMAT_VERSION,
+        "fingerprints": [v.fingerprint() for v in violations],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                          encoding="utf-8")
+
+
+def _key(fingerprint: dict) -> Tuple:
+    return (fingerprint.get("code"), fingerprint.get("path"),
+            fingerprint.get("line_text"))
+
+
+def apply(violations: List[Violation],
+          fingerprints: List[dict]) -> Tuple[List[Violation], int]:
+    """Drop baselined findings; returns (kept, suppressed_count).
+
+    Matching is by multiset: two identical findings need two baseline
+    entries, so a *new* duplicate of a baselined issue still fails.
+    """
+    budget = Counter(_key(fp) for fp in fingerprints)
+    kept: List[Violation] = []
+    suppressed = 0
+    for violation in violations:
+        key = _key(violation.fingerprint())
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            suppressed += 1
+        else:
+            kept.append(violation)
+    return kept, suppressed

@@ -1,0 +1,108 @@
+"""Collects files, runs rules, applies pragma and baseline suppression."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.lint import baseline as baseline_mod
+from repro.lint import pragmas
+from repro.lint.rules import ALL_RULES
+from repro.lint.rules.base import Rule
+from repro.lint.source import ModuleSource
+from repro.lint.violations import Violation
+
+# Directories never worth descending into.
+SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "node_modules"})
+
+
+@dataclass
+class LintResult:
+    violations: List[Violation] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)   # unparseable files
+    files_checked: int = 0
+    suppressed_by_pragma: int = 0
+    suppressed_by_baseline: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.errors
+
+
+def _sort_key(violation: Violation) -> Tuple:
+    return (violation.path, violation.line, violation.col, violation.code)
+
+
+class LintEngine:
+    def __init__(self, rules: Optional[Sequence[Rule]] = None) -> None:
+        self.rules: List[Rule] = list(rules) if rules is not None \
+            else list(ALL_RULES)
+
+    # -- file collection -------------------------------------------------
+    @staticmethod
+    def collect_files(paths: Iterable["str | Path"]) -> List[Path]:
+        files: List[Path] = []
+        for raw in paths:
+            path = Path(raw)
+            if path.is_dir():
+                files.extend(
+                    candidate for candidate in sorted(path.rglob("*.py"))
+                    if not SKIP_DIRS.intersection(candidate.parts))
+            else:
+                files.append(path)
+        # de-dup while keeping order
+        seen = set()
+        unique: List[Path] = []
+        for file in files:
+            key = file.resolve()
+            if key not in seen:
+                seen.add(key)
+                unique.append(file)
+        return unique
+
+    # -- per-file --------------------------------------------------------
+    def lint_file(self, path: "str | Path",
+                  result: LintResult) -> List[Violation]:
+        try:
+            module = ModuleSource.load(path)
+        except (OSError, SyntaxError, ValueError) as exc:
+            result.errors.append(f"{path}: {exc}")
+            return []
+        index = pragmas.collect(module)
+        found: List[Violation] = list(index.violations)
+        for rule in self.rules:
+            for violation in rule.check(module):
+                if index.suppresses(violation.line, violation.code):
+                    result.suppressed_by_pragma += 1
+                else:
+                    found.append(violation)
+        result.files_checked += 1
+        return found
+
+    # -- entry point -----------------------------------------------------
+    def run(self, paths: Iterable["str | Path"],
+            baseline_path: Optional["str | Path"] = None) -> LintResult:
+        result = LintResult()
+        violations: List[Violation] = []
+        for file in self.collect_files(paths):
+            violations.extend(self.lint_file(file, result))
+        violations.sort(key=_sort_key)
+        if baseline_path is not None:
+            try:
+                fingerprints = baseline_mod.load(baseline_path)
+            except (ValueError, OSError) as exc:
+                result.errors.append(str(exc))
+                fingerprints = []
+            violations, suppressed = baseline_mod.apply(violations,
+                                                        fingerprints)
+            result.suppressed_by_baseline = suppressed
+        result.violations = violations
+        return result
+
+
+def lint_paths(paths: Iterable["str | Path"],
+               baseline_path: Optional["str | Path"] = None,
+               rules: Optional[Sequence[Rule]] = None) -> LintResult:
+    """Library entry point (what the tests and the CLI both call)."""
+    return LintEngine(rules).run(paths, baseline_path=baseline_path)

@@ -1,0 +1,92 @@
+"""Suppression pragmas: ``# lint: allow-<name>(reason)``.
+
+A pragma suppresses exactly one rule on exactly the line it sits on,
+and the reason is mandatory — an unexplained suppression is itself a
+finding (``IOL000``).  Pragmas are recognized only in real comment
+tokens (via :mod:`tokenize`), so docstrings and string literals that
+*mention* the syntax are inert.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.lint.source import ModuleSource
+from repro.lint.violations import Violation
+
+META_CODE = "IOL000"
+
+# pragma name -> rule code it suppresses.
+PRAGMA_CODES: Dict[str, str] = {
+    "allow-site": "IOL001",
+    "allow-broad-except": "IOL002",
+    "allow-nondeterminism": "IOL003",
+    "allow-cow-private": "IOL004",
+    "allow-epoch-float": "IOL005",
+    "allow-unbalanced-acquire": "IOL006",
+}
+
+_MARKER_RE = re.compile(r"#\s*lint:\s*(?P<body>.*)$")
+_BODY_RE = re.compile(r"^(?P<name>[A-Za-z][\w-]*)\((?P<reason>.*)\)\s*$")
+
+
+@dataclass
+class PragmaIndex:
+    """Per-line suppressed rule codes, plus findings about the pragmas."""
+
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    violations: List[Violation] = field(default_factory=list)
+
+    def suppresses(self, line: int, code: str) -> bool:
+        return code in self.by_line.get(line, ())
+
+
+def collect(module: ModuleSource) -> PragmaIndex:
+    index = PragmaIndex()
+    for line, comment in _comments(module):
+        marker = _MARKER_RE.search(comment)
+        if marker is None:
+            continue
+        body = marker.group("body").strip()
+        parsed = _BODY_RE.match(body)
+        if parsed is None:
+            index.violations.append(module.violation(
+                META_CODE, module.tree, line=line,
+                message=f"malformed lint pragma {body!r}; expected "
+                        f"'# lint: allow-<name>(reason)'"))
+            continue
+        name = parsed.group("name")
+        reason = parsed.group("reason").strip()
+        code = PRAGMA_CODES.get(name)
+        if code is None:
+            known = ", ".join(sorted(PRAGMA_CODES))
+            index.violations.append(module.violation(
+                META_CODE, module.tree, line=line,
+                message=f"unknown lint pragma {name!r} (known: {known})"))
+            continue
+        if not reason:
+            index.violations.append(module.violation(
+                META_CODE, module.tree, line=line,
+                message=f"lint pragma {name!r} needs a justification: "
+                        f"'# lint: {name}(why this is safe)'"))
+            continue
+        index.by_line.setdefault(line, set()).add(code)
+    return index
+
+
+def _comments(module: ModuleSource) -> List[Tuple[int, str]]:
+    out: List[Tuple[int, str]] = []
+    reader = io.StringIO(module.text).readline
+    try:
+        for token in tokenize.generate_tokens(reader):
+            if token.type == tokenize.COMMENT:
+                out.append((token.start[0], token.string))
+    except tokenize.TokenError:
+        # The file parsed with ast, so this should be unreachable;
+        # pragmas found so far still apply.
+        pass
+    return out

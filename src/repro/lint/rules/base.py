@@ -1,0 +1,25 @@
+"""Rule interface."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.source import ModuleSource
+from repro.lint.violations import Violation
+
+
+class Rule:
+    """One invariant, one code, one pragma."""
+
+    code: str = "IOL???"
+    name: str = ""
+    description: str = ""
+    pragma: str = ""
+
+    def check(self, module: ModuleSource) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(self, module: ModuleSource, node: ast.AST, message: str,
+                  line: Optional[int] = None) -> Violation:
+        return module.violation(self.code, node, message, line=line)

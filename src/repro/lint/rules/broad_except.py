@@ -1,0 +1,82 @@
+"""IOL002 — broad handlers must not swallow the power-cut injection.
+
+``PowerLossError`` is how the torture rig simulates the world ending;
+an ``except Exception`` that converts or drops it turns a power cut
+into a soft error and the whole crash-consistency result is vacuous.
+A broad handler is accepted when it provably re-raises (first statement
+is a bare ``raise``), when an earlier handler in the same ``try``
+catches ``PowerLossError`` and re-raises it, or when it carries a
+``# lint: allow-broad-except(reason)`` pragma.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.rules.base import Rule
+from repro.lint.source import ModuleSource
+from repro.lint.violations import Violation
+
+BROAD_NAMES = frozenset({"Exception", "BaseException"})
+INJECTION_NAMES = frozenset({"PowerLossError", "KeyboardInterrupt"})
+
+
+def _names_of(type_node: Optional[ast.expr]):
+    if type_node is None:
+        return [None]
+    nodes = type_node.elts if isinstance(type_node, ast.Tuple) else [type_node]
+    out = []
+    for node in nodes:
+        if isinstance(node, ast.Name):
+            out.append(node.id)
+        elif isinstance(node, ast.Attribute):
+            out.append(node.attr)
+        else:
+            out.append(None)
+    return out
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    return any(name in BROAD_NAMES for name in _names_of(handler.type))
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    return bool(handler.body) and isinstance(handler.body[0], ast.Raise) \
+        and handler.body[0].exc is None
+
+
+def _guards_injection(handler: ast.ExceptHandler) -> bool:
+    names = _names_of(handler.type)
+    return any(name in INJECTION_NAMES for name in names) \
+        and _reraises(handler)
+
+
+class BroadExceptRule(Rule):
+    code = "IOL002"
+    name = "fault-masking-handler"
+    description = ("bare/broad except blocks must re-raise PowerLossError "
+                   "(directly, or via a preceding guard handler)")
+    pragma = "allow-broad-except"
+
+    def check(self, module: ModuleSource) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Try):
+                continue
+            guarded = False
+            for handler in node.handlers:
+                if _guards_injection(handler):
+                    guarded = True
+                    continue
+                if _is_broad(handler) and not _reraises(handler) \
+                        and not guarded:
+                    caught = "bare except" if handler.type is None else \
+                        f"except {ast.unparse(handler.type)}"
+                    yield self.violation(
+                        module, handler,
+                        f"{caught} can swallow PowerLossError (the "
+                        f"power-cut injection); add an "
+                        f"'except PowerLossError: raise' guard before "
+                        f"it or narrow the types")

@@ -1,0 +1,52 @@
+"""IOL004 — CoW bitmap discipline.
+
+Frozen (snapshot) bitmaps are immutable except through the privileged
+cleaner path, and the private page store is an implementation detail
+of :mod:`repro.core.cow_bitmap`.  Any other module reaching for
+``set_privileged``/``clear_privileged`` or ``_own`` is bypassing the
+paper's mutation rules (§5.4.1), which is precisely how phantom-valid
+pages and refcount skews are born.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.rules.base import Rule
+from repro.lint.source import ModuleSource
+from repro.lint.violations import Violation
+
+PRIVILEGED_METHODS = frozenset({"set_privileged", "clear_privileged"})
+PRIVATE_ATTRS = frozenset({"_own"})
+
+# cow_bitmap defines them; iosnap's _relocate is the cleaner's fix-up
+# path the paper explicitly allows.
+PRIVILEGED_OWNERS = frozenset({"core/cow_bitmap.py", "core/iosnap.py"})
+PRIVATE_OWNERS = frozenset({"core/cow_bitmap.py"})
+
+
+class CowDisciplineRule(Rule):
+    code = "IOL004"
+    name = "cow-discipline"
+    description = ("privileged/private CoW bitmap access only inside "
+                   "its owner modules")
+    pragma = "allow-cow-private"
+
+    def check(self, module: ModuleSource) -> Iterator[Violation]:
+        rel = module.package_rel
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if node.attr in PRIVILEGED_METHODS \
+                    and rel not in PRIVILEGED_OWNERS:
+                yield self.violation(
+                    module, node,
+                    f"{node.attr}() mutates frozen snapshot bitmaps; "
+                    f"only the cleaner's relocate path "
+                    f"(core/iosnap.py) may do that")
+            elif node.attr in PRIVATE_ATTRS and rel not in PRIVATE_OWNERS:
+                yield self.violation(
+                    module, node,
+                    f"direct access to CowValidityBitmap.{node.attr} "
+                    f"bypasses CoW accounting; use the public page API")

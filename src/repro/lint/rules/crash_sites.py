@@ -1,0 +1,99 @@
+"""IOL001 — every media mutation is covered by a registered crash site.
+
+The torture rig can only cut power at sites that are (a) threaded
+through the call and (b) registered in :mod:`repro.torture.sites`.  A
+program/erase call without a site, or with an ad-hoc string, is a
+recovery path the sweep silently never exercises.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint import astutil
+from repro.lint.rules.base import Rule
+from repro.lint.source import ModuleSource
+from repro.lint.violations import Violation
+from repro.torture import sites
+
+# Methods whose *calls* must carry a site (chip-level NandArray.program
+# is covered by the device layer that wraps it).
+MEDIA_METHODS = frozenset({"program_page", "program_page_sync",
+                           "program_torn", "erase_block"})
+# The device layer itself defines the defaults and threads phases.
+IMPLEMENTATION_MODULES = frozenset({"nand/chip.py", "nand/device.py"})
+# Calls whose first string argument must be a registered site:phase.
+PHASED_CALLS = frozenset({"power_check", "cut"})
+
+
+class CrashSiteRule(Rule):
+    code = "IOL001"
+    name = "crash-site-coverage"
+    description = ("NAND program/erase calls must pass a site= from "
+                   "repro.torture.sites; site string literals must be "
+                   "registered")
+    pragma = "allow-site"
+
+    def check(self, module: ModuleSource) -> Iterator[Violation]:
+        exempt = module.package_rel in IMPLEMENTATION_MODULES
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(module, node, exempt)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_defaults(module, node)
+
+    def _check_call(self, module: ModuleSource, call: ast.Call,
+                    exempt: bool) -> Iterator[Violation]:
+        func = call.func
+        method = func.attr if isinstance(func, ast.Attribute) else None
+
+        # 1. media mutations need a site= at the call site
+        if method in MEDIA_METHODS and not exempt:
+            site_arg = astutil.keyword_arg(call, "site")
+            if site_arg is None and method == "program_torn" \
+                    and len(call.args) >= 2:
+                site_arg = call.args[1]
+            if site_arg is None:
+                yield self.violation(
+                    module, call,
+                    f"call to {method}() without a site=; pass a "
+                    f"constant from repro.torture.sites so the torture "
+                    f"sweep can cut here")
+
+        # 2. any site="literal" anywhere must be registered
+        site_kw = astutil.keyword_arg(call, "site")
+        literal = astutil.str_const(site_kw)
+        if literal is not None and not sites.is_site(literal) \
+                and not sites.is_phased(literal):
+            yield self.violation(
+                module, site_kw,
+                f"site {literal!r} is not registered in "
+                f"repro.torture.sites")
+
+        # 3. power_check("...")/cut("...") literals must be site:phase
+        if method in PHASED_CALLS and call.args:
+            literal = astutil.str_const(call.args[0])
+            if literal is not None and not sites.is_phased(literal):
+                yield self.violation(
+                    module, call.args[0],
+                    f"{method}({literal!r}): not a registered "
+                    f"site:phase (see repro.torture.sites)")
+
+    def _check_defaults(self, module: ModuleSource,
+                        func: ast.AST) -> Iterator[Violation]:
+        args = func.args
+        params = args.posonlyargs + args.args + args.kwonlyargs
+        defaults = ([None] * (len(args.posonlyargs) + len(args.args)
+                              - len(args.defaults))
+                    + list(args.defaults) + list(args.kw_defaults))
+        for param, default in zip(params, defaults):
+            if param.arg != "site" or default is None:
+                continue
+            literal = astutil.str_const(default)
+            if literal is not None and not sites.is_site(literal) \
+                    and not sites.is_phased(literal):
+                yield self.violation(
+                    module, default,
+                    f"default site {literal!r} is not registered in "
+                    f"repro.torture.sites")

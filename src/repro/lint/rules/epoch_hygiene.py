@@ -1,0 +1,88 @@
+"""IOL005 — epoch arithmetic stays integral.
+
+Epoch numbers are identifiers stamped into OOB headers and compared
+for ordering; the moment a ``/`` or a float literal slips into an
+epoch expression, equality with what was read back off the media is no
+longer exact and recovery's epoch-path isolation silently corrupts.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.rules.base import Rule
+from repro.lint.source import ModuleSource
+from repro.lint.violations import Violation
+
+
+def _epoch_ident(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        ident = node.id
+    elif isinstance(node, ast.Attribute):
+        ident = node.attr
+    else:
+        return None
+    if ident == "epoch" or ident.endswith("_epoch"):
+        return ident
+    return None
+
+
+def _is_float(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+class EpochHygieneRule(Rule):
+    code = "IOL005"
+    name = "epoch-hygiene"
+    description = "no true division or float literals in epoch expressions"
+    pragma = "allow-epoch-float"
+
+    def check(self, module: ModuleSource) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.BinOp):
+                yield from self._check_binop(module, node)
+            elif isinstance(node, ast.AugAssign):
+                if isinstance(node.op, ast.Div) \
+                        and _epoch_ident(node.target):
+                    yield self.violation(
+                        module, node,
+                        f"'{_epoch_ident(node.target)} /= ...' makes the "
+                        f"epoch a float; epochs are exact integers")
+                elif _is_float(node.value) and _epoch_ident(node.target):
+                    yield self.violation(
+                        module, node,
+                        f"float literal assigned into epoch "
+                        f"'{_epoch_ident(node.target)}'")
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                yield from self._check_assign(module, node)
+
+    def _check_binop(self, module: ModuleSource,
+                     node: ast.BinOp) -> Iterator[Violation]:
+        idents = [i for i in (_epoch_ident(node.left),
+                              _epoch_ident(node.right)) if i]
+        if not idents:
+            return
+        if isinstance(node.op, ast.Div):
+            yield self.violation(
+                module, node,
+                f"true division of epoch '{idents[0]}' produces a "
+                f"float; use // if a ratio of counts is intended")
+        elif _is_float(node.left) or _is_float(node.right):
+            yield self.violation(
+                module, node,
+                f"float literal mixed into epoch expression with "
+                f"'{idents[0]}'")
+
+    def _check_assign(self, module: ModuleSource,
+                      node: ast.AST) -> Iterator[Violation]:
+        if not _is_float(node.value):
+            return
+        targets = node.targets if isinstance(node, ast.Assign) \
+            else [node.target]
+        for target in targets:
+            ident = _epoch_ident(target)
+            if ident:
+                yield self.violation(
+                    module, node,
+                    f"float literal assigned into epoch '{ident}'")

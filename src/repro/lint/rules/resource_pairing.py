@@ -1,0 +1,81 @@
+"""IOL006 — sim-kernel resources released on all paths.
+
+A :class:`repro.sim.Resource` or ``Lock`` acquired by a process that
+then raises (a power cut, a wear-out) without releasing leaves the
+die/channel/lock held forever — every later process deadlocks at
+virtual-time infinity, which shows up as a hung torture case, not a
+clean failure.  The enforced idiom::
+
+    if not res.try_acquire():
+        yield res.acquire()
+    try:
+        ...
+    finally:
+        res.release()
+
+Deliberate cross-function handoffs (the buffered-program die, freed by
+a timer callback) carry ``# lint: allow-unbalanced-acquire(reason)``
+on the acquire line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Set
+
+from repro.lint import astutil
+from repro.lint.rules.base import Rule
+from repro.lint.source import ModuleSource
+from repro.lint.violations import Violation
+
+ACQUIRE_METHODS = frozenset({"acquire", "try_acquire"})
+# The resource primitives themselves (their methods are the thing).
+IMPLEMENTATION_MODULES = frozenset({"sim/resources.py"})
+
+
+class ResourcePairingRule(Rule):
+    code = "IOL006"
+    name = "resource-pairing"
+    description = ("every acquire()/try_acquire() is paired with a "
+                   "release() in a finally block of the same function")
+    pragma = "allow-unbalanced-acquire"
+
+    def check(self, module: ModuleSource) -> Iterator[Violation]:
+        if module.package_rel in IMPLEMENTATION_MODULES:
+            return
+        for func in astutil.functions(module.tree):
+            yield from self._check_function(module, func)
+
+    def _check_function(self, module: ModuleSource,
+                        func: ast.AST) -> Iterator[Violation]:
+        finally_nodes: Set[int] = set()
+        for node in astutil.walk_own(func):
+            if isinstance(node, ast.Try):
+                for stmt in node.finalbody:
+                    for sub in ast.walk(stmt):
+                        finally_nodes.add(id(sub))
+
+        acquired: Dict[str, ast.Call] = {}
+        released: Set[str] = set()
+        for node in astutil.walk_own(func):
+            if not isinstance(node, ast.Call) \
+                    or not isinstance(node.func, ast.Attribute):
+                continue
+            receiver = astutil.dotted(node.func.value)
+            if receiver is None:
+                continue
+            method = node.func.attr
+            if method in ACQUIRE_METHODS:
+                previous = acquired.get(receiver)
+                if previous is None or node.lineno < previous.lineno:
+                    acquired[receiver] = node
+            elif method == "release" and id(node) in finally_nodes:
+                released.add(receiver)
+
+        for receiver, call in acquired.items():
+            if receiver not in released:
+                yield self.violation(
+                    module, call,
+                    f"{receiver} is acquired here but never released "
+                    f"in a finally block of this function; a power cut "
+                    f"mid-critical-section would deadlock the kernel")

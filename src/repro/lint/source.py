@@ -1,0 +1,75 @@
+"""Parsed source files as the unit the rules operate on."""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional
+
+from repro.lint.violations import Violation
+
+
+@dataclass
+class ModuleSource:
+    """One parsed Python file plus the path forms the rules need.
+
+    ``display`` is what findings print (relative to the working
+    directory when possible); ``package_rel`` is the path *inside* the
+    ``repro`` package ("ftl/log.py") — rules scope themselves by layer
+    with it, which also makes fixture trees under ``tmp/repro/...``
+    behave exactly like the real package.
+    """
+
+    path: Path
+    display: str
+    package_rel: str
+    text: str
+    lines: List[str]
+    tree: ast.Module
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "ModuleSource":
+        path = Path(path)
+        text = path.read_text(encoding="utf-8")
+        tree = ast.parse(text, filename=str(path))
+        return cls(path=path, display=_display_path(path),
+                   package_rel=_package_rel(path), text=text,
+                   lines=text.splitlines(), tree=tree)
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def violation(self, code: str, node: ast.AST, message: str,
+                  line: Optional[int] = None) -> Violation:
+        lineno = line if line is not None else getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) if line is None else 0
+        return Violation(code=code, path=self.display, line=lineno,
+                         col=col, message=message,
+                         line_text=self.line_text(lineno))
+
+
+def _display_path(path: Path) -> str:
+    try:
+        rel = os.path.relpath(path, os.getcwd())
+    except ValueError:  # different drive (Windows); keep absolute
+        return path.as_posix()
+    if rel.startswith(".."):
+        return path.as_posix()
+    return Path(rel).as_posix()
+
+
+def _package_rel(path: Path) -> str:
+    """Path relative to the innermost ``repro`` package directory.
+
+    Falls back to the plain posix path when the file is not inside a
+    ``repro`` tree (then the layer-scoped rules simply don't match).
+    """
+    parts = path.resolve().parts
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return "/".join(parts[index + 1:])
+    return path.as_posix()

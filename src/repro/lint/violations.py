@@ -1,0 +1,41 @@
+"""The lint finding record and its serialized forms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation at one source location."""
+
+    code: str        # "IOL003"
+    path: str        # repo-relative posix path ("src/repro/sim/kernel.py")
+    line: int        # 1-based
+    col: int         # 0-based (ast convention)
+    message: str
+    line_text: str   # stripped source line, for baselining and humans
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.code} {self.message}"
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "line_text": self.line_text,
+        }
+
+    def fingerprint(self) -> Dict[str, object]:
+        """Identity for baseline matching.
+
+        Deliberately excludes the line *number* so unrelated edits above
+        a baselined finding do not un-suppress it; the (code, path,
+        stripped line text) triple is stable under those edits.
+        """
+        return {"code": self.code, "path": self.path,
+                "line_text": self.line_text}

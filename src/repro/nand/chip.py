@@ -8,7 +8,7 @@ Timing and contention live in :mod:`repro.nand.device`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.errors import (
     AddressError,
@@ -19,6 +19,7 @@ from repro.errors import (
 )
 from repro.nand.geometry import NandGeometry, WearModel
 from repro.nand.oob import OobHeader, PageKind
+from repro.torture import sites
 
 
 @dataclass(slots=True)
@@ -29,10 +30,18 @@ class PageRecord:
     data: Optional[bytes]
 
 
-# Sentinel record for a page whose program was cut mid-flight: it
-# occupies its slot in the block's program order (the cells are no
-# longer erased) but neither header nor payload can ever be read back.
-_TORN = object()
+@dataclass(slots=True, frozen=True)
+class TornRecord:
+    """Residue of a page program cut mid-flight.
+
+    The record occupies its slot in the block's program order (the
+    cells are no longer erased) but neither header nor payload can
+    ever be read back.  ``site`` remembers which registered crash site
+    (see :mod:`repro.torture.sites`) tore the page, purely for
+    diagnostics — repro reports can say *where* the cut landed.
+    """
+
+    site: Optional[str] = None
 
 
 class Block:
@@ -44,7 +53,7 @@ class Block:
         self.pages_per_block = pages_per_block
         self.next_page = 0
         self.erase_count = 0
-        self._pages: Dict[int, PageRecord] = {}
+        self._pages: Dict[int, Union[PageRecord, TornRecord]] = {}
 
     def program(self, page: int, record: PageRecord) -> None:
         if page != self.next_page:
@@ -55,14 +64,16 @@ class Block:
         self._pages[page] = record
         self.next_page += 1
 
-    def program_torn(self, page: int) -> None:
+    def program_torn(self, page: int, site: Optional[str] = None) -> None:
         """Occupy ``page`` with an unreadable torn record (power cut)."""
         if page != self.next_page:
             raise ProgramOrderError(
                 f"page {page} programmed out of order (expected {self.next_page})")
         if page >= self.pages_per_block:
             raise AddressError(f"page {page} beyond block end")
-        self._pages[page] = _TORN
+        if site is not None and not sites.is_phased(site):
+            sites.check_site(site)
+        self._pages[page] = TornRecord(site=site)
         self.next_page += 1
 
     def read(self, page: int) -> PageRecord:
@@ -71,15 +82,22 @@ class Block:
         record = self._pages.get(page)
         if record is None:
             raise NandError(f"read of unprogrammed page {page}")
-        if record is _TORN:
-            raise TornPageError(f"page {page} is torn (OOB checksum bad)")
+        if isinstance(record, TornRecord):
+            where = f" by a cut at {record.site}" if record.site else ""
+            raise TornPageError(
+                f"page {page} is torn{where} (OOB checksum bad)")
         return record
 
     def is_programmed(self, page: int) -> bool:
         return page in self._pages
 
     def is_torn(self, page: int) -> bool:
-        return self._pages.get(page) is _TORN
+        return isinstance(self._pages.get(page), TornRecord)
+
+    def torn_site(self, page: int) -> Optional[str]:
+        """The crash site that tore ``page`` (None if not torn/unknown)."""
+        record = self._pages.get(page)
+        return record.site if isinstance(record, TornRecord) else None
 
     def erase(self, wear: WearModel) -> None:
         self.erase_count += 1
@@ -129,11 +147,11 @@ class NandArray:
                 or header.kind is not PageKind.DATA)
         block.program(page, PageRecord(header=header, data=data if keep else None))
 
-    def program_torn(self, ppn: int) -> None:
+    def program_torn(self, ppn: int, site: Optional[str] = None) -> None:
         """Leave a torn page at ``ppn``: the power-cut residue of a
         program that charged the cells but never finished."""
         block, page = self._locate(ppn)
-        block.program_torn(page)
+        block.program_torn(page, site)
 
     def read(self, ppn: int) -> PageRecord:
         block, page = self._locate(ppn)
@@ -149,6 +167,10 @@ class NandArray:
     def is_torn(self, ppn: int) -> bool:
         block, page = self._locate(ppn)
         return block.is_torn(page)
+
+    def torn_site(self, ppn: int) -> Optional[str]:
+        block, page = self._locate(ppn)
+        return block.torn_site(page)
 
     def erase_block(self, global_block: int) -> None:
         if not 0 <= global_block < self.geometry.total_blocks:

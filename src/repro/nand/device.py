@@ -21,13 +21,14 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Generator, Optional
+from typing import Any, Generator, Optional
 
 from repro.errors import PowerLossError, UncorrectableError
 from repro.nand.chip import NandArray, PageRecord
 from repro.nand.geometry import NandConfig
 from repro.nand.oob import HEADER_SIZE, OobHeader
 from repro.sim import Kernel, Resource
+from repro.torture import sites
 
 
 @dataclass
@@ -100,7 +101,7 @@ class NandDevice:
         # repro.torture.power.PowerModel).  When set, every
         # media-mutating operation consults it at named sites and a
         # firing cut raises PowerLossError, leaving realistic residue.
-        self.power = None
+        self.power: Optional[Any] = None
         self._channels = [Resource(kernel) for _ in range(self.geometry.channels)]
         self._dies = [Resource(kernel) for _ in range(self.geometry.dies)]
         # Hot-path precomputation: every NAND op resolves its (die,
@@ -174,7 +175,7 @@ class NandDevice:
 
     def program_page(self, ppn: int, header: OobHeader,
                      data: Optional[bytes],
-                     site: str = "nand.program") -> Generator:
+                     site: str = sites.NAND_PROGRAM) -> Generator:
         """Buffered program; returns an :class:`Event` for die completion.
 
         The generator finishes once the bus transfer is done and the
@@ -198,11 +199,11 @@ class NandDevice:
         finally:
             channel.release()
         if self.power is not None and self.power.cut(site + ":mid"):
-            self.array.program_torn(ppn)
+            self.array.program_torn(ppn, site + ":mid")
             raise PowerLossError(f"power cut at {site}:mid (ppn {ppn} torn)")
         self.array.program(ppn, header, data)
         self.power_check(site + ":post")
-        if not die.try_acquire():
+        if not die.try_acquire():  # lint: allow-unbalanced-acquire(die freed by the _ProgramFinish timer when the die-internal program completes)
             yield die.acquire()
         done = self.kernel.event()
         # Die-busy window: a plain timer callback, not a spawned
@@ -214,7 +215,7 @@ class NandDevice:
         return done
 
     def erase_block(self, global_block: int,
-                    site: str = "nand.erase") -> Generator:
+                    site: str = sites.NAND_ERASE) -> Generator:
         """Erase one block; the owning die is busy for the whole erase.
 
         A cut at ``site:pre`` leaves the block intact; at ``site:mid``

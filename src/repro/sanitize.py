@@ -1,0 +1,46 @@
+"""Runtime invariant sanitizer (armed by ``REPRO_SANITIZE=1``).
+
+The simulator's hot paths carry invariants the code cannot cheaply
+assert on every call: bitmap words must fit their page width, the
+merged-validity cache must agree with the per-epoch bitmaps it
+summarizes, epoch/sequence stamps must be monotonic on the foreground
+log head.  This module arms those checks when the ``REPRO_SANITIZE``
+environment variable is set (CI runs the tier-1 suite once with the
+sanitizer on), and keeps them to a single predicate test when off::
+
+    from repro import sanitize
+    ...
+    if sanitize.enabled:
+        sanitize.check(word >> bits_per_page == 0, "word overflows page")
+
+A failed check raises :class:`repro.errors.SanitizerError` — loudly,
+at the first corrupt mutation, instead of letting the corruption
+surface as a distant fsck failure hundreds of operations later.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import SanitizerError
+
+_FALSEY = ("", "0", "false", "no", "off")
+
+#: True when sanitizer assertions are armed.  Read via
+#: ``sanitize.enabled`` (module attribute) so :func:`enable` can flip
+#: it for tests without re-importing the world.
+enabled: bool = os.environ.get("REPRO_SANITIZE", "").lower() not in _FALSEY
+
+
+def enable(flag: bool = True) -> bool:
+    """Arm (or disarm) the sanitizer; returns the previous state."""
+    global enabled
+    previous = enabled
+    enabled = flag
+    return previous
+
+
+def check(condition: bool, message: str) -> None:
+    """Raise :class:`SanitizerError` unless ``condition`` holds."""
+    if not condition:
+        raise SanitizerError(f"sanitizer: {message}")

@@ -280,7 +280,7 @@ class Kernel:
         except StopIteration as stop:
             proc._finish(stop.value, None)
             return
-        except BaseException as exc:  # noqa: BLE001 - must capture to re-route
+        except BaseException as exc:  # noqa: BLE001  # lint: allow-broad-except(the kernel must capture every exception to re-route it into Process._finish; it re-surfaces at join(), so a power cut is propagated, not masked)
             proc._finish(None, exc)
             return
 

@@ -4,6 +4,10 @@ The rig answers one question about every mutation the device makes to
 its media: *if power is lost exactly here, does recovery rebuild a
 state the host could have observed?*  It is built from:
 
+- :mod:`repro.torture.sites` — the central registry of crash-site
+  names.  Every program/erase threads a registered site; the registry
+  is the contract both the injection model (at runtime) and
+  :mod:`repro.lint`'s IOL001 rule (statically) enforce.
 - :mod:`repro.torture.power` — the injection model.  The NAND device
   consults it at named crash sites (``write.data:mid``,
   ``gc.erase:pre``, ``checkpoint.superblock:pre``, ...); firing raises
@@ -23,16 +27,41 @@ state the host could have observed?*  It is built from:
 
 Run ``python -m repro.torture --exhaustive --small`` to sweep every
 injection point of the built-in small workload.
+
+Exports resolve lazily (PEP 562): the NAND and FTL layers import
+:mod:`repro.torture.sites` at module load, so this package's
+``__init__`` must not eagerly pull in the harness (which imports those
+same layers back).
 """
 
-from repro.torture.harness import (  # noqa: F401
-    CutOutcome,
-    TortureFailure,
-    enumerate_sites,
-    run_with_cut,
-    site_kinds,
-)
-from repro.torture.model import Model  # noqa: F401
-from repro.torture.power import PowerModel  # noqa: F401
-from repro.torture.reduce import shrink_failure, write_repro  # noqa: F401
-from repro.torture.workload import generate_script, small_script  # noqa: F401
+from typing import List
+
+_EXPORTS = {
+    "CutOutcome": "repro.torture.harness",
+    "TortureFailure": "repro.torture.harness",
+    "enumerate_sites": "repro.torture.harness",
+    "run_with_cut": "repro.torture.harness",
+    "site_kinds": "repro.torture.harness",
+    "Model": "repro.torture.model",
+    "PowerModel": "repro.torture.power",
+    "shrink_failure": "repro.torture.reduce",
+    "write_repro": "repro.torture.reduce",
+    "generate_script": "repro.torture.workload",
+    "small_script": "repro.torture.workload",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> List[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

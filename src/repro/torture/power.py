@@ -23,20 +23,31 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import PowerLossError
+from repro.torture import sites
 
 # An injection point: (site name, 1-based occurrence within the run).
 Target = Tuple[str, int]
 
 
 class PowerModel:
-    """Counts crash-site visits; optionally fires at one of them."""
+    """Counts crash-site visits; optionally fires at one of them.
+
+    Site names are validated against the central registry
+    (:mod:`repro.torture.sites`) both when a target is armed and at
+    every :meth:`cut` — an unregistered site is a torture-coverage
+    hole, and surfacing it at runtime is the dynamic counterpart of
+    the ``IOL001`` lint rule.
+    """
 
     def __init__(self, target: Optional[Target] = None) -> None:
+        if target is not None:
+            sites.check_phased(target[0])
         self.target = target
         self.counts: Dict[str, int] = {}
         self.fired: Optional[str] = None
 
     def cut(self, site: str) -> bool:
+        sites.check_phased(site)
         if self.fired is not None:
             # Power is already gone; whatever process reached this
             # site (cleaner, a racing foreground op) dies too, without

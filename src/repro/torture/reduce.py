@@ -21,6 +21,7 @@ import json
 from dataclasses import asdict, dataclass, field
 from typing import List, Optional, Tuple
 
+from repro.errors import PowerLossError
 from repro.torture.harness import (
     TortureConfig,
     enumerate_sites,
@@ -54,6 +55,11 @@ def _first_failure(script: List[Op], site: str,
     """Does ``script`` still fail when cut at some occurrence of ``site``?"""
     try:
         targets = enumerate_sites(script, config)
+    except (PowerLossError, KeyboardInterrupt):
+        # Never mask the power-cut injection (or a user interrupt):
+        # swallowing it here would make the reducer silently "shrink"
+        # scripts by hiding the very failure it is minimizing.
+        raise
     except Exception:
         return None  # candidate can't even run to enumeration
     for target in targets:

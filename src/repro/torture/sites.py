@@ -1,0 +1,156 @@
+"""Central registry of crash-site names (the torture rig's contract).
+
+Every media-mutating NAND operation threads a *crash-site name* so the
+power-cut rig (:mod:`repro.torture.power`) can cut there.  A site that
+is not in this registry is invisible to the torture sweep — a new code
+path that programs or erases without a registered site is exactly the
+untested-recovery-path bug class the rig exists to kill.  This module
+is therefore the single source of truth:
+
+- every base site name lives here as a module constant;
+- each base site declares which *phases* it can cut at (``pre``/
+  ``mid``/``post`` for page programs, ``pre``/``mid`` for erases,
+  ``pre`` only for the superblock commit point);
+- :class:`repro.torture.power.PowerModel` rejects unregistered phased
+  names at runtime, and the ``IOL001`` rule of :mod:`repro.lint`
+  rejects unregistered or missing site arguments statically.
+
+This module must stay a *leaf*: it is imported by the NAND layer
+(:mod:`repro.nand.chip`, :mod:`repro.nand.device`), the FTL, and the
+injection model alike, so it may depend on nothing but
+:mod:`repro.errors`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import CrashSiteError
+
+# -- phases -----------------------------------------------------------------
+PHASE_PRE = "pre"     # nothing touched the media yet
+PHASE_MID = "mid"     # the operation tore mid-flight (residue!)
+PHASE_POST = "post"   # media updated, acknowledgement lost
+
+PROGRAM_PHASES: Tuple[str, ...] = (PHASE_PRE, PHASE_MID, PHASE_POST)
+ERASE_PHASES: Tuple[str, ...] = (PHASE_PRE, PHASE_MID)
+COMMIT_PHASES: Tuple[str, ...] = (PHASE_PRE,)
+
+# -- base site names --------------------------------------------------------
+# Foreground write path.
+WRITE_DATA = "write.data"
+# Segment cleaner.
+GC_COPY = "gc.copy"
+GC_NOTE = "gc.note"
+GC_ERASE = "gc.erase"
+# Synchronous notes (snapshot/trim management operations).
+NOTE_TRIM = "note.trim"
+NOTE_SNAP_CREATE = "note.snap_create"
+NOTE_SNAP_DELETE = "note.snap_delete"
+NOTE_SNAP_ACTIVATE = "note.snap_activate"
+NOTE_SNAP_DEACTIVATE = "note.snap_deactivate"
+# Log bookkeeping.
+LOG_SEGHDR = "log.seghdr"
+LOG_OTHER = "log.other"
+# Clean-shutdown checkpointing.
+CHECKPOINT_PAGE = "checkpoint.page"
+CHECKPOINT_SUPERBLOCK = "checkpoint.superblock"
+# Crash recovery finishing an interrupted erase.
+RECOVERY_ERASE = "recovery.erase"
+# Raw-device defaults (callers that bypass the log, and the device's
+# own keyword defaults).
+NAND_PROGRAM = "nand.program"
+NAND_ERASE = "nand.erase"
+# The Btrfs-style comparator baseline (outside the torture sweep's
+# workload today, but its media mutations are addressable all the same).
+BASELINE_PROGRAM = "baseline.program"
+BASELINE_ERASE = "baseline.erase"
+
+# base site -> phases a cut may land on there.
+SITE_PHASES: Dict[str, Tuple[str, ...]] = {
+    WRITE_DATA: PROGRAM_PHASES,
+    GC_COPY: PROGRAM_PHASES,
+    GC_NOTE: PROGRAM_PHASES,
+    GC_ERASE: ERASE_PHASES,
+    NOTE_TRIM: PROGRAM_PHASES,
+    NOTE_SNAP_CREATE: PROGRAM_PHASES,
+    NOTE_SNAP_DELETE: PROGRAM_PHASES,
+    NOTE_SNAP_ACTIVATE: PROGRAM_PHASES,
+    NOTE_SNAP_DEACTIVATE: PROGRAM_PHASES,
+    LOG_SEGHDR: PROGRAM_PHASES,
+    LOG_OTHER: PROGRAM_PHASES,
+    CHECKPOINT_PAGE: PROGRAM_PHASES,
+    CHECKPOINT_SUPERBLOCK: COMMIT_PHASES,
+    RECOVERY_ERASE: ERASE_PHASES,
+    NAND_PROGRAM: PROGRAM_PHASES,
+    NAND_ERASE: ERASE_PHASES,
+    BASELINE_PROGRAM: PROGRAM_PHASES,
+    BASELINE_ERASE: ERASE_PHASES,
+}
+
+
+# -- queries ----------------------------------------------------------------
+def site_names() -> List[str]:
+    """Every registered base site name, sorted."""
+    return sorted(SITE_PHASES)
+
+
+def phased_site_names() -> List[str]:
+    """Every registered ``site:phase`` combination, sorted."""
+    return sorted(f"{site}:{phase}"
+                  for site, phases in SITE_PHASES.items()
+                  for phase in phases)
+
+
+def is_site(name: str) -> bool:
+    """Is ``name`` a registered base site?"""
+    return name in SITE_PHASES
+
+
+def is_phased(name: str) -> bool:
+    """Is ``name`` a registered ``site:phase`` combination?"""
+    site, sep, phase = name.partition(":")
+    return bool(sep) and phase in SITE_PHASES.get(site, ())
+
+
+def split(name: str) -> Tuple[str, str]:
+    """Split ``"site:phase"`` into its parts (phase "" if absent)."""
+    site, _sep, phase = name.partition(":")
+    return site, phase
+
+
+def phased(site: str, phase: str) -> str:
+    """Build a validated ``site:phase`` name."""
+    check_site(site)
+    if phase not in SITE_PHASES[site]:
+        raise CrashSiteError(
+            f"site {site!r} has no {phase!r} phase "
+            f"(allowed: {', '.join(SITE_PHASES[site])})")
+    return f"{site}:{phase}"
+
+
+# -- validation -------------------------------------------------------------
+def check_site(name: str) -> str:
+    """Raise :class:`CrashSiteError` unless ``name`` is a registered
+    base site; returns ``name`` for chaining."""
+    if name not in SITE_PHASES:
+        raise CrashSiteError(
+            f"unregistered crash site {name!r}; register it in "
+            f"repro.torture.sites so the torture sweep can cut there")
+    return name
+
+
+def check_phased(name: str) -> str:
+    """Raise :class:`CrashSiteError` unless ``name`` is a registered
+    ``site:phase``; returns ``name`` for chaining."""
+    site, sep, phase = name.partition(":")
+    if not sep:
+        raise CrashSiteError(
+            f"crash site {name!r} has no :phase suffix "
+            f"(expected one of {':'.join(('site', 'pre|mid|post'))})")
+    check_site(site)
+    if phase not in SITE_PHASES[site]:
+        raise CrashSiteError(
+            f"site {site!r} has no {phase!r} phase "
+            f"(allowed: {', '.join(SITE_PHASES[site])})")
+    return name

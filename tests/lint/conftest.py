@@ -1,0 +1,39 @@
+"""Fixture helpers: write synthetic modules under a fake repro package.
+
+Rules scope themselves by the path *inside* the ``repro`` package, so a
+fixture written to ``<tmp>/repro/ftl/x.py`` is treated exactly like
+``src/repro/ftl/x.py``.
+"""
+
+from pathlib import Path
+from typing import List
+
+import pytest
+
+from repro.lint.engine import lint_paths
+from repro.lint.violations import Violation
+
+
+class LintBox:
+    """Writes fixture files into a tmp ``repro`` tree and lints them."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = root
+
+    def write(self, package_rel: str, source: str) -> Path:
+        path = self.root / "repro" / package_rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+        return path
+
+    def lint(self, *paths: Path) -> List[Violation]:
+        targets = list(paths) if paths else [self.root]
+        return lint_paths(targets).violations
+
+    def codes(self, *paths: Path) -> List[str]:
+        return [v.code for v in self.lint(*paths)]
+
+
+@pytest.fixture
+def box(tmp_path) -> LintBox:
+    return LintBox(tmp_path)

@@ -1,0 +1,81 @@
+"""CLI behavior: self-check on src, exit codes, JSON, baseline workflow."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.lint.__main__ import main
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+class TestSelfCheck:
+    def test_src_lints_clean(self):
+        """The acceptance criterion: the shipped tree has zero findings."""
+        assert main([str(REPO / "src"), "--no-baseline"]) == 0
+
+    def test_module_entrypoint_runs(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", "src", "--no-baseline"],
+            cwd=REPO, capture_output=True, text=True,
+            env={**os.environ, "PYTHONPATH": str(REPO / "src")})
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 finding(s)" in proc.stdout
+
+
+class TestExitCodes:
+    def test_findings_exit_1(self, box, capsys):
+        box.write("sim/bad.py", "import time\nNOW = time.time()\n")
+        assert main([str(box.root), "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "IOL003" in out
+
+    def test_unparseable_file_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def (:\n", encoding="utf-8")
+        assert main([str(bad), "--no-baseline"]) == 2
+
+
+class TestJsonOutput:
+    def test_json_shape(self, box, capsys):
+        box.write("sim/bad.py", "import time\nNOW = time.time()\n")
+        assert main([str(box.root), "--json", "--no-baseline"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["files_checked"] == 1
+        (violation,) = payload["violations"]
+        assert violation["code"] == "IOL003"
+        assert violation["line"] == 2
+        assert violation["line_text"] == "NOW = time.time()"
+
+
+class TestBaseline:
+    def test_roundtrip_suppresses_then_catches_new(self, box, tmp_path,
+                                                   capsys):
+        box.write("sim/bad.py", "import time\nNOW = time.time()\n")
+        baseline = tmp_path / "baseline.json"
+
+        assert main([str(box.root), "--write-baseline",
+                     "--baseline", str(baseline)]) == 0
+        data = json.loads(baseline.read_text())
+        assert len(data["fingerprints"]) == 1
+
+        # baselined finding no longer fails the run
+        assert main([str(box.root), "--baseline", str(baseline)]) == 0
+        assert "1 by baseline" in capsys.readouterr().out
+
+        # a new finding still does
+        box.write("sim/worse.py", "import time\nLATER = time.monotonic()\n")
+        assert main([str(box.root), "--baseline", str(baseline)]) == 1
+
+    def test_shipped_baseline_is_empty(self):
+        data = json.loads((REPO / ".lint-baseline.json").read_text())
+        assert data["fingerprints"] == []
+
+    def test_list_rules_covers_all_codes(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("IOL000", "IOL001", "IOL002", "IOL003",
+                     "IOL004", "IOL005", "IOL006"):
+            assert code in out

@@ -1,0 +1,91 @@
+"""Mutation tests: break each contract in the *real* source and prove
+the corresponding rule catches it.
+
+Each test copies a production module into a fixture ``repro`` tree
+(same package-relative path, so scoping applies), applies a realistic
+regression, and asserts the rule fires.  The unmutated copy linting
+clean is the control.
+"""
+
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def _mutate(box, package_rel: str, old: str, new: str) -> Path:
+    original = (SRC / package_rel).read_text(encoding="utf-8")
+    assert old in original, f"mutation anchor vanished from {package_rel}"
+    clean = box.write(package_rel, original)
+    assert box.codes(clean) == [], \
+        f"control copy of {package_rel} should lint clean"
+    return box.write(package_rel, original.replace(old, new))
+
+
+def test_iol001_fires_when_gc_erase_loses_its_site(box):
+    mutated = _mutate(
+        box, "ftl/cleaner.py",
+        "yield from self.ftl.nand.erase_block(block,\n"
+        "                                                     site=sites.GC_ERASE)",
+        "yield from self.ftl.nand.erase_block(block)")
+    assert "IOL001" in box.codes(mutated)
+
+
+def test_iol002_fires_when_reducer_drops_its_reraise_guard(box):
+    mutated = _mutate(
+        box, "torture/reduce.py",
+        "    except (PowerLossError, KeyboardInterrupt):",
+        "    except (ArithmeticError,):")
+    assert "IOL002" in box.codes(mutated)
+
+
+def test_iol003_fires_when_wall_clock_enters_the_kernel(box):
+    mutated = _mutate(
+        box, "sim/kernel.py",
+        "import heapq",
+        "import heapq\nimport time\n_T0 = time.time()")
+    assert "IOL003" in box.codes(mutated)
+
+
+def test_iol004_fires_when_cleaner_mutates_frozen_bitmaps_itself(box):
+    mutated = _mutate(
+        box, "ftl/cleaner.py",
+        "self.ftl._on_segment_erased(seg)",
+        "self.ftl.active_bitmap.clear_privileged(0)\n"
+        "        self.ftl._on_segment_erased(seg)")
+    assert "IOL004" in box.codes(mutated)
+
+
+def test_iol005_fires_when_epoch_arithmetic_goes_float(box):
+    mutated = _mutate(
+        box, "core/snaptree.py",
+        "        number = self._next_epoch",
+        "        number = self._next_epoch\n"
+        "        midpoint = self._next_epoch / 2  # noqa: demo regression\n"
+        "        del midpoint")
+    assert "IOL005" in box.codes(mutated)
+
+
+def test_iol006_fires_when_read_path_leaks_the_die(box):
+    original = (SRC / "nand/device.py").read_text(encoding="utf-8")
+    anchor = ("        try:\n"
+              "            yield self.timing.read_page_ns\n"
+              "        finally:\n"
+              "            die.release()")
+    assert anchor in original
+    mutated_text = original.replace(
+        anchor, "        yield self.timing.read_page_ns", 1)
+    mutated = box.write("nand/device.py", mutated_text)
+    assert "IOL006" in box.codes(mutated)
+
+
+@pytest.mark.parametrize("package_rel", [
+    "ftl/cleaner.py", "torture/reduce.py", "sim/kernel.py",
+    "core/snaptree.py", "nand/device.py", "core/cow_bitmap.py",
+    "ftl/checkpoint.py", "baselines/btrfs.py",
+])
+def test_production_modules_lint_clean_as_controls(box, package_rel):
+    copy = box.write(package_rel,
+                     (SRC / package_rel).read_text(encoding="utf-8"))
+    assert box.codes(copy) == []

@@ -1,0 +1,323 @@
+"""Per-rule good/bad fixtures: each rule fires on the bad shape and
+stays quiet on the idiomatic one."""
+
+import textwrap
+
+
+def _src(code: str) -> str:
+    return textwrap.dedent(code).lstrip("\n")
+
+
+# -- IOL001 crash-site coverage ----------------------------------------------
+class TestCrashSites:
+    def test_missing_site_keyword_fires(self, box):
+        path = box.write("ftl/thing.py", _src("""
+            def run(ftl, ppn, header, data):
+                yield from ftl.nand.program_page(ppn, header, data)
+        """))
+        assert box.codes(path) == ["IOL001"]
+
+    def test_site_constant_from_registry_is_clean(self, box):
+        path = box.write("ftl/thing.py", _src("""
+            from repro.torture import sites
+
+            def run(ftl, ppn, header, data):
+                yield from ftl.nand.program_page(ppn, header, data,
+                                                 site=sites.GC_COPY)
+        """))
+        assert box.codes(path) == []
+
+    def test_registered_literal_is_clean_but_adhoc_fires(self, box):
+        good = box.write("ftl/good.py", _src("""
+            def run(ftl, block):
+                yield from ftl.nand.erase_block(block, site="gc.erase")
+        """))
+        bad = box.write("ftl/bad.py", _src("""
+            def run(ftl, block):
+                yield from ftl.nand.erase_block(block, site="my.new.site")
+        """))
+        assert box.codes(good) == []
+        assert box.codes(bad) == ["IOL001"]
+
+    def test_power_check_literal_must_be_phased(self, box):
+        bad = box.write("ftl/bad.py", _src("""
+            def run(dev):
+                dev.power_check("gc.erase")       # missing :phase
+                dev.power_check("nope:pre")       # unregistered base
+        """))
+        good = box.write("ftl/good.py", _src("""
+            def run(dev):
+                dev.power_check("gc.erase:pre")
+        """))
+        assert box.codes(bad) == ["IOL001", "IOL001"]
+        assert box.codes(good) == []
+
+    def test_device_layer_itself_is_exempt(self, box):
+        path = box.write("nand/device.py", _src("""
+            def program_page(self, ppn, header, data, site="nand.program"):
+                self.array.program(ppn, header, data)
+        """))
+        assert box.codes(path) == []
+
+    def test_unregistered_default_site_fires_even_in_device(self, box):
+        path = box.write("nand/device.py", _src("""
+            def program_page(self, ppn, header, data, site="bogus.site"):
+                self.array.program(ppn, header, data)
+        """))
+        assert box.codes(path) == ["IOL001"]
+
+
+# -- IOL002 fault-masking handlers -------------------------------------------
+class TestBroadExcept:
+    def test_bare_except_fires(self, box):
+        path = box.write("ftl/bad.py", _src("""
+            def run(op):
+                try:
+                    op()
+                except Exception:
+                    return None
+        """))
+        assert box.codes(path) == ["IOL002"]
+
+    def test_guard_handler_makes_it_clean(self, box):
+        path = box.write("ftl/good.py", _src("""
+            from repro.errors import PowerLossError
+
+            def run(op):
+                try:
+                    op()
+                except (PowerLossError, KeyboardInterrupt):
+                    raise
+                except Exception:
+                    return None
+        """))
+        assert box.codes(path) == []
+
+    def test_reraising_broad_handler_is_clean(self, box):
+        path = box.write("ftl/good.py", _src("""
+            def run(op, log):
+                try:
+                    op()
+                except BaseException:
+                    log("dying")
+                    raise
+        """))
+        # first statement is not the bare raise -> still a violation
+        assert box.codes(path) == ["IOL002"]
+        path2 = box.write("ftl/good2.py", _src("""
+            def run(op, log):
+                try:
+                    op()
+                except BaseException:
+                    raise
+        """))
+        assert box.codes(path2) == []
+
+    def test_pragma_with_reason_suppresses(self, box):
+        path = box.write("ftl/ok.py", _src("""
+            def run(op):
+                try:
+                    op()
+                except Exception:  # lint: allow-broad-except(no media I/O can happen inside op)
+                    return None
+        """))
+        assert box.codes(path) == []
+
+    def test_narrow_handler_is_clean(self, box):
+        path = box.write("ftl/good.py", _src("""
+            def run(op):
+                try:
+                    op()
+                except ValueError:
+                    return None
+        """))
+        assert box.codes(path) == []
+
+
+# -- IOL003 determinism -------------------------------------------------------
+class TestDeterminism:
+    def test_wall_clock_in_sim_fires(self, box):
+        path = box.write("sim/clock.py", _src("""
+            import time
+
+            def now():
+                return time.time()
+        """))
+        assert box.codes(path) == ["IOL003"]
+
+    def test_module_level_random_fires(self, box):
+        path = box.write("core/pick.py", _src("""
+            import random
+
+            def pick(items):
+                return random.choice(items)
+        """))
+        assert box.codes(path) == ["IOL003"]
+
+    def test_seeded_random_instance_is_clean(self, box):
+        path = box.write("workloads/gen.py", _src("""
+            import random
+
+            def make(seed):
+                rng = random.Random(seed)
+                return rng.randint(0, 10)
+        """))
+        assert box.codes(path) == []
+
+    def test_from_imports_fire(self, box):
+        path = box.write("ftl/bad.py", _src("""
+            from time import monotonic
+            from random import randint
+        """))
+        assert box.codes(path) == ["IOL003", "IOL003"]
+
+    def test_out_of_scope_layer_is_exempt(self, box):
+        path = box.write("bench/harness.py", _src("""
+            import time
+
+            def measure():
+                return time.perf_counter()
+        """))
+        assert box.codes(path) == []
+
+
+# -- IOL004 CoW discipline ----------------------------------------------------
+class TestCowDiscipline:
+    def test_privileged_call_outside_owners_fires(self, box):
+        path = box.write("ftl/rogue.py", _src("""
+            def fix(bitmap, bit):
+                bitmap.set_privileged(bit)
+        """))
+        assert box.codes(path) == ["IOL004"]
+
+    def test_private_pages_access_fires(self, box):
+        path = box.write("core/rogue.py", _src("""
+            def peek(bitmap):
+                return bitmap._own
+        """))
+        assert box.codes(path) == ["IOL004"]
+
+    def test_owner_modules_are_exempt(self, box):
+        iosnap = box.write("core/iosnap.py", _src("""
+            def relocate(bitmap, bit):
+                bitmap.clear_privileged(bit)
+        """))
+        cow = box.write("core/cow_bitmap.py", _src("""
+            def mutate(self, idx, word):
+                self._own[idx] = word
+        """))
+        assert box.codes(iosnap) == []
+        assert box.codes(cow) == []
+
+
+# -- IOL005 epoch hygiene -----------------------------------------------------
+class TestEpochHygiene:
+    def test_true_division_fires(self, box):
+        path = box.write("core/bad.py", _src("""
+            def midpoint(epoch):
+                return epoch / 2
+        """))
+        assert box.codes(path) == ["IOL005"]
+
+    def test_float_literal_mixed_in_fires(self, box):
+        path = box.write("core/bad.py", _src("""
+            def scale(active_epoch):
+                return active_epoch * 1.5
+        """))
+        assert box.codes(path) == ["IOL005"]
+
+    def test_float_assignment_fires(self, box):
+        path = box.write("core/bad.py", _src("""
+            def reset(tree):
+                tree.active_epoch = 0.0
+        """))
+        assert box.codes(path) == ["IOL005"]
+
+    def test_integral_arithmetic_is_clean(self, box):
+        path = box.write("core/good.py", _src("""
+            def advance(epoch, epochs_per_segment):
+                epoch += 1
+                half = epoch // 2
+                return epoch + epochs_per_segment, half
+        """))
+        assert box.codes(path) == []
+
+    def test_non_epoch_division_is_clean(self, box):
+        path = box.write("core/good.py", _src("""
+            def mean(total, count):
+                return total / count
+        """))
+        assert box.codes(path) == []
+
+
+# -- IOL006 resource pairing --------------------------------------------------
+class TestResourcePairing:
+    def test_acquire_without_finally_release_fires(self, box):
+        path = box.write("ftl/bad.py", _src("""
+            def op(res):
+                yield res.acquire()
+                yield 10
+                res.release()
+        """))
+        assert box.codes(path) == ["IOL006"]
+
+    def test_try_finally_idiom_is_clean(self, box):
+        path = box.write("ftl/good.py", _src("""
+            def op(res):
+                if not res.try_acquire():
+                    yield res.acquire()
+                try:
+                    yield 10
+                finally:
+                    res.release()
+        """))
+        assert box.codes(path) == []
+
+    def test_pragma_on_acquire_line_suppresses(self, box):
+        path = box.write("ftl/ok.py", _src("""
+            def op(res, kernel, finish):
+                if not res.try_acquire():  # lint: allow-unbalanced-acquire(released by the finish timer callback)
+                    yield res.acquire()
+                kernel.call_at(kernel.now + 5, finish)
+        """))
+        assert box.codes(path) == []
+
+    def test_two_resources_each_need_release(self, box):
+        path = box.write("ftl/bad.py", _src("""
+            def op(die, channel):
+                yield die.acquire()
+                try:
+                    yield channel.acquire()
+                    yield 10
+                finally:
+                    die.release()
+        """))
+        assert box.codes(path) == ["IOL006"]
+
+
+# -- IOL000 pragma hygiene ----------------------------------------------------
+class TestPragmaHygiene:
+    def test_unknown_pragma_name_fires(self, box):
+        path = box.write("ftl/x.py", _src("""
+            VALUE = 1  # lint: allow-everything(because)
+        """))
+        assert box.codes(path) == ["IOL000"]
+
+    def test_reasonless_pragma_fires(self, box):
+        path = box.write("ftl/x.py", _src("""
+            VALUE = 1  # lint: allow-broad-except()
+        """))
+        assert box.codes(path) == ["IOL000"]
+
+    def test_malformed_pragma_fires(self, box):
+        path = box.write("ftl/x.py", _src("""
+            VALUE = 1  # lint: allow-broad-except no parens
+        """))
+        assert box.codes(path) == ["IOL000"]
+
+    def test_pragma_syntax_in_docstring_is_inert(self, box):
+        path = box.write("ftl/x.py", _src('''
+            """Docs may say # lint: allow-broad-except(reason) freely."""
+            VALUE = 1
+        '''))
+        assert box.codes(path) == []

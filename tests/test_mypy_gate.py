@@ -1,0 +1,24 @@
+"""Type-checking gate: mypy over the annotated core, when available.
+
+The container this repo develops in does not ship mypy; CI installs it
+in the lint job.  The test skips (rather than fails) when mypy is not
+importable so the tier-1 suite stays hermetic.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[1]
+
+mypy = pytest.importorskip("mypy", reason="mypy not installed "
+                                          "(CI-only check)")
+
+
+def test_mypy_clean_on_nand_and_core():
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", "mypy.ini"],
+        cwd=REPO, capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -52,31 +52,46 @@ class TestTornPages:
 
 
 class TestPowerModel:
+    # All site names must come from the central registry
+    # (repro.torture.sites); the model rejects ad-hoc strings.
     def test_enumeration_counts_every_site(self):
         power = PowerModel(target=None)
-        for site in ["a:pre", "a:mid", "a:pre", "b:pre"]:
+        for site in ["write.data:pre", "write.data:mid",
+                     "write.data:pre", "gc.erase:pre"]:
             assert power.cut(site) is False
-        assert power.counts == {"a:pre": 2, "a:mid": 1, "b:pre": 1}
+        assert power.counts == {"write.data:pre": 2, "write.data:mid": 1,
+                                "gc.erase:pre": 1}
         assert power.injection_points() == [
-            ("a:mid", 1), ("a:pre", 1), ("a:pre", 2), ("b:pre", 1)]
+            ("gc.erase:pre", 1), ("write.data:mid", 1),
+            ("write.data:pre", 1), ("write.data:pre", 2)]
 
     def test_fires_at_exact_occurrence(self):
-        power = PowerModel(target=("a:pre", 2))
-        assert power.cut("a:pre") is False
-        assert power.cut("b:mid") is False
-        assert power.cut("a:pre") is True
-        assert power.fired == "a:pre"
+        power = PowerModel(target=("write.data:pre", 2))
+        assert power.cut("write.data:pre") is False
+        assert power.cut("gc.erase:mid") is False
+        assert power.cut("write.data:pre") is True
+        assert power.fired == "write.data:pre"
 
     def test_dead_after_fire(self):
         # Once power is gone nothing else may touch the media: any
         # late-arriving site visit (the background cleaner) dies too.
-        power = PowerModel(target=("a:pre", 1))
-        assert power.cut("a:pre") is True
+        power = PowerModel(target=("write.data:pre", 1))
+        assert power.cut("write.data:pre") is True
         with pytest.raises(PowerLossError):
-            power.cut("b:pre")
+            power.cut("gc.erase:pre")
 
     def test_untargeted_model_never_fires(self):
         power = PowerModel(target=None)
         for _ in range(100):
-            assert power.cut("x:mid") is False
+            assert power.cut("nand.program:mid") is False
         assert power.fired is None
+
+    def test_rejects_unregistered_sites(self):
+        from repro.errors import CrashSiteError
+        with pytest.raises(CrashSiteError):
+            PowerModel(target=("made.up:pre", 1))
+        power = PowerModel(target=None)
+        with pytest.raises(CrashSiteError):
+            power.cut("made.up:pre")
+        with pytest.raises(CrashSiteError):
+            power.cut("write.data")  # registered, but missing its phase

@@ -1,0 +1,81 @@
+"""The crash-site registry: consistency, validation, and device wiring."""
+
+import pytest
+
+from repro.errors import CrashSiteError
+from repro.nand import WearModel
+from repro.nand.chip import NandArray
+from repro.torture import sites
+
+from tests.conftest import tiny_geometry
+
+
+class TestRegistry:
+    def test_every_site_declares_phases(self):
+        for name in sites.site_names():
+            phases = sites.SITE_PHASES[name]
+            assert phases, f"{name} has no phases"
+            assert set(phases) <= {"pre", "mid", "post"}
+
+    def test_constants_are_registered(self):
+        for const in ("WRITE_DATA", "GC_COPY", "GC_NOTE", "GC_ERASE",
+                      "NOTE_TRIM", "LOG_SEGHDR", "CHECKPOINT_PAGE",
+                      "CHECKPOINT_SUPERBLOCK", "RECOVERY_ERASE",
+                      "NAND_PROGRAM", "NAND_ERASE",
+                      "BASELINE_PROGRAM", "BASELINE_ERASE"):
+            assert sites.is_site(getattr(sites, const))
+
+    def test_phased_names_roundtrip(self):
+        for name in sites.phased_site_names():
+            assert sites.is_phased(name)
+            base, phase = sites.split(name)
+            assert sites.phased(base, phase) == name
+            assert sites.check_phased(name) == name
+
+    def test_erase_sites_have_no_post_phase(self):
+        # A completed erase leaves nothing to acknowledge: the media
+        # state is identical whether or not the caller learned of it.
+        for name in (sites.GC_ERASE, sites.NAND_ERASE,
+                     sites.RECOVERY_ERASE, sites.BASELINE_ERASE):
+            assert "post" not in sites.SITE_PHASES[name]
+
+    def test_superblock_commit_is_pre_only(self):
+        assert sites.SITE_PHASES[sites.CHECKPOINT_SUPERBLOCK] == ("pre",)
+
+
+class TestValidation:
+    def test_check_site_rejects_unknown(self):
+        with pytest.raises(CrashSiteError, match="unregistered"):
+            sites.check_site("made.up")
+
+    def test_check_phased_rejects_missing_phase(self):
+        with pytest.raises(CrashSiteError, match="no :phase"):
+            sites.check_phased(sites.WRITE_DATA)
+
+    def test_check_phased_rejects_wrong_phase(self):
+        with pytest.raises(CrashSiteError, match="has no 'post' phase"):
+            sites.check_phased("gc.erase:post")
+
+    def test_phased_builder_rejects_wrong_phase(self):
+        with pytest.raises(CrashSiteError):
+            sites.phased(sites.CHECKPOINT_SUPERBLOCK, "mid")
+
+
+class TestTornSiteDiagnostics:
+    def test_torn_record_remembers_its_site(self):
+        array = NandArray(tiny_geometry(), WearModel())
+        array.program_torn(0, "write.data:mid")
+        assert array.torn_site(0) == "write.data:mid"
+        with pytest.raises(Exception, match="write.data:mid"):
+            array.read(0)
+
+    def test_torn_without_site_still_reads_as_torn(self):
+        array = NandArray(tiny_geometry(), WearModel())
+        array.program_torn(0)
+        assert array.is_torn(0)
+        assert array.torn_site(0) is None
+
+    def test_torn_rejects_unregistered_site(self):
+        array = NandArray(tiny_geometry(), WearModel())
+        with pytest.raises(CrashSiteError):
+            array.program_torn(0, "bogus:mid")
