@@ -1,0 +1,34 @@
+"""Benchmark: activation fast-path assertions (fig8-style microbench).
+
+Runs the activation guard workload — one fig8-shaped device, the same
+early snapshot activated cold-full, cold-selective, and warm — and
+asserts the acceleration layer actually engaged: segments were skipped
+(not merely that wall-clock moved), the warm re-activation rode the
+delta rescan, and the simulated-time speedups clear the guard floors
+(>= 5x warm, >= 2x cold selective).  A regression that silently turns
+every activation back into a whole-log scan fails here before it shows
+up in Figure 8 shapes.
+"""
+
+from repro.bench.activation_guard import (
+    COLD_SPEEDUP_FLOOR,
+    WARM_SPEEDUP_FLOOR,
+    run,
+)
+
+
+def test_activation_fast_paths_engage(benchmark):
+    report = benchmark.pedantic(run, args=(True,), rounds=1, iterations=1)
+    assert report["full"]["mode"] == "full"
+    assert report["selective"]["mode"] == "selective"
+    assert report["warm"]["mode"] == "delta"
+    assert report["selective"]["segments_skipped"] > 0
+    assert report["warm"]["segments_skipped"] > 0
+    assert report["warm"]["pages_scanned"] < report["full"]["pages_scanned"]
+    assert (report["full"]["entries"] == report["selective"]["entries"]
+            == report["warm"]["entries"])
+    assert report["warm_speedup"] >= WARM_SPEEDUP_FLOOR, (
+        f"warm delta speedup collapsed to {report['warm_speedup']:.1f}x")
+    assert report["cold_speedup"] >= COLD_SPEEDUP_FLOOR, (
+        f"selective speedup collapsed to {report['cold_speedup']:.1f}x")
+    assert report["passed"], report["checks"]

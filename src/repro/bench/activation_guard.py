@@ -1,0 +1,177 @@
+"""Performance-regression guard for the activation acceleration layer.
+
+PR 1's perfguard pins the word-level bitmap engine; this module pins
+the activation fast paths added on top of it (paper §7 "selectively
+scanning" plus the warm-activation residue cache):
+
+- a *cold full* activation (``selective_scan`` off, residue cache
+  cleared) reproduces the paper prototype's whole-log scan — the
+  Figure 8 baseline;
+- a *cold selective* activation (summary index on, cache cleared) must
+  skip every segment with nothing on the snapshot's epoch path;
+- a *warm* re-activation must ride the residue left by the previous
+  deactivation and fold only the log tail written since — the delta
+  rescan.
+
+All three activate the same early snapshot on the same fig8-shaped
+device, so the simulated-time ratios are attributable purely to how
+much log each mode read.  The guard asserts the warm path is >= 5x and
+the cold selective path >= 2x faster than the full scan, that segments
+were actually skipped (not just that wall-clock moved), and that all
+three modes resolve the same number of blocks.
+
+Usage::
+
+    python -m repro.bench.activation_guard                   # full run
+    python -m repro.bench.activation_guard --smoke           # CI-sized
+    python -m repro.bench.activation_guard --out BENCH.json  # output
+
+Results are written as JSON (default ``BENCH_PR4.json``), the activation
+counterpart of perfguard's ``BENCH_PR1.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Dict
+
+from repro.bench.configs import (
+    bench_iosnap_config,
+    bench_nand,
+    medium_geometry,
+)
+from repro.core.iosnap import IoSnapDevice
+from repro.sim import Kernel
+from repro.sim.stats import NS_PER_MS
+from repro.workloads import random_writes, run_stream
+
+# Required speedups over the cold full scan (simulated time).  These
+# are deliberately far below what the fast paths deliver on the guard
+# workload (typically 10-100x warm) so only a real regression — a scan
+# that stopped skipping — trips them, not timing-model drift.
+WARM_SPEEDUP_FLOOR = 5.0
+COLD_SPEEDUP_FLOOR = 2.0
+
+
+def _build_fig8_device(pages_per_snapshot: int, snapshots: int):
+    """A fig8-shaped device: several snapshots, data between each."""
+    kernel = Kernel()
+    device = IoSnapDevice.create(kernel, bench_nand(medium_geometry()),
+                                 bench_iosnap_config())
+    span = min(device.num_lbas, pages_per_snapshot * snapshots)
+    for index in range(snapshots):
+        run_stream(kernel, device,
+                   random_writes(pages_per_snapshot, span, seed=31 + index))
+        device.snapshot_create(f"snap-{index + 1}")
+    return kernel, device
+
+
+def _activate_once(device, name: str) -> Dict:
+    """Activate + deactivate ``name``, returning its activation report."""
+    started = time.perf_counter()
+    device.snapshot_activate(name).deactivate()
+    report = dict(device.snap_metrics.activation_reports[-1])
+    report["wall_s"] = time.perf_counter() - started
+    return report
+
+
+def run(smoke: bool = False) -> Dict:
+    pages = 256 if smoke else 1024
+    snapshots = 4 if smoke else 5
+    kernel, device = _build_fig8_device(pages, snapshots)
+    # The earliest snapshot has the deepest pile of unrelated log on
+    # top of it — exactly where Figure 8 shows full-scan activation
+    # hurting most and where the summary index pays off most.
+    target = "snap-1"
+
+    device.config.selective_scan = False
+    device._residues.clear()
+    full = _activate_once(device, target)
+
+    device.config.selective_scan = True
+    device._residues.clear()
+    selective = _activate_once(device, target)
+
+    # The selective run's deactivation left a residue; dirty the log a
+    # little so the warm path exercises a real delta (tail fold), not
+    # just a no-op cache hit.
+    run_stream(kernel, device, random_writes(32, device.num_lbas, seed=97))
+    warm = _activate_once(device, target)
+
+    warm_speedup = full["total_ns"] / max(1, warm["total_ns"])
+    cold_speedup = full["total_ns"] / max(1, selective["total_ns"])
+    checks = {
+        "modes": (full["mode"] == "full"
+                  and selective["mode"] == "selective"
+                  and warm["mode"] == "delta"),
+        "selective_skips_segments": selective["segments_skipped"] > 0,
+        "warm_skips_segments": warm["segments_skipped"] > 0,
+        "warm_reads_less": warm["pages_scanned"] < full["pages_scanned"],
+        "same_entries": (full["entries"] == selective["entries"]
+                         == warm["entries"]),
+        "warm_speedup": warm_speedup >= WARM_SPEEDUP_FLOOR,
+        "cold_speedup": cold_speedup >= COLD_SPEEDUP_FLOOR,
+    }
+    return {
+        "suite": "activation_guard",
+        "smoke": smoke,
+        "machine": {
+            "python": sys.version.split()[0],
+            "implementation": platform.python_implementation(),
+            "platform": platform.platform(),
+        },
+        "workload": {"pages_per_snapshot": pages, "snapshots": snapshots,
+                     "target": target},
+        "full": full,
+        "selective": selective,
+        "warm": warm,
+        "warm_speedup": warm_speedup,
+        "cold_speedup": cold_speedup,
+        "counters": device.activation_counters.as_dict(),
+        "checks": checks,
+        "passed": all(checks.values()),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.activation_guard",
+        description="Activation fast-path regression guard.")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (smaller fig8 workload)")
+    parser.add_argument("--out", default="BENCH_PR4.json",
+                        help="output JSON path (default: BENCH_PR4.json)")
+    args = parser.parse_args(argv)
+    out_dir = os.path.dirname(os.path.abspath(args.out))
+    if not os.path.isdir(out_dir):
+        parser.error(f"--out directory does not exist: {out_dir}")
+
+    report = run(smoke=args.smoke)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    for mode in ("full", "selective", "warm"):
+        entry = report[mode]
+        print(f"{mode:10s} {entry['total_ns'] / NS_PER_MS:9.2f} ms "
+              f"(mode={entry['mode']}, "
+              f"pages_scanned={entry['pages_scanned']}, "
+              f"segments_skipped={entry['segments_skipped']})")
+    print(f"cold selective speedup {report['cold_speedup']:.1f}x "
+          f"(floor {COLD_SPEEDUP_FLOOR}x)")
+    print(f"warm delta speedup     {report['warm_speedup']:.1f}x "
+          f"(floor {WARM_SPEEDUP_FLOOR}x)")
+    for name, ok in report["checks"].items():
+        if not ok:
+            print(f"FAIL: {name}")
+    print(f"wrote {os.path.abspath(args.out)}")
+    return 0 if report["passed"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

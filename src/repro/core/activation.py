@@ -19,12 +19,24 @@ Concurrency contract with the segment cleaner:
   (``ftl.begin_scan``); the fixups are applied before the activated
   map goes live, so it never points into a segment that later gets
   erased.
+
+Acceleration (this layer's §7 extensions): with ``selective_scan`` the
+per-segment epoch-summary index skips segments with nothing on the
+snapshot's path, and a re-activation that finds an
+:class:`~repro.core.residue.ActivationResidue` in the warm cache folds
+only the log regions that changed since the residue was captured — a
+*delta rescan*.  Soundness rests on the path being frozen: the
+winners/trims set of a snapshot never changes after creation, only
+winner locations move (cleaner copy-forwards, which update the residue
+in place), so folding the changed regions over the residue with the
+same ``>=`` tie-break converges to exactly the full scan's winners.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, Generator, Optional, Tuple
 
+from repro.core.residue import ActivationResidue
 from repro.errors import SnapshotError
 from repro.ftl.btree import BPlusTree
 from repro.ftl.packet import SnapActivateNote
@@ -48,7 +60,9 @@ class ActivatedSnapshot:
 
     def __init__(self, ftl: "IoSnapDevice", snapshot: "Snapshot",
                  epoch: int, fmap: BPlusTree, writable: bool,
-                 scan_ns: int, reconstruct_ns: int) -> None:
+                 scan_ns: int, reconstruct_ns: int, path: frozenset,
+                 winners: Dict[int, Tuple[int, int]],
+                 trims: Dict[int, int]) -> None:
         self.ftl = ftl
         self.snapshot = snapshot
         self.epoch = epoch
@@ -57,6 +71,13 @@ class ActivatedSnapshot:
         self.scan_ns = scan_ns
         self.reconstruct_ns = reconstruct_ns
         self.num_lbas = ftl.num_lbas
+        # The scan's fold, tracked separately from ``map``: writable
+        # activations mutate the map, but the snapshot's own winners
+        # digest must stay pristine — it seeds the deactivation
+        # residue for later delta rescans.
+        self.path = path
+        self._winners = winners
+        self._trims = trims
         self._closed = False
 
     # -- lifecycle -----------------------------------------------------------
@@ -76,6 +97,20 @@ class ActivatedSnapshot:
         ("multiple updates to the map when the packet is moved")."""
         if self.map.get(lba) == old_ppn:
             self.map.insert(lba, new_ppn)
+        entry = self._winners.get(lba)
+        if entry is not None and entry[1] == old_ppn:
+            self._winners[lba] = (entry[0], new_ppn)
+
+    def build_residue(self) -> ActivationResidue:
+        """Capture the reusable digest for the warm-activation cache."""
+        ftl = self.ftl
+        seg_vector = {seg.index: (seg.seq, seg.next_offset)
+                      for seg in ftl.log.segments if seg.seq >= 0}
+        return ActivationResidue(
+            snap_id=self.snapshot.snap_id, path=self.path,
+            winners=dict(self._winners), trims=dict(self._trims),
+            watermark=ftl._next_seq, seg_vector=seg_vector,
+            seg_pages=ftl.log.segment_pages)
 
     # -- I/O ----------------------------------------------------------------
     def read(self, lba: int) -> bytes:
@@ -139,12 +174,19 @@ def activate_proc(ftl: "IoSnapDevice", snap: "Snapshot",
     epoch = ftl.tree.new_activation_epoch(snap)
     assert epoch == new_epoch
 
-    # Step 4: reconstruct the snapshot's FTL from the log.
+    # Step 4: reconstruct the snapshot's FTL from the log.  A residue
+    # left by a previous deactivation turns the scan into a delta
+    # rescan over only the regions that changed since.
     scan_started = ftl.kernel.now
     path = frozenset(ftl.tree.path_epochs(snap.epoch))
+    counters_before = ftl.activation_counters.as_dict()
     move_log = ftl.begin_scan()
     try:
-        winners, trims = yield from _scan_for_path(ftl, path, limiter)
+        residue = ftl._residues.take(snap.snap_id, path)
+        mode = ("delta" if residue is not None
+                else "selective" if ftl.config.selective_scan else "full")
+        winners, trims = yield from _scan_for_path(ftl, path, limiter,
+                                                   residue=residue)
         for lba, trim_seq in trims.items():
             entry = winners.get(lba)
             if entry is not None and entry[0] < trim_seq:
@@ -170,25 +212,35 @@ def activate_proc(ftl: "IoSnapDevice", snap: "Snapshot",
         for old_ppn, new_ppn, header in move_log:
             if fmap.get(header.lba) == old_ppn:
                 fmap.insert(header.lba, new_ppn)
+            entry = winners.get(header.lba)
+            if entry is not None and entry[1] == old_ppn:
+                winners[header.lba] = (entry[0], new_ppn)
         writable = ftl.config.writable_activations
         if writable:
             ftl._epoch_bitmaps[epoch] = ftl._epoch_bitmaps[snap.epoch].fork()
         activated = ActivatedSnapshot(
             ftl, snap, epoch, fmap, writable,
             scan_ns=scan_ns,
-            reconstruct_ns=ftl.kernel.now - reconstruct_started)
+            reconstruct_ns=ftl.kernel.now - reconstruct_started,
+            path=path, winners=winners, trims=trims)
         ftl._activations.append(activated)
     finally:
         ftl.end_scan(move_log)
 
+    counters_after = ftl.activation_counters.as_dict()
     ftl.snap_metrics.activation_reports.append({
         "snapshot": snap.name,
+        "mode": mode,
         "scan_ns": activated.scan_ns,
         "reconstruct_ns": activated.reconstruct_ns,
         "total_ns": ftl.kernel.now - scan_started,
         "entries": len(activated.map),
         "map_nodes": activated.map.node_count(),
         "map_bytes": activated.map.memory_bytes(),
+        "segments_skipped": (counters_after["segments_skipped"]
+                             - counters_before["segments_skipped"]),
+        "pages_scanned": (counters_after["pages_scanned"]
+                          - counters_before["pages_scanned"]),
     })
     return activated
 
@@ -211,22 +263,31 @@ def _scan_batch_size(ftl: "IoSnapDevice", limiter) -> int:
     return max(1, min(default, work_ns // per_read_ns))
 
 
-def _scan_for_path(ftl: "IoSnapDevice", path: frozenset,
-                   limiter) -> Generator:
-    """Read every packet header on the log, folding path-epoch packets.
+def _scan_for_path(ftl: "IoSnapDevice", path: frozenset, limiter,
+                   residue: Optional[ActivationResidue] = None) -> Generator:
+    """Fold path-epoch packets from the log into ``(winners, trims)``.
 
-    Returns ``(winners, trims)`` where winners maps lba -> (seq, ppn).
-    The entire log must be read: the segment cleaner may have moved a
-    snapshot's blocks anywhere (paper §6.2.2: "the entire log needs to
-    be read to ensure all the blocks belonging to the snapshot are
-    identified correctly").
+    Without a residue the entire log is read (paper §6.2.2: "the
+    entire log needs to be read to ensure all the blocks belonging to
+    the snapshot are identified correctly") — modulo the selective-scan
+    summary skip.  With a residue the fold starts from its digest and
+    only the regions that changed since its capture are read: segments
+    still at the recorded (allocation seq, extent) coordinates are
+    skipped outright, segments that merely grew are scanned from the
+    recorded extent, and segments whose allocation seq changed (erased
+    and reused) are rescanned in full.  Re-folding a cleaner duplicate
+    over the residue is idempotent under the ``>=`` tie-break, so both
+    paths converge to the same winners.
     """
-    winners: Dict[int, Tuple[int, int]] = {}
-    trims: Dict[int, int] = {}
+    winners: Dict[int, Tuple[int, int]] = \
+        dict(residue.winners) if residue is not None else {}
+    trims: Dict[int, int] = \
+        dict(residue.trims) if residue is not None else {}
     segments = sorted((seg for seg in ftl.log.segments if seg.seq >= 0),
                       key=lambda seg: seg.seq)
     replay_ns = ftl.config.cpu.replay_packet_ns
     batch_size = _scan_batch_size(ftl, limiter)
+    counters = ftl.activation_counters
 
     def fold(ppn: int, header) -> None:
         if header.epoch not in path:
@@ -246,11 +307,22 @@ def _scan_for_path(ftl: "IoSnapDevice", path: frozenset,
     pending: list = []
     selective = ftl.config.selective_scan
     for seg in segments:
+        start_offset = 1
+        if residue is not None:
+            recorded = residue.seg_vector.get(seg.index)
+            if recorded is not None and recorded[0] == seg.seq:
+                if recorded[1] >= seg.next_offset:
+                    # Unchanged since the residue was captured; its
+                    # packets are already folded into the digest.
+                    counters.bump("segments_skipped")
+                    continue
+                start_offset = recorded[1]
         if selective and not (ftl.segment_epoch_summary(seg) & path):
             # §7 extension: nothing from the snapshot's epoch path ever
             # landed in this segment — skip it wholesale.
+            counters.bump("segments_skipped")
             continue
-        for ppn in list(seg.written_ppns()):
+        for ppn in seg.written_ppns(start_offset):
             # A concurrent append may have reserved (but not yet
             # programmed) the tail of the open segment; a torn page is
             # power-cut residue awaiting erase — neither holds a packet.
@@ -259,9 +331,11 @@ def _scan_for_path(ftl: "IoSnapDevice", path: frozenset,
                 continue
             pending.append(ppn)
             if len(pending) >= batch_size:
+                counters.bump("pages_scanned", len(pending))
                 yield from _read_batch(ftl, pending, fold, replay_ns, limiter)
                 pending = []
     if pending:
+        counters.bump("pages_scanned", len(pending))
         yield from _read_batch(ftl, pending, fold, replay_ns, limiter)
     return winners, trims
 

@@ -188,12 +188,19 @@ def destage_snapshot_proc(ftl: "IoSnapDevice", ref, archive: ArchiveTarget,
     if delete_after:
         yield from ftl.snapshot_delete_proc(snap)
         ftl.cleaner.maybe_kick()
+    activation = ftl.snap_metrics.activation_reports[-1]
     return {
         "snapshot": snap.name,
         "blocks": blocks,
         "bytes": archive.manifest(snap.name).total_bytes,
         "duration_ns": ftl.kernel.now - started,
         "deleted_from_flash": delete_after,
+        # How the identifying activation was served (full / selective /
+        # delta) and how much log it actually read — repeated destages
+        # of the same snapshot ride the warm-activation cache.
+        "activation_mode": activation["mode"],
+        "segments_skipped": activation["segments_skipped"],
+        "pages_scanned": activation["pages_scanned"],
     }
 
 
@@ -241,6 +248,7 @@ def destage_incremental_proc(ftl: "IoSnapDevice", base_name: str, target,
     if delete_after:
         yield from ftl.snapshot_delete_proc(target_snap)
         ftl.cleaner.maybe_kick()
+    activation = ftl.snap_metrics.activation_reports[-1]
     return {
         "snapshot": target_snap.name,
         "base": base_name,
@@ -248,6 +256,9 @@ def destage_incremental_proc(ftl: "IoSnapDevice", base_name: str, target,
         "blocks_removed": len(diff.removed),
         "duration_ns": ftl.kernel.now - started,
         "deleted_from_flash": delete_after,
+        "activation_mode": activation["mode"],
+        "segments_skipped": activation["segments_skipped"],
+        "pages_scanned": activation["pages_scanned"],
     }
 
 

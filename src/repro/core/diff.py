@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Generator, List, Optional, Tuple
 
+from repro.core.activation import _read_batch, _scan_batch_size
 from repro.ftl.ratelimit import NullLimiter
 from repro.nand.oob import PageKind
 
@@ -97,42 +98,57 @@ def snapshot_diff_proc(device: "IoSnapDevice", base, target,
 
 def _fold_two_paths(device: "IoSnapDevice", base_path: frozenset,
                     target_path: frozenset, limiter) -> Generator:
-    """One header scan, two simultaneous winner folds."""
+    """One header scan, two simultaneous winner folds.
+
+    Header reads are batched through one pending buffer exactly like
+    the activation scan (vectored OOB bursts paced by the limiter); the
+    written-extent range is already a stable snapshot view, so no
+    per-segment copy is materialized.
+    """
     union = base_path | target_path
     base_best: Dict[int, Tuple[int, int]] = {}
     target_best: Dict[int, Tuple[int, int]] = {}
     base_trims: Dict[int, int] = {}
     target_trims: Dict[int, int] = {}
     replay_ns = device.config.cpu.replay_packet_ns
+    batch_size = _scan_batch_size(device, limiter)
+
+    def fold(ppn: int, header) -> None:
+        if header.epoch not in union:
+            return
+        for path, best, trims in (
+                (base_path, base_best, base_trims),
+                (target_path, target_best, target_trims)):
+            if header.epoch not in path:
+                continue
+            if header.kind is PageKind.DATA:
+                current = best.get(header.lba)
+                if current is None or header.seq >= current[0]:
+                    best[header.lba] = (header.seq, ppn)
+            elif header.kind is PageKind.NOTE_TRIM:
+                if header.seq > trims.get(header.lba, -1):
+                    trims[header.lba] = header.seq
 
     segments = sorted((seg for seg in device.log.segments if seg.seq >= 0),
                       key=lambda seg: seg.seq)
     move_log = device.begin_scan()
     try:
+        pending: list = []
         for seg in segments:
             if (device.config.selective_scan
                     and not (device.segment_epoch_summary(seg) & union)):
                 continue
-            for ppn in list(seg.written_ppns()):
-                if not device.nand.array.is_programmed(ppn):
+            for ppn in seg.written_ppns():
+                if (not device.nand.array.is_programmed(ppn)
+                        or device.nand.array.is_torn(ppn)):
                     continue
-                started = device.kernel.now
-                header = yield from device.nand.read_header(ppn)
-                yield replay_ns
-                if header.epoch in union:
-                    for path, best, trims in (
-                            (base_path, base_best, base_trims),
-                            (target_path, target_best, target_trims)):
-                        if header.epoch not in path:
-                            continue
-                        if header.kind is PageKind.DATA:
-                            current = best.get(header.lba)
-                            if current is None or header.seq >= current[0]:
-                                best[header.lba] = (header.seq, ppn)
-                        elif header.kind is PageKind.NOTE_TRIM:
-                            if header.seq > trims.get(header.lba, -1):
-                                trims[header.lba] = header.seq
-                yield from limiter.pace(device.kernel.now - started)
+                pending.append(ppn)
+                if len(pending) >= batch_size:
+                    yield from _read_batch(device, pending, fold, replay_ns,
+                                           limiter)
+                    pending = []
+        if pending:
+            yield from _read_batch(device, pending, fold, replay_ns, limiter)
     finally:
         device.end_scan(move_log)
 

@@ -28,9 +28,12 @@ from repro.core.cow_bitmap import (
     merged_count_range,
     merged_iter_range,
 )
+from repro.core.epoch_index import SegmentEpochIndex, recompute_segment
+from repro.core.residue import ResidueCache
 from repro.core.snaptree import Snapshot, SnapshotRef, SnapshotTree
-from repro.errors import SnapshotError
+from repro.errors import SnapshotError, SummaryIndexError
 from repro.ftl.log import Segment
+from repro.sim.stats import Counters
 from repro.ftl.packet import (
     SnapCreateNote,
     SnapDeactivateNote,
@@ -65,9 +68,18 @@ class IoSnapConfig(FtlConfig):
     # §7 future-work extension: keep a per-segment summary of which
     # epochs have packets there, letting activation skip segments with
     # nothing on the snapshot's path ("selectively scanning only those
-    # segments that have data corresponding to the snapshot").  Off by
-    # default to match the paper's prototype (full scans).
-    selective_scan: bool = False
+    # segments that have data corresponding to the snapshot").  On by
+    # default since the index became durable (checkpointed with CRC +
+    # generation stamping and restored validation-first); set False to
+    # measure the paper's prototype behavior (full scans).
+    selective_scan: bool = True
+    # Warm-activation cache: deactivated snapshots leave an
+    # ActivationResidue behind so re-activation only rescans log
+    # regions that changed since (see repro.core.residue).  Bounded by
+    # entry count and accounted bytes; either bound at zero disables
+    # caching.
+    residue_cache_entries: int = 8
+    residue_cache_bytes: int = 4 << 20
 
 
 @dataclass
@@ -174,6 +186,11 @@ class IoSnapDevice(VslDevice):
         # merged view no longer includes it, which implicitly
         # invalidates blocks only this snapshot kept alive.
         self._epoch_bitmaps.pop(snap.epoch, None)
+        # Residues for this snapshot are dead; residues whose path
+        # crosses the reclaimed epoch are conservatively dropped too
+        # (their winners may become cleaner fodder).
+        self._residues.invalidate_snapshot(snap.snap_id)
+        self._residues.invalidate_epoch(snap.epoch)
         self.snap_metrics.deletes += 1
         self.snap_metrics.delete_latencies_ns.append(self.kernel.now - started)
         self.cleaner.maybe_kick()
@@ -197,6 +214,10 @@ class IoSnapDevice(VslDevice):
         yield from self._append_note(note, PageKind.NOTE_SNAP_DEACTIVATE)
         self._activations.remove(activated)
         self._epoch_bitmaps.pop(activated.epoch, None)
+        # Leave a warm-activation residue behind: the winners/trims
+        # digest (kept current by cleaner fixups while activated) plus
+        # the log coordinates a delta rescan resumes from.
+        self._residues.put(activated.build_residue())
         activated.mark_closed()
         self.snap_metrics.deactivations += 1
         self.cleaner.maybe_kick()
@@ -272,6 +293,11 @@ class IoSnapDevice(VslDevice):
             "activated": len(self._activations),
             "active_epoch": self.tree.active_epoch,
             "bitmap_memory_bytes": self.bitmap_memory_bytes(),
+            "activation": {
+                **self.activation_counters.as_dict(),
+                "residue_cache_entries": len(self._residues),
+                "residue_cache_bytes": self._residues.memory_bytes(),
+            },
         }
         return summary
 
@@ -281,9 +307,19 @@ class IoSnapDevice(VslDevice):
     def _make_structures(self) -> None:
         self.tree = SnapshotTree()
         self._activations: List[ActivatedSnapshot] = []
-        # Per-segment epoch summary for the selective-scan extension:
-        # which epochs have DATA/TRIM packets in each segment.
-        self._segment_epochs: Dict[int, set] = {}
+        # Per-segment epoch summaries + max-seq high-water marks for
+        # the selective-scan extension; checkpointed and restored
+        # validation-first (see repro.core.epoch_index).
+        self._epoch_index = SegmentEpochIndex()
+        # Activation acceleration counters, shared between the residue
+        # cache and the scan loops; surfaced via info() and perfguard.
+        self.activation_counters = Counters(
+            "hits", "misses", "invalidations",
+            "segments_skipped", "pages_scanned")
+        self._residues = ResidueCache(self.config.residue_cache_entries,
+                                      self.config.residue_cache_bytes,
+                                      self.activation_counters)
+        self._erase_check_tick = 0
         # Merged-across-epochs valid counts per segment index, lazily
         # filled by _estimate_valid_count and invalidated by bitmap
         # mutations (see _note_bitmap_mutation / _merged_valid_cache).
@@ -382,14 +418,22 @@ class IoSnapDevice(VslDevice):
                 bitmap.set_privileged(new_ppn)
         for activated in self._activations:
             activated.on_block_moved(header.lba, old_ppn, new_ppn)
+        # Cached residues follow moves the same way live activations
+        # do, so a warm re-activation never chases erased media.
+        self._residues.on_block_moved(header.lba, old_ppn, new_ppn)
         self.record_move(old_ppn, new_ppn, header)
         if adjustments:
             yield adjustments * self.config.cpu.bitmap_adjust_ns
 
+    @property
+    def _segment_epochs(self) -> Dict[int, set]:
+        """Compatibility view of the index's per-segment epoch sets."""
+        return self._epoch_index.epochs
+
     def _on_packet_appended(self, ppn: int, header: OobHeader) -> None:
         if header.kind in (PageKind.DATA, PageKind.NOTE_TRIM):
             index = self.log.segment_of(ppn).index
-            self._segment_epochs.setdefault(index, set()).add(header.epoch)
+            self._epoch_index.note_packet(index, header.epoch, header.seq)
 
     def _gc_head_for(self, old_ppn: int, header: OobHeader) -> str:
         if not self.config.gc_segregate_cold:
@@ -402,13 +446,38 @@ class IoSnapDevice(VslDevice):
             return "gc-hot"
         return "gc-cold"
 
+    def _before_segment_erase(self, seg: Segment) -> None:
+        super()._before_segment_erase(seg)
+        if not sanitize.enabled:
+            return
+        # Deterministic sampling (1 in 4 erases, counter-based — sim
+        # layers must not consult wall clocks or global RNG): recompute
+        # the doomed segment's summary from its OOB headers and audit
+        # the index entry we are about to drop.  Any drift here means
+        # selective scans were silently skipping live path segments.
+        self._erase_check_tick += 1
+        if (self._erase_check_tick - 1) % 4:
+            return
+        epochs, max_seq = recompute_segment(self.nand.array, seg)
+        stored = set(self._epoch_index.epochs.get(seg.index, ()))
+        sanitize.check(
+            stored == epochs,
+            f"segment {seg.index} epoch summary drifted before erase: "
+            f"index {sorted(stored)}, media {sorted(epochs)}")
+        sanitize.check(
+            self._epoch_index.high_water(seg.index) == max_seq,
+            f"segment {seg.index} high-water mark drifted before erase: "
+            f"index {self._epoch_index.high_water(seg.index)}, "
+            f"media {max_seq}")
+
     def _on_segment_erased(self, seg: Segment) -> None:
         super()._on_segment_erased(seg)
-        self._segment_epochs.pop(seg.index, None)
+        self._epoch_index.drop_segment(seg.index)
+        self._residues.on_segment_erased(seg.index)
 
     def segment_epoch_summary(self, seg: Segment) -> frozenset:
         """Epochs with DATA/TRIM packets in ``seg`` (selective scan)."""
-        return frozenset(self._segment_epochs.get(seg.index, ()))
+        return self._epoch_index.summary(seg.index)
 
     def _note_is_live(self, ppn: int, header: OobHeader) -> bool:
         """Create/delete notes are kept forever: deleted snapshots'
@@ -425,25 +494,36 @@ class IoSnapDevice(VslDevice):
 
         yield from rebuild_iosnap_state(self, packets)
 
-    def _dump_extra(self) -> Dict[str, Any]:
+    def _dump_extra(self, generation: int) -> Dict[str, Any]:
         return {
             "tree": self.tree.dump(),
             "epoch_bitmaps": {
                 epoch: bitmap.materialize()
                 for epoch, bitmap in self._epoch_bitmaps.items()
             },
-            "segment_epochs": {
-                index: sorted(epochs)
-                for index, epochs in self._segment_epochs.items()
-            },
+            "epoch_index": self._epoch_index.dump(self.log, generation),
         }
 
-    def _load_extra(self, extra: Dict[str, Any]) -> None:
+    def _load_extra(self, extra: Dict[str, Any],
+                    generation: Optional[int]) -> None:
         self.tree = SnapshotTree.restore(extra["tree"])
-        self._segment_epochs = {
-            index: set(epochs)
-            for index, epochs in extra.get("segment_epochs", {}).items()
-        }
+        # Durable selective-scan index: validation-first restore, with
+        # the pre-v3 full-media sweep as the fallback.  The restore
+        # cross-checks the image against the log bookkeeping adopted
+        # just before this hook runs; on the stale-generation fallback
+        # path the log is still pristine, the image fails validation,
+        # and the subsequent log replay rebuilds the index wholesale.
+        index: Optional[SegmentEpochIndex] = None
+        image = extra.get("epoch_index")
+        if image is not None:
+            try:
+                index = SegmentEpochIndex.restore(image, self.log, generation)
+            except SummaryIndexError:
+                index = None
+        if index is None:
+            index = SegmentEpochIndex.rebuild_from_media(self.nand.array,
+                                                         self.log)
+        self._epoch_index = index
         self._epoch_bitmaps = {}
         for epoch, pages in extra["epoch_bitmaps"].items():
             bitmap = CowValidityBitmap.from_pages(

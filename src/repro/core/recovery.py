@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, Generator, List, Tuple
 
+from repro.core.epoch_index import SegmentEpochIndex
 from repro.core.snaptree import BranchKind, Snapshot, SnapshotTree
 from repro.errors import SnapshotError
 from repro.ftl.btree import BPlusTree
@@ -47,13 +48,17 @@ def rebuild_iosnap_state(ftl: "IoSnapDevice",
     ftl.tree = tree
     ftl._activations = []
 
-    # Rebuild the per-segment epoch summaries (selective-scan index).
-    ftl._segment_epochs = {}
+    # Rebuild the selective-scan index (per-segment epoch summaries +
+    # max-seq high-water marks) from the scanned packets — the same
+    # information the durable checkpointed index carries, rebuilt from
+    # first principles because a crash invalidates the checkpoint.
+    epoch_index = SegmentEpochIndex()
     for packet in packets:
         if packet.header.kind in (PageKind.DATA, PageKind.NOTE_TRIM):
             index = ftl.log.segment_of(packet.ppn).index
-            ftl._segment_epochs.setdefault(index, set()).add(
-                packet.header.epoch)
+            epoch_index.note_packet(index, packet.header.epoch,
+                                    packet.header.seq)
+    ftl._epoch_index = epoch_index
 
     chain = tree.path_epochs(tree.active_epoch)
     by_epoch = _group_chain_packets(packets, frozenset(chain))

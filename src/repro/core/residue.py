@@ -1,0 +1,187 @@
+"""Activation residues and the warm-activation cache.
+
+Activating a snapshot costs a log scan (paper §5.6/Figure 9) — but a
+snapshot's ancestor path is frozen at creation, so its winners/trims
+fold is *immutable*: only the physical location of winner pages changes
+afterwards, via cleaner copy-forwards.  A deactivated snapshot can
+therefore leave behind an :class:`ActivationResidue` — its folded
+winners/trims digest plus the exact log coordinates it was built from
+(per-segment allocation seq + written extent, and the global seq
+watermark) — and a later re-activation only has to re-fold the log
+regions that changed past those coordinates (see
+``core.activation._scan_for_path``).
+
+The :class:`ResidueCache` is a bounded, memory-accounted LRU of
+residues kept exactly current:
+
+- cleaner copy-forwards are applied to cached winners at relocate time
+  (``IoSnapDevice._relocate`` -> :meth:`ResidueCache.on_block_moved`),
+  mirroring what live activations get via ``on_block_moved``;
+- invalidation hooks drop residues on snapshot delete, on epoch
+  reclamation (any snapshot delete reclaims its epoch — residues whose
+  path crosses it are conservatively dropped), and on cleaner erase of
+  a segment a residue's winners still reference (a backstop: winners
+  are normally relocated out before the erase, so a remaining
+  reference means the fixups were bypassed).
+
+Counters (``hits``/``misses``/``invalidations`` here,
+``segments_skipped``/``pages_scanned`` bumped by the scan itself) are
+shared through one :class:`repro.sim.stats.Counters` owned by the
+device and surfaced via ``info()`` and the activation reports.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from repro.sim.stats import Counters
+
+# Deterministic per-entry accounting estimates (bytes).  Real dict
+# overhead varies by interpreter; what matters is that eviction
+# pressure scales with entry counts the same way on every run.
+_WINNER_ENTRY_BYTES = 48      # lba -> (seq, ppn)
+_TRIM_ENTRY_BYTES = 32        # lba -> seq
+_SEGMENT_ENTRY_BYTES = 40     # seg index -> (gen, offset)
+_RESIDUE_BASE_BYTES = 256
+
+
+class ActivationResidue:
+    """The reusable part of a finished activation.
+
+    ``winners``/``trims`` are the post-trim fold for ``path`` as of
+    ``watermark`` (the device's packet-seq counter at capture time).
+    ``seg_vector`` records, for every segment allocated at capture
+    time, ``(allocation seq, written extent)`` — a later rescan skips
+    segments still at the recorded coordinates, scans only the tail of
+    segments that grew, and fully rescans segments whose allocation seq
+    changed (erased and reused since).
+    """
+
+    __slots__ = ("snap_id", "path", "winners", "trims", "watermark",
+                 "seg_vector", "seg_pages", "_seg_refs")
+
+    def __init__(self, snap_id: int, path: frozenset,
+                 winners: Dict[int, Tuple[int, int]], trims: Dict[int, int],
+                 watermark: int, seg_vector: Dict[int, Tuple[int, int]],
+                 seg_pages: int) -> None:
+        self.snap_id = snap_id
+        self.path = path
+        self.winners = winners
+        self.trims = trims
+        self.watermark = watermark
+        self.seg_vector = seg_vector
+        self.seg_pages = seg_pages
+        # Winner-reference counts per segment index, maintained through
+        # moves so the erase backstop is O(1) per erase.
+        self._seg_refs: Dict[int, int] = {}
+        for _seq, ppn in winners.values():
+            index = ppn // seg_pages
+            self._seg_refs[index] = self._seg_refs.get(index, 0) + 1
+
+    def memory_bytes(self) -> int:
+        return (_RESIDUE_BASE_BYTES
+                + len(self.winners) * _WINNER_ENTRY_BYTES
+                + len(self.trims) * _TRIM_ENTRY_BYTES
+                + (len(self.seg_vector) + len(self._seg_refs))
+                * _SEGMENT_ENTRY_BYTES)
+
+    def references_segment(self, index: int) -> bool:
+        return self._seg_refs.get(index, 0) > 0
+
+    def on_block_moved(self, lba: int, old_ppn: int, new_ppn: int) -> None:
+        """Follow a cleaner copy-forward, like a live activation does."""
+        entry = self.winners.get(lba)
+        if entry is None or entry[1] != old_ppn:
+            return
+        self.winners[lba] = (entry[0], new_ppn)
+        old_index = old_ppn // self.seg_pages
+        new_index = new_ppn // self.seg_pages
+        if old_index == new_index:
+            return
+        remaining = self._seg_refs.get(old_index, 0) - 1
+        if remaining > 0:
+            self._seg_refs[old_index] = remaining
+        else:
+            self._seg_refs.pop(old_index, None)
+        self._seg_refs[new_index] = self._seg_refs.get(new_index, 0) + 1
+
+
+class ResidueCache:
+    """Bounded LRU of :class:`ActivationResidue`, keyed by snapshot id."""
+
+    def __init__(self, max_entries: int, max_bytes: int,
+                 counters: Counters) -> None:
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.counters = counters
+        self._entries: "OrderedDict[int, ActivationResidue]" = OrderedDict()
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_entries > 0 and self.max_bytes > 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def memory_bytes(self) -> int:
+        return sum(res.memory_bytes() for res in self._entries.values())
+
+    # -- cache protocol ------------------------------------------------------
+    def put(self, residue: ActivationResidue) -> None:
+        if not self.enabled or residue.memory_bytes() > self.max_bytes:
+            return
+        self._entries.pop(residue.snap_id, None)
+        self._entries[residue.snap_id] = residue
+        while (len(self._entries) > self.max_entries
+               or self.memory_bytes() > self.max_bytes):
+            self._entries.popitem(last=False)
+
+    def take(self, snap_id: int, path: frozenset,
+             ) -> Optional[ActivationResidue]:
+        """Remove and return the residue for ``snap_id``, if reusable.
+
+        Move semantics: while the activation is live, the activation's
+        own winner tracking receives the cleaner fixups; the refreshed
+        digest comes back via :meth:`put` on deactivate.
+        """
+        if not self.enabled:
+            return None
+        residue = self._entries.pop(snap_id, None)
+        if residue is not None and residue.path != path:
+            # The tree resolved a different ancestor path than the one
+            # the residue was folded for (cannot happen for an
+            # unchanged snapshot; treated as an invalidation).
+            self.counters.bump("invalidations")
+            residue = None
+        self.counters.bump("hits" if residue is not None else "misses")
+        return residue
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    # -- invalidation hooks --------------------------------------------------
+    def invalidate_snapshot(self, snap_id: int) -> None:
+        if self._entries.pop(snap_id, None) is not None:
+            self.counters.bump("invalidations")
+
+    def invalidate_epoch(self, epoch: int) -> None:
+        """Epoch reclamation: drop residues whose path crosses ``epoch``."""
+        stale = [snap_id for snap_id, res in self._entries.items()
+                 if epoch in res.path]
+        for snap_id in stale:
+            del self._entries[snap_id]
+            self.counters.bump("invalidations")
+
+    def on_segment_erased(self, index: int) -> None:
+        """Backstop: a residue still referencing an erased segment is
+        unusable (its winners would point at erased media)."""
+        stale = [snap_id for snap_id, res in self._entries.items()
+                 if res.references_segment(index)]
+        for snap_id in stale:
+            del self._entries[snap_id]
+            self.counters.bump("invalidations")
+
+    def on_block_moved(self, lba: int, old_ppn: int, new_ppn: int) -> None:
+        for residue in self._entries.values():
+            residue.on_block_moved(lba, old_ppn, new_ppn)

@@ -80,3 +80,12 @@ class CheckpointError(FtlError):
 
 class SnapshotError(ReproError):
     """Snapshot-layer misuse (unknown snapshot, double delete, ...)."""
+
+
+class SummaryIndexError(FtlError):
+    """A durable segment-epoch-summary image failed validation.
+
+    Raised by :meth:`repro.core.epoch_index.SegmentEpochIndex.restore`
+    when a checkpointed index does not match the log state it claims to
+    describe; callers fall back to rebuilding the index from media.
+    """

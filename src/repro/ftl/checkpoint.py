@@ -38,7 +38,11 @@ from repro.torture import sites
 if TYPE_CHECKING:  # pragma: no cover
     from repro.ftl.vsl import VslDevice
 
-CHECKPOINT_VERSION = 2
+CHECKPOINT_VERSION = 3
+# Older images we can still restore.  v3 added the generation-stamped
+# epoch-summary index inside ``extra``; restoring a v1/v2 image simply
+# finds no index and rebuilds it from media.
+_COMPAT_VERSIONS = (1, 2, CHECKPOINT_VERSION)
 
 
 def write_checkpoint(ftl: "VslDevice") -> Generator:
@@ -56,7 +60,7 @@ def write_checkpoint(ftl: "VslDevice") -> Generator:
         "seq": ftl._next_seq,
         "map_items": list(ftl.map.items()),
         "notes": dict(ftl._note_registry),
-        "extra": ftl._dump_extra(),
+        "extra": ftl._dump_extra(generation),
     }
     blob = pickle.dumps(state)
     crc = zlib.crc32(blob)
@@ -127,7 +131,7 @@ def _read_and_validate(ftl: "VslDevice", ppns: List[int],
     except Exception as exc:  # lint: allow-broad-except(pickle.loads raises arbitrary exception types on corrupt input; no media I/O happens here so a power cut cannot be swallowed)
         raise CheckpointError(f"corrupt checkpoint: {exc}") from exc
     version = state.get("version")
-    if version not in (1, CHECKPOINT_VERSION):
+    if version not in _COMPAT_VERSIONS:
         raise CheckpointError(f"unsupported checkpoint version {version}")
     for key in ("seq", "map_items", "notes", "extra"):
         if key not in state:
@@ -172,10 +176,14 @@ def restore_checkpoint(ftl: "VslDevice") -> Generator:
                                   order=ftl.config.map_order)
     yield len(state["map_items"]) * ftl.config.cpu.map_bulk_insert_ns
     ftl._note_registry = state["notes"]
-    ftl._load_extra(state["extra"])
     if not fallback:
+        # Adopt the log's segment bookkeeping *before* the extra-state
+        # hook: the ioSnap layer cross-validates its durable epoch
+        # index against each segment's adopted allocation seq.
         ftl.log.adopt_state(*sb["log_state"])
+        ftl._load_extra(state["extra"], state.get("generation"))
         return
+    ftl._load_extra(state["extra"], state.get("generation"))
 
     # Fallback path: the previous generation is stale — it predates
     # the superblock's log bookkeeping and everything written since it

@@ -202,6 +202,9 @@ class SegmentCleaner:
         # Never pull media out from under an in-progress activation or
         # recovery scan (they hold references into this segment).
         yield from self.ftl.erase_barrier()
+        # Last look at the segment's OOB headers (sanitizer audits the
+        # epoch-summary index against them before they are wiped).
+        self.ftl._before_segment_erase(seg)
         first_block = seg.first_ppn // self.ftl.nand.geometry.pages_per_block
         worn_out = False
         for block in range(first_block,

@@ -26,7 +26,11 @@ ioSnap invariants (additionally)
   S6  activation state never leaks: every ACTIVATION-branch epoch that
       owns a validity bitmap belongs to a currently-open activation
       (after crash recovery there are none — activations die with
-      host memory, §5.5).
+      host memory, §5.5);
+  S7  the durable epoch-summary index is *exact*: each segment's
+      stored epoch set and max-seq high-water mark equal a recompute
+      from the OOB headers (the delta-rescan and warm-activation
+      machinery assume exactness, not S5's superset leniency).
 
 Usage::
 
@@ -319,6 +323,32 @@ def _check_iosnap(device) -> List[str]:
         if missing:
             out.append(f"S5: segment {index} summary missing epochs "
                        f"{sorted(missing)}")
+
+    # S7: the stored epoch-summary index equals an *exact* recompute
+    # from OOB headers — epoch sets and max-seq high-water marks both.
+    # S5's superset leniency is not enough for the acceleration layer:
+    # delta rescans and the durable checkpointed index assume exact
+    # summaries (a phantom epoch would survive checkpoint validation
+    # and misdirect selective skips forever).
+    actual_max: Dict[int, int] = {}
+    for ppn, header in packets:
+        if header.kind in (PageKind.DATA, PageKind.NOTE_TRIM):
+            index = device.log.segment_of(ppn).index
+            if header.seq > actual_max.get(index, -1):
+                actual_max[index] = header.seq
+    epoch_index = device._epoch_index
+    for index in sorted(set(actual) | set(epoch_index.epochs)
+                        | set(epoch_index.max_seq)):
+        stored = set(epoch_index.epochs.get(index, ()))
+        media = actual.get(index, set())
+        if stored != media:
+            out.append(f"S7: segment {index} stored summary "
+                       f"{sorted(stored)} != media {sorted(media)}")
+        stored_max = epoch_index.high_water(index)
+        media_max = actual_max.get(index, -1)
+        if stored_max != media_max:
+            out.append(f"S7: segment {index} high-water mark "
+                       f"{stored_max} != media {media_max}")
 
     # S6: no leaked activation scan state — an ACTIVATION-branch epoch
     # may own a bitmap only while its activation is open.

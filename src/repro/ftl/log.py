@@ -85,9 +85,17 @@ class Segment:
     def contains(self, ppn: int) -> bool:
         return self.first_ppn <= ppn < self.end_ppn
 
-    def written_ppns(self) -> range:
-        """Packet pages programmed so far (excludes the header page)."""
-        return range(self.first_ppn + 1, self.first_ppn + self.next_offset)
+    def written_ppns(self, start_offset: int = 1) -> range:
+        """Packet pages programmed so far (excludes the header page).
+
+        The range is a stable snapshot of the written extent at call
+        time: concurrent appends grow ``next_offset`` but never change
+        pages already inside the range, so scan loops may iterate it
+        directly without materializing a copy.  ``start_offset`` lets
+        delta rescans resume from a previously recorded extent.
+        """
+        return range(self.first_ppn + max(1, start_offset),
+                     self.first_ppn + self.next_offset)
 
 
 @dataclass

@@ -655,6 +655,15 @@ class VslDevice:
         del old_ppn, header
         return "gc"
 
+    def _before_segment_erase(self, seg: Segment) -> None:
+        """Hook: the cleaner is about to erase ``seg`` (media intact).
+
+        Runs after the erase barrier, so no scan holds references into
+        the segment; the ioSnap layer uses it for sanitizer audits that
+        need the OOB headers before they are wiped.
+        """
+        del seg
+
     def _on_segment_erased(self, seg: Segment) -> None:
         self._read_cache.invalidate_range(seg.first_ppn, seg.npages)
         for ppn in list(self._note_registry):
@@ -680,11 +689,19 @@ class VslDevice:
         yield len(items) * self.config.cpu.map_bulk_insert_ns
         self._rebuild_validity(winners)
 
-    def _dump_extra(self) -> Dict[str, Any]:
-        """Checkpoint hook: extra state (ioSnap adds epochs/snapshots)."""
+    def _dump_extra(self, generation: int) -> Dict[str, Any]:
+        """Checkpoint hook: extra state (ioSnap adds epochs/snapshots).
+
+        ``generation`` is the checkpoint generation being written, so
+        layers can stamp validatable sub-images (ioSnap's durable
+        epoch-summary index); the base FTL has no use for it.
+        """
+        del generation
         return {"validity_pages": self.validity.materialized_pages()}
 
-    def _load_extra(self, extra: Dict[str, Any]) -> None:
+    def _load_extra(self, extra: Dict[str, Any],
+                    generation: Optional[int]) -> None:
+        del generation
         self.validity.load_pages(extra["validity_pages"])
         self._recount_seg_valid()
 

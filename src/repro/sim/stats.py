@@ -36,6 +36,34 @@ def percentile(samples: Sequence[float], pct: float) -> float:
     return min(max(value, float(ordered[lo])), float(ordered[hi]))
 
 
+class Counters:
+    """A fixed set of named monotonic event counters.
+
+    Unlike a bare dict, the name set is declared up front, so a typo'd
+    ``bump`` raises instead of silently minting a new counter — these
+    feed assertions in perfguard and the bench suite, where a counter
+    that never moves because of a misspelling would pass vacuously.
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, *names: str) -> None:
+        self._counts: Dict[str, int] = {name: 0 for name in names}
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        self._counts[name] += amount
+
+    def __getitem__(self, name: str) -> int:
+        return self._counts[name]
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def reset(self) -> None:
+        for name in self._counts:
+            self._counts[name] = 0
+
+
 class LatencyRecorder:
     """Time-stamped latency samples for one stream of operations."""
 

@@ -111,6 +111,9 @@ class TestActivation:
         view = iosnap.snapshot_activate("s")
         fast = iosnap.snap_metrics.activation_reports[-1]["total_ns"]
         view.deactivate()
+        # Drop the warm-activation residue: this test compares the
+        # *cold* scan with and without a rate limiter.
+        iosnap._residues.clear()
         limiter = DutyCycleLimiter.from_paper_knob(kernel, 100, 2)
         view = iosnap.snapshot_activate("s", limiter=limiter)
         slow = iosnap.snap_metrics.activation_reports[-1]["total_ns"]

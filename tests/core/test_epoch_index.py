@@ -1,0 +1,185 @@
+"""The durable selective-scan index: maintenance, dump/restore
+validation, media rebuild, and the checkpoint fast path."""
+
+import random
+
+import pytest
+
+from repro.core.epoch_index import (
+    SegmentEpochIndex,
+    _image_crc,
+    recompute_segment,
+)
+from repro.core.iosnap import IoSnapDevice
+from repro.errors import SummaryIndexError
+from tests.conftest import make_iosnap
+
+
+def _churn(device, writes: int = 2500, span: int = 300, seed: int = 3):
+    rng = random.Random(seed)
+    for lba in range(100):
+        device.write(lba, b"base")
+    device.snapshot_create("pin")
+    for i in range(writes):
+        device.write(rng.randrange(span), bytes([i % 256]))
+
+
+def _assert_matches_media(device):
+    """The maintained index equals a from-scratch recompute, exactly."""
+    rebuilt = SegmentEpochIndex.rebuild_from_media(device.nand.array,
+                                                   device.log)
+    assert device._epoch_index.epochs == rebuilt.epochs
+    assert device._epoch_index.max_seq == rebuilt.max_seq
+
+
+class TestMaintenance:
+    def test_empty_segment_queries(self):
+        index = SegmentEpochIndex()
+        assert index.summary(7) == frozenset()
+        assert index.high_water(7) == -1
+
+    def test_note_and_drop(self):
+        index = SegmentEpochIndex()
+        index.note_packet(2, epoch=5, seq=10)
+        index.note_packet(2, epoch=6, seq=4)   # lower seq keeps high water
+        assert index.summary(2) == frozenset({5, 6})
+        assert index.high_water(2) == 10
+        index.drop_segment(2)
+        assert index.summary(2) == frozenset()
+        assert index.high_water(2) == -1
+
+    def test_stays_exact_through_cleaning(self, kernel):
+        device = make_iosnap(kernel)
+        _churn(device)
+        assert device.cleaner.segments_cleaned > 0
+        _assert_matches_media(device)
+
+    def test_stays_exact_through_trims_and_deletes(self, kernel):
+        device = make_iosnap(kernel)
+        _churn(device, writes=600)
+        for lba in range(0, 40, 3):
+            device.trim(lba)
+        device.snapshot_delete("pin")
+        for i in range(600):
+            device.write(i % 200, b"y")
+        _assert_matches_media(device)
+
+    def test_recompute_segment_agrees_with_index(self, kernel):
+        device = make_iosnap(kernel)
+        _churn(device, writes=400)
+        for seg in device.log.segments:
+            if seg.seq < 0:
+                continue
+            epochs, max_seq = recompute_segment(device.nand.array, seg)
+            assert device._epoch_index.summary(seg.index) == epochs
+            assert device._epoch_index.high_water(seg.index) == max_seq
+
+
+class TestDumpRestore:
+    @pytest.fixture
+    def device(self, kernel):
+        device = make_iosnap(kernel)
+        _churn(device, writes=500)
+        return device
+
+    def test_roundtrip(self, device):
+        image = device._epoch_index.dump(device.log, generation=7)
+        restored = SegmentEpochIndex.restore(image, device.log, 7)
+        assert restored.epochs == device._epoch_index.epochs
+        assert restored.max_seq == device._epoch_index.max_seq
+
+    def test_rejects_non_mapping(self, device):
+        with pytest.raises(SummaryIndexError, match="not a mapping"):
+            SegmentEpochIndex.restore([1, 2], device.log, 7)
+
+    def test_rejects_generation_mismatch(self, device):
+        image = device._epoch_index.dump(device.log, generation=7)
+        with pytest.raises(SummaryIndexError, match="generation"):
+            SegmentEpochIndex.restore(image, device.log, 8)
+
+    def test_rejects_crc_tamper(self, device):
+        image = device._epoch_index.dump(device.log, generation=7)
+        seg_index, entry = next(iter(image["segments"].items()))
+        image["segments"][seg_index] = (entry[0], entry[1] + 1, entry[2])
+        with pytest.raises(SummaryIndexError, match="CRC"):
+            SegmentEpochIndex.restore(image, device.log, 7)
+
+    def test_rejects_missing_segment(self, device):
+        image = device._epoch_index.dump(device.log, generation=7)
+        # Drop the *oldest* dumped segment: a segment allocated before
+        # the newest dumped one can never be checkpoint spillover.
+        oldest = min(image["segments"], key=lambda k: image["segments"][k][0])
+        del image["segments"][oldest]
+        image["crc"] = _image_crc(7, image["segments"])
+        with pytest.raises(SummaryIndexError, match="missing segment"):
+            SegmentEpochIndex.restore(image, device.log, 7)
+
+    def test_rejects_ghost_segment(self, device):
+        image = device._epoch_index.dump(device.log, generation=7)
+        free = next(seg.index for seg in device.log.segments if seg.seq < 0)
+        image["segments"][free] = (10 ** 9, -1, ())
+        image["crc"] = _image_crc(7, image["segments"])
+        with pytest.raises(SummaryIndexError, match="absent from the log"):
+            SegmentEpochIndex.restore(image, device.log, 7)
+
+    def test_rejects_stale_segment_generation(self, device):
+        image = device._epoch_index.dump(device.log, generation=7)
+        seg_index, entry = next(iter(image["segments"].items()))
+        image["segments"][seg_index] = (entry[0] + 1, entry[1], entry[2])
+        image["crc"] = _image_crc(7, image["segments"])
+        with pytest.raises(SummaryIndexError, match="generation"):
+            SegmentEpochIndex.restore(image, device.log, 7)
+
+    def test_rejects_summary_highwater_disagreement(self, device):
+        image = device._epoch_index.dump(device.log, generation=7)
+        seg_index, entry = next(
+            (k, v) for k, v in image["segments"].items() if v[2])
+        image["segments"][seg_index] = (entry[0], -1, entry[2])
+        image["crc"] = _image_crc(7, image["segments"])
+        with pytest.raises(SummaryIndexError, match="disagree"):
+            SegmentEpochIndex.restore(image, device.log, 7)
+
+
+class TestDurability:
+    def test_clean_reopen_restores_without_media_sweep(self, kernel,
+                                                       monkeypatch):
+        """After a clean shutdown the index must come back from the
+        checkpoint image — the whole point of making it durable."""
+        device = make_iosnap(kernel)
+        _churn(device, writes=500)
+        expected_epochs = {k: set(v)
+                           for k, v in device._epoch_index.epochs.items()}
+        expected_max = dict(device._epoch_index.max_seq)
+        device.shutdown()
+
+        def boom(*_args, **_kwargs):
+            raise AssertionError("clean reopen fell back to a media sweep")
+
+        monkeypatch.setattr(SegmentEpochIndex, "rebuild_from_media", boom)
+        reopened = IoSnapDevice.open(kernel, device.nand)
+        assert reopened._epoch_index.epochs == expected_epochs
+        assert reopened._epoch_index.max_seq == expected_max
+
+    def test_restore_failure_falls_back_to_media(self, kernel, monkeypatch):
+        """A rejected image must degrade to the full OOB sweep, never
+        to a missing/stale index."""
+        device = make_iosnap(kernel)
+        _churn(device, writes=500)
+        device.shutdown()
+
+        def reject(*_args, **_kwargs):
+            raise SummaryIndexError("injected")
+
+        monkeypatch.setattr(SegmentEpochIndex, "restore", reject)
+        reopened = IoSnapDevice.open(kernel, device.nand)
+        rebuilt = SegmentEpochIndex.rebuild_from_media(reopened.nand.array,
+                                                       reopened.log)
+        assert reopened._epoch_index.epochs == rebuilt.epochs
+        assert reopened._epoch_index.max_seq == rebuilt.max_seq
+
+    def test_crash_recovery_rebuilds_exact_index(self, kernel):
+        device = make_iosnap(kernel)
+        _churn(device, writes=500)
+        device.crash()
+        recovered = IoSnapDevice.open(kernel, device.nand)
+        _assert_matches_media(recovered)

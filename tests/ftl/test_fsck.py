@@ -134,3 +134,19 @@ class TestCorruptionDetected:
         index = iosnap.log.segment_of(ppn).index
         iosnap._segment_epochs[index].clear()
         assert any("S5" in v for v in fsck(iosnap))
+
+    def test_summary_phantom_epoch(self, kernel, iosnap):
+        ppn = kernel.run_process(iosnap.write_proc(0, b"x"))
+        index = iosnap.log.segment_of(ppn).index
+        iosnap._segment_epochs[index].add(999)
+        violations = fsck(iosnap)
+        # A phantom epoch is still a superset, so S5 stays quiet; only
+        # the exactness audit catches it.
+        assert not any("S5" in v for v in violations)
+        assert any("S7" in v for v in violations)
+
+    def test_summary_high_water_drift(self, kernel, iosnap):
+        ppn = kernel.run_process(iosnap.write_proc(0, b"x"))
+        index = iosnap.log.segment_of(ppn).index
+        iosnap._epoch_index.max_seq[index] += 7
+        assert any("S7" in v and "high-water" in v for v in fsck(iosnap))

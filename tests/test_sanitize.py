@@ -115,3 +115,52 @@ class TestEndToEnd:
         cache[seg.index] = cache[seg.index] + 5  # corrupt it
         with pytest.raises(SanitizerError, match="cache stale"):
             dev._estimate_valid_count(seg)
+
+
+class TestEpochSummaryEraseAudit:
+    """Sampled pre-erase recompute of the doomed segment's summary."""
+
+    def _cleanable_device(self) -> IoSnapDevice:
+        dev = _make_device()
+        for lba in range(100):
+            dev.write(lba, b"v1")
+        for lba in range(100):
+            dev.write(lba, b"v2")     # invalidate the first pass
+        return dev
+
+    def test_clean_erase_passes_sanitized(self, armed):
+        dev = self._cleanable_device()
+        candidate = dev.cleaner.select_candidate()
+        assert candidate is not None
+        dev.cleaner.force_clean(candidate)
+        assert dev.cleaner.segments_cleaned > 0
+
+    def test_corrupt_summary_caught_before_erase(self, armed):
+        dev = self._cleanable_device()
+        candidate = dev.cleaner.select_candidate()
+        assert candidate is not None
+        # Seed a phantom epoch: selective scans would skip/misdirect on
+        # it forever, and the pre-erase audit must refuse to drop it.
+        dev._epoch_index.epochs.setdefault(candidate.index, set()).add(999)
+        with pytest.raises(SanitizerError, match="epoch summary drifted"):
+            dev.cleaner.force_clean(candidate)
+
+    def test_high_water_drift_caught_before_erase(self, armed):
+        dev = self._cleanable_device()
+        candidate = dev.cleaner.select_candidate()
+        assert candidate is not None
+        dev._epoch_index.max_seq[candidate.index] = \
+            dev._epoch_index.high_water(candidate.index) + 9
+        with pytest.raises(SanitizerError, match="high-water mark drifted"):
+            dev.cleaner.force_clean(candidate)
+
+    def test_sampling_still_audits_first_erase(self, armed):
+        # The 1-in-4 sampling is counter-based with the *first* erase
+        # always audited — a corrupt index cannot slip through just
+        # because the device is young.
+        dev = self._cleanable_device()
+        assert dev._erase_check_tick == 0
+        candidate = dev.cleaner.select_candidate()
+        dev._epoch_index.epochs.setdefault(candidate.index, set()).add(999)
+        with pytest.raises(SanitizerError):
+            dev.cleaner.force_clean(candidate)
