@@ -37,7 +37,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, Generator, Optional, Tuple
 
 from repro.core.residue import ActivationResidue
-from repro.errors import SnapshotError
+from repro.errors import SnapshotError, UncorrectableError
 from repro.ftl.btree import BPlusTree
 from repro.ftl.packet import SnapActivateNote
 from repro.ftl.ratelimit import NullLimiter
@@ -62,7 +62,8 @@ class ActivatedSnapshot:
                  epoch: int, fmap: BPlusTree, writable: bool,
                  scan_ns: int, reconstruct_ns: int, path: frozenset,
                  winners: Dict[int, Tuple[int, int]],
-                 trims: Dict[int, int]) -> None:
+                 trims: Dict[int, int],
+                 damage: Optional[list] = None) -> None:
         self.ftl = ftl
         self.snapshot = snapshot
         self.epoch = epoch
@@ -78,6 +79,15 @@ class ActivatedSnapshot:
         self.path = path
         self._winners = winners
         self._trims = trims
+        # PPNs the activation scan found uncorrectable: the map is
+        # partial and this is the caller's damage report for it (the
+        # device-wide manifest has the full entries).
+        self.damage: list = list(damage or [])
+        # LBAs *this view* lost to media faults while live.  Tracked
+        # per activation rather than through the device-wide manifest:
+        # a loss that struck the active tree (or another snapshot) must
+        # not make this snapshot's reads raise.
+        self._lost_lbas: set = set()
         self._closed = False
 
     # -- lifecycle -----------------------------------------------------------
@@ -101,6 +111,23 @@ class ActivatedSnapshot:
         if entry is not None and entry[1] == old_ppn:
             self._winners[lba] = (entry[0], new_ppn)
 
+    def on_block_lost(self, ppn: int, lba: Optional[int]) -> None:
+        """A media fault destroyed ``ppn``: drop it from this view too.
+
+        Mirrors :meth:`on_block_moved` for the loss case — subsequent
+        reads of the LBA fail with the typed media error instead of
+        chasing an unreadable page.
+        """
+        if lba is None:
+            return
+        if self.map.get(lba) == ppn:
+            self.map.delete(lba)
+            self._lost_lbas.add(lba)
+        entry = self._winners.get(lba)
+        if entry is not None and entry[1] == ppn:
+            del self._winners[lba]
+            self.damage.append(ppn)
+
     def build_residue(self) -> ActivationResidue:
         """Capture the reusable digest for the warm-activation cache."""
         ftl = self.ftl
@@ -123,6 +150,10 @@ class ActivatedSnapshot:
             raise SnapshotError(f"lba {lba} out of range")
         ppn = self.map.get(lba)
         if ppn is None:
+            if lba in self._lost_lbas:
+                raise UncorrectableError(
+                    f"lba {lba} of snapshot {self.snapshot.name!r} was "
+                    "lost to a media fault (see the damage report)")
             yield self.ftl.config.cpu.unmapped_read_ns
             return bytes(self.ftl.block_size)
         record = yield from self.ftl.nand.read_page(ppn)
@@ -185,8 +216,8 @@ def activate_proc(ftl: "IoSnapDevice", snap: "Snapshot",
         residue = ftl._residues.take(snap.snap_id, path)
         mode = ("delta" if residue is not None
                 else "selective" if ftl.config.selective_scan else "full")
-        winners, trims = yield from _scan_for_path(ftl, path, limiter,
-                                                   residue=residue)
+        winners, trims, casualties = yield from _scan_for_path(
+            ftl, path, limiter, residue=residue)
         for lba, trim_seq in trims.items():
             entry = winners.get(lba)
             if entry is not None and entry[0] < trim_seq:
@@ -222,7 +253,8 @@ def activate_proc(ftl: "IoSnapDevice", snap: "Snapshot",
             ftl, snap, epoch, fmap, writable,
             scan_ns=scan_ns,
             reconstruct_ns=ftl.kernel.now - reconstruct_started,
-            path=path, winners=winners, trims=trims)
+            path=path, winners=winners, trims=trims,
+            damage=casualties)
         ftl._activations.append(activated)
     finally:
         ftl.end_scan(move_log)
@@ -241,6 +273,7 @@ def activate_proc(ftl: "IoSnapDevice", snap: "Snapshot",
                              - counters_before["segments_skipped"]),
         "pages_scanned": (counters_after["pages_scanned"]
                           - counters_before["pages_scanned"]),
+        "pages_lost": len(activated.damage),
     })
     return activated
 
@@ -283,6 +316,7 @@ def _scan_for_path(ftl: "IoSnapDevice", path: frozenset, limiter,
         dict(residue.winners) if residue is not None else {}
     trims: Dict[int, int] = \
         dict(residue.trims) if residue is not None else {}
+    casualties: list = []
     segments = sorted((seg for seg in ftl.log.segments if seg.seq >= 0),
                       key=lambda seg: seg.seq)
     replay_ns = ftl.config.cpu.replay_packet_ns
@@ -332,22 +366,35 @@ def _scan_for_path(ftl: "IoSnapDevice", path: frozenset, limiter,
             pending.append(ppn)
             if len(pending) >= batch_size:
                 counters.bump("pages_scanned", len(pending))
-                yield from _read_batch(ftl, pending, fold, replay_ns, limiter)
+                yield from _read_batch(ftl, pending, fold, replay_ns,
+                                       limiter, casualties)
                 pending = []
     if pending:
         counters.bump("pages_scanned", len(pending))
-        yield from _read_batch(ftl, pending, fold, replay_ns, limiter)
-    return winners, trims
+        yield from _read_batch(ftl, pending, fold, replay_ns, limiter,
+                               casualties)
+    return winners, trims, casualties
 
 
 def _read_batch(ftl: "IoSnapDevice", ppns: list, fold,
-                replay_ns: int, limiter) -> Generator:
-    """Issue one vectored burst of OOB reads, fold results, then pace."""
+                replay_ns: int, limiter, casualties: list) -> Generator:
+    """Issue one vectored burst of OOB reads, fold results, then pace.
+
+    Header reads use the salvage path: an uncorrectable page comes back
+    as None instead of raising (a raise from a spawned-but-not-yet-
+    joined process would be an unobserved failure).  Casualties are
+    struck from the device's structures and reported with the partial
+    map rather than aborting the whole activation.
+    """
     started = ftl.kernel.now
-    procs = [ftl.kernel.spawn(ftl.nand.read_header(ppn),
+    procs = [ftl.kernel.spawn(ftl.nand.read_header(ppn, salvage=True),
                               name=f"scan@{ppn}") for ppn in ppns]
     for ppn, proc in zip(ppns, procs):
         header = yield proc
+        if header is None:
+            ftl.record_media_loss(ppn, reason="activation-scan")
+            casualties.append(ppn)
+            continue
         fold(ppn, header)
     yield len(ppns) * replay_ns
     yield from limiter.pace(ftl.kernel.now - started)

@@ -108,6 +108,10 @@ def _fold_two_paths(device: "IoSnapDevice", base_path: frozenset,
     union = base_path | target_path
     base_best: Dict[int, Tuple[int, int]] = {}
     target_best: Dict[int, Tuple[int, int]] = {}
+    # Unreadable headers found mid-diff: recorded in the device's
+    # damage manifest by the batch reader; the page simply cannot
+    # contribute to either fold.
+    casualties: list = []
     base_trims: Dict[int, int] = {}
     target_trims: Dict[int, int] = {}
     replay_ns = device.config.cpu.replay_packet_ns
@@ -145,10 +149,11 @@ def _fold_two_paths(device: "IoSnapDevice", base_path: frozenset,
                 pending.append(ppn)
                 if len(pending) >= batch_size:
                     yield from _read_batch(device, pending, fold, replay_ns,
-                                           limiter)
+                                           limiter, casualties)
                     pending = []
         if pending:
-            yield from _read_batch(device, pending, fold, replay_ns, limiter)
+            yield from _read_batch(device, pending, fold, replay_ns, limiter,
+                                   casualties)
     finally:
         device.end_scan(move_log)
 

@@ -143,6 +143,7 @@ class IoSnapDevice(VslDevice):
         ever straddles the boundary.
         """
         self._require_open()
+        self._check_writable()
         started = self.kernel.now
         yield from self.quiesce_begin()
         try:
@@ -390,6 +391,28 @@ class IoSnapDevice(VslDevice):
     def _block_still_valid(self, ppn: int) -> bool:
         return any(bitmap.test(ppn)
                    for _epoch, bitmap in self.live_epoch_bitmaps())
+
+    def _clear_valid_everywhere(self, ppn: int,
+                                lba: Optional[int] = None) -> None:
+        """Strike a media casualty from *every* epoch's validity bits.
+
+        The snapshot-aware analogue of the relocation fixups in
+        :meth:`_relocate`: a lost page may be referenced by any live
+        epoch, by open activations, and by cached residues — all of
+        them must stop pointing at it, or later folds would count data
+        that can never be read again.
+        """
+        active_epoch = self.tree.active_epoch
+        for epoch, bitmap in self.live_epoch_bitmaps():
+            if not bitmap.test(ppn):
+                continue
+            if epoch == active_epoch:
+                bitmap.clear(ppn)
+            else:
+                bitmap.clear_privileged(ppn)
+        for activated in self._activations:
+            activated.on_block_lost(ppn, lba)
+        self._residues.on_block_lost(lba, ppn)
 
     def _relocate(self, old_ppn: int, new_ppn: int,
                   header: OobHeader) -> Generator:

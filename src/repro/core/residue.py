@@ -185,3 +185,15 @@ class ResidueCache:
     def on_block_moved(self, lba: int, old_ppn: int, new_ppn: int) -> None:
         for residue in self._entries.values():
             residue.on_block_moved(lba, old_ppn, new_ppn)
+
+    def on_block_lost(self, lba: Optional[int], ppn: int) -> None:
+        """A media fault destroyed ``ppn``: a residue whose winner for
+        ``lba`` still points there would resurrect unreadable data on
+        the next warm activation — drop it."""
+        if lba is None:
+            return
+        stale = [snap_id for snap_id, res in self._entries.items()
+                 if res.winners.get(lba, (None, None))[1] == ppn]
+        for snap_id in stale:
+            del self._entries[snap_id]
+            self.counters.bump("invalidations")

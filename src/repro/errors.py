@@ -23,8 +23,40 @@ class WearOutError(NandError):
     """An erase block exceeded its program/erase cycle budget."""
 
 
-class UncorrectableError(NandError):
-    """Injected bit errors exceeded correction capability on a read."""
+class MediaError(NandError):
+    """Base class for flash media faults (see :mod:`repro.faults`).
+
+    The typed surface the FTL's self-healing machinery keys on:
+    correctable reads are absorbed by ECC, uncorrectable reads and
+    program/erase failures trigger relocation, retirement, or damage
+    reporting.  Lint rule IOL007 enforces that handlers never swallow
+    these silently.
+    """
+
+
+class CorrectableError(MediaError):
+    """Bit errors within ECC reach (classification result, not raised
+    on the read path — the read succeeds after correction/retry)."""
+
+
+class UncorrectableError(MediaError):
+    """Bit errors exceeded ECC correction capability, retries included."""
+
+
+class ProgramFailError(MediaError):
+    """A page program failed; the slot is burned and must be skipped.
+
+    The FTL re-allocates a fresh PPN and re-programs there (validity
+    bits and the epoch-summary index follow the final location).
+    """
+
+
+class EraseFailError(MediaError):
+    """A block erase failed; the containing segment must be retired."""
+
+
+class BadBlockError(MediaError):
+    """Operation on a block marked grown-bad by the fault model."""
 
 
 class TornPageError(NandError):
@@ -76,6 +108,16 @@ class LbaError(FtlError):
 
 class CheckpointError(FtlError):
     """Missing or unusable checkpoint on device open."""
+
+
+class DegradedModeError(FtlError):
+    """The device is in read-only degraded mode.
+
+    Entered when media retirement eats the spare-capacity reserve (see
+    :mod:`repro.faults` and ``docs/faults.md``): foreground writes,
+    trims, and snapshot creates are refused so the remaining good
+    segments can keep the existing data readable.
+    """
 
 
 class SnapshotError(ReproError):

@@ -1,0 +1,35 @@
+"""Deterministic media-fault injection (ECC, bad blocks, scrubbing).
+
+The flash-reality half of the torture rig: seeded bit-error
+accumulation, program/erase failure verbs, grown-bad-block marking,
+ECC classification with a read-retry ladder, and the damage manifests
+the FTL reports when the medium finally wins.
+
+See ``docs/faults.md`` for the model and the FTL's healing policies,
+and ``python -m repro.faults`` for the seeded fault-matrix runner.
+"""
+
+from repro.faults.damage import DamageEntry, DamageReport
+from repro.faults.ecc import EccConfig, EccEngine, ReadResolution
+from repro.faults.model import (
+    FORCED_UNCORRECTABLE_BITS,
+    EraseVerdict,
+    FaultConfig,
+    FaultPlan,
+    MediaFaultModel,
+    ProgramVerdict,
+)
+
+__all__ = [
+    "DamageEntry",
+    "DamageReport",
+    "EccConfig",
+    "EccEngine",
+    "ReadResolution",
+    "FORCED_UNCORRECTABLE_BITS",
+    "EraseVerdict",
+    "FaultConfig",
+    "FaultPlan",
+    "MediaFaultModel",
+    "ProgramVerdict",
+]

@@ -1,0 +1,114 @@
+"""CLI: seeded media-fault campaign (``python -m repro.faults``).
+
+Runs a matrix of fault plans through the campaign harness's three
+checks (replay determinism, correctable equivalence, damage
+accounting) and exits non-zero on any failure, writing a JSON repro
+artifact so CI can upload it.
+
+    PYTHONPATH=src python -m repro.faults --seed 1234 --ops 260
+    PYTHONPATH=src python -m repro.faults --entry correctable-heavy
+    PYTHONPATH=src python -m repro.faults --artifact fault-repro.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.faults.harness import (
+    check_correctable_equivalence,
+    check_determinism,
+    correctable_heavy_config,
+    run_campaign,
+)
+from repro.faults.model import FaultConfig, FaultPlan
+
+# name -> (plan factory, correctable-only?).  Correctable-only entries
+# additionally run the equivalence check against a fault-free twin.
+MATRIX: Dict[str, Tuple[Callable[[int], Optional[FaultPlan]], bool]] = {
+    "fault-free": (lambda seed: None, False),
+    "correctable-heavy": (
+        lambda seed: FaultPlan(config=correctable_heavy_config(seed)), True),
+    "program-fail-storm": (
+        lambda seed: FaultPlan(config=FaultConfig(
+            seed=seed, program_fail_interval=97)), False),
+    "erase-fails": (
+        lambda seed: FaultPlan(config=FaultConfig(
+            seed=seed, erase_fail_interval=7)), False),
+    "uncorrectable-reads": (
+        lambda seed: FaultPlan(config=FaultConfig(seed=seed),
+                               uncorrectable_reads=(5, 60, 120)), False),
+    "grown-bad-blocks": (
+        lambda seed: FaultPlan(config=FaultConfig(
+            seed=seed, program_fail_interval=53)), False),
+}
+
+
+def run_entry(name: str, seed: int, ops: int) -> List[str]:
+    factory, correctable = MATRIX[name]
+    plan = factory(seed)
+    problems = list(check_determinism(plan, seed, ops))
+    if plan is not None:
+        # Damage-accounting violations are collected by the run itself.
+        problems += run_campaign(plan, seed, ops).violations
+    if correctable and plan is not None:
+        problems += check_correctable_equivalence(plan, seed, ops)
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults",
+        description="seeded media-fault campaign runner")
+    parser.add_argument("--seed", type=int, default=1234)
+    parser.add_argument("--ops", type=int, default=800,
+                        help="workload operations per run")
+    parser.add_argument("--entry", action="append", choices=sorted(MATRIX),
+                        help="run only this matrix entry (repeatable)")
+    parser.add_argument("--artifact", default=None, metavar="FILE",
+                        help="write a JSON repro artifact here on failure")
+    parser.add_argument("--list", action="store_true",
+                        help="list matrix entries and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in MATRIX:
+            print(name)
+        return 0
+
+    entries = args.entry or list(MATRIX)
+    failures: Dict[str, List[str]] = {}
+    for name in entries:
+        problems = run_entry(name, args.seed, args.ops)
+        status = "ok" if not problems else f"FAIL ({len(problems)})"
+        print(f"{name:24s} {status}")
+        for problem in problems:
+            print(f"    {problem}")
+        if problems:
+            failures[name] = problems
+
+    if failures:
+        if args.artifact:
+            plans: Dict[str, Optional[Dict]] = {}
+            for name in failures:
+                plan = MATRIX[name][0](args.seed)
+                plans[name] = plan.as_dict() if plan is not None else None
+            payload = {
+                "seed": args.seed,
+                "ops": args.ops,
+                "failures": failures,
+                "plans": plans,
+            }
+            with open(args.artifact, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+            print(f"repro artifact written to {args.artifact}")
+        print(f"{len(failures)} matrix entr{'y' if len(failures) == 1 else 'ies'} failed")
+        return 1
+    print("fault campaign clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

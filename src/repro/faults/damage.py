@@ -1,0 +1,109 @@
+"""Lost-page manifests: what the medium ate, reported instead of crashed.
+
+When an uncorrectable read surfaces somewhere the FTL cannot heal it
+(cleaner copy-forward, scrubber patrol, recovery scan, activation
+scan, or a foreground read), the event is recorded here.  The report
+is the device's honest answer to "what did I lose?" — the torture
+model oracle consults it to distinguish *accounted* loss from silent
+corruption, and ``info()`` surfaces its summary.
+
+Entries come in two flavors:
+
+* ``lost=True`` — the data is gone from the runtime structures: the
+  mapping was dropped and every epoch's validity bit cleared.  Reads
+  of that LBA raise :class:`repro.errors.UncorrectableError` instead
+  of silently returning zeros.
+* ``lost=False`` — a transient surface (a forced uncorrectable on a
+  foreground read, a skipped page during a scan) where the underlying
+  data may still be intact; recorded for diagnostics only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set
+
+
+@dataclass(frozen=True)
+class DamageEntry:
+    """One observed media casualty."""
+
+    ppn: int
+    reason: str                 # e.g. "gc-copy", "scrub", "read", "recovery"
+    lba: Optional[int] = None   # None when the header was unreadable
+    epoch: Optional[int] = None
+    segment: Optional[int] = None
+    at_ns: int = 0
+    lost: bool = False
+    # True when the active forward map pointed at the dead page: the
+    # *active tree* lost this LBA.  False for stale copies (live only
+    # in frozen epochs) — those must not poison active reads of an LBA
+    # that was legitimately trimmed or overwritten since.
+    mapped: bool = False
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"ppn": self.ppn, "reason": self.reason, "lba": self.lba,
+                "epoch": self.epoch, "segment": self.segment,
+                "at_ns": self.at_ns, "lost": self.lost,
+                "mapped": self.mapped}
+
+
+class DamageReport:
+    """Append-only manifest of media casualties for one device."""
+
+    def __init__(self) -> None:
+        self.entries: List[DamageEntry] = []
+        self._lost_lbas: Set[int] = set()
+        self._lost_ppns: Set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def record(self, entry: DamageEntry) -> None:
+        self.entries.append(entry)
+        if entry.lost:
+            self._lost_ppns.add(entry.ppn)
+            if entry.lba is not None and entry.mapped:
+                self._lost_lbas.add(entry.lba)
+
+    def lba_lost(self, lba: int) -> bool:
+        """True if the *active tree's* copy of ``lba`` was dropped —
+        its forward-map entry pointed at the dead page.  Stale-copy
+        casualties (frozen-epoch winners) do not count here; they are
+        tracked per activation instead."""
+        return lba in self._lost_lbas
+
+    def ppn_lost(self, ppn: int) -> bool:
+        return ppn in self._lost_ppns
+
+    def covers(self, lba: Optional[int]) -> bool:
+        """True if any entry accounts for ``lba`` — including entries
+        whose LBA is unknown (unreadable header), which could be any
+        page.  The torture model oracle uses this to accept a typed
+        media failure as *reported* loss rather than silent loss."""
+        if not self.entries:
+            return False
+        if lba is not None and any(e.lba == lba for e in self.entries):
+            return True
+        return any(e.lba is None for e in self.entries)
+
+    # Bound on how many individual LBAs summary() lists: a heavily
+    # damaged device would otherwise embed tens of thousands of LBAs
+    # into every info() call.  The full set stays queryable through
+    # lba_lost() / as_dict().
+    SUMMARY_LBA_SAMPLE = 32
+
+    def summary(self) -> Dict[str, Any]:
+        by_reason: Dict[str, int] = {}
+        for entry in self.entries:
+            by_reason[entry.reason] = by_reason.get(entry.reason, 0) + 1
+        return {"entries": len(self.entries),
+                "lost_pages": len(self._lost_ppns),
+                "lost_lbas": len(self._lost_lbas),
+                "lost_lbas_sample":
+                    sorted(self._lost_lbas)[:self.SUMMARY_LBA_SAMPLE],
+                "by_reason": by_reason}
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"entries": [e.as_dict() for e in self.entries],
+                "summary": self.summary()}

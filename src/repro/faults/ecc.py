@@ -1,0 +1,104 @@
+"""ECC classification and the read-retry ladder.
+
+Real NAND controllers attach an error-correcting code to every page;
+a read either decodes within the code's correction budget, or the
+controller climbs a *retry ladder* (re-sensing with tuned reference
+voltages), each rung buying a few more correctable bits at the price
+of another sense plus a bounded backoff.  When the ladder tops out the
+read is uncorrectable and the data is gone.
+
+This module is purely arithmetic — given a raw bit-error count it
+decides *correctable / correctable-after-k-retries / uncorrectable*
+and how much extra time the retries cost.  The bit-error counts
+themselves come from :mod:`repro.faults.model`; the timing is charged
+by :mod:`repro.nand.device` inside the die-held section.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+@dataclass(frozen=True)
+class EccConfig:
+    """Correction budget and retry-ladder shape.
+
+    ``correctable_bits``
+        Bits the base decode corrects with no retries.
+    ``retry_steps``
+        Rungs on the retry ladder (0 disables retries).
+    ``retry_gain_bits``
+        Extra correctable bits each rung buys.
+    ``retry_backoff_ns``
+        Base backoff per rung; rung *k* costs ``(k + 1) *
+        retry_backoff_ns`` on top of a full re-sense.
+    """
+
+    correctable_bits: int = 8
+    retry_steps: int = 3
+    retry_gain_bits: int = 4
+    retry_backoff_ns: int = 20_000
+
+    def __post_init__(self) -> None:
+        if self.correctable_bits < 0:
+            raise ValueError("correctable_bits must be >= 0")
+        if self.retry_steps < 0 or self.retry_gain_bits < 0:
+            raise ValueError("retry ladder parameters must be >= 0")
+        if self.retry_backoff_ns < 0:
+            raise ValueError("retry_backoff_ns must be >= 0")
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "correctable_bits": self.correctable_bits,
+            "retry_steps": self.retry_steps,
+            "retry_gain_bits": self.retry_gain_bits,
+            "retry_backoff_ns": self.retry_backoff_ns,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "EccConfig":
+        return cls(**{key: int(raw[key]) for key in (
+            "correctable_bits", "retry_steps", "retry_gain_bits",
+            "retry_backoff_ns") if key in raw})
+
+
+@dataclass(frozen=True)
+class ReadResolution:
+    """Outcome of running one read's bit errors through the ECC."""
+
+    error_bits: int
+    corrected_bits: int
+    retries: int
+    ok: bool
+
+
+class EccEngine:
+    """Classify raw bit-error counts against the correction budget."""
+
+    def __init__(self, config: EccConfig | None = None) -> None:
+        self.config = config or EccConfig()
+
+    @property
+    def max_reach(self) -> int:
+        """Most bits any read can survive, full ladder included."""
+        cfg = self.config
+        return cfg.correctable_bits + cfg.retry_steps * cfg.retry_gain_bits
+
+    def resolve(self, error_bits: int) -> ReadResolution:
+        cfg = self.config
+        if error_bits <= cfg.correctable_bits:
+            return ReadResolution(error_bits=error_bits,
+                                  corrected_bits=error_bits,
+                                  retries=0, ok=True)
+        for step in range(1, cfg.retry_steps + 1):
+            if error_bits <= cfg.correctable_bits + step * cfg.retry_gain_bits:
+                return ReadResolution(error_bits=error_bits,
+                                      corrected_bits=error_bits,
+                                      retries=step, ok=True)
+        return ReadResolution(error_bits=error_bits, corrected_bits=0,
+                              retries=cfg.retry_steps, ok=False)
+
+    def backoff_ns(self, step: int) -> int:
+        """Backoff charged on retry rung ``step`` (0-based)."""
+        return (step + 1) * self.config.retry_backoff_ns

@@ -1,0 +1,243 @@
+"""Seeded fault-campaign harness: matrix runs, equivalence, determinism.
+
+Three checks, all driven by the same deterministic workload generator:
+
+* **replay determinism** — the same ``(FaultPlan, seed, ops)`` run
+  twice must produce identical read results, snapshot images, damage
+  manifests, media counters, and fault-model state digests.  This is
+  the contract the torture repro files depend on.
+* **correctable equivalence** — a plan whose error processes stay
+  within the ECC retry ladder's reach must be *invisible*: every read
+  and every snapshot activation byte-identical to a fault-free twin
+  run of the same workload, with an empty damage manifest.  The retry
+  ladder and the scrubber exist to make exactly this true.
+* **damage accounting** — when a plan does destroy data, every read
+  that surfaces a :class:`~repro.errors.MediaError` must be covered by
+  the device's damage report.  Unaccounted losses are the bug class
+  the campaign exists to find.
+
+The CLI (``python -m repro.faults``) runs a small matrix of plans
+through these checks and emits a JSON repro artifact on failure.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.iosnap import IoSnapConfig, IoSnapDevice
+from repro.errors import DegradedModeError, MediaError
+from repro.faults.model import FaultConfig, FaultPlan, MediaFaultModel
+from repro.nand.geometry import NandConfig, NandGeometry
+from repro.sim import Kernel
+
+# Small enough that the default workload churns through cleaning and
+# erases (erase faults need erases to bite), big enough for
+# multi-snapshot histories.  ~2 MiB.
+CAMPAIGN_GEOMETRY = NandGeometry(page_size=4096, pages_per_block=16,
+                                 blocks_per_die=8, dies=4, channels=2)
+
+# Working set: small relative to exported LBAs so overwrites dominate
+# and the cleaner has dead pages to reclaim.
+WORKING_SET_LBAS = 96
+MAX_SNAPSHOTS = 5
+
+
+def correctable_heavy_config(seed: int) -> FaultConfig:
+    """Heavy but *correctable* error pressure.
+
+    With the default ECC (8 bits base + 3 rungs x 4 bits = 20-bit
+    reach) every program seeds 8..14 bits — past the base budget, so
+    most reads climb the retry ladder — plus one read-disturb bit per
+    8 reads of a page.  The scrubber's threshold is the base budget,
+    so patrols relocate aging pages long before the ladder tops out.
+    """
+    return FaultConfig(seed=seed, program_wear_bits=8, jitter_bits=6,
+                       read_disturb_interval=8)
+
+
+def campaign_script(seed: int, ops: int) -> List[Tuple[Any, ...]]:
+    """Deterministic op list: generated up front, so a faulty run and
+    its fault-free twin execute the *same* logical workload."""
+    rng = random.Random(seed)
+    script: List[Tuple[Any, ...]] = []
+    token = 0
+    snaps = 0
+    for index in range(ops):
+        roll = rng.random()
+        lba = rng.randrange(WORKING_SET_LBAS)
+        if roll < 0.60:
+            token += 1
+            script.append(("write", lba, token))
+        elif roll < 0.72:
+            script.append(("trim", lba))
+        elif roll < 0.92:
+            script.append(("read", lba))
+        elif snaps < MAX_SNAPSHOTS and index > 10:
+            script.append(("snap", f"s{snaps}"))
+            snaps += 1
+        else:
+            script.append(("read", lba))
+    return script
+
+
+def _payload(lba: int, token: int) -> bytes:
+    return f"lba={lba} token={token}".encode()
+
+
+def _key(data: bytes) -> str:
+    """Compact, comparison-friendly form of a (zero-padded) payload."""
+    return data.rstrip(b"\x00").hex()
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign run observed, in comparable/JSON-able form."""
+
+    reads: List[Tuple[int, str]] = field(default_factory=list)
+    final: Dict[int, str] = field(default_factory=dict)
+    snapshots: Dict[str, Dict[int, str]] = field(default_factory=dict)
+    damage: Dict[str, Any] = field(default_factory=dict)
+    media: Dict[str, Any] = field(default_factory=dict)
+    fault_counters: Dict[str, int] = field(default_factory=dict)
+    fault_digest: Optional[str] = None
+    degraded: bool = False
+    violations: List[str] = field(default_factory=list)
+
+    def logical_view(self) -> Dict[str, Any]:
+        """The fault-invisible projection: what correctable-only runs
+        must share with a fault-free twin."""
+        return {"reads": self.reads, "final": self.final,
+                "snapshots": self.snapshots}
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "reads": self.reads,
+            "final": self.final,
+            "snapshots": self.snapshots,
+            "damage": self.damage,
+            "media": self.media,
+            "fault_counters": self.fault_counters,
+            "fault_digest": self.fault_digest,
+            "degraded": self.degraded,
+            "violations": self.violations,
+        }
+
+
+def run_campaign(plan: Optional[FaultPlan], seed: int,
+                 ops: int) -> CampaignResult:
+    """Run the seeded workload on a fresh device; collect the evidence."""
+    script = campaign_script(seed, ops)
+    kernel = Kernel()
+    faults = MediaFaultModel(plan) if plan is not None else None
+    device = IoSnapDevice.create(kernel, NandConfig(geometry=CAMPAIGN_GEOMETRY),
+                                 IoSnapConfig(), faults=faults)
+    result = CampaignResult()
+    snap_names: List[str] = []
+
+    def _record_read(tag: Any, lba: int, reader) -> str:
+        """One observed read; media errors become typed markers and are
+        checked against the damage manifest (the accounting contract)."""
+        try:
+            got = _key(reader(lba))
+        except MediaError as exc:
+            got = f"ERR:{type(exc).__name__}"
+            if not device.damage.covers(lba):
+                result.violations.append(
+                    f"{tag}: lba {lba} raised {type(exc).__name__} but "
+                    f"the damage report does not cover it")
+        return got
+
+    for op in script:
+        try:
+            if op[0] == "write":
+                device.write(op[1], _payload(op[1], op[2]))
+            elif op[0] == "trim":
+                device.trim(op[1])
+            elif op[0] == "snap":
+                device.snapshot_create(op[1])
+                snap_names.append(op[1])
+            else:
+                result.reads.append(
+                    (op[1], _record_read("read", op[1], device.read)))
+        except DegradedModeError:
+            # Read-only latch tripped mid-workload (heavy retirement
+            # plans).  Deterministic, so just stop mutating and let the
+            # collection phase report what survived.
+            result.degraded = True
+            break
+
+    for lba in range(WORKING_SET_LBAS):
+        result.final[lba] = _record_read("final", lba, device.read)
+    for name in snap_names:
+        view = device.snapshot_activate(name)
+        image: Dict[int, str] = {}
+        for lba in range(WORKING_SET_LBAS):
+            image[lba] = _record_read(f"snapshot {name}", lba, view.read)
+        view.deactivate()
+        result.snapshots[name] = image
+
+    result.damage = device.damage.summary()
+    result.media = device.info()["media"]
+    result.degraded = result.degraded or device.degraded
+    if faults is not None:
+        result.fault_counters = faults.counters()
+        result.fault_digest = faults.state_digest()
+    return result
+
+
+def compare_logical(faulty: CampaignResult,
+                    clean: CampaignResult, label: str) -> List[str]:
+    """Differences in the fault-invisible projection (should be none
+    for a correctable-only plan)."""
+    problems: List[str] = []
+    a, b = faulty.logical_view(), clean.logical_view()
+    if a["reads"] != b["reads"]:
+        diffs = [i for i, (x, y) in enumerate(zip(a["reads"], b["reads"]))
+                 if x != y]
+        problems.append(f"{label}: {len(diffs)} mid-workload read(s) "
+                        f"diverge (first at op-read {diffs[:3]})")
+    for lba, want in b["final"].items():
+        if a["final"].get(lba) != want:
+            problems.append(f"{label}: final read of lba {lba} is "
+                            f"{a['final'].get(lba)!r}, expected {want!r}")
+    for name, image in b["snapshots"].items():
+        got = a["snapshots"].get(name)
+        if got != image:
+            bad = [lba for lba in image if got is None or got.get(lba)
+                   != image[lba]]
+            problems.append(f"{label}: snapshot {name} diverges at "
+                            f"lbas {bad[:5]}")
+    return problems
+
+
+def check_determinism(plan: Optional[FaultPlan], seed: int,
+                      ops: int) -> List[str]:
+    """Two identical runs must agree on *everything* observable."""
+    first = run_campaign(plan, seed, ops)
+    second = run_campaign(plan, seed, ops)
+    problems: List[str] = []
+    for name in ("reads", "final", "snapshots", "damage", "fault_counters",
+                 "fault_digest", "degraded"):
+        if getattr(first, name) != getattr(second, name):
+            problems.append(f"replay divergence in {name!r}: "
+                            f"{getattr(first, name)!r} != "
+                            f"{getattr(second, name)!r}")
+    return problems
+
+
+def check_correctable_equivalence(plan: FaultPlan, seed: int,
+                                  ops: int) -> List[str]:
+    """A correctable-only plan must be invisible next to a fault-free
+    twin, and must leave the damage manifest empty."""
+    faulty = run_campaign(plan, seed, ops)
+    clean = run_campaign(None, seed, ops)
+    problems = list(faulty.violations)
+    problems += compare_logical(faulty, clean, "correctable-equivalence")
+    if faulty.damage.get("entries", 0):
+        problems.append(f"correctable-only plan produced damage entries: "
+                        f"{faulty.damage}")
+    if faulty.degraded:
+        problems.append("correctable-only plan tripped degraded mode")
+    return problems

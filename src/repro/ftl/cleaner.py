@@ -22,7 +22,13 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, Generator, Optional
 
-from repro.errors import FtlError, OutOfSpaceError, WearOutError
+from repro.errors import (
+    EraseFailError,
+    FtlError,
+    OutOfSpaceError,
+    UncorrectableError,
+    WearOutError,
+)
 from repro.ftl.log import Segment, SegmentState
 from repro.ftl.ratelimit import CleanerPacer
 from repro.nand.oob import PageKind
@@ -47,6 +53,8 @@ class SegmentCleaner:
         self.segments_retired = 0
         self.pages_moved = 0
         self.notes_moved = 0
+        self.pages_lost = 0       # uncorrectable during copy-forward
+        self.segments_quarantined = 0
 
     # -- control -----------------------------------------------------------
     def stop(self) -> None:
@@ -164,12 +172,23 @@ class SegmentCleaner:
             self.pacer.start(estimate)
 
         moved = 0
+        lost = 0
         moves_done_at = self.kernel.now
         for ppn in valid_ppns:
             if not self.ftl._block_still_valid(ppn):
                 continue  # invalidated by foreground I/O mid-clean
             move_started = self.kernel.now
-            record = yield from self.ftl.nand.read_page(ppn)
+            try:
+                record = yield from self.ftl.nand.read_page(ppn)
+            except UncorrectableError:
+                # Copy-forward what's salvageable: record the casualty
+                # (drops the page from the map and every epoch's
+                # validity bits) and keep moving the rest.  The segment
+                # is quarantined below instead of erased.
+                self.ftl.record_media_loss(ppn, reason="gc-copy")
+                self.pages_lost += 1
+                lost += 1
+                continue
             new_ppn, _done = yield from self.ftl.log.append(
                 record.header, record.data, privileged=True,
                 head=self.ftl._gc_head_for(ppn, record.header),
@@ -191,7 +210,14 @@ class SegmentCleaner:
             if header is None or header.kind is PageKind.DATA:
                 continue
             if ppn in self.ftl._note_registry and self.ftl._note_is_live(ppn, header):
-                record = yield from self.ftl.nand.read_page(ppn)
+                try:
+                    record = yield from self.ftl.nand.read_page(ppn)
+                except UncorrectableError:
+                    self.ftl.record_media_loss(ppn, reason="gc-note",
+                                               header=header)
+                    self.pages_lost += 1
+                    lost += 1
+                    continue
                 new_ppn, _done = yield from self.ftl.log.append(
                     record.header, record.data, privileged=True,
                     site=sites.GC_NOTE)
@@ -205,17 +231,30 @@ class SegmentCleaner:
         # Last look at the segment's OOB headers (sanitizer audits the
         # epoch-summary index against them before they are wiped).
         self.ftl._before_segment_erase(seg)
-        first_block = seg.first_ppn // self.ftl.nand.geometry.pages_per_block
-        worn_out = False
-        for block in range(first_block,
-                           first_block + self.ftl.log.blocks_per_segment):
-            try:
-                yield from self.ftl.nand.erase_block(block,
-                                                     site=sites.GC_ERASE)
-            except WearOutError:
-                worn_out = True
+        retire = False
+        if lost:
+            # Quarantine: the segment still holds uncorrectable cells.
+            # Leave them unerased (nothing live remains — casualties
+            # were dropped from the structures, survivors were copied
+            # out) and pull the segment from circulation for good.
+            self.segments_quarantined += 1
+            retire = True
+        else:
+            first_block = (seg.first_ppn
+                           // self.ftl.nand.geometry.pages_per_block)
+            for block in range(first_block,
+                               first_block + self.ftl.log.blocks_per_segment):
+                try:
+                    yield from self.ftl.nand.erase_block(block,
+                                                         site=sites.GC_ERASE)
+                except (WearOutError, EraseFailError):
+                    # Either way the block is done: stale data may
+                    # linger but every live page was copied out, and
+                    # recovery's seq-order folding keeps the copies
+                    # ahead of the stale originals.
+                    retire = True
         self.ftl._on_segment_erased(seg)
-        if worn_out:
+        if retire:
             # All valid data was already copied out; take the segment
             # out of circulation and keep running at reduced capacity.
             self.ftl.log.retire_segment(seg.index)

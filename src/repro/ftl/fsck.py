@@ -32,6 +32,21 @@ ioSnap invariants (additionally)
       from the OOB headers (the delta-rescan and warm-activation
       machinery assume exactness, not S5's superset leniency).
 
+Media-fault invariants (when a fault model is attached)
+  M1  no forward-map entry points into a RETIRED segment;
+  M2  no validity bit (any live epoch) marks a page of a RETIRED
+      segment;
+  M3  no registered note lives on a RETIRED segment.
+
+Pages recorded ``lost`` in the damage manifest are excluded from the
+S2 media folds: the runtime dropped them from every structure when the
+loss was recorded, and fsck's job is to prove the structures and the
+manifest moved in lockstep (a lost page that still has a validity bit
+somewhere IS a violation, and shows up as one).  The S5/S7 summary
+audits keep seeing lost pages — the epoch-summary index describes what
+is physically programmed, exactly like the raw-OOB recompute it is
+checked against.
+
 Usage::
 
     from repro.ftl.fsck import fsck
@@ -139,6 +154,7 @@ def _check_base(device) -> List[str]:
 
     out.extend(_check_segments(device))
     out.extend(_check_notes(device))
+    out.extend(_check_retired(device))
     return out
 
 
@@ -161,6 +177,13 @@ def _check_segments(device) -> List[str]:
             out.append(f"F4: {seg.state.value} segment {seg.index} missing "
                        "its header page")
             continue
+        if array.is_torn(seg.first_ppn):
+            # Crippled segment: the header program was torn by a power
+            # cut or rejected by the medium (program-fail).  The log
+            # closed it immediately and it holds no packets — a
+            # legitimate transient state until the cleaner or recovery
+            # scrubs it, not an invariant violation.
+            continue
         header = array.read_header(seg.first_ppn)
         if header.kind is not PageKind.SEGMENT_HEADER:
             out.append(f"F4: segment {seg.index} first page is "
@@ -173,6 +196,45 @@ def _check_segments(device) -> List[str]:
                 out.append(f"F4: segment {seg.index} claims ppn {ppn} "
                            "written but it is unprogrammed")
                 break
+    return out
+
+
+def _check_retired(device) -> List[str]:
+    """M1..M3: nothing live may reference a RETIRED segment.
+
+    Retired segments (grown-bad blocks, quarantined uncorrectables)
+    are out of circulation forever; the self-healing paths promise to
+    relocate or drop every live page before retiring.
+    """
+    out: List[str] = []
+    retired = [seg for seg in device.log.segments
+               if seg.state is SegmentState.RETIRED]
+    if not retired:
+        return out
+    retired_idx = {seg.index for seg in retired}
+    for lba, ppn in device.map.items():
+        index = device.log.segment_of(ppn).index
+        if index in retired_idx:
+            out.append(f"M1: lba {lba} maps to ppn {ppn} in retired "
+                       f"segment {index}")
+    if hasattr(device, "validity"):
+        for seg in retired:
+            for ppn in device.validity.iter_set_in_range(
+                    seg.first_ppn, seg.npages):
+                out.append(f"M2: validity bit set for ppn {ppn} in "
+                           f"retired segment {seg.index}")
+    if hasattr(device, "live_epoch_bitmaps"):
+        for epoch, bitmap in device.live_epoch_bitmaps():
+            for seg in retired:
+                for ppn in bitmap.iter_set_in_range(
+                        seg.first_ppn, seg.npages):
+                    out.append(f"M2: epoch {epoch} marks ppn {ppn} in "
+                               f"retired segment {seg.index}")
+    for ppn in device._note_registry:
+        index = device.log.segment_of(ppn).index
+        if index in retired_idx:
+            out.append(f"M3: registered note at ppn {ppn} in retired "
+                       f"segment {index}")
     return out
 
 
@@ -235,6 +297,10 @@ def _check_iosnap(device) -> List[str]:
     out: List[str] = []
     total_pages = device.nand.geometry.total_pages
     packets = _scan_media(device)
+    # Folds must skip recorded media losses (struck from every bitmap
+    # when the loss was recorded); the summary audits must not.
+    fold_packets = [(ppn, header) for ppn, header in packets
+                    if not device.damage.ppn_lost(ppn)]
     tree = device.tree
 
     # S1: active bitmap == mapped pages (word compare per bitmap page).
@@ -258,7 +324,7 @@ def _check_iosnap(device) -> List[str]:
             out.append(f"S2: live snapshot {snap.name!r} has no bitmap")
             continue
         path = frozenset(tree.path_epochs(snap.epoch))
-        truth = _fold_path(packets, path)
+        truth = _fold_path(fold_packets, path)
         # Word-compare the bitmap against the fold first; the detailed
         # per-LBA analysis below only runs for actual mismatches.
         truth_words = _expected_words(truth.values(), bitmap.bits_per_page)

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Dict, Generator, List, Optional, Tuple
 
 from repro import sanitize
-from repro.errors import FtlError, OutOfSpaceError
+from repro.errors import FtlError, OutOfSpaceError, ProgramFailError
 from repro.nand.device import NandDevice
 from repro.nand.oob import OobHeader, PageKind
 from repro.sim import Event, Kernel, Lock
@@ -104,6 +104,14 @@ class LogStats:
     segments_opened: int = 0
     stall_ns: int = 0        # virtual time writers spent waiting for space
     stalls: int = 0
+    program_fails: int = 0   # failed programs absorbed by re-allocation
+    segments_skipped_bad: int = 0  # retired at open: grown-bad block
+
+
+# A program-fail burns one page slot and the append retries on the next
+# PPN (possibly in a fresh segment).  A medium bad enough to fail this
+# many programs of a single payload is beyond healing — re-raise.
+MAX_PROGRAM_RETRIES = 8
 
 
 class Log:
@@ -151,6 +159,10 @@ class Log:
         # wires this to kick the cleaner so a stalled writer can't
         # deadlock waiting for a cleaner that was never woken.
         self.on_space_pressure = lambda: None
+        # Called after any segment is retired (wear-out, erase-fail, or
+        # grown-bad block); the FTL wires this to its degraded-mode
+        # capacity check.
+        self.on_segment_retired = lambda index: None
 
     # -- queries -----------------------------------------------------------
     @property
@@ -207,6 +219,7 @@ class Log:
             head = "gc" if privileged else "user"
         if site is None:
             site = append_site(header.kind, head)
+        fails = 0
         while True:
             if not self._alloc_lock.try_acquire():
                 yield self._alloc_lock.acquire()
@@ -233,9 +246,34 @@ class Log:
                             header.seq > last_seq,
                             f"seq not strictly increasing on user head: "
                             f"{header.seq} after {last_seq}")
+                    try:
+                        done = yield from self.device.program_page(
+                            ppn, header, data, site=site)
+                    except ProgramFailError:
+                        # Self-healing re-allocation: the slot is burned
+                        # (program order advanced past unreadable
+                        # residue) but the payload is still in RAM, so
+                        # retry on the next PPN.  Nothing downstream saw
+                        # this PPN — the caller installs mappings and
+                        # validity bits only from the PPN we return, so
+                        # they follow the final location for free.
+                        fails += 1
+                        self.stats.program_fails += 1
+                        full = seg.next_offset >= seg.npages
+                        bad = self.device.block_is_bad(
+                            ppn // self.device.geometry.pages_per_block)
+                        if full or bad:
+                            # A grown-bad block poisons the whole
+                            # segment: close it now (the cleaner will
+                            # salvage and retire it) and reopen
+                            # elsewhere on the next pass.
+                            seg.state = SegmentState.CLOSED
+                            self._open[head] = None
+                        if fails > MAX_PROGRAM_RETRIES:
+                            raise
+                        continue
+                    if sanitize.enabled and head == "user":
                         self._san_last_user = (header.epoch, header.seq)
-                    done = yield from self.device.program_page(
-                        ppn, header, data, site=site)
                     if seg.next_offset >= seg.npages:
                         # Close eagerly: a full segment is immediately
                         # visible to the cleaner as a candidate.
@@ -251,28 +289,55 @@ class Log:
 
     def _open_new_segment(self, privileged: bool, head: str) -> Generator:
         """Open a fresh segment; returns a wait event instead if out of space."""
-        index = self._pop_free_index(privileged)
-        if index is None:
-            ev = self.kernel.event()
-            self._space_waiters.append(ev)
-            self.stats.stalls += 1
-            self.on_space_pressure()
-            return ev
-        if self._open.get(head) is not None:
-            self._open[head].state = SegmentState.CLOSED
-            self._open[head] = None
-        seg = self.segments[index]
-        seg.state = SegmentState.OPEN
-        seg.seq = self._next_seg_seq
-        self._next_seg_seq += 1
-        seg.next_offset = 1
-        self._open[head] = seg
-        self.stats.segments_opened += 1
-        header = OobHeader(kind=PageKind.SEGMENT_HEADER, lba=seg.seq)
-        done = yield from self.device.program_page(seg.first_ppn, header,
-                                                   None, site=sites.LOG_SEGHDR)
-        del done  # segment headers need not be durable before use
-        return None
+        while True:
+            index = self._pop_free_index(privileged)
+            if index is None:
+                ev = self.kernel.event()
+                self._space_waiters.append(ev)
+                self.stats.stalls += 1
+                self.on_space_pressure()
+                return ev
+            seg = self.segments[index]
+            if self._segment_has_bad_block(seg):
+                # A grown-bad block anywhere in the segment makes it
+                # unusable as an allocation unit: retire it for good
+                # and draw again.
+                self.stats.segments_skipped_bad += 1
+                self.retire_segment(index)
+                continue
+            if self._open.get(head) is not None:
+                self._open[head].state = SegmentState.CLOSED
+                self._open[head] = None
+            seg.state = SegmentState.OPEN
+            seg.seq = self._next_seg_seq
+            self._next_seg_seq += 1
+            seg.next_offset = 1
+            self._open[head] = seg
+            self.stats.segments_opened += 1
+            header = OobHeader(kind=PageKind.SEGMENT_HEADER, lba=seg.seq)
+            try:
+                done = yield from self.device.program_page(
+                    seg.first_ppn, header, None, site=sites.LOG_SEGHDR)
+            except ProgramFailError:
+                # Header slot burned: close the crippled segment (the
+                # cleaner/recovery will repair or retire it) and draw
+                # another.  A segment whose header failed holds no
+                # packets, so nothing is lost.
+                self.stats.program_fails += 1
+                seg.state = SegmentState.CLOSED
+                self._open[head] = None
+                continue
+            del done  # segment headers need not be durable before use
+            return None
+
+    def _segment_has_bad_block(self, seg: Segment) -> bool:
+        device = self.device
+        if device.faults is None:
+            return False
+        first_block = seg.first_ppn // device.geometry.pages_per_block
+        return any(device.block_is_bad(block)
+                   for block in range(first_block,
+                                      first_block + self.blocks_per_segment))
 
     def _pop_free_index(self, privileged: bool) -> Optional[int]:
         if self._free:
@@ -339,6 +404,7 @@ class Log:
             self._reserve.remove(index)
         seg.state = SegmentState.RETIRED
         seg.seq = -1
+        self.on_segment_retired(index)
 
     def retired_segment_count(self) -> int:
         return sum(1 for seg in self.segments

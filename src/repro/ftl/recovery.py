@@ -18,7 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Generator, List, Optional, Tuple
 
-from repro.errors import TornPageError
+from repro.errors import EraseFailError, TornPageError, UncorrectableError
+from repro.faults.damage import DamageEntry
 from repro.ftl.log import SegmentState
 from repro.ftl.packet import decode_note
 from repro.nand.oob import NOTE_KINDS, OobHeader, PageKind
@@ -45,12 +46,23 @@ def _repair_segment(ftl: "VslDevice", seg) -> Generator:
     torn or non-header first page.  Either way nothing in it is
     recoverable — the cleaner only erases after relocating all live
     data — so complete the erase and hand the segment back as FREE.
+
+    Returns False when the medium refused an erase (the segment must
+    come back RETIRED instead of FREE).
     """
     pages_per_block = ftl.nand.geometry.pages_per_block
     first_block = seg.first_ppn // pages_per_block
+    retired = False
     for block in range(first_block, first_block + ftl.log.blocks_per_segment):
         if not ftl.nand.array.block_is_erased(block):
-            yield from ftl.nand.erase_block(block, site=sites.RECOVERY_ERASE)
+            try:
+                yield from ftl.nand.erase_block(block,
+                                                site=sites.RECOVERY_ERASE)
+            except EraseFailError:
+                # Grown-bad mid-repair: nothing recoverable was in the
+                # segment anyway; retire it from circulation.
+                retired = True
+    return not retired
 
 
 def scan_log(ftl: "VslDevice") -> Generator:
@@ -65,6 +77,13 @@ def scan_log(ftl: "VslDevice") -> Generator:
     segment whose header page is missing or torn while data remains —
     an interrupted erase — is erased the rest of the way and returned
     to the free pool.
+
+    Media faults are tolerated too: an uncorrectable packet header is
+    recorded in the damage manifest and skipped (unlike a torn page it
+    does NOT end the extent — pages after it programmed fine); an
+    uncorrectable *segment* header makes the whole segment
+    unattributable, so it is scrubbed like a torn one; an erase that
+    fails during repair retires the segment.
     """
     found: List[Tuple[int, List[ScannedPacket], int]] = []
     seg_states: Dict[int, Tuple[str, int, int]] = {}
@@ -75,21 +94,34 @@ def scan_log(ftl: "VslDevice") -> Generator:
             first_block = seg.first_ppn // pages_per_block
             blocks = range(first_block,
                            first_block + ftl.log.blocks_per_segment)
+            erased_ok = True
             if not all(array.block_is_erased(b) for b in blocks):
                 # Interrupted erase: the header block went first but
                 # later blocks still hold stale pages.
-                yield from _repair_segment(ftl, seg)
-            seg_states[seg.index] = (SegmentState.FREE.value, -1, 0)
+                erased_ok = yield from _repair_segment(ftl, seg)
+            seg_states[seg.index] = (
+                (SegmentState.FREE if erased_ok
+                 else SegmentState.RETIRED).value, -1, 0)
             continue
         try:
-            first = yield from ftl.nand.read_header(seg.first_ppn)
+            first = yield from ftl.nand.read_header(seg.first_ppn,
+                                                    salvage=True)
         except TornPageError:
             first = None  # cut mid segment-header program
+        else:
+            if first is None:
+                # ECC exhausted on the segment header: every packet in
+                # the segment just lost its log position.
+                ftl.damage.record(DamageEntry(
+                    ppn=seg.first_ppn, reason="scan-seg-header",
+                    segment=seg.index, at_ns=ftl.kernel.now, lost=True))
         if first is None or first.kind is not PageKind.SEGMENT_HEADER:
-            # Torn, half-erased, or foreign segment: nothing here is
-            # attributable to a log position; scrub it.
-            yield from _repair_segment(ftl, seg)
-            seg_states[seg.index] = (SegmentState.FREE.value, -1, 0)
+            # Torn, half-erased, foreign, or unreadable segment:
+            # nothing here is attributable to a log position; scrub it.
+            erased_ok = yield from _repair_segment(ftl, seg)
+            seg_states[seg.index] = (
+                (SegmentState.FREE if erased_ok
+                 else SegmentState.RETIRED).value, -1, 0)
             continue
         seg_seq = first.lba
         packets: List[ScannedPacket] = []
@@ -98,8 +130,15 @@ def scan_log(ftl: "VslDevice") -> Generator:
                and array.is_programmed(seg.first_ppn + offset)):
             ppn = seg.first_ppn + offset
             try:
-                header = yield from ftl.nand.read_header(ppn)
+                header = yield from ftl.nand.read_header(ppn, salvage=True)
             except TornPageError:
+                if array.is_failed(ppn):
+                    # Program-fail residue: unlike a power-cut torn
+                    # page the log *continued* — the append retried on
+                    # the next PPN — so later packets in this segment
+                    # are real.  Step over the burned slot.
+                    offset += 1
+                    continue
                 # The cut hit mid-program of this page: the slot is
                 # consumed (keep it inside the written extent so the
                 # bookkeeping matches the media) but the packet never
@@ -107,10 +146,30 @@ def scan_log(ftl: "VslDevice") -> Generator:
                 # can follow it.
                 offset += 1
                 break
+            if header is None:
+                # Uncorrectable header: the packet's content is gone
+                # but — unlike a torn page — later pages in the segment
+                # programmed fine, so keep scanning past it.
+                ftl.damage.record(DamageEntry(
+                    ppn=ppn, reason="scan-header", segment=seg.index,
+                    at_ns=ftl.kernel.now, lost=True))
+                offset += 1
+                continue
             yield ftl.config.cpu.replay_packet_ns
             note = None
             if header.kind in NOTE_KINDS:
-                record = yield from ftl.nand.read_page(ppn)
+                try:
+                    record = yield from ftl.nand.read_page(ppn)
+                except UncorrectableError:
+                    # The note's payload rotted.  Without it the note
+                    # cannot be replayed; record the casualty and drop
+                    # the packet entirely.
+                    ftl.damage.record(DamageEntry(
+                        ppn=ppn, reason="scan-note", epoch=header.epoch,
+                        segment=seg.index, at_ns=ftl.kernel.now,
+                        lost=True))
+                    offset += 1
+                    continue
                 note = decode_note(header.kind, record.data[:header.length])
             packets.append(ScannedPacket(ppn=ppn, header=header, note=note))
             offset += 1

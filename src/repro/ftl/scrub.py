@@ -1,0 +1,166 @@
+"""Background media scrubber: rewrite pages before they go uncorrectable.
+
+A patrol process in the spirit of the paper's rate-limited background
+machinery (§5.6): it walks the log's occupied segments a few pages per
+pass, asks the fault model how many bit errors each live page has
+accumulated, and relocates any page whose count crossed the scrub
+threshold — *before* retention and read-disturb push it past the ECC's
+retry ladder.
+
+Relocation rides the same machinery as the cleaner's copy-forward
+(``log.append`` + ``_relocate``/``_relocate_note`` hooks), which makes
+the scrubber snapshot-aware for free: ioSnap's ``_relocate`` fixes the
+validity bit of *every* epoch that references the old PPN, so a
+scrubbed snapshot-only block keeps each epoch's bit.  Scrub copies are
+tagged with their own crash site (``scrub.copy``) so the torture sweep
+can cut mid-scrub.
+
+Pacing goes through :class:`repro.ftl.ratelimit.DutyCycleLimiter` —
+the paper's "x usec work / y msec sleep" knob — so patrols do not
+stall foreground I/O.  The scrubber only runs when the device has a
+fault model attached; on a perfect medium it is never spawned.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from repro.errors import OutOfSpaceError, UncorrectableError
+from repro.ftl.ratelimit import DutyCycleLimiter
+from repro.nand.oob import PageKind
+from repro.sim.stats import NS_PER_MS, Counters
+from repro.torture import sites
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ftl.vsl import VslDevice
+
+
+class Scrubber:
+    """Patrol-read live pages; relocate the ones aging toward death."""
+
+    def __init__(self, ftl: "VslDevice") -> None:
+        self.ftl = ftl
+        self.kernel = ftl.kernel
+        cfg = ftl.config
+        self.limiter = DutyCycleLimiter.from_paper_knob(
+            self.kernel, cfg.scrub_work_us, cfg.scrub_sleep_ms)
+        self._stopped = False
+        self._cursor = 0
+        self.counters = Counters("passes", "pages_scanned",
+                                 "pages_relocated", "notes_relocated",
+                                 "pages_lost")
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    @property
+    def threshold_bits(self) -> int:
+        """Error count that triggers relocation.
+
+        Defaults to the ECC's base correction budget: scrub as soon as
+        a read would need the retry ladder, well before the ladder's
+        reach runs out.
+        """
+        configured = self.ftl.config.scrub_threshold_bits
+        if configured > 0:
+            return configured
+        faults = self.ftl.nand.faults
+        if faults is None:
+            return 1 << 30
+        return faults.ecc.config.correctable_bits
+
+    # -- main loop ---------------------------------------------------------
+    def run(self) -> Generator:
+        """Background process: one bounded patrol pass per interval."""
+        interval_ns = int(self.ftl.config.scrub_interval_ms * NS_PER_MS)
+        while not self._stopped:
+            yield interval_ns
+            if self._stopped:
+                return
+            try:
+                yield from self.scrub_pass()
+            except OutOfSpaceError:
+                # No room to relocate into right now; the cleaner was
+                # already kicked by the failed allocation.  Try again
+                # next interval.
+                continue
+
+    # -- one pass ----------------------------------------------------------
+    def scrub_pass(self) -> Generator:
+        """Patrol up to ``scrub_pages_per_pass`` pages, round-robin."""
+        ftl = self.ftl
+        if ftl.nand.faults is None:
+            return
+        self.counters.bump("passes")
+        budget = ftl.config.scrub_pages_per_pass
+        seg_count = ftl.log.segment_count
+        scanned = 0
+        for step in range(seg_count):
+            if scanned >= budget or self._stopped:
+                break
+            index = (self._cursor + step) % seg_count
+            seg = ftl.log.segments[index]
+            if seg.seq < 0:
+                continue  # FREE or RETIRED: nothing live to patrol
+            for ppn in seg.written_ppns():
+                if scanned >= budget or self._stopped:
+                    # Resume this segment on the next pass.
+                    self._cursor = index
+                    break
+                scanned += 1
+                yield from self._patrol_page(ppn)
+            else:
+                continue
+            break
+        else:
+            self._cursor = 0
+        self.counters.bump("pages_scanned", scanned)
+
+    def _patrol_page(self, ppn: int) -> Generator:
+        ftl = self.ftl
+        nand = ftl.nand
+        array = nand.array
+        if not array.is_programmed(ppn) or array.is_torn(ppn):
+            return
+        bits = nand.media_error_bits(ppn)
+        if bits < self.threshold_bits:
+            return
+        # Bookkeeping peek at the OOB header to decide liveness (the
+        # cleaner's note pass does the same); the relocation below does
+        # the honest timed read.
+        header = array.read_header(ppn)
+        if header.kind is PageKind.DATA:
+            live = ftl._block_still_valid(ppn)
+        elif header.kind is PageKind.SEGMENT_HEADER:
+            live = False  # not relocatable; dies with its segment
+        else:
+            live = (ppn in ftl._note_registry
+                    and ftl._note_is_live(ppn, header))
+        if not live:
+            return
+        started = self.kernel.now
+        try:
+            record = yield from nand.read_page(ppn)
+        except UncorrectableError:
+            # Too late for this page: the patrol found it after the
+            # ladder's reach ran out.  Account the casualty; the
+            # cleaner will quarantine the segment.
+            ftl.record_media_loss(ppn, reason="scrub", header=header)
+            self.counters.bump("pages_lost")
+            return
+        if header.kind is PageKind.DATA:
+            new_ppn, _done = yield from ftl.log.append(
+                record.header, record.data, privileged=True,
+                head=ftl._gc_head_for(ppn, record.header),
+                site=sites.SCRUB_COPY)
+            ftl._on_packet_appended(new_ppn, record.header)
+            yield from ftl._relocate(ppn, new_ppn, record.header)
+            self.counters.bump("pages_relocated")
+        else:
+            new_ppn, _done = yield from ftl.log.append(
+                record.header, record.data, privileged=True,
+                site=sites.SCRUB_COPY)
+            ftl._on_packet_appended(new_ppn, record.header)
+            ftl._relocate_note(ppn, new_ppn)
+            self.counters.bump("notes_relocated")
+        yield from self.limiter.pace(self.kernel.now - started)

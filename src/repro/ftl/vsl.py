@@ -21,11 +21,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
-from repro.errors import FtlError, LbaError
+from repro.errors import (
+    DegradedModeError,
+    FtlError,
+    LbaError,
+    UncorrectableError,
+)
+from repro.faults.damage import DamageEntry, DamageReport
+from repro.faults.model import MediaFaultModel
 from repro.ftl.btree import BPlusTree
 from repro.ftl.cleaner import SegmentCleaner
 from repro.ftl.log import Log, Segment
 from repro.ftl.packet import TrimNote, decode_note, encode_note
+from repro.ftl.scrub import Scrubber
 from repro.ftl.validity import ValidityBitmap
 from repro.nand.device import NandDevice
 from repro.nand.geometry import NandConfig
@@ -63,6 +71,15 @@ class FtlConfig:
     # segments even when slightly fuller — lower long-run write
     # amplification under skewed workloads).
     gc_policy: str = "greedy"
+    # Background scrubber (media-fault patrol; only runs when the NAND
+    # device carries a fault model).  threshold_bits == 0 means "auto":
+    # relocate once a page needs more correction than the ECC's base
+    # budget (i.e. as soon as reads start hitting the retry ladder).
+    scrub_interval_ms: float = 50.0
+    scrub_pages_per_pass: int = 64
+    scrub_threshold_bits: int = 0
+    scrub_work_us: float = 100.0       # DutyCycleLimiter work quantum
+    scrub_sleep_ms: float = 1.0        # ... and sleep per quantum
     cpu: CpuCosts = field(default_factory=CpuCosts)
 
     def __post_init__(self) -> None:
@@ -72,6 +89,12 @@ class FtlConfig:
             raise ValueError("gc_low_watermark must be >= 1")
         if self.gc_policy not in ("greedy", "cost_benefit"):
             raise ValueError(f"unknown gc_policy {self.gc_policy!r}")
+        if self.scrub_interval_ms <= 0:
+            raise ValueError("scrub_interval_ms must be > 0")
+        if self.scrub_pages_per_pass < 1:
+            raise ValueError("scrub_pages_per_pass must be >= 1")
+        if self.scrub_threshold_bits < 0:
+            raise ValueError("scrub_threshold_bits must be >= 0")
 
 
 @dataclass
@@ -141,6 +164,7 @@ class VslDevice:
         headroom = self.config.gc_reserve_segments + 3
         if getattr(self.config, "gc_segregate_cold", False):
             headroom += 1  # the second (cold) GC head
+        self._headroom = headroom
         hard_cap = (self.log.segment_count - headroom) * \
             (self.log.segment_pages - 1)
         self.num_lbas = min(self.num_lbas, hard_cap)
@@ -170,6 +194,19 @@ class VslDevice:
         self.cleaner = SegmentCleaner(self)
         self._cleaner_proc = kernel.spawn(self.cleaner.run(), name="cleaner")
         self.log.on_space_pressure = lambda: self.cleaner.maybe_kick(force=True)
+        # Media-fault survival state: a manifest of what the medium
+        # destroyed, and a read-only latch that trips when grown-bad
+        # retirements eat the spare-capacity reserve.
+        self.damage = DamageReport()
+        self.degraded = False
+        self.degraded_reason: Optional[str] = None
+        self.log.on_segment_retired = self._note_segment_retired
+        self.scrubber: Optional[Scrubber] = None
+        self._scrub_proc = None
+        if nand.faults is not None:
+            self.scrubber = Scrubber(self)
+            self._scrub_proc = kernel.spawn(self.scrubber.run(),
+                                            name="scrubber")
         self._open = True
 
     # ------------------------------------------------------------------
@@ -177,9 +214,10 @@ class VslDevice:
     # ------------------------------------------------------------------
     @classmethod
     def create(cls, kernel: Kernel, nand_config: Optional[NandConfig] = None,
-               config: Optional[FtlConfig] = None) -> "VslDevice":
-        """Format a fresh device on new NAND."""
-        nand = NandDevice(kernel, nand_config)
+               config: Optional[FtlConfig] = None,
+               faults: Optional[MediaFaultModel] = None) -> "VslDevice":
+        """Format a fresh device on new NAND (optionally faulty NAND)."""
+        nand = NandDevice(kernel, nand_config, faults=faults)
         ftl = cls(kernel, nand, config)
         nand.superblock["format"] = {
             field: getattr(ftl.config, field) for field in cls.FORMAT_FIELDS
@@ -225,6 +263,8 @@ class VslDevice:
                 # Rebuild a pristine instance: the failed restore may
                 # have partially mutated state.
                 ftl.cleaner.stop()
+                if ftl.scrubber is not None:
+                    ftl.scrubber.stop()
                 kernel.run()
                 ftl = cls(kernel, nand, config)
             # Arm crash semantics: next open must recover unless we
@@ -232,12 +272,17 @@ class VslDevice:
             nand.superblock["clean"] = False
         if not restored:
             kernel.run_process(recover(ftl), name="recover")
+        # Segments retired in a previous life count against the spare
+        # reserve from the moment we attach.
+        ftl._maybe_degrade()
         return ftl
 
     def shutdown(self) -> None:
         """Clean shutdown: checkpoint all state and stop the cleaner."""
         self._require_open()
         self.cleaner.stop()
+        if self.scrubber is not None:
+            self.scrubber.stop()
         self.kernel.run_process(self._shutdown_proc(), name="shutdown")
         self._open = False
 
@@ -246,6 +291,8 @@ class VslDevice:
 
         if not self._cleaner_proc.done:
             yield self._cleaner_proc
+        if self._scrub_proc is not None and not self._scrub_proc.done:
+            yield self._scrub_proc
         # Make headroom for the checkpoint pages before the cleaner is
         # gone; otherwise a nearly-full device cannot be shut down.
         yield from self.cleaner.ensure_free(
@@ -256,12 +303,94 @@ class VslDevice:
         """Simulate power loss: stop everything, leave the media as-is."""
         self._require_open()
         self.cleaner.stop()
+        if self.scrubber is not None:
+            self.scrubber.stop()
         self.nand.superblock["clean"] = False
         self._open = False
 
     def _require_open(self) -> None:
         if not self._open:
             raise FtlError("device is shut down")
+
+    # ------------------------------------------------------------------
+    # Media-fault survival
+    # ------------------------------------------------------------------
+    def record_media_loss(self, ppn: int, reason: str,
+                          header: Optional[OobHeader] = None) -> None:
+        """Strike an uncorrectable page from every runtime structure.
+
+        Called when the retry ladder ran out on a page we still needed
+        (cleaner copy-forward, scrub patrol, activation).  The page is
+        dropped from the forward map, from *every* epoch's validity
+        bits, and from the note registry, and a ``lost=True`` entry
+        lands in the damage manifest — the device keeps running and
+        reports exactly what it lost instead of crashing or silently
+        serving zeros.
+        """
+        array = self.nand.array
+        if header is None and array.is_programmed(ppn) \
+                and not array.is_torn(ppn):
+            header = array.read_header(ppn)
+        lba = None
+        epoch = None
+        if header is not None:
+            epoch = header.epoch
+            if header.kind is PageKind.DATA:
+                lba = header.lba
+        mapped = lba is not None and self.map.get(lba) == ppn
+        if mapped:
+            self.map.delete(lba)
+        self._clear_valid_everywhere(ppn, lba)
+        self._note_registry.pop(ppn, None)
+        self._read_cache.invalidate_range(ppn, 1)
+        # ``mapped`` records whether the *active tree* lost this LBA:
+        # only then must foreground reads raise instead of returning
+        # zeros.  A stale copy (live only in some frozen epoch) dying
+        # must not poison active reads of an LBA that was legitimately
+        # trimmed or overwritten.
+        self.damage.record(DamageEntry(
+            ppn=ppn, reason=reason, lba=lba, epoch=epoch,
+            segment=ppn // self.log.segment_pages,
+            at_ns=self.kernel.now, lost=True, mapped=mapped))
+
+    def _clear_valid_everywhere(self, ppn: int,
+                                lba: Optional[int] = None) -> None:
+        """Drop ``ppn``'s validity in every epoch (hook; base: one bitmap)."""
+        del lba
+        self._clear_valid(ppn)
+
+    def _note_segment_retired(self, index: int) -> None:
+        del index
+        self._maybe_degrade()
+
+    def _maybe_degrade(self) -> None:
+        """Latch read-only mode once retirements eat the spare reserve.
+
+        The export-capacity bound from ``__init__`` must keep holding
+        as grown-bad blocks shrink the pool; the moment the surviving
+        segments (minus structural headroom) can no longer back every
+        exported LBA, accepting more writes could wedge the device with
+        nothing reclaimable — so stop accepting them, loudly.
+        """
+        if self.degraded:
+            return
+        usable = self.log.segment_count - self.log.retired_segment_count()
+        capacity = (usable - self._headroom) * (self.log.segment_pages - 1)
+        if capacity < self.num_lbas:
+            self._enter_degraded(
+                f"spare-capacity reserve exhausted: {usable} usable "
+                f"segments cannot back {self.num_lbas} exported LBAs")
+
+    def _enter_degraded(self, reason: str) -> None:
+        self.degraded = True
+        self.degraded_reason = reason
+        # Writers parked on segment allocation will never be served.
+        self.log.fail_waiters(DegradedModeError(reason))
+
+    def _check_writable(self) -> None:
+        if self.degraded:
+            raise DegradedModeError(
+                f"device is read-only (degraded): {self.degraded_reason}")
 
     # ------------------------------------------------------------------
     # Synchronous façade
@@ -293,6 +422,7 @@ class VslDevice:
                    sync: Optional[bool] = None) -> Generator:
         """Write one logical block; returns the PPN it landed on."""
         self._require_open()
+        self._check_writable()
         self._check_lba(lba)
         if data is not None and len(data) > self.block_size:
             raise LbaError(f"data length {len(data)} exceeds block size")
@@ -324,6 +454,14 @@ class VslDevice:
                       and lba == self._last_read_lba + 1)
         self._last_read_lba = lba
         if ppn is None:
+            if self.damage.lba_lost(lba):
+                # The medium destroyed this block's only copy.  Never
+                # fabricate zeros for data we once accepted: fail the
+                # read with the typed media error (the damage manifest
+                # has the details).
+                raise UncorrectableError(
+                    f"lba {lba} was lost to a media fault "
+                    "(see the damage report)")
             yield self.config.cpu.unmapped_read_ns
             return bytes(self.block_size)
         record = self._read_cache.get(ppn)
@@ -335,7 +473,17 @@ class VslDevice:
             self.metrics.readahead_hits += 1
             yield self.nand.timing.xfer_ns(0)  # host-side copy cost
         else:
-            record = yield from self.nand.read_page(ppn)
+            try:
+                record = yield from self.nand.read_page(ppn)
+            except UncorrectableError:
+                # Record the casualty (not yet known-lost: the retry
+                # ladder may have been defeated by a transient injected
+                # fault) and surface the typed error to the caller.
+                self.damage.record(DamageEntry(
+                    ppn=ppn, reason="read", lba=lba,
+                    segment=ppn // self.log.segment_pages,
+                    at_ns=self.kernel.now, lost=False))
+                raise
             if sequential and self.config.readahead_pages > 0:
                 self.kernel.spawn(self._readahead(lba + 1),
                                   name=f"readahead@{lba + 1}")
@@ -348,6 +496,7 @@ class VslDevice:
     def trim_proc(self, lba: int) -> Generator:
         """Discard one logical block (persisted via a trim note)."""
         self._require_open()
+        self._check_writable()
         self._check_lba(lba)
         yield from self._enter_write_path()
         try:
@@ -380,6 +529,7 @@ class VslDevice:
         """
         if not blocks:
             return []
+        self._check_writable()
         self._check_lba(lba)
         self._check_lba(lba + len(blocks) - 1)
         wait_durable = self.config.sync_writes if sync is None else sync
@@ -440,7 +590,18 @@ class VslDevice:
             done = self.kernel.event()
             self._prefetch_inflight[ppn] = done
             try:
-                record = yield from self.nand.read_page(ppn)
+                try:
+                    record = yield from self.nand.read_page(ppn)
+                except UncorrectableError:
+                    # Nobody joins a prefetch, so the error must stop
+                    # here: note it and quit prefetching.  A foreground
+                    # read of this LBA will hit (and report) the same
+                    # fault through the normal path.
+                    self.damage.record(DamageEntry(
+                        ppn=ppn, reason="readahead", lba=next_lba,
+                        segment=ppn // self.log.segment_pages,
+                        at_ns=self.kernel.now, lost=False))
+                    return
                 self._read_cache.put(ppn, record)
             finally:
                 del self._prefetch_inflight[ppn]
@@ -491,6 +652,21 @@ class VslDevice:
             },
             "wear": self.nand.array.wear_stats(),
             "map_memory_bytes": self.map.memory_bytes(),
+            "media": {
+                "faulty": self.nand.faults is not None,
+                "device": self.nand.media.as_dict(),
+                "program_fails_recovered": self.log.stats.program_fails,
+                "segments_skipped_bad": self.log.stats.segments_skipped_bad,
+                "pages_lost_in_gc": self.cleaner.pages_lost,
+                "segments_quarantined": self.cleaner.segments_quarantined,
+                "scrub": (self.scrubber.counters.as_dict()
+                          if self.scrubber is not None else None),
+                "bad_blocks": (sorted(self.nand.faults.bad_blocks)
+                               if self.nand.faults is not None else []),
+                "degraded": self.degraded,
+                "degraded_reason": self.degraded_reason,
+                "damage": self.damage.summary(),
+            },
         }
 
     # -- write gate: snapshot ops quiesce the data path --------------------

@@ -28,6 +28,7 @@ PRAGMA_CODES: Dict[str, str] = {
     "allow-cow-private": "IOL004",
     "allow-epoch-float": "IOL005",
     "allow-unbalanced-acquire": "IOL006",
+    "allow-media-swallow": "IOL007",
 }
 
 _MARKER_RE = re.compile(r"#\s*lint:\s*(?P<body>.*)$")

@@ -16,6 +16,7 @@ from repro.lint.rules.cow_discipline import CowDisciplineRule
 from repro.lint.rules.crash_sites import CrashSiteRule
 from repro.lint.rules.determinism import DeterminismRule
 from repro.lint.rules.epoch_hygiene import EpochHygieneRule
+from repro.lint.rules.media_discipline import MediaDisciplineRule
 from repro.lint.rules.resource_pairing import ResourcePairingRule
 
 ALL_RULES: List[Rule] = [
@@ -25,6 +26,7 @@ ALL_RULES: List[Rule] = [
     CowDisciplineRule(),
     EpochHygieneRule(),
     ResourcePairingRule(),
+    MediaDisciplineRule(),
 ]
 
 

@@ -19,7 +19,8 @@ from repro.lint.violations import Violation
 
 # Layers that must be deterministic.  bench/ is exempt by design: it
 # measures the simulator's real wall-clock cost.
-SCOPED_DIRS = ("sim/", "ftl/", "core/", "nand/", "workloads/", "torture/")
+SCOPED_DIRS = ("sim/", "ftl/", "core/", "nand/", "workloads/", "torture/",
+               "faults/")
 
 WALLCLOCK_CALLS = frozenset({
     "time.time", "time.time_ns",
@@ -40,7 +41,7 @@ class DeterminismRule(Rule):
     code = "IOL003"
     name = "determinism"
     description = ("no wall-clock reads or module-level RNG in sim/, "
-                   "ftl/, core/, nand/, workloads/, torture/")
+                   "ftl/, core/, nand/, workloads/, torture/, faults/")
     pragma = "allow-nondeterminism"
 
     def check(self, module: ModuleSource) -> Iterator[Violation]:

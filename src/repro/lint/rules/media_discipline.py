@@ -1,0 +1,118 @@
+"""IOL007 — media faults must be discharged, not swallowed.
+
+The media-fault model (:mod:`repro.faults`) reports every failure it
+injects through a typed :class:`~repro.errors.MediaError` subclass.
+Each one demands an explicit disposition: re-program / re-raise it,
+retire or quarantine the damaged region, or record the casualty in the
+damage report (or at least in a fault counter).  A handler that simply
+eats the exception turns injected media damage into silent data loss —
+the torture oracle then sees stale or zeroed reads with nothing in the
+damage manifest to account for them, which is exactly the bug class
+the fault campaign exists to find.
+
+Accepted handler shapes (anywhere in the handler body):
+
+- a ``raise`` statement (bare or typed, conditional is fine — the
+  retry-then-give-up idiom raises only past ``MAX_PROGRAM_RETRIES``);
+- a call whose name chain mentions a discharge action — ``retire``,
+  ``quarantine``, ``record``, ``damage``, ``fail`` — e.g.
+  ``ftl.record_media_loss(...)``, ``self.damage.record(...)``,
+  ``device.damage.covers(...)``, ``self._judge_damage(...)``;
+- an assignment whose target mentions one, e.g. ``retired = True`` or
+  ``self.stats.program_fails += 1`` (the flag/counter is the record).
+
+Anything else needs ``# lint: allow-media-swallow(reason)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.rules.base import Rule
+from repro.lint.source import ModuleSource
+from repro.lint.violations import Violation
+
+MEDIA_NAMES = frozenset({
+    "MediaError",
+    "CorrectableError",
+    "UncorrectableError",
+    "ProgramFailError",
+    "EraseFailError",
+    "BadBlockError",
+})
+
+DISCHARGE_TOKENS = ("retire", "quarantine", "record", "damage", "fail")
+
+
+def _names_of(type_node: Optional[ast.expr]):
+    if type_node is None:
+        return [None]
+    nodes = type_node.elts if isinstance(type_node, ast.Tuple) else [type_node]
+    out = []
+    for node in nodes:
+        if isinstance(node, ast.Name):
+            out.append(node.id)
+        elif isinstance(node, ast.Attribute):
+            out.append(node.attr)
+        else:
+            out.append(None)
+    return out
+
+
+def _mentions_discharge(node: ast.expr) -> bool:
+    """Any segment of the name/attribute chain mentions a discharge
+    action (``device.damage.covers(...)`` counts via ``damage``)."""
+    if isinstance(node, ast.Name):
+        names = [node.id]
+    elif isinstance(node, ast.Attribute):
+        names = [node.attr]
+        value = node.value
+        while isinstance(value, ast.Attribute):
+            names.append(value.attr)
+            value = value.value
+        if isinstance(value, ast.Name):
+            names.append(value.id)
+    else:
+        return False
+    return any(token in name.lower()
+               for name in names for token in DISCHARGE_TOKENS)
+
+
+def _discharges(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call) and _mentions_discharge(node.func):
+            return True
+        if isinstance(node, ast.Assign):
+            if any(_mentions_discharge(t) for t in node.targets):
+                return True
+        elif isinstance(node, ast.AugAssign):
+            if _mentions_discharge(node.target):
+                return True
+    return False
+
+
+class MediaDisciplineRule(Rule):
+    code = "IOL007"
+    name = "media-fault-discipline"
+    description = ("except MediaError handlers must re-raise, retire/"
+                   "quarantine, or record to the damage report")
+    pragma = "allow-media-swallow"
+
+    def check(self, module: ModuleSource) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Try):
+                continue
+            for handler in node.handlers:
+                caught = [name for name in _names_of(handler.type)
+                          if name in MEDIA_NAMES]
+                if not caught or _discharges(handler):
+                    continue
+                yield self.violation(
+                    module, handler,
+                    f"except {'/'.join(caught)} swallows a media fault; "
+                    f"re-raise it, retire/quarantine the damaged region, "
+                    f"or record the casualty (damage report or fault "
+                    f"counter)")

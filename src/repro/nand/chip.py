@@ -18,7 +18,7 @@ from repro.errors import (
     WearOutError,
 )
 from repro.nand.geometry import NandGeometry, WearModel
-from repro.nand.oob import OobHeader, PageKind
+from repro.nand.oob import OobHeader, PageHealth, PageKind
 from repro.torture import sites
 
 
@@ -44,16 +44,31 @@ class TornRecord:
     site: Optional[str] = None
 
 
+@dataclass(slots=True, frozen=True)
+class FailedRecord(TornRecord):
+    """Residue of a page program the medium rejected (program-fail).
+
+    Like a torn page the slot is burned — the cells were charged, the
+    program order advanced, and nothing can ever be read back — so it
+    subclasses :class:`TornRecord` and every scan/cleaner/fsck path
+    that skips torn pages skips failed programs for free.
+    """
+
+
 class Block:
     """One erase block: pages must be programmed in order, erased in bulk."""
 
-    __slots__ = ("pages_per_block", "next_page", "erase_count", "_pages")
+    __slots__ = ("pages_per_block", "next_page", "erase_count", "_pages",
+                 "health")
 
     def __init__(self, pages_per_block: int) -> None:
         self.pages_per_block = pages_per_block
         self.next_page = 0
         self.erase_count = 0
         self._pages: Dict[int, Union[PageRecord, TornRecord]] = {}
+        # Per-page error counters (lazy: only pages the device's ECC
+        # path actually touched get an entry; see nand.oob.PageHealth).
+        self.health: Dict[int, PageHealth] = {}
 
     def program(self, page: int, record: PageRecord) -> None:
         if page != self.next_page:
@@ -76,12 +91,30 @@ class Block:
         self._pages[page] = TornRecord(site=site)
         self.next_page += 1
 
+    def program_failed(self, page: int) -> None:
+        """Occupy ``page`` with the residue of a rejected program.
+
+        The fault model decided this program fails: the slot is
+        consumed (program order advances past it) but holds nothing
+        readable.  The FTL re-programs the payload elsewhere.
+        """
+        if page != self.next_page:
+            raise ProgramOrderError(
+                f"page {page} programmed out of order (expected {self.next_page})")
+        if page >= self.pages_per_block:
+            raise AddressError(f"page {page} beyond block end")
+        self._pages[page] = FailedRecord()
+        self.next_page += 1
+
     def read(self, page: int) -> PageRecord:
         if not 0 <= page < self.pages_per_block:
             raise AddressError(f"page {page} out of block range")
         record = self._pages.get(page)
         if record is None:
             raise NandError(f"read of unprogrammed page {page}")
+        if isinstance(record, FailedRecord):
+            raise TornPageError(
+                f"page {page} holds a failed program (nothing readable)")
         if isinstance(record, TornRecord):
             where = f" by a cut at {record.site}" if record.site else ""
             raise TornPageError(
@@ -94,6 +127,9 @@ class Block:
     def is_torn(self, page: int) -> bool:
         return isinstance(self._pages.get(page), TornRecord)
 
+    def is_failed(self, page: int) -> bool:
+        return isinstance(self._pages.get(page), FailedRecord)
+
     def torn_site(self, page: int) -> Optional[str]:
         """The crash site that tore ``page`` (None if not torn/unknown)."""
         record = self._pages.get(page)
@@ -105,6 +141,7 @@ class Block:
             raise WearOutError(
                 f"block exceeded {wear.max_pe_cycles} P/E cycles")
         self._pages.clear()
+        self.health.clear()
         self.next_page = 0
 
 
@@ -153,6 +190,19 @@ class NandArray:
         block, page = self._locate(ppn)
         block.program_torn(page, site)
 
+    def program_failed(self, ppn: int) -> None:
+        """Burn ``ppn``'s slot with program-fail residue (fault model)."""
+        block, page = self._locate(ppn)
+        block.program_failed(page)
+
+    def health(self, ppn: int) -> PageHealth:
+        """Per-page error counters for ``ppn`` (created on demand)."""
+        block, page = self._locate(ppn)
+        record = block.health.get(page)
+        if record is None:
+            record = block.health[page] = PageHealth()
+        return record
+
     def read(self, ppn: int) -> PageRecord:
         block, page = self._locate(ppn)
         return block.read(page)
@@ -167,6 +217,17 @@ class NandArray:
     def is_torn(self, ppn: int) -> bool:
         block, page = self._locate(ppn)
         return block.is_torn(page)
+
+    def is_failed(self, ppn: int) -> bool:
+        """Is ``ppn`` the residue of a rejected (program-failed) page?
+
+        Distinct from :meth:`is_torn` where it matters: a power cut
+        ends the log (nothing programs after the lights go out) but a
+        program-fail does not — the append retried on the next page,
+        so scans must step over the residue, not stop at it.
+        """
+        block, page = self._locate(ppn)
+        return block.is_failed(page)
 
     def torn_site(self, ppn: int) -> Optional[str]:
         block, page = self._locate(ppn)

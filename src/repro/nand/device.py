@@ -23,11 +23,19 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Generator, Optional
 
-from repro.errors import PowerLossError, UncorrectableError
+from repro.errors import (
+    EraseFailError,
+    PowerLossError,
+    ProgramFailError,
+    UncorrectableError,
+)
+from repro.faults.ecc import ReadResolution
+from repro.faults.model import MediaFaultModel
 from repro.nand.chip import NandArray, PageRecord
 from repro.nand.geometry import NandConfig
 from repro.nand.oob import HEADER_SIZE, OobHeader
 from repro.sim import Kernel, Resource
+from repro.sim.stats import Counters
 from repro.torture import sites
 
 
@@ -85,7 +93,8 @@ class NandDevice:
     """A simulated NAND flash device attached to a simulation kernel."""
 
     def __init__(self, kernel: Kernel, config: Optional[NandConfig] = None,
-                 error_model: Optional[BitErrorModel] = None) -> None:
+                 error_model: Optional[BitErrorModel] = None,
+                 faults: Optional[MediaFaultModel] = None) -> None:
         self.kernel = kernel
         self.config = config or NandConfig()
         self.geometry = self.config.geometry
@@ -94,6 +103,16 @@ class NandDevice:
                                store_data=self.config.store_data)
         self.stats = DeviceStats()
         self.error_model = error_model
+        # Optional deterministic media-fault model (repro.faults).  When
+        # None — the default — every read/program/erase is perfect and
+        # the ECC/fault branches below are skipped entirely.  Like the
+        # array, the model is state the torture harness transplants
+        # across a simulated power cut.
+        self.faults = faults
+        self.media = Counters(
+            "reads_checked", "corrected_pages", "corrected_bits",
+            "read_retries", "uncorrectable_reads", "program_fails",
+            "erase_fails", "grown_bad_blocks")
         # Small out-of-band config area (real devices keep a superblock
         # in NOR or a reserved region); survives simulated crashes.
         self.superblock: dict = {}
@@ -127,15 +146,52 @@ class NandDevice:
             self.geometry.check_ppn(ppn)
         return self._res_by_die[ppn // self._pages_per_die]
 
+    def _resolve_read(self, ppn: int) -> Optional[ReadResolution]:
+        """Run this read's bit errors through the ECC (None: no faults)."""
+        if self.faults is None:
+            return None
+        bits = self.faults.read_bits(ppn, self.kernel.now)
+        return self.faults.ecc.resolve(bits)
+
+    def _retry_cost_ns(self, resolution: ReadResolution) -> int:
+        """Die time for the retry ladder: re-sense + backoff per rung."""
+        ecc = self.faults.ecc  # type: ignore[union-attr]
+        return sum(self.timing.read_page_ns + ecc.backoff_ns(step)
+                   for step in range(resolution.retries))
+
+    def _account_read(self, ppn: int, resolution: ReadResolution) -> None:
+        """Update media counters + per-page OOB health for one read."""
+        self.media.bump("reads_checked")
+        corrected = resolution.corrected_bits if resolution.ok else 0
+        self.array.health(ppn).note_read(resolution.error_bits, corrected,
+                                         resolution.retries)
+        if resolution.retries:
+            self.media.bump("read_retries", resolution.retries)
+        if resolution.ok:
+            if resolution.corrected_bits:
+                self.media.bump("corrected_pages")
+                self.media.bump("corrected_bits", resolution.corrected_bits)
+        else:
+            self.media.bump("uncorrectable_reads")
+
     # -- operations (simulation processes) --------------------------------
     def read_page(self, ppn: int) -> Generator:
-        """Read one full page; returns its :class:`PageRecord`."""
+        """Read one full page; returns its :class:`PageRecord`.
+
+        With a fault model attached the read's accumulated bit errors
+        are run through the ECC: correctable errors cost retry-ladder
+        time on the die; uncorrectable ones raise
+        :class:`UncorrectableError` after the full ladder is charged.
+        """
         record = self.array.read(ppn)  # validates before any time passes
+        resolution = self._resolve_read(ppn)
         die, channel = self._resources_for(ppn)
         if not die.try_acquire():   # fast path: skip the event round-trip
             yield die.acquire()
         try:
             yield self.timing.read_page_ns
+            if resolution is not None and resolution.retries:
+                yield self._retry_cost_ns(resolution)
         finally:
             die.release()
         if not channel.try_acquire():
@@ -144,23 +200,37 @@ class NandDevice:
             yield self._page_xfer_ns
         finally:
             channel.release()
+        if resolution is not None:
+            self._account_read(ppn, resolution)
+            if not resolution.ok:
+                raise UncorrectableError(
+                    f"uncorrectable read at ppn {ppn} "
+                    f"({resolution.error_bits} error bits after "
+                    f"{resolution.retries} retries)")
         if self.error_model is not None and self.error_model.read_fails():
             raise UncorrectableError(f"uncorrectable read at ppn {ppn}")
         self.stats.page_reads += 1
         self.stats.bytes_read += self.geometry.page_size
         return record
 
-    def read_header(self, ppn: int) -> Generator:
+    def read_header(self, ppn: int, salvage: bool = False) -> Generator:
         """OOB-only read: full array sense but a tiny bus transfer.
 
         This is the operation activation/recovery scans are built on.
+        ``salvage=True`` returns ``None`` instead of raising on an
+        uncorrectable read — batched scans spawn many of these as
+        concurrent processes, and a damage-tolerant scan must observe
+        the loss, not die from an unjoined process failure.
         """
         header = self.array.read_header(ppn)
+        resolution = self._resolve_read(ppn)
         die, channel = self._resources_for(ppn)
         if not die.try_acquire():
             yield die.acquire()
         try:
             yield self.timing.read_page_ns
+            if resolution is not None and resolution.retries:
+                yield self._retry_cost_ns(resolution)
         finally:
             die.release()
         if not channel.try_acquire():
@@ -169,6 +239,15 @@ class NandDevice:
             yield self._header_xfer_ns
         finally:
             channel.release()
+        if resolution is not None:
+            self._account_read(ppn, resolution)
+            if not resolution.ok:
+                if salvage:
+                    return None
+                raise UncorrectableError(
+                    f"uncorrectable header read at ppn {ppn} "
+                    f"({resolution.error_bits} error bits after "
+                    f"{resolution.retries} retries)")
         self.stats.header_reads += 1
         self.stats.bytes_read += HEADER_SIZE
         return header
@@ -201,6 +280,30 @@ class NandDevice:
         if self.power is not None and self.power.cut(site + ":mid"):
             self.array.program_torn(ppn, site + ":mid")
             raise PowerLossError(f"power cut at {site}:mid (ppn {ppn} torn)")
+        if self.faults is not None:
+            block = ppn // self.geometry.pages_per_block
+            verdict = self.faults.on_program(
+                ppn, block, self.kernel.now, self.array.erase_count(block))
+            if verdict.failed:
+                # The slot is burned: program order advances past it and
+                # the FTL must re-program on a fresh PPN.  Charge the
+                # failed attempt's die time before reporting — a real
+                # controller only learns of the failure from the status
+                # read after the program window.
+                self.array.program_failed(ppn)
+                self.media.bump("program_fails")
+                if verdict.newly_bad:
+                    self.media.bump("grown_bad_blocks")
+                if not die.try_acquire():
+                    yield die.acquire()
+                try:
+                    yield self.timing.program_page_ns
+                finally:
+                    die.release()
+                detail = (" (block grown bad)"
+                          if verdict.newly_bad or verdict.already_bad else "")
+                raise ProgramFailError(
+                    f"program failed at ppn {ppn}{detail}")
         self.array.program(ppn, header, data)
         self.power_check(site + ":post")
         if not die.try_acquire():  # lint: allow-unbalanced-acquire(die freed by the _ProgramFinish timer when the die-internal program completes)
@@ -232,6 +335,22 @@ class NandDevice:
             yield self.timing.erase_block_ns
         finally:
             die.release()
+        if self.faults is not None:
+            ppb = self.geometry.pages_per_block
+            verdict = self.faults.on_erase(
+                global_block,
+                range(global_block * ppb, (global_block + 1) * ppb))
+            if verdict.failed:
+                # Erase time was already charged above; the block's
+                # contents are untouched and the segment must be
+                # retired (see SegmentCleaner).
+                self.media.bump("erase_fails")
+                if verdict.newly_bad:
+                    self.media.bump("grown_bad_blocks")
+                detail = (" (block grown bad)"
+                          if verdict.newly_bad or verdict.already_bad else "")
+                raise EraseFailError(
+                    f"erase failed at block {global_block}{detail}")
         if self.power is not None and self.power.cut(site + ":mid"):
             self.array.erase_block(global_block)
             raise PowerLossError(f"power cut at {site}:mid "
@@ -246,3 +365,30 @@ class NandDevice:
 
     def is_programmed(self, ppn: int) -> bool:
         return self.array.is_programmed(ppn)
+
+    def media_error_bits(self, ppn: int) -> int:
+        """Current bit-error estimate for ``ppn``, without disturbing it.
+
+        The scrubber's patrol decision: no virtual time, no read-disturb
+        accumulation, no fault-plan read index consumed.
+        """
+        if self.faults is None:
+            return 0
+        return self.faults.peek_bits(ppn, self.kernel.now)
+
+    def page_is_lost(self, ppn: int) -> bool:
+        """True if ``ppn``'s accumulated errors exceed the full ECC
+        retry ladder — the data is gone even though the cells are
+        programmed.  fsck uses this to exclude casualties from its
+        media folds (it otherwise reads the raw array, bypassing ECC).
+        """
+        if self.faults is None:
+            return False
+        if not self.array.is_programmed(ppn) or self.array.is_torn(ppn):
+            return False
+        return (self.faults.peek_bits(ppn, self.kernel.now)
+                > self.faults.ecc.max_reach)
+
+    def block_is_bad(self, global_block: int) -> bool:
+        """True if the fault model marked ``global_block`` grown-bad."""
+        return self.faults is not None and self.faults.is_bad(global_block)

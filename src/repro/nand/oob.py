@@ -101,3 +101,27 @@ class OobHeader:
     def with_epoch(self, epoch: int) -> "OobHeader":
         return OobHeader(kind=self.kind, lba=self.lba, epoch=epoch,
                          seq=self.seq, length=self.length)
+
+
+@dataclass(slots=True)
+class PageHealth:
+    """Per-page error counters kept alongside the OOB area.
+
+    Real controllers stash read/correction statistics next to the ECC
+    parity; the scrubber's patrol decision and ``info()`` diagnostics
+    read them back.  Unlike :class:`OobHeader` this is mutable device
+    state, not part of the 32-byte on-media header format, and it is
+    cleared when the block is erased.
+    """
+
+    reads: int = 0
+    corrected_bits: int = 0
+    retries: int = 0
+    last_error_bits: int = 0
+
+    def note_read(self, error_bits: int, corrected_bits: int,
+                  retries: int) -> None:
+        self.reads += 1
+        self.corrected_bits += corrected_bits
+        self.retries += retries
+        self.last_error_bits = error_bits

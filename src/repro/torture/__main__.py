@@ -18,11 +18,13 @@ Exit status is 0 iff every cut recovered cleanly under both oracles.
 from __future__ import annotations
 
 import argparse
+import json
 import random
 import sys
 import time
 from typing import List, Optional
 
+from repro.faults.model import FaultPlan
 from repro.torture.harness import (
     TortureConfig,
     enumerate_sites,
@@ -68,17 +70,29 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
                         help="report the first failure without reducing it")
     parser.add_argument("--list-sites", action="store_true",
                         help="print the workload's injection points and exit")
+    parser.add_argument("--fault-plan", metavar="FILE",
+                        help="compose a media-fault schedule (JSON, see "
+                             "repro.faults.model.FaultPlan) with every cut")
     return parser.parse_args(argv)
 
 
+def _load_fault_plan(args: argparse.Namespace) -> Optional[FaultPlan]:
+    if not args.fault_plan:
+        return None
+    with open(args.fault_plan, "r", encoding="utf-8") as fh:
+        return FaultPlan.from_dict(json.load(fh))
+
+
 def _fail(script: List[Op], target: Target, failures: List[str],
-          args: argparse.Namespace) -> int:
+          args: argparse.Namespace,
+          fault_plan: Optional[FaultPlan] = None) -> int:
     print(f"FAIL: cut at {target[0]} (occurrence {target[1]}):")
     for violation in failures:
         print(f"  - {violation}")
     if args.shrink:
         print("shrinking ...")
-        repro = shrink_failure(script, target[0], deep=args.deep)
+        repro = shrink_failure(script, target[0], deep=args.deep,
+                               fault_plan=fault_plan)
         write_repro(args.repro_out, repro)
         print(f"shrunk {repro.original_ops} -> {len(repro.script)} ops "
               f"({repro.attempts} candidates tried)")
@@ -87,7 +101,7 @@ def _fail(script: List[Op], target: Target, failures: List[str],
     else:
         repro = ShrunkRepro(script=script, site=target[0],
                             occurrence=target[1], failures=failures,
-                            original_ops=len(script))
+                            original_ops=len(script), fault_plan=fault_plan)
         write_repro(args.repro_out, repro)
         print(f"repro written to {args.repro_out} (unshrunk)")
     return 1
@@ -102,17 +116,19 @@ def _sample(targets: List[Target], cap: int, seed: int) -> List[Target]:
 
 
 def _run_targets(script: List[Op], targets: List[Target],
-                 args: argparse.Namespace, label: str) -> int:
+                 args: argparse.Namespace, label: str,
+                 fault_plan: Optional[FaultPlan] = None) -> int:
     ran = 0
     start = time.monotonic()  # lint: allow-nondeterminism(operator-facing progress reporting only; never feeds the simulation)
     for target in targets:
-        outcome = run_with_cut(script, target, deep=args.deep)
+        outcome = run_with_cut(script, target, deep=args.deep,
+                               fault_plan=fault_plan)
         if outcome.invalid:
             print(f"error: workload {label} is not a valid script")
             return 2
         ran += 1
         if outcome.failed:
-            return _fail(script, target, outcome.failures, args)
+            return _fail(script, target, outcome.failures, args, fault_plan)
     elapsed = time.monotonic() - start  # lint: allow-nondeterminism(operator-facing progress reporting only; never feeds the simulation)
     kinds = site_kinds(targets)
     print(f"{label}: {ran} cuts across {len(kinds)} site kinds "
@@ -123,9 +139,11 @@ def _run_targets(script: List[Op], targets: List[Target],
 
 def _replay(args: argparse.Namespace) -> int:
     repro = load_repro(args.replay)
+    with_faults = " with media faults" if repro.fault_plan else ""
     print(f"replaying {len(repro.script)} ops, cut at {repro.site} "
-          f"(occurrence {repro.occurrence})")
-    outcome = run_with_cut(repro.script, repro.target, deep=args.deep)
+          f"(occurrence {repro.occurrence}){with_faults}")
+    outcome = run_with_cut(repro.script, repro.target, deep=args.deep,
+                           fault_plan=repro.fault_plan)
     if outcome.invalid:
         print("error: repro script is not valid on this build")
         return 2
@@ -145,17 +163,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _parse_args(argv)
     if args.replay:
         return _replay(args)
+    fault_plan = _load_fault_plan(args)
 
     if args.sweep:
         cap = args.max_sites or 12
         for round_no in range(args.sweep):
             seed = args.seed + round_no
             script = generate_script(seed, length=args.length)
-            targets = enumerate_sites(script)
+            targets = enumerate_sites(script, fault_plan=fault_plan)
             if len(targets) > cap:
                 targets = _sample(targets, cap, seed)
             status = _run_targets(script, targets, args,
-                                  label=f"sweep seed={seed}")
+                                  label=f"sweep seed={seed}",
+                                  fault_plan=fault_plan)
             if status:
                 return status
         return 0
@@ -163,7 +183,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     # Default / --exhaustive: one workload, every injection point.
     script = small_script() if args.small else generate_script(
         args.seed, length=args.length)
-    targets = enumerate_sites(script)
+    targets = enumerate_sites(script, fault_plan=fault_plan)
     if args.list_sites:
         for site, occurrence in targets:
             print(f"{site} x{occurrence}")
@@ -173,7 +193,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.max_sites and len(targets) > args.max_sites:
         targets = _sample(targets, args.max_sites, args.seed)
     label = "small workload" if args.small else f"workload seed={args.seed}"
-    return _run_targets(script, targets, args, label)
+    return _run_targets(script, targets, args, label, fault_plan)
 
 
 if __name__ == "__main__":

@@ -31,6 +31,7 @@ from repro.errors import (
     ReproError,
     SnapshotError,
 )
+from repro.faults.model import FaultPlan, MediaFaultModel
 from repro.ftl.fsck import fsck
 from repro.nand.device import NandDevice
 from repro.nand.geometry import NandConfig, NandGeometry
@@ -85,9 +86,12 @@ class TortureFailure(AssertionError):
 # ---------------------------------------------------------------------------
 # Running a script
 # ---------------------------------------------------------------------------
-def _build_device(config: TortureConfig) -> IoSnapDevice:
+def _build_device(config: TortureConfig,
+                  fault_plan: Optional[FaultPlan] = None) -> IoSnapDevice:
     kernel = Kernel()
-    return IoSnapDevice.create(kernel, config.nand_config(), IoSnapConfig())
+    faults = MediaFaultModel(fault_plan) if fault_plan is not None else None
+    return IoSnapDevice.create(kernel, config.nand_config(), IoSnapConfig(),
+                               faults=faults)
 
 
 def _apply_op(device: IoSnapDevice, activations: Dict[str, object],
@@ -123,16 +127,20 @@ def _apply_op(device: IoSnapDevice, activations: Dict[str, object],
 
 
 def _run(script: List[Op], target: Optional[Target],
-         config: TortureConfig) -> Tuple[PowerModel, NandDevice,
-                                         Model, Optional[int]]:
+         config: TortureConfig,
+         fault_plan: Optional[FaultPlan] = None,
+         ) -> Tuple[PowerModel, NandDevice, Model, Optional[int]]:
     """Run ``script`` with ``target`` armed.
 
     Returns ``(power, nand, model, pending_index)`` where
     ``pending_index`` is the index of the op in flight when the cut
     fired (None if it never fired).  Raises :class:`ScriptInvalid` for
-    semantically broken scripts.
+    semantically broken scripts.  ``fault_plan`` composes a media-fault
+    schedule with the power cut: the same seeded plan replays the same
+    program/erase/read faults on every run, so ``(plan, site,
+    occurrence)`` stays a deterministic coordinate.
     """
-    device = _build_device(config)
+    device = _build_device(config, fault_plan)
     power = PowerModel(target)
     device.nand.power = power
     model = Model(block_size=device.block_size)
@@ -150,10 +158,17 @@ def _run(script: List[Op], target: Optional[Target],
 
 
 def enumerate_sites(script: List[Op],
-                    config: Optional[TortureConfig] = None) -> List[Target]:
-    """Every (site, occurrence) injection point this script visits."""
+                    config: Optional[TortureConfig] = None,
+                    fault_plan: Optional[FaultPlan] = None) -> List[Target]:
+    """Every (site, occurrence) injection point this script visits.
+
+    The fault plan must match the one the cut will run with: forced
+    program fails insert retry programs (extra site occurrences), so
+    enumerating without the plan would renumber every later site.
+    """
     power, _nand, _model, _pending = _run(script, None,
-                                          config or TortureConfig())
+                                          config or TortureConfig(),
+                                          fault_plan)
     return power.injection_points()
 
 
@@ -169,12 +184,15 @@ def _reopen(old_nand: NandDevice) -> IoSnapDevice:
     """Transplant the surviving media under a fresh kernel and open it.
 
     What survives a power cut is exactly what hardware keeps: the NAND
-    array contents (including torn pages and wear counts) and the
-    superblock.  Every in-flight process, event, and in-memory FTL
+    array contents (including torn pages and wear counts), the
+    superblock, and the physical fault state — accumulated bit errors,
+    read-disturb counts, and grown-bad blocks live in the silicon, so
+    the :class:`~repro.faults.model.MediaFaultModel` transplants along
+    with the array.  Every in-flight process, event, and in-memory FTL
     structure dies with the abandoned kernel.
     """
     kernel = Kernel()
-    nand = NandDevice(kernel, old_nand.config)
+    nand = NandDevice(kernel, old_nand.config, faults=old_nand.faults)
     nand.array = old_nand.array
     nand.superblock = dict(old_nand.superblock)
     return IoSnapDevice.open(kernel, nand)
@@ -182,12 +200,14 @@ def _reopen(old_nand: NandDevice) -> IoSnapDevice:
 
 def run_with_cut(script: List[Op], target: Target,
                  config: Optional[TortureConfig] = None,
-                 deep: bool = True) -> CutOutcome:
+                 deep: bool = True,
+                 fault_plan: Optional[FaultPlan] = None) -> CutOutcome:
     """One torture case; see the module docstring for the phases."""
     config = config or TortureConfig()
     outcome = CutOutcome(target=target)
     try:
-        power, nand, model, pending_index = _run(script, target, config)
+        power, nand, model, pending_index = _run(script, target, config,
+                                                 fault_plan)
     except ScriptInvalid:
         outcome.invalid = True
         return outcome

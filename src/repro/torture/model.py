@@ -15,12 +15,22 @@ could legitimately observe:
 Snapshot *content* is checked the strong way: each surviving snapshot
 is activated on the recovered device — through the real activation
 scan — and read back block by block against the frozen shadow dict.
+
+Media faults are the one sanctioned deviation: when a torture case
+composes a :class:`~repro.faults.model.FaultPlan` with the power cut,
+reads may raise a typed :class:`~repro.errors.MediaError`.  That is
+*accounted* loss, not silent corruption — but only if the device's
+damage report covers the LBA.  A typed failure the report cannot
+account for (or one on an LBA whose data the device never lost, like a
+trimmed block that should read as zeros without touching media) is
+still a violation.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Set
 
+from repro.errors import MediaError
 from repro.torture.workload import Op, payload_for
 
 
@@ -87,7 +97,15 @@ class Model:
         if pend_kind in ("write", "trim"):
             check_lbas.add(pending[1])
         for lba in sorted(check_lbas):
-            got = device.read(lba)
+            could_hold = (self.active.get(lba) is not None
+                          or (pend_kind in ("write", "trim")
+                              and pending[1] == lba))
+            try:
+                got = device.read(lba)
+            except MediaError as exc:
+                failures.extend(self._judge_damage(
+                    device, lba, exc, could_hold, f"active lba {lba}"))
+                continue
             allowed = [self._pad(self.active.get(lba))]
             if pend_kind == "write" and pending[1] == lba:
                 allowed.append(self._pad(payload_for(lba, pending[2])))
@@ -134,12 +152,45 @@ class Model:
         activated = device.snapshot_activate(name)
         try:
             for lba in sorted(check_lbas | set(image)):
-                got = activated.read(lba)
                 want = self._pad(image.get(lba))
+                label = f"snapshot {name!r} lba {lba}"
+                try:
+                    got = activated.read(lba)
+                except MediaError as exc:
+                    failures.extend(self._judge_damage(
+                        device, lba, exc, image.get(lba) is not None, label))
+                    continue
                 if got != want:
+                    if (got == bytes(self.block_size)
+                            and device.damage.covers(lba)):
+                        # A casualty with an unreadable header cannot be
+                        # attributed to an LBA, so the activation map is
+                        # simply missing the winner; zeros backed by a
+                        # damage entry are accounted loss, not silent
+                        # corruption.
+                        continue
                     failures.append(
-                        f"model: snapshot {name!r} lba {lba} reads "
-                        f"{got[:16]!r}..., expected {want[:16]!r}...")
+                        f"model: {label} reads {got[:16]!r}..., "
+                        f"expected {want[:16]!r}...")
         finally:
             device.snapshot_deactivate(activated)
         return failures
+
+    def _judge_damage(self, device, lba: int, exc: MediaError,
+                      could_hold_data: bool, label: str) -> List[str]:
+        """Judge one typed media failure: accounted loss or a violation.
+
+        A raise is legitimate only where data could actually be lost
+        (the LBA held data in the shadow, or an in-flight op makes that
+        ambiguous) *and* the device's damage report accounts for it.  A
+        trimmed or never-written LBA must read as zeros without touching
+        media — a typed error there is fabricated loss — and a raise the
+        manifest cannot explain is silent corruption wearing a type.
+        """
+        if not could_hold_data:
+            return [f"model: {label} is trimmed/unwritten and must read "
+                    f"zeros, but raised {exc!r}"]
+        if not device.damage.covers(lba):
+            return [f"model: {label} raised {exc!r} but the damage report "
+                    "does not account for that LBA"]
+        return []

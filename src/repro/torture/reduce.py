@@ -22,6 +22,7 @@ from dataclasses import asdict, dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.errors import PowerLossError
+from repro.faults.model import FaultPlan
 from repro.torture.harness import (
     TortureConfig,
     enumerate_sites,
@@ -30,7 +31,11 @@ from repro.torture.harness import (
 from repro.torture.power import Target
 from repro.torture.workload import Op
 
-REPRO_VERSION = 1
+# Version history:
+#   1 — script + (site, occurrence) power-cut target.
+#   2 — adds an optional "fault_plan" (seeded media-fault schedule,
+#       see repro.faults.model.FaultPlan); version-1 files still load.
+REPRO_VERSION = 2
 
 
 @dataclass
@@ -43,6 +48,7 @@ class ShrunkRepro:
     failures: List[str] = field(default_factory=list)
     attempts: int = 0          # candidate scripts tried by the reducer
     original_ops: int = 0
+    fault_plan: Optional[FaultPlan] = None
 
     @property
     def target(self) -> Target:
@@ -51,10 +57,18 @@ class ShrunkRepro:
 
 def _first_failure(script: List[Op], site: str,
                    config: Optional[TortureConfig],
-                   deep: bool) -> Optional[Tuple[Target, List[str]]]:
-    """Does ``script`` still fail when cut at some occurrence of ``site``?"""
+                   deep: bool,
+                   fault_plan: Optional[FaultPlan] = None,
+                   ) -> Optional[Tuple[Target, List[str]]]:
+    """Does ``script`` still fail when cut at some occurrence of ``site``?
+
+    The fault plan rides along unreduced: its forced indices are global
+    op counts, so dropping script ops shifts which op a forced fault
+    lands on — exactly like crash-site occurrences, which is why both
+    are re-derived per candidate by enumeration rather than pinned.
+    """
     try:
-        targets = enumerate_sites(script, config)
+        targets = enumerate_sites(script, config, fault_plan)
     except (PowerLossError, KeyboardInterrupt):
         # Never mask the power-cut injection (or a user interrupt):
         # swallowing it here would make the reducer silently "shrink"
@@ -65,7 +79,8 @@ def _first_failure(script: List[Op], site: str,
     for target in targets:
         if target[0] != site:
             continue
-        outcome = run_with_cut(script, target, config, deep=deep)
+        outcome = run_with_cut(script, target, config, deep=deep,
+                               fault_plan=fault_plan)
         if outcome.failed:
             return target, outcome.failures
     return None
@@ -74,14 +89,15 @@ def _first_failure(script: List[Op], site: str,
 def shrink_failure(script: List[Op], site: str,
                    config: Optional[TortureConfig] = None,
                    deep: bool = True,
-                   max_attempts: int = 400) -> ShrunkRepro:
+                   max_attempts: int = 400,
+                   fault_plan: Optional[FaultPlan] = None) -> ShrunkRepro:
     """Minimize ``script`` while a cut at ``site`` still fails.
 
     ``site`` is the full site name (``"note.trim:post"``); the original
     occurrence index is *not* required — any occurrence that fails
     counts, which is what lets shrinking renumber sites freely.
     """
-    baseline = _first_failure(script, site, config, deep)
+    baseline = _first_failure(script, site, config, deep, fault_plan)
     if baseline is None:
         raise ValueError(
             f"script does not fail at any occurrence of {site!r}; "
@@ -100,7 +116,7 @@ def shrink_failure(script: List[Op], site: str,
                 i += chunk
                 continue
             attempts += 1
-            result = _first_failure(candidate, site, config, deep)
+            result = _first_failure(candidate, site, config, deep, fault_plan)
             if result is not None:
                 current = candidate
                 best_target, best_failures = result
@@ -118,14 +134,18 @@ def shrink_failure(script: List[Op], site: str,
 
     return ShrunkRepro(script=current, site=best_target[0],
                        occurrence=best_target[1], failures=best_failures,
-                       attempts=attempts, original_ops=len(script))
+                       attempts=attempts, original_ops=len(script),
+                       fault_plan=fault_plan)
 
 
 # ---------------------------------------------------------------------------
 # Repro files
 # ---------------------------------------------------------------------------
 def write_repro(path: str, repro: ShrunkRepro) -> None:
-    payload = {"version": REPRO_VERSION, **asdict(repro)}
+    payload = {"version": REPRO_VERSION,
+               **asdict(repro, dict_factory=dict)}
+    payload["fault_plan"] = (repro.fault_plan.as_dict()
+                             if repro.fault_plan is not None else None)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2)
         fh.write("\n")
@@ -134,11 +154,14 @@ def write_repro(path: str, repro: ShrunkRepro) -> None:
 def load_repro(path: str) -> ShrunkRepro:
     with open(path, "r", encoding="utf-8") as fh:
         payload = json.load(fh)
-    if payload.get("version") != REPRO_VERSION:
+    if payload.get("version") not in (1, REPRO_VERSION):
         raise ValueError(f"unsupported repro version in {path!r}")
+    raw_plan = payload.get("fault_plan")
     return ShrunkRepro(
         script=[list(op) for op in payload["script"]],
         site=payload["site"], occurrence=payload["occurrence"],
         failures=list(payload.get("failures", [])),
         attempts=payload.get("attempts", 0),
-        original_ops=payload.get("original_ops", 0))
+        original_ops=payload.get("original_ops", 0),
+        fault_plan=(FaultPlan.from_dict(raw_plan)
+                    if raw_plan is not None else None))

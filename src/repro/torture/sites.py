@@ -57,6 +57,9 @@ CHECKPOINT_PAGE = "checkpoint.page"
 CHECKPOINT_SUPERBLOCK = "checkpoint.superblock"
 # Crash recovery finishing an interrupted erase.
 RECOVERY_ERASE = "recovery.erase"
+# Background media scrubber rewriting a high-error page (see
+# repro.ftl.scrub); only reachable when a fault model is attached.
+SCRUB_COPY = "scrub.copy"
 # Raw-device defaults (callers that bypass the log, and the device's
 # own keyword defaults).
 NAND_PROGRAM = "nand.program"
@@ -82,6 +85,7 @@ SITE_PHASES: Dict[str, Tuple[str, ...]] = {
     CHECKPOINT_PAGE: PROGRAM_PHASES,
     CHECKPOINT_SUPERBLOCK: COMMIT_PHASES,
     RECOVERY_ERASE: ERASE_PHASES,
+    SCRUB_COPY: PROGRAM_PHASES,
     NAND_PROGRAM: PROGRAM_PHASES,
     NAND_ERASE: ERASE_PHASES,
     BASELINE_PROGRAM: PROGRAM_PHASES,

@@ -19,7 +19,7 @@ def _fold(device, snap, residue=None, selective=None):
         device.config.selective_scan = selective
     move_log = device.begin_scan()
     try:
-        winners, trims = device.kernel.run_process(
+        winners, trims, _casualties = device.kernel.run_process(
             _scan_for_path(device, path, NullLimiter(), residue=residue),
             name="test-fold")
     finally:

@@ -1,0 +1,64 @@
+"""Campaign-harness properties: correctable invisibility + determinism.
+
+The seeded, parametrized stand-in for a hypothesis property test (the
+repo does not depend on hypothesis): each seed generates a different
+workload, and the fault plans derive their hash streams from it.
+"""
+
+import pytest
+
+from repro.faults.harness import (
+    check_correctable_equivalence,
+    check_determinism,
+    correctable_heavy_config,
+    run_campaign,
+)
+from repro.faults.model import FaultConfig, FaultPlan
+
+OPS = 500
+
+
+@pytest.mark.parametrize("seed", [101, 202, 303])
+def test_heavy_correctable_errors_are_invisible(seed):
+    """Byte-identical reads and identical snapshot activations vs the
+    fault-free twin, damage manifest empty — the retry ladder and the
+    scrubber absorb everything the plan throws."""
+    plan = FaultPlan(config=correctable_heavy_config(seed))
+    assert check_correctable_equivalence(plan, seed, OPS) == []
+
+
+def test_correctable_run_really_exercised_the_ladder():
+    seed = 101
+    result = run_campaign(FaultPlan(config=correctable_heavy_config(seed)),
+                          seed, OPS)
+    device_counters = result.media["device"]
+    assert device_counters["read_retries"] > 0
+    assert device_counters["corrected_bits"] > 0
+    assert device_counters["uncorrectable_reads"] == 0
+
+
+@pytest.mark.parametrize("plan", [
+    None,
+    FaultPlan(config=correctable_heavy_config(77)),
+    FaultPlan(config=FaultConfig(seed=77, program_fail_interval=61)),
+    FaultPlan(config=FaultConfig(seed=77, erase_fail_interval=5)),
+    FaultPlan(config=FaultConfig(seed=77), uncorrectable_reads=(9, 120)),
+], ids=["fault-free", "correctable", "program-fails", "erase-fails",
+        "uncorrectable-reads"])
+def test_replay_determinism(plan):
+    """Same plan + seed + workload: identical counters, damage reports,
+    and fault-model state digests across two runs."""
+    assert check_determinism(plan, 77, OPS) == []
+
+
+def test_lossy_runs_account_for_every_surfaced_error():
+    plan = FaultPlan(config=FaultConfig(seed=42),
+                     uncorrectable_reads=(5, 60, 120))
+    result = run_campaign(plan, 42, OPS)
+    assert result.violations == []
+
+
+@pytest.mark.torture
+def test_campaign_cli_matrix_is_clean():
+    from repro.faults.__main__ import main
+    assert main(["--seed", "321", "--ops", "600"]) == 0

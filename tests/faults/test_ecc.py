@@ -1,0 +1,60 @@
+"""ECC classification and the read-retry ladder (pure arithmetic)."""
+
+import pytest
+
+from repro.faults.ecc import EccConfig, EccEngine
+
+
+class TestLadder:
+    def test_within_base_budget_no_retries(self):
+        res = EccEngine(EccConfig(correctable_bits=8)).resolve(8)
+        assert res.ok and res.retries == 0 and res.corrected_bits == 8
+
+    @pytest.mark.parametrize("bits,retries", [(9, 1), (12, 1), (13, 2),
+                                              (16, 2), (20, 3)])
+    def test_each_rung_buys_its_gain(self, bits, retries):
+        engine = EccEngine(EccConfig(correctable_bits=8, retry_steps=3,
+                                     retry_gain_bits=4))
+        res = engine.resolve(bits)
+        assert res.ok and res.retries == retries
+
+    def test_past_the_ladder_is_uncorrectable(self):
+        engine = EccEngine(EccConfig(correctable_bits=8, retry_steps=3,
+                                     retry_gain_bits=4))
+        res = engine.resolve(21)
+        assert not res.ok
+        assert res.retries == 3          # the full ladder was climbed
+        assert res.corrected_bits == 0   # and nothing came back
+
+    def test_zero_retry_steps_disables_the_ladder(self):
+        engine = EccEngine(EccConfig(correctable_bits=4, retry_steps=0))
+        assert engine.resolve(4).ok
+        assert not engine.resolve(5).ok
+
+    def test_max_reach(self):
+        engine = EccEngine(EccConfig(correctable_bits=8, retry_steps=3,
+                                     retry_gain_bits=4))
+        assert engine.max_reach == 20
+        assert engine.resolve(engine.max_reach).ok
+        assert not engine.resolve(engine.max_reach + 1).ok
+
+
+class TestConfig:
+    def test_backoff_grows_per_rung(self):
+        engine = EccEngine(EccConfig(retry_backoff_ns=100))
+        assert [engine.backoff_ns(k) for k in range(3)] == [100, 200, 300]
+
+    @pytest.mark.parametrize("kwargs", [
+        {"correctable_bits": -1},
+        {"retry_steps": -1},
+        {"retry_gain_bits": -2},
+        {"retry_backoff_ns": -5},
+    ])
+    def test_negative_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            EccConfig(**kwargs)
+
+    def test_round_trips_through_dict(self):
+        config = EccConfig(correctable_bits=6, retry_steps=2,
+                           retry_gain_bits=3, retry_backoff_ns=50)
+        assert EccConfig.from_dict(config.as_dict()) == config

@@ -1,0 +1,145 @@
+"""Per-verb unit tests for the deterministic media-fault model."""
+
+import pytest
+
+from repro.faults.model import (
+    FORCED_UNCORRECTABLE_BITS,
+    FaultConfig,
+    FaultPlan,
+    MediaFaultModel,
+)
+
+
+def _model(**cfg):
+    plan = cfg.pop("plan", None)
+    if plan is None:
+        plan = FaultPlan(config=FaultConfig(**cfg))
+    return MediaFaultModel(plan)
+
+
+class TestProgramFail:
+    def test_forced_index_fails_exactly_there(self):
+        model = _model(plan=FaultPlan(config=FaultConfig(),
+                                      program_fails=(3,)))
+        verdicts = [model.on_program(ppn=p, block=0, now=0, erase_count=0)
+                    for p in range(5)]
+        assert [v.failed for v in verdicts] == [
+            False, False, True, False, False]
+
+    def test_interval_fails_every_nth(self):
+        model = _model(program_fail_interval=4, bad_block_program_fails=0)
+        verdicts = [model.on_program(ppn=p, block=p, now=0, erase_count=0)
+                    for p in range(8)]
+        assert [v.failed for v in verdicts] == [
+            False, False, False, True, False, False, False, True]
+
+    def test_repeat_fails_grow_a_bad_block(self):
+        model = _model(plan=FaultPlan(config=FaultConfig(
+            bad_block_program_fails=2), program_fails=(1, 2)))
+        first = model.on_program(ppn=0, block=7, now=0, erase_count=0)
+        assert first.failed and not first.newly_bad
+        second = model.on_program(ppn=1, block=7, now=0, erase_count=0)
+        assert second.failed and second.newly_bad
+        assert model.is_bad(7)
+        # Every later program on the grown-bad block fails immediately.
+        later = model.on_program(ppn=2, block=7, now=0, erase_count=0)
+        assert later.failed and later.already_bad
+
+    def test_success_seeds_wear_and_jitter_bits(self):
+        model = _model(seed=11, program_wear_bits=3, jitter_bits=4,
+                       wear_scale_pe=2)
+        model.on_program(ppn=9, block=0, now=0, erase_count=5)
+        bits = model.peek_bits(9, now=0)
+        # 3 baseline + 5 // 2 wear, plus jitter in [0, 4].
+        assert 5 <= bits <= 9
+
+
+class TestEraseFail:
+    def test_forced_index_and_immediate_condemnation(self):
+        model = _model(plan=FaultPlan(config=FaultConfig(),
+                                      erase_fails=(2,)))
+        ok = model.on_erase(block=0, page_range=range(0, 16))
+        assert not ok.failed
+        bad = model.on_erase(block=3, page_range=range(48, 64))
+        # bad_block_erase_fails defaults to 1: one failed erase condemns.
+        assert bad.failed and bad.newly_bad
+        assert model.is_bad(3)
+
+    def test_erase_clears_page_state(self):
+        model = _model(program_wear_bits=4)
+        model.on_program(ppn=5, block=0, now=0, erase_count=0)
+        assert model.peek_bits(5, now=0) == 4
+        model.on_erase(block=0, page_range=range(0, 16))
+        assert model.peek_bits(5, now=0) == 0
+
+
+class TestReadBits:
+    def test_forced_uncorrectable_is_transient(self):
+        model = _model(plan=FaultPlan(config=FaultConfig(),
+                                      uncorrectable_reads=(2,)))
+        model.on_program(ppn=0, block=0, now=0, erase_count=0)
+        assert model.read_bits(0, now=0) == 0
+        assert model.read_bits(0, now=0) == FORCED_UNCORRECTABLE_BITS
+        # The *page* is fine; only that read index was poisoned.
+        assert model.read_bits(0, now=0) == 0
+
+    def test_read_disturb_accumulates_per_page(self):
+        model = _model(read_disturb_interval=2)
+        model.on_program(ppn=0, block=0, now=0, erase_count=0)
+        bits = [model.read_bits(0, now=0) for _ in range(5)]
+        assert bits == [0, 1, 1, 2, 2]
+
+    def test_peek_does_not_disturb_or_count(self):
+        model = _model(read_disturb_interval=1)
+        model.on_program(ppn=0, block=0, now=0, erase_count=0)
+        before = model.reads
+        assert model.peek_bits(0, now=0) == 0
+        assert model.peek_bits(0, now=0) == 0
+        assert model.reads == before
+
+    def test_retention_scales_with_simulated_time(self):
+        model = _model(retention_ns_per_bit=1000)
+        model.on_program(ppn=0, block=0, now=10_000, erase_count=0)
+        assert model.peek_bits(0, now=10_000) == 0
+        assert model.peek_bits(0, now=13_500) == 3
+
+
+class TestDeterminism:
+    def _drive(self, seed):
+        model = _model(seed=seed, program_wear_bits=2, jitter_bits=5,
+                       read_disturb_interval=3)
+        for ppn in range(20):
+            model.on_program(ppn=ppn, block=ppn // 4, now=ppn * 100,
+                             erase_count=ppn % 3)
+        for ppn in range(0, 20, 2):
+            model.read_bits(ppn, now=5_000)
+        model.on_erase(block=0, page_range=range(0, 4))
+        return model
+
+    def test_same_seed_same_digest(self):
+        assert (self._drive(99).state_digest()
+                == self._drive(99).state_digest())
+
+    def test_different_seed_different_digest(self):
+        assert (self._drive(99).state_digest()
+                != self._drive(100).state_digest())
+
+    def test_digest_tracks_every_op(self):
+        model = self._drive(7)
+        before = model.state_digest()
+        model.read_bits(1, now=9_000)
+        assert model.state_digest() != before
+
+
+class TestFaultPlan:
+    def test_indices_are_one_based(self):
+        with pytest.raises(ValueError):
+            FaultPlan(program_fails=(0,))
+        with pytest.raises(ValueError):
+            FaultPlan(uncorrectable_reads=(1, 0))
+
+    def test_round_trips_through_dict(self):
+        plan = FaultPlan(config=FaultConfig(seed=5, program_wear_bits=2),
+                         program_fails=(3, 9), erase_fails=(1,),
+                         uncorrectable_reads=(7,))
+        assert FaultPlan.from_dict(plan.as_dict()) == plan

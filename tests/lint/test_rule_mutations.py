@@ -27,7 +27,7 @@ def test_iol001_fires_when_gc_erase_loses_its_site(box):
     mutated = _mutate(
         box, "ftl/cleaner.py",
         "yield from self.ftl.nand.erase_block(block,\n"
-        "                                                     site=sites.GC_ERASE)",
+        "                                                         site=sites.GC_ERASE)",
         "yield from self.ftl.nand.erase_block(block)")
     assert "IOL001" in box.codes(mutated)
 
@@ -71,6 +71,8 @@ def test_iol006_fires_when_read_path_leaks_the_die(box):
     original = (SRC / "nand/device.py").read_text(encoding="utf-8")
     anchor = ("        try:\n"
               "            yield self.timing.read_page_ns\n"
+              "            if resolution is not None and resolution.retries:\n"
+              "                yield self._retry_cost_ns(resolution)\n"
               "        finally:\n"
               "            die.release()")
     assert anchor in original
@@ -80,10 +82,33 @@ def test_iol006_fires_when_read_path_leaks_the_die(box):
     assert "IOL006" in box.codes(mutated)
 
 
+def test_iol007_fires_when_cleaner_stops_recording_casualties(box):
+    mutated = _mutate(
+        box, "ftl/cleaner.py",
+        '                self.ftl.record_media_loss(ppn, reason="gc-copy")\n'
+        "                self.pages_lost += 1",
+        "                self.pages_lost += 1")
+    assert "IOL007" in box.codes(mutated)
+
+
+def test_iol007_fires_when_recovery_drops_the_retire_flag(box):
+    mutated = _mutate(
+        box, "ftl/recovery.py",
+        "            except EraseFailError:\n"
+        "                # Grown-bad mid-repair: nothing recoverable was in the\n"
+        "                # segment anyway; retire it from circulation.\n"
+        "                retired = True",
+        "            except EraseFailError:\n"
+        "                pass")
+    assert "IOL007" in box.codes(mutated)
+
+
 @pytest.mark.parametrize("package_rel", [
     "ftl/cleaner.py", "torture/reduce.py", "sim/kernel.py",
     "core/snaptree.py", "nand/device.py", "core/cow_bitmap.py",
-    "ftl/checkpoint.py", "baselines/btrfs.py",
+    "ftl/checkpoint.py", "baselines/btrfs.py", "ftl/recovery.py",
+    "ftl/scrub.py", "ftl/log.py", "torture/model.py", "faults/model.py",
+    "faults/ecc.py", "faults/damage.py",
 ])
 def test_production_modules_lint_clean_as_controls(box, package_rel):
     copy = box.write(package_rel,

@@ -295,6 +295,126 @@ class TestResourcePairing:
         assert box.codes(path) == ["IOL006"]
 
 
+# -- IOL007 media-fault discipline --------------------------------------------
+class TestMediaDiscipline:
+    def test_swallowing_handler_fires(self, box):
+        path = box.write("ftl/bad.py", _src("""
+            from repro.errors import UncorrectableError
+
+            def read(dev, ppn):
+                try:
+                    return dev.read_page(ppn)
+                except UncorrectableError:
+                    return None
+        """))
+        assert box.codes(path) == ["IOL007"]
+
+    def test_tuple_of_media_types_fires(self, box):
+        path = box.write("ftl/bad.py", _src("""
+            from repro.errors import EraseFailError, WearOutError
+
+            def erase(dev, block):
+                try:
+                    dev.erase(block)
+                except (WearOutError, EraseFailError):
+                    pass
+        """))
+        assert box.codes(path) == ["IOL007"]
+
+    def test_reraise_is_clean(self, box):
+        path = box.write("ftl/good.py", _src("""
+            from repro.errors import UncorrectableError
+
+            def read(dev, ppn, log):
+                try:
+                    return dev.read_page(ppn)
+                except UncorrectableError:
+                    log(ppn)
+                    raise
+        """))
+        assert box.codes(path) == []
+
+    def test_conditional_retry_then_raise_is_clean(self, box):
+        path = box.write("ftl/good.py", _src("""
+            from repro.errors import ProgramFailError
+
+            def append(dev, ppn, data, fails=0):
+                try:
+                    dev.program(ppn, data)
+                except ProgramFailError:
+                    if fails > 3:
+                        raise
+                    return append(dev, ppn + 1, data, fails + 1)
+        """))
+        assert box.codes(path) == []
+
+    def test_recording_the_casualty_is_clean(self, box):
+        path = box.write("ftl/good.py", _src("""
+            from repro.errors import UncorrectableError
+
+            def copy(ftl, ppn):
+                try:
+                    ftl.read_page(ppn)
+                except UncorrectableError:
+                    ftl.record_media_loss(ppn, reason="gc-copy")
+        """))
+        assert box.codes(path) == []
+
+    def test_retire_flag_and_fail_counter_are_clean(self, box):
+        path = box.write("ftl/good.py", _src("""
+            from repro.errors import EraseFailError, ProgramFailError
+
+            def erase(dev, block, stats):
+                retired = False
+                try:
+                    dev.erase(block)
+                except EraseFailError:
+                    retired = True
+                try:
+                    dev.program(block, b"hdr")
+                except ProgramFailError:
+                    stats.program_fails += 1
+                return retired
+        """))
+        assert box.codes(path) == []
+
+    def test_consulting_the_damage_report_is_clean(self, box):
+        path = box.write("ftl/good.py", _src("""
+            from repro.errors import MediaError
+
+            def probe(device, lba, problems):
+                try:
+                    return device.read(lba)
+                except MediaError:
+                    if not device.damage.covers(lba):
+                        problems.append(lba)
+                    return None
+        """))
+        assert box.codes(path) == []
+
+    def test_pragma_with_reason_suppresses(self, box):
+        path = box.write("ftl/ok.py", _src("""
+            from repro.errors import CorrectableError
+
+            def probe(dev, ppn):
+                try:
+                    dev.read_page(ppn)
+                except CorrectableError:  # lint: allow-media-swallow(probe only cares about hard errors)
+                    return True
+        """))
+        assert box.codes(path) == []
+
+    def test_non_media_handler_is_exempt(self, box):
+        path = box.write("ftl/good.py", _src("""
+            def lookup(table, key):
+                try:
+                    return table[key]
+                except KeyError:
+                    return None
+        """))
+        assert box.codes(path) == []
+
+
 # -- IOL000 pragma hygiene ----------------------------------------------------
 class TestPragmaHygiene:
     def test_unknown_pragma_name_fires(self, box):

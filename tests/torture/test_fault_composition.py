@@ -1,0 +1,131 @@
+"""Composed faults: media-fault plans riding along with power cuts.
+
+The scenarios the media-fault subsystem exists for are the composed
+ones: a program-fail forces the log to relocate a payload, and the
+power cut lands *mid-relocation* — between the burned slot and the
+retry's acknowledgement.  Recovery must neither lose the acked
+prefix (the failed slot does not end the log: the retry programmed
+right past it) nor resurrect anything.
+
+The coordinates below were pinned against the small workload: with
+``program_fails=(12,)`` the 12th global program is a foreground data
+write (``write.data`` occurrence 12), so occurrence 13 is its
+re-programmed relocation; with ``program_fails=(42,)`` the 42nd
+program is a cleaner copy-forward (``gc.copy`` occurrence 3), with
+the retry at occurrence 4.  Each test asserts the composition really
+happened (the transplanted fault model recorded the forced fail
+before the cut) so renumbering regressions fail loudly instead of
+silently testing nothing.
+"""
+
+import pytest
+
+from repro.faults.model import FaultConfig, FaultPlan
+from repro.torture.harness import (
+    TortureConfig,
+    _run,
+    enumerate_sites,
+    run_with_cut,
+)
+from repro.torture.reduce import ShrunkRepro, load_repro, write_repro
+from repro.torture.workload import small_script
+
+FOREGROUND_FAIL = FaultPlan(config=FaultConfig(seed=7), program_fails=(12,))
+GC_FAIL = FaultPlan(config=FaultConfig(seed=7), program_fails=(42,))
+
+
+def _forced_fails_at_cut(script, target, plan):
+    """Run to the cut and count forced program-fails the model saw."""
+    power, nand, _model, _pending = _run(script, target, TortureConfig(),
+                                         plan)
+    assert power.fired is not None, f"cut at {target} never fired"
+    return sum(nand.faults._block_program_fails.values())
+
+
+@pytest.mark.parametrize("occurrence", [12, 13])
+@pytest.mark.parametrize("phase", ["pre", "mid", "post"])
+def test_cut_lands_mid_relocation_of_failed_foreground_program(
+        phase, occurrence):
+    """Cut at the failed write (occ 12) and at its retry (occ 13)."""
+    script = small_script()
+    target = (f"write.data:{phase}", occurrence)
+    assert _forced_fails_at_cut(script, target, FOREGROUND_FAIL) >= 1
+    outcome = run_with_cut(script, target, fault_plan=FOREGROUND_FAIL)
+    assert not outcome.invalid
+    assert outcome.fired
+    assert outcome.failures == []
+
+
+@pytest.mark.parametrize("occurrence", [3, 4])
+def test_cut_lands_mid_relocation_of_failed_gc_copy(occurrence):
+    """Cut at the failed copy-forward (occ 3) and at its retry (occ 4)."""
+    script = small_script()
+    target = ("gc.copy:mid", occurrence)
+    assert _forced_fails_at_cut(script, target, GC_FAIL) >= 1
+    outcome = run_with_cut(script, target, fault_plan=GC_FAIL)
+    assert not outcome.invalid
+    assert outcome.fired
+    assert outcome.failures == []
+
+
+def test_enumeration_with_fault_plan_is_deterministic():
+    script = small_script()
+    first = enumerate_sites(script, fault_plan=FOREGROUND_FAIL)
+    second = enumerate_sites(script, fault_plan=FOREGROUND_FAIL)
+    assert first == second
+    assert first  # the faulty run still visits crash sites
+
+
+def test_uncorrectable_read_on_stale_page_is_not_reported_as_loss():
+    """Satellite case: an injected uncorrectable read during GC's
+    copy-forward of a page whose LBA the active tree *trimmed* must
+    not surface as data loss — the oracle reads zeros for the trimmed
+    LBA and the damage report carries a ``mapped=False`` entry."""
+    script = ([["write", lba, lba] for lba in range(8)]
+              + [["write", lba, 50 + lba] for lba in range(1, 8)]
+              + [["snap_create", "s0"], ["trim", 0], ["gc"]]
+              + [["write", 1, 90]])
+    # Global read 1 is the cleaner's copy-forward of LBA 0's only copy,
+    # frozen in s0's epoch but trimmed from the active map.
+    plan = FaultPlan(config=FaultConfig(seed=1), uncorrectable_reads=(1,))
+    target = ("write.data:post", 16)  # the write after the gc op
+    outcome = run_with_cut(script, target, fault_plan=plan)
+    assert not outcome.invalid
+    assert outcome.fired
+    assert outcome.failures == []
+
+
+@pytest.mark.torture
+@pytest.mark.parametrize("plan", [FOREGROUND_FAIL, GC_FAIL,
+                                  FaultPlan(config=FaultConfig(
+                                      seed=3), erase_fails=(1,))])
+def test_exhaustive_small_workload_with_fault_plan(plan):
+    script = small_script()
+    for target in enumerate_sites(script, fault_plan=plan):
+        outcome = run_with_cut(script, target, fault_plan=plan)
+        assert not outcome.invalid, target
+        if outcome.fired:
+            assert outcome.failures == [], (target, outcome.failures)
+
+
+def test_fault_plan_round_trips_through_repro_files(tmp_path):
+    repro = ShrunkRepro(script=[["write", 0, 1], ["shutdown"]],
+                        site="write.data:mid", occurrence=1,
+                        fault_plan=FOREGROUND_FAIL)
+    path = str(tmp_path / "repro.json")
+    write_repro(path, repro)
+    loaded = load_repro(path)
+    assert loaded.fault_plan == FOREGROUND_FAIL
+    assert loaded.script == repro.script
+    assert loaded.target == repro.target
+
+
+def test_version_one_repro_files_still_load(tmp_path):
+    import json
+    path = str(tmp_path / "old.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump({"version": 1, "script": [["write", 0, 1]],
+                   "site": "write.data:mid", "occurrence": 1}, fh)
+    loaded = load_repro(path)
+    assert loaded.fault_plan is None
+    assert loaded.site == "write.data:mid"

@@ -85,7 +85,7 @@ def test_log_tail_past_checkpoint_watermark_rebuilds_exact():
             recovered.config.selective_scan = selective
             move_log = recovered.begin_scan()
             try:
-                winners, trims = recovered.kernel.run_process(
+                winners, trims, _casualties = recovered.kernel.run_process(
                     _scan_for_path(recovered, path, NullLimiter()),
                     name="verify-fold")
             finally:
