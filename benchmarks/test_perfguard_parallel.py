@@ -1,0 +1,30 @@
+"""Benchmark: parallel log-head saturation regression guard.
+
+Runs the channel sweep (1/2/4/8 channels over a fixed 8-die array)
+with concurrent closed-loop writers and asserts the multi-queue data
+path actually scales: 4 channels must deliver >= 3x the single-channel
+write throughput (the PR's acceptance floor), the other sweep points
+must clear their own floors, and the striped allocator must keep the
+per-head append totals balanced.  A regression that re-serializes the
+heads — a global allocator lock, a collapsed head count, a queue that
+stopped overlapping dies — fails here before it shows up in any
+paper-figure shape.
+"""
+
+from repro.bench.parallel_guard import BALANCE_FLOOR, SPEEDUP_FLOORS, run
+
+
+def test_parallel_heads_scale_with_channels(benchmark):
+    report = benchmark.pedantic(run, args=(True,), rounds=1, iterations=1)
+    speedups = report["speedups"]
+    for channels, floor in SPEEDUP_FLOORS.items():
+        assert speedups[str(channels)] >= floor, (
+            f"{channels}-channel speedup collapsed to "
+            f"{speedups[str(channels)]:.2f}x (floor {floor}x)")
+    for channels, row in report["rows"].items():
+        assert row["user_heads"] == int(channels)
+        if row["user_heads"] > 1:
+            assert row["stripe_balance"] >= BALANCE_FLOOR, (
+                f"{channels}-channel head balance {row['stripe_balance']:.2f}"
+                f" below {BALANCE_FLOOR}")
+    assert report["passed"], report["checks"]

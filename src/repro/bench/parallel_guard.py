@@ -1,0 +1,175 @@
+"""Saturation benchmark for the parallel log heads (PR 6).
+
+Sweeps the channel count (1/2/4/8) over a fixed 8-die array and
+measures foreground write throughput in *simulated* time.  With one
+channel there is a single append head, so every program serializes
+behind the same die's ~200 us busy window; with N channels the device
+runs N die-affine heads whose submission queues overlap programs
+across dies, so throughput should scale until the die pool saturates.
+
+The guard is the CI regression floor for the multi-queue data path:
+4 channels must deliver at least ``SPEEDUP_FLOORS[4]`` (3x) the
+single-channel throughput, and the per-head append totals must stay
+balanced (no head starved by the striped allocator).
+
+Usage::
+
+    python -m repro.bench.parallel_guard                   # full run
+    python -m repro.bench.parallel_guard --smoke           # CI-sized
+    python -m repro.bench.parallel_guard --profile         # + queue stats
+    python -m repro.bench.parallel_guard --out BENCH.json  # output
+
+Results are written as JSON (default ``BENCH_PR6.json``), the parallel
+counterpart of perfguard's ``BENCH_PR1.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Dict
+
+from repro.bench.configs import bench_iosnap_config, bench_nand
+from repro.core.iosnap import IoSnapDevice
+from repro.nand.geometry import NandGeometry
+from repro.sim import Kernel
+from repro.sim.stats import NS_PER_SEC
+from repro.workloads import random_writes
+from repro.workloads.generators import Op
+from repro.workloads.runner import gather, io_stream
+
+CHANNELS = (1, 2, 4, 8)
+
+# Concurrent closed-loop jobs (fio-style): enough in-flight writes to
+# keep every head's queue fed at the widest sweep point.
+NUM_JOBS = 8
+
+# Required throughput ratios vs the single-channel baseline (simulated
+# time).  The 4-channel floor is the PR's acceptance criterion; the
+# others are set well below ideal scaling so only a real serialization
+# regression trips them, not timing-model drift.
+SPEEDUP_FLOORS = {2: 1.5, 4: 3.0, 8: 4.0}
+
+# Per-head append totals must stay within this min/max ratio: the
+# striped allocator and lba%heads routing should keep every head busy.
+BALANCE_FLOOR = 0.5
+
+
+def _build_device(channels: int):
+    kernel = Kernel()
+    geometry = NandGeometry(page_size=4096, pages_per_block=32,
+                            blocks_per_die=32, dies=8, channels=channels)
+    # parallel_heads=0 overrides the bench default (the figure configs
+    # pin one head): auto = one head per channel, the device default.
+    device = IoSnapDevice.create(kernel, bench_nand(geometry),
+                                 bench_iosnap_config(parallel_heads=0))
+    return kernel, device
+
+
+def _measure(channels: int, pages: int) -> Dict:
+    kernel, device = _build_device(channels)
+    per_job = pages // NUM_JOBS
+    span = min(device.num_lbas, pages) // NUM_JOBS
+    wall = time.perf_counter()
+    started_ns = kernel.now
+    # Disjoint LBA windows per job: concurrency comes from the jobs,
+    # not from racing writes to the same block.
+    streams = []
+    for job in range(NUM_JOBS):
+        ops = (Op(op.kind, op.lba + job * span)
+               for op in random_writes(per_job, span, seed=61 + job))
+        streams.append(io_stream(kernel, device, ops))
+    gather(kernel, streams)
+    elapsed_ns = kernel.now - started_ns
+    parallel = device.parallel_info()
+    per_head = [parallel["per_head_appends"].get(h, 0)
+                for h in device.log.user_head_names()]
+    nbytes = pages * device.block_size
+    return {
+        "channels": channels,
+        "user_heads": device.log.user_head_count,
+        "pages": pages,
+        "sim_ns": elapsed_ns,
+        "throughput_mb_s": (nbytes / 1e6) / (elapsed_ns / NS_PER_SEC),
+        "stripe_balance": parallel["stripe_balance"],
+        "per_head_appends": per_head,
+        "queue_depth_max": parallel["queues"]["depth_max"],
+        "wall_s": time.perf_counter() - wall,
+    }
+
+
+def run(smoke: bool = False) -> Dict:
+    pages = 1024 if smoke else 8192
+    rows = {c: _measure(c, pages) for c in CHANNELS}
+    base = rows[1]["throughput_mb_s"]
+    speedups = {c: rows[c]["throughput_mb_s"] / base for c in CHANNELS}
+    checks = {}
+    for c, floor in SPEEDUP_FLOORS.items():
+        checks[f"speedup_{c}ch"] = speedups[c] >= floor
+    for c in CHANNELS:
+        if rows[c]["user_heads"] > 1:
+            checks[f"balance_{c}ch"] = \
+                rows[c]["stripe_balance"] >= BALANCE_FLOOR
+    checks["heads_track_channels"] = all(
+        rows[c]["user_heads"] == c for c in CHANNELS)
+    return {
+        "suite": "parallel_guard",
+        "smoke": smoke,
+        "machine": {
+            "python": sys.version.split()[0],
+            "implementation": platform.python_implementation(),
+            "platform": platform.platform(),
+        },
+        "workload": {"pages": pages, "pattern": "random_writes", "seed": 61},
+        "rows": {str(c): rows[c] for c in CHANNELS},
+        "speedups": {str(c): speedups[c] for c in CHANNELS},
+        "floors": {str(c): SPEEDUP_FLOORS[c] for c in SPEEDUP_FLOORS},
+        "balance_floor": BALANCE_FLOOR,
+        "checks": checks,
+        "passed": all(checks.values()),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.parallel_guard",
+        description="Parallel log-head saturation regression guard.")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (fewer pages per sweep point)")
+    parser.add_argument("--profile", action="store_true",
+                        help="print per-head and per-die queue statistics")
+    parser.add_argument("--out", default="BENCH_PR6.json",
+                        help="output JSON path (default: BENCH_PR6.json)")
+    args = parser.parse_args(argv)
+    out_dir = os.path.dirname(os.path.abspath(args.out))
+    if not os.path.isdir(out_dir):
+        parser.error(f"--out directory does not exist: {out_dir}")
+
+    report = run(smoke=args.smoke)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    for c in CHANNELS:
+        row = report["rows"][str(c)]
+        floor = SPEEDUP_FLOORS.get(c)
+        floor_txt = f" (floor {floor}x)" if floor else ""
+        print(f"{c} ch  {row['throughput_mb_s']:8.1f} MB/s  "
+              f"{report['speedups'][str(c)]:5.2f}x{floor_txt}  "
+              f"balance={row['stripe_balance']:.2f}")
+        if args.profile:
+            print(f"      per-head appends: {row['per_head_appends']}")
+            print(f"      max queue depth per die: {row['queue_depth_max']}")
+    for name, ok in report["checks"].items():
+        if not ok:
+            print(f"FAIL: {name}")
+    print(f"wrote {os.path.abspath(args.out)}")
+    return 0 if report["passed"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

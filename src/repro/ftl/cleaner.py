@@ -20,7 +20,7 @@ estimate is exactly the paper's Figure 10 story).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Generator, Optional
+from typing import TYPE_CHECKING, Dict, Generator, Optional, Set
 
 from repro.errors import (
     EraseFailError,
@@ -29,7 +29,7 @@ from repro.errors import (
     UncorrectableError,
     WearOutError,
 )
-from repro.ftl.log import Segment, SegmentState
+from repro.ftl.log import Segment, SegmentState, stripe_head
 from repro.ftl.ratelimit import CleanerPacer
 from repro.nand.oob import PageKind
 from repro.sim.stats import NS_PER_MS
@@ -48,7 +48,14 @@ class SegmentCleaner:
         self.pacer = CleanerPacer(
             self.kernel, budget_ns=int(ftl.config.cleaner_budget_ms * NS_PER_MS))
         self._stopped = False
-        self._wakeup = None
+        # One run() loop per stripe (or a single global loop, key None);
+        # each parks on its own wakeup and paces with its own budget so
+        # concurrent cleans on different stripes don't clobber pacing.
+        self._wakeups: Dict[Optional[int], object] = {}
+        self._pacers: Dict[Optional[int], CleanerPacer] = {None: self.pacer}
+        # Segments currently being cleaned: selection skips these so
+        # two stripe workers never claim the same candidate.
+        self._cleaning: Set[int] = set()
         self.segments_cleaned = 0
         self.segments_retired = 0
         self.pages_moved = 0
@@ -62,49 +69,75 @@ class SegmentCleaner:
         self.maybe_kick(force=True)
 
     def maybe_kick(self, force: bool = False) -> None:
-        """Wake the cleaner if free space is low (or unconditionally)."""
+        """Wake parked cleaner workers if free space is low (or always)."""
         if not force and not self._pressure():
             return
-        if self._wakeup is not None and not self._wakeup.triggered:
-            wakeup, self._wakeup = self._wakeup, None
-            wakeup.trigger()
+        wakeups, self._wakeups = self._wakeups, {}
+        for wakeup in wakeups.values():
+            if not wakeup.triggered:
+                wakeup.trigger()
+
+    def _park(self, stripe: Optional[int]):
+        wakeup = self.kernel.event()
+        self._wakeups[stripe] = wakeup
+        return wakeup
+
+    def _pacer_for(self, stripe: Optional[int]) -> CleanerPacer:
+        pacer = self._pacers.get(stripe)
+        if pacer is None:
+            pacer = self._pacers[stripe] = CleanerPacer(
+                self.kernel, budget_ns=self.pacer.budget_ns)
+        return pacer
 
     def _pressure(self) -> bool:
         return (self.ftl.log.free_segment_count()
                 < self.ftl.config.gc_low_watermark)
 
     # -- main loop -----------------------------------------------------------
-    def run(self) -> Generator:
-        """Background process: clean whenever under space pressure."""
+    def run(self, stripe: Optional[int] = None) -> Generator:
+        """Background worker: clean whenever under space pressure.
+
+        With ``stripe`` given the worker prefers candidates homed on
+        that stripe (die affinity for its copy-forward appends) but
+        borrows globally rather than idling while another stripe holds
+        garbage — space is fungible, affinity is just a preference.
+        One worker is spawned per stripe; a 1-stripe device gets the
+        classic single global cleaner.
+        """
         while not self._stopped:
             if not self._pressure():
-                self._wakeup = self.kernel.event()
-                yield self._wakeup
+                yield self._park(stripe)
                 continue
-            candidate = self.select_candidate()
+            candidate = self.select_candidate(stripe)
+            if candidate is None and stripe is not None:
+                candidate = self.select_candidate()
             if candidate is None and self.ftl.log.free_segment_count() == 0:
                 # Last resort: reclaimable pages may be trapped in the
-                # open head segment; close it and look again.
-                if self.ftl.log.force_close_head():
+                # open head segments; close one and look again.
+                if self.ftl.log.force_close_head(stripe=stripe) \
+                        or (stripe is not None
+                            and self.ftl.log.force_close_head()):
                     candidate = self.select_candidate()
             if candidate is None:
-                if self.ftl.log.free_segment_count() == 0:
+                if (self.ftl.log.free_segment_count() == 0
+                        and not self._cleaning):
+                    # Truly wedged: nothing reclaimable anywhere and no
+                    # sibling worker mid-clean that could free space.
                     self.ftl.log.fail_waiters(OutOfSpaceError(
                         "no reclaimable segments: device is full "
                         "(all data is live or snapshot-retained)"))
-                self._wakeup = self.kernel.event()
-                yield self._wakeup
+                yield self._park(stripe)
                 continue
             try:
-                yield from self.clean_segment(candidate)
+                yield from self.clean_segment(
+                    candidate, pacer=self._pacer_for(stripe))
             except OutOfSpaceError as exc:
                 # Even the reserve ran dry mid-clean.  The media is
                 # still consistent (moved blocks were relocated, the
                 # source segment simply wasn't erased); report the
                 # condition to stalled writers and park.
                 self.ftl.log.fail_waiters(exc)
-                self._wakeup = self.kernel.event()
-                yield self._wakeup
+                yield self._park(stripe)
 
     # -- selection ------------------------------------------------------------
     def _live_notes_by_segment(self) -> Dict[int, int]:
@@ -129,13 +162,16 @@ class SegmentCleaner:
         valid = self.ftl._estimate_valid_count(seg)
         return valid + self._live_notes_by_segment().get(seg.index, 0)
 
-    def select_candidate(self) -> Optional[Segment]:
+    def select_candidate(self,
+                         stripe: Optional[int] = None) -> Optional[Segment]:
         """Pick the next segment to clean per the configured policy.
 
         "greedy" takes the most-reclaimable closed segment;
         "cost_benefit" scores (1 - u) * age / (1 + u), preferring old,
-        cold segments (Rosenblum & Ousterhout).  Returns None when no
-        closed segment would free anything.
+        cold segments (Rosenblum & Ousterhout).  With ``stripe`` given,
+        only candidates homed on that stripe are considered.  Segments
+        a sibling worker is already cleaning are skipped.  Returns None
+        when no eligible closed segment would free anything.
         """
         policy = self.ftl.config.gc_policy
         newest_seq = max((seg.seq for seg in self.ftl.log.closed_segments()),
@@ -143,7 +179,9 @@ class SegmentCleaner:
         notes_by_seg = self._live_notes_by_segment()
         best: Optional[Segment] = None
         best_score = None
-        for seg in self.ftl.log.closed_segments():
+        for seg in self.ftl.log.closed_segments(stripe):
+            if seg.index in self._cleaning:
+                continue
             occupied = (self.ftl._estimate_valid_count(seg)
                         + notes_by_seg.get(seg.index, 0))
             if occupied >= seg.data_capacity:
@@ -159,17 +197,35 @@ class SegmentCleaner:
         return best
 
     # -- cleaning one segment ---------------------------------------------------
-    def clean_segment(self, seg: Segment, paced: bool = True) -> Generator:
+    def clean_segment(self, seg: Segment, paced: bool = True,
+                      pacer: Optional[CleanerPacer] = None) -> Generator:
         """Copy-forward valid data and live notes, then erase ``seg``."""
         if seg.state is not SegmentState.CLOSED:
             raise FtlError(f"cannot clean segment in state {seg.state}")
+        if seg.index in self._cleaning:
+            raise FtlError(f"segment {seg.index} is already being cleaned")
+        if pacer is None:
+            pacer = self.pacer
+        # Copy-forwards land on the GC head of the segment's own
+        # stripe, so concurrent stripe workers append to disjoint dies.
+        gc_stripe = self.ftl.log.stripe_of_segment(seg.index)
+        self._cleaning.add(seg.index)
+        try:
+            yield from self._clean_segment_locked(seg, paced, pacer,
+                                                  gc_stripe)
+        finally:
+            self._cleaning.discard(seg.index)
+
+    def _clean_segment_locked(self, seg: Segment, paced: bool,
+                              pacer: CleanerPacer,
+                              gc_stripe: int) -> Generator:
         started = self.kernel.now
 
         valid_ppns, merge_cost_ns = self.ftl._compute_valid(seg)
         yield merge_cost_ns  # CPU: merging/scanning validity bitmaps
         estimate = self.ftl._estimate_valid_count(seg)
         if paced:
-            self.pacer.start(estimate)
+            pacer.start(estimate)
 
         moved = 0
         lost = 0
@@ -191,13 +247,14 @@ class SegmentCleaner:
                 continue
             new_ppn, _done = yield from self.ftl.log.append(
                 record.header, record.data, privileged=True,
-                head=self.ftl._gc_head_for(ppn, record.header),
+                head=stripe_head(self.ftl._gc_head_for(ppn, record.header),
+                                 gc_stripe),
                 site=sites.GC_COPY)
             self.ftl._on_packet_appended(new_ppn, record.header)
             yield from self.ftl._relocate(ppn, new_ppn, record.header)
             moved += 1
             if paced:
-                yield from self.pacer.pace(self.kernel.now - move_started)
+                yield from pacer.pace(self.kernel.now - move_started)
         moves_done_at = self.kernel.now
 
         for ppn in seg.written_ppns():
@@ -220,6 +277,7 @@ class SegmentCleaner:
                     continue
                 new_ppn, _done = yield from self.ftl.log.append(
                     record.header, record.data, privileged=True,
+                    head=stripe_head("gc", gc_stripe),
                     site=sites.GC_NOTE)
                 self.ftl._on_packet_appended(new_ppn, record.header)
                 self.ftl._relocate_note(ppn, new_ppn)

@@ -1,21 +1,43 @@
-"""The log: physical space carved into segments with one append head.
+"""The log: physical space carved into segments with parallel append heads.
 
 A *segment* is the cleaning/erase unit (paper §5.2.3): one or more
-whole erase blocks.  Segments move through FREE -> OPEN -> CLOSED and
-back to FREE when the cleaner reclaims them.  Each segment's first page
-is a SEGMENT_HEADER recording the segment's allocation sequence number,
-which is how log-order is recovered after a crash.
+whole erase blocks, never spanning a die.  Segments move through
+FREE -> OPEN -> CLOSED and back to FREE when the cleaner reclaims them.
+Each segment's first page is a SEGMENT_HEADER recording the segment's
+allocation sequence number, which is how log-order is recovered after a
+crash.
 
-Appends serialize on the log head (one open segment), which mirrors a
-single log-structured write front.  A small *reserve* of free segments
-is only allocatable by the cleaner, so cleaning can always make forward
-progress even when foreground writers have exhausted free space.
+Parallelism (the LFTL-style multi-queue data path, see
+``docs/parallel.md``): the physical segments are partitioned into
+*stripes*, one per channel, by the die they live on (``die % channels``
+— the die's channel).  Foreground writes fan out over N *user heads*
+(default one per channel, ``FtlConfig.parallel_heads`` to override),
+selected by ``lba % N`` so per-LBA ordering is preserved; the cleaner
+and scrubber run one worker per stripe appending to stripe-qualified GC
+heads ("gc", "gc.1", ...).  Each head owns at most one open segment and
+appends serialize *per head* on a per-head lock; programs are handed to
+the per-die submission queues (:mod:`repro.nand.queue`), so heads on
+different dies overlap while everything within one segment still lands
+in submission order.
+
+Sequence numbers stay globally allocated (``VslDevice._bump_seq``), so
+the total order recovery and fsck fold by is untouched; each *user*
+head's sequence numbers are additionally strictly monotonic, which the
+runtime sanitizer checks per head.
+
+A small *reserve* of free segments is only allocatable by privileged
+appenders (the cleaner, and management operations that release space),
+so cleaning can always make forward progress even when foreground
+writers have exhausted free space.  Free lists and reserves are kept
+per stripe for die affinity, but space is fungible: a head whose stripe
+runs dry borrows from another stripe rather than stalling while free
+segments exist elsewhere.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Generator, List, Optional, Tuple
 
 from repro import sanitize
@@ -39,6 +61,9 @@ _NOTE_SITES = {
     PageKind.NOTE_SNAP_DEACTIVATE: sites.NOTE_SNAP_DEACTIVATE,
 }
 
+# Precomputed phased name: this check sits on every packet append.
+_HEAD_COMMIT_PRE = sites.LOG_HEAD_COMMIT + ":pre"
+
 
 def append_site(kind: PageKind, head: str) -> str:
     """Crash-site name for appending a ``kind`` packet at ``head``.
@@ -49,10 +74,15 @@ def append_site(kind: PageKind, head: str) -> str:
     passing an explicit ``site`` to :meth:`Log.append`.
     """
     if kind is PageKind.DATA:
-        return sites.WRITE_DATA if head == "user" else sites.GC_COPY
+        return sites.WRITE_DATA if head.startswith("user") else sites.GC_COPY
     if kind is PageKind.CHECKPOINT:
         return sites.CHECKPOINT_PAGE
     return _NOTE_SITES.get(kind, sites.LOG_OTHER)
+
+
+def stripe_head(base: str, stripe: int) -> str:
+    """Stripe-qualified head name: ``base`` for stripe 0, ``base.N`` else."""
+    return base if stripe == 0 else f"{base}.{stripe}"
 
 
 class SegmentState(enum.Enum):
@@ -106,6 +136,11 @@ class LogStats:
     stalls: int = 0
     program_fails: int = 0   # failed programs absorbed by re-allocation
     segments_skipped_bad: int = 0  # retired at open: grown-bad block
+    # Per-head and per-stripe balance observability (satellite of the
+    # multi-queue refactor; surfaced via VslDevice.info()["parallel"]).
+    per_head_appends: Dict[str, int] = field(default_factory=dict)
+    per_head_bytes: Dict[str, int] = field(default_factory=dict)
+    per_stripe_opens: Dict[int, int] = field(default_factory=dict)
 
 
 # A program-fail burns one page slot and the append retries on the next
@@ -115,16 +150,22 @@ MAX_PROGRAM_RETRIES = 8
 
 
 class Log:
-    """Segment allocator plus the single append head."""
+    """Striped segment allocator plus the parallel append heads."""
 
     def __init__(self, kernel: Kernel, device: NandDevice,
                  blocks_per_segment: int = 1,
-                 reserve_segments: int = 2) -> None:
+                 reserve_segments: int = 2,
+                 user_heads: Optional[int] = None) -> None:
         geometry = device.geometry
         if geometry.total_blocks % blocks_per_segment:
             raise FtlError(
                 f"{geometry.total_blocks} blocks not divisible by "
                 f"blocks_per_segment={blocks_per_segment}")
+        if geometry.blocks_per_die % blocks_per_segment:
+            raise FtlError(
+                f"blocks_per_die={geometry.blocks_per_die} not divisible "
+                f"by blocks_per_segment={blocks_per_segment}: a segment "
+                f"must not span dies")
         self.kernel = kernel
         self.device = device
         self.blocks_per_segment = blocks_per_segment
@@ -137,24 +178,56 @@ class Log:
                     npages=self.segment_pages)
             for i in range(self.segment_count)
         ]
-        self._free: List[int] = list(range(self.segment_count))
-        self._reserve_target = reserve_segments
-        self._reserve: List[int] = [self._free.pop() for _ in range(reserve_segments)]
-        # Named append heads: foreground writes use "user"; cleaner
-        # copy-forwards use "gc" (or "gc-hot"/"gc-cold" when epoch
-        # segregation is on, paper §5.4.2).  Sharing one head would let
-        # foreground writes leak into reserve segments the cleaner
-        # opened, starving it.
-        self._open: Dict[str, Optional[Segment]] = {"user": None, "gc": None}
+        # One stripe per channel; a segment's stripe is its die's
+        # channel, so heads appending to different stripes never share
+        # a die (or, with dies == channels, a channel).
+        self.num_stripes = geometry.channels
+        self._pages_per_die = geometry.pages_per_die
+        if user_heads is None:
+            user_heads = self.num_stripes
+        if user_heads < 1:
+            raise FtlError("need at least one user head")
+        self.user_head_count = user_heads
+        self._free: List[List[int]] = [[] for _ in range(self.num_stripes)]
+        for seg in self.segments:
+            self._free[self.stripe_of_segment(seg.index)].append(seg.index)
+        # At least one guaranteed privileged draw per stripe: the
+        # per-stripe cleaners run concurrently, and each may need to
+        # open a fresh gc segment while every free pool is dry.  A
+        # reserve smaller than the stripe count would let one stripe's
+        # cleaner exhaust it and wedge its sibling mid-clean.
+        self._reserve_target = max(reserve_segments, self.num_stripes)
+        if self._reserve_target >= self.segment_count - 1:
+            raise FtlError("reserve would leave no writable segments")
+        self._reserve: List[List[int]] = [[] for _ in
+                                          range(self.num_stripes)]
+        # Draw the reserve from the tail of the free lists (highest
+        # indices), round-robin across stripes so each stripe's cleaner
+        # keeps local forward-progress headroom.
+        stripe = 0
+        for _ in range(self._reserve_target):
+            for probe in range(self.num_stripes):
+                candidate = (stripe + probe) % self.num_stripes
+                if self._free[candidate]:
+                    self._reserve[candidate].append(self._free[candidate].pop())
+                    stripe = (candidate + 1) % self.num_stripes
+                    break
+        # Named append heads, created on first use: foreground writes
+        # use "user", "user.1", ... (selected by lba % heads); cleaner
+        # copy-forwards use the stripe-qualified "gc" heads (or
+        # "gc-hot"/"gc-cold" when epoch segregation is on, §5.4.2).
+        # Sharing one head would let foreground writes leak into
+        # reserve segments the cleaner opened, starving it.
+        self._open: Dict[str, Optional[Segment]] = {}
         self._next_seg_seq = 0
-        self._alloc_lock = Lock(kernel)
+        self._head_locks: Dict[str, Lock] = {}
         self._space_waiters: List[Event] = []
         self.stats = LogStats()
-        # Sanitizer state: last (epoch, seq) appended on the user head.
+        # Sanitizer state: last (epoch, seq) appended on each user head.
         # Foreground appends stamp the active epoch and a fresh
-        # sequence number, so both must be monotonic there (cleaner
-        # heads copy old packets and are exempt).
-        self._san_last_user: Tuple[int, int] = (-1, -1)
+        # sequence number, so seq must be monotonic per user head
+        # (cleaner heads copy old packets and are exempt).
+        self._san_last: Dict[str, Tuple[int, int]] = {}
         # Called when a writer is about to stall on free space; the FTL
         # wires this to kick the cleaner so a stalled writer can't
         # deadlock waiting for a cleaner that was never woken.
@@ -164,10 +237,39 @@ class Log:
         # capacity check.
         self.on_segment_retired = lambda index: None
 
+    # -- striping ----------------------------------------------------------
+    def die_of_segment(self, index: int) -> int:
+        return (self.segments[index].first_ppn) // self._pages_per_die
+
+    def stripe_of_segment(self, index: int) -> int:
+        return self.die_of_segment(index) % self.num_stripes
+
+    def stripe_of_head(self, head: str) -> int:
+        """A head's home stripe, from its ``.N`` suffix (0 if none)."""
+        _base, _dot, suffix = head.rpartition(".")
+        if _dot and suffix.isdigit():
+            return int(suffix) % self.num_stripes
+        return 0
+
+    def user_head_for(self, lba: int) -> str:
+        """The user head serving ``lba``: stable, so per-LBA order holds."""
+        if self.user_head_count == 1:
+            return "user"
+        return stripe_head("user", lba % self.user_head_count)
+
+    def user_head_names(self) -> List[str]:
+        return [stripe_head("user", i) for i in range(self.user_head_count)]
+
+    def _lock_for(self, head: str) -> Lock:
+        lock = self._head_locks.get(head)
+        if lock is None:
+            lock = self._head_locks[head] = Lock(self.kernel)
+        return lock
+
     # -- queries -----------------------------------------------------------
     @property
     def open_segment(self) -> Optional[Segment]:
-        """The foreground (user) append head's open segment."""
+        """The first foreground (user) append head's open segment."""
         return self._open.get("user")
 
     @property
@@ -178,14 +280,25 @@ class Log:
     def head_names(self) -> List[str]:
         return sorted(self._open)
 
-    def free_segment_count(self) -> int:
-        return len(self._free)
+    def free_segment_count(self, stripe: Optional[int] = None) -> int:
+        if stripe is not None:
+            return len(self._free[stripe])
+        return sum(len(free) for free in self._free)
 
-    def reserve_segment_count(self) -> int:
-        return len(self._reserve)
+    @property
+    def reserve_target(self) -> int:
+        """Segments kept aside for privileged (cleaner) draws."""
+        return self._reserve_target
 
-    def closed_segments(self) -> List[Segment]:
-        return [s for s in self.segments if s.state is SegmentState.CLOSED]
+    def reserve_segment_count(self, stripe: Optional[int] = None) -> int:
+        if stripe is not None:
+            return len(self._reserve[stripe])
+        return sum(len(reserve) for reserve in self._reserve)
+
+    def closed_segments(self, stripe: Optional[int] = None) -> List[Segment]:
+        return [s for s in self.segments
+                if s.state is SegmentState.CLOSED
+                and (stripe is None or self.stripe_of_segment(s.index) == stripe)]
 
     def segment_of(self, ppn: int) -> Segment:
         seg = self.segments[ppn // self.segment_pages]
@@ -204,51 +317,65 @@ class Log:
         program completes (callers wanting durability yield it).
         ``privileged`` lets the caller (the cleaner, and management
         operations that release space) dip into the reserve pool when
-        the general free list is empty.  ``head`` selects the open
-        segment: defaults to "user" ("gc" when privileged); the cleaner
-        passes "gc-hot"/"gc-cold" for epoch segregation.  ``site``
-        overrides the derived crash-site name (the cleaner tags its
-        re-appends "gc.copy"/"gc.note" since the packet kind alone
-        cannot tell a copy-forward from an original append).
+        the general free lists are empty.  ``head`` selects the open
+        segment: defaults to "user" ("gc" when privileged); the FTL
+        passes ``user_head_for(lba)`` for foreground writes and the
+        cleaner passes stripe-qualified GC heads.  ``site`` overrides
+        the derived crash-site name (the cleaner tags its re-appends
+        "gc.copy"/"gc.note" since the packet kind alone cannot tell a
+        copy-forward from an original append).
 
-        When the log is out of free segments, the allocation lock is
-        dropped while waiting so the cleaner can still append its
-        copy-forwards — holding it would deadlock the whole device.
+        The head's lock is held across program-fail retries — a parked
+        writer slipping in between a failure and its retry would append
+        a newer sequence number first and break per-head monotonicity —
+        but *not* while parked waiting for free space, so the cleaner
+        can still append its copy-forwards; holding it there would
+        deadlock the whole device.
         """
         if head is None:
             head = "gc" if privileged else "user"
         if site is None:
             site = append_site(header.kind, head)
+        lock = self._lock_for(head)
+        is_user = head.startswith("user")
         fails = 0
         while True:
-            if not self._alloc_lock.try_acquire():
-                yield self._alloc_lock.acquire()
+            if not lock.try_acquire():
+                yield lock.acquire()
             wait_ev: Optional[Event] = None
             try:
-                seg = self._open.get(head)
-                if seg is None or seg.next_offset >= seg.npages:
-                    wait_ev = yield from self._open_new_segment(privileged,
-                                                                head)
-                if wait_ev is None:
-                    seg = self._open[head]
+                while True:
+                    seg = self._open.get(head)
+                    if seg is None or seg.next_offset >= seg.npages:
+                        wait_ev = yield from self._open_new_segment(privileged,
+                                                                    head)
+                        if wait_ev is not None:
+                            break
+                        seg = self._open[head]
                     ppn = seg.first_ppn + seg.next_offset
                     seg.next_offset += 1
-                    if sanitize.enabled and head == "user":
+                    if sanitize.enabled and is_user:
                         # Foreground appends stamp fresh sequence
-                        # numbers: strict monotonicity on the user head
-                        # is what lets recovery order the log.  (Epoch
-                        # monotonicity is enforced at the stamp's
-                        # source, the snapshot tree — writable
-                        # activations legitimately append older fork
-                        # epochs here.)
-                        last_epoch, last_seq = self._san_last_user
+                        # numbers: strict monotonicity per user head is
+                        # what the per-head recovery ordering argument
+                        # rests on.  (Epoch monotonicity is enforced at
+                        # the stamp's source, the snapshot tree —
+                        # writable activations legitimately append older
+                        # fork epochs here.)
+                        _last_epoch, last_seq = self._san_last.get(
+                            head, (-1, -1))
                         sanitize.check(
                             header.seq > last_seq,
-                            f"seq not strictly increasing on user head: "
+                            f"seq not strictly increasing on head {head}: "
                             f"{header.seq} after {last_seq}")
+                    # The slot is committed; hand the program to the
+                    # die's submission queue and wait for its ack (bus
+                    # transfer done, contents latched).
+                    self.device.power_check(_HEAD_COMMIT_PRE)
+                    ack, done = self.device.queues.submit(
+                        ppn, header, data, site)
                     try:
-                        done = yield from self.device.program_page(
-                            ppn, header, data, site=site)
+                        yield ack
                     except ProgramFailError:
                         # Self-healing re-allocation: the slot is burned
                         # (program order advanced past unreadable
@@ -272,25 +399,31 @@ class Log:
                         if fails > MAX_PROGRAM_RETRIES:
                             raise
                         continue
-                    if sanitize.enabled and head == "user":
-                        self._san_last_user = (header.epoch, header.seq)
+                    if sanitize.enabled and is_user:
+                        self._san_last[head] = (header.epoch, header.seq)
                     if seg.next_offset >= seg.npages:
                         # Close eagerly: a full segment is immediately
                         # visible to the cleaner as a candidate.
                         seg.state = SegmentState.CLOSED
                         self._open[head] = None
                     self.stats.appends += 1
+                    per_head = self.stats.per_head_appends
+                    per_head[head] = per_head.get(head, 0) + 1
+                    if data is not None:
+                        per_bytes = self.stats.per_head_bytes
+                        per_bytes[head] = per_bytes.get(head, 0) + len(data)
                     return ppn, done
             finally:
-                self._alloc_lock.release()
+                lock.release()
             started = self.kernel.now
             yield wait_ev
             self.stats.stall_ns += self.kernel.now - started
 
     def _open_new_segment(self, privileged: bool, head: str) -> Generator:
         """Open a fresh segment; returns a wait event instead if out of space."""
+        stripe = self.stripe_of_head(head)
         while True:
-            index = self._pop_free_index(privileged)
+            index = self._pop_free_index(privileged, stripe)
             if index is None:
                 ev = self.kernel.event()
                 self._space_waiters.append(ev)
@@ -314,10 +447,14 @@ class Log:
             seg.next_offset = 1
             self._open[head] = seg
             self.stats.segments_opened += 1
+            opens = self.stats.per_stripe_opens
+            seg_stripe = self.stripe_of_segment(index)
+            opens[seg_stripe] = opens.get(seg_stripe, 0) + 1
             header = OobHeader(kind=PageKind.SEGMENT_HEADER, lba=seg.seq)
+            ack, done = self.device.queues.submit(
+                seg.first_ppn, header, None, sites.LOG_SEGHDR)
             try:
-                done = yield from self.device.program_page(
-                    seg.first_ppn, header, None, site=sites.LOG_SEGHDR)
+                yield ack
             except ProgramFailError:
                 # Header slot burned: close the crippled segment (the
                 # cleaner/recovery will repair or retire it) and draw
@@ -339,25 +476,48 @@ class Log:
                    for block in range(first_block,
                                       first_block + self.blocks_per_segment))
 
-    def _pop_free_index(self, privileged: bool) -> Optional[int]:
-        if self._free:
-            return self._free.pop(0)
-        if privileged and self._reserve:
-            return self._reserve.pop(0)
+    def _pop_free_index(self, privileged: bool,
+                        stripe: int) -> Optional[int]:
+        """Draw a free segment, preferring ``stripe`` (die affinity).
+
+        Affinity is a performance preference, not a correctness
+        constraint: when the home stripe is dry the head borrows from
+        the next stripe over rather than stalling while free space
+        exists elsewhere.  Privileged draws fall back to the reserve
+        pools in the same order.
+        """
+        order = [(stripe + i) % self.num_stripes
+                 for i in range(self.num_stripes)]
+        for candidate in order:
+            if self._free[candidate]:
+                return self._free[candidate].pop(0)
         if privileged:
+            for candidate in order:
+                if self._reserve[candidate]:
+                    return self._reserve[candidate].pop(0)
             raise OutOfSpaceError("cleaner exhausted its reserve segments")
         return None
 
-    def force_close_head(self, head: str = "user") -> bool:
+    def force_close_head(self, head: Optional[str] = None,
+                         stripe: Optional[int] = None) -> bool:
         """Close a partially-written head segment (GC escape hatch).
 
         At very high utilization all reclaimable pages can sit in the
-        open head while every closed segment is fully valid; padding
-        out and closing the head makes its stale pages cleanable.
-        Refuses (returns False) if an append is in flight or the head
-        is empty.
+        open head segments while every closed segment is fully valid;
+        padding out and closing a head makes its stale pages cleanable.
+        With ``head`` None, tries every user head (restricted to those
+        homed on ``stripe`` when given).  Refuses (returns False) if an
+        append is in flight on the head or the head is empty.
         """
-        if self._alloc_lock.locked:
+        if head is None:
+            for name in self.user_head_names():
+                if stripe is not None and self.stripe_of_head(name) != stripe:
+                    continue
+                if self.force_close_head(name):
+                    return True
+            return False
+        lock = self._head_locks.get(head)
+        if lock is not None and lock.locked:
             return False
         seg = self._open.get(head)
         if seg is None or seg.next_offset <= 1:
@@ -380,10 +540,11 @@ class Log:
         seg.state = SegmentState.FREE
         seg.seq = -1
         seg.next_offset = 0
-        if len(self._reserve) < self._reserve_target:
-            self._reserve.append(index)
+        stripe = self.stripe_of_segment(index)
+        if self.reserve_segment_count() < self._reserve_target:
+            self._reserve[stripe].append(index)
         else:
-            self._free.append(index)
+            self._free[stripe].append(index)
             waiters, self._space_waiters = self._space_waiters, []
             for ev in waiters:
                 ev.trigger()
@@ -398,10 +559,10 @@ class Log:
         if seg.state not in (SegmentState.CLOSED, SegmentState.FREE):
             raise FtlError(
                 f"cannot retire segment {index} in state {seg.state}")
-        if index in self._free:
-            self._free.remove(index)
-        if index in self._reserve:
-            self._reserve.remove(index)
+        for pool in (self._free, self._reserve):
+            for entries in pool:
+                if index in entries:
+                    entries.remove(index)
         seg.state = SegmentState.RETIRED
         seg.seq = -1
         self.on_segment_retired(index)
@@ -426,20 +587,21 @@ class Log:
         ``open_heads`` maps head name -> open segment index (None after
         crash recovery: all recovered segments come back CLOSED).
         """
-        self._free = []
-        self._reserve = []
-        self._open = {"user": None, "gc": None}
-        self._san_last_user = (-1, -1)
+        self._free = [[] for _ in range(self.num_stripes)]
+        self._reserve = [[] for _ in range(self.num_stripes)]
+        self._open = {}
+        self._san_last = {}
         for seg in self.segments:
             state_name, seq, next_offset = seg_states[seg.index]
             seg.state = SegmentState(state_name)
             seg.seq = seq
             seg.next_offset = next_offset
             if seg.state is SegmentState.FREE:
-                if len(self._reserve) < self._reserve_target:
-                    self._reserve.append(seg.index)
+                stripe = self.stripe_of_segment(seg.index)
+                if self.reserve_segment_count() < self._reserve_target:
+                    self._reserve[stripe].append(seg.index)
                 else:
-                    self._free.append(seg.index)
+                    self._free[stripe].append(seg.index)
         self._next_seg_seq = next_seg_seq
         if open_heads:
             for head, index in open_heads.items():

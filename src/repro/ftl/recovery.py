@@ -142,8 +142,11 @@ def scan_log(ftl: "VslDevice") -> Generator:
                 # The cut hit mid-program of this page: the slot is
                 # consumed (keep it inside the written extent so the
                 # bookkeeping matches the media) but the packet never
-                # happened.  Appends serialize on the head, so nothing
-                # can follow it.
+                # happened.  Nothing can follow it: appends serialize
+                # on their head, each head's programs drain through the
+                # owning die's FIFO queue, and a segment never spans
+                # dies — so programs land in submission order within
+                # every segment (see docs/parallel.md).
                 offset += 1
                 break
             if header is None:

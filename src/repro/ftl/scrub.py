@@ -23,9 +23,10 @@ fault model attached; on a perfect medium it is never spawned.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Generator
+from typing import TYPE_CHECKING, Dict, Generator, Optional
 
 from repro.errors import OutOfSpaceError, UncorrectableError
+from repro.ftl.log import stripe_head
 from repro.ftl.ratelimit import DutyCycleLimiter
 from repro.nand.oob import PageKind
 from repro.sim.stats import NS_PER_MS, Counters
@@ -45,10 +46,17 @@ class Scrubber:
         self.limiter = DutyCycleLimiter.from_paper_knob(
             self.kernel, cfg.scrub_work_us, cfg.scrub_sleep_ms)
         self._stopped = False
-        self._cursor = 0
+        # Patrol cursor per worker: one worker per stripe (or a single
+        # global worker under key None).  Counters are shared.
+        self._cursors: Dict[Optional[int], int] = {}
         self.counters = Counters("passes", "pages_scanned",
                                  "pages_relocated", "notes_relocated",
                                  "pages_lost")
+
+    @property
+    def _cursor(self) -> int:
+        """The global worker's patrol cursor (compat/observability)."""
+        return self._cursors.get(None, 0)
 
     def stop(self) -> None:
         self._stopped = True
@@ -70,15 +78,22 @@ class Scrubber:
         return faults.ecc.config.correctable_bits
 
     # -- main loop ---------------------------------------------------------
-    def run(self) -> Generator:
-        """Background process: one bounded patrol pass per interval."""
+    def run(self, stripe: Optional[int] = None) -> Generator:
+        """Background worker: one bounded patrol pass per interval.
+
+        One worker is spawned per stripe; each patrols only segments
+        homed on its stripe and relocates onto that stripe's GC head,
+        so concurrent patrols overlap across dies instead of queueing
+        behind each other (and behind the cleaner) on one head.  A
+        1-stripe device gets the classic single global patrol.
+        """
         interval_ns = int(self.ftl.config.scrub_interval_ms * NS_PER_MS)
         while not self._stopped:
             yield interval_ns
             if self._stopped:
                 return
             try:
-                yield from self.scrub_pass()
+                yield from self.scrub_pass(stripe)
             except OutOfSpaceError:
                 # No room to relocate into right now; the cleaner was
                 # already kicked by the failed allocation.  Try again
@@ -86,37 +101,51 @@ class Scrubber:
                 continue
 
     # -- one pass ----------------------------------------------------------
-    def scrub_pass(self) -> Generator:
-        """Patrol up to ``scrub_pages_per_pass`` pages, round-robin."""
+    def scrub_pass(self, stripe: Optional[int] = None) -> Generator:
+        """Patrol up to the pass budget of pages, round-robin.
+
+        With ``stripe`` given, only that stripe's segments are
+        patrolled and the pass budget is split evenly across stripes.
+        """
         ftl = self.ftl
         if ftl.nand.faults is None:
             return
         self.counters.bump("passes")
         budget = ftl.config.scrub_pages_per_pass
+        if stripe is not None:
+            budget = max(1, budget // ftl.log.num_stripes)
         seg_count = ftl.log.segment_count
+        cursor = self._cursors.get(stripe, 0)
         scanned = 0
+        wrapped = True
         for step in range(seg_count):
             if scanned >= budget or self._stopped:
+                wrapped = False
                 break
-            index = (self._cursor + step) % seg_count
+            index = (cursor + step) % seg_count
+            if stripe is not None \
+                    and ftl.log.stripe_of_segment(index) != stripe:
+                continue
             seg = ftl.log.segments[index]
             if seg.seq < 0:
                 continue  # FREE or RETIRED: nothing live to patrol
             for ppn in seg.written_ppns():
                 if scanned >= budget or self._stopped:
                     # Resume this segment on the next pass.
-                    self._cursor = index
+                    self._cursors[stripe] = index
                     break
                 scanned += 1
-                yield from self._patrol_page(ppn)
+                yield from self._patrol_page(ppn, stripe)
             else:
                 continue
+            wrapped = False
             break
-        else:
-            self._cursor = 0
+        if wrapped:
+            self._cursors[stripe] = 0
         self.counters.bump("pages_scanned", scanned)
 
-    def _patrol_page(self, ppn: int) -> Generator:
+    def _patrol_page(self, ppn: int,
+                     stripe: Optional[int] = None) -> Generator:
         ftl = self.ftl
         nand = ftl.nand
         array = nand.array
@@ -148,10 +177,14 @@ class Scrubber:
             ftl.record_media_loss(ppn, reason="scrub", header=header)
             self.counters.bump("pages_lost")
             return
+        gc_stripe = (stripe if stripe is not None
+                     else ftl.log.stripe_of_segment(
+                         ppn // ftl.log.segment_pages))
         if header.kind is PageKind.DATA:
             new_ppn, _done = yield from ftl.log.append(
                 record.header, record.data, privileged=True,
-                head=ftl._gc_head_for(ppn, record.header),
+                head=stripe_head(ftl._gc_head_for(ppn, record.header),
+                                 gc_stripe),
                 site=sites.SCRUB_COPY)
             ftl._on_packet_appended(new_ppn, record.header)
             yield from ftl._relocate(ppn, new_ppn, record.header)
@@ -159,6 +192,7 @@ class Scrubber:
         else:
             new_ppn, _done = yield from ftl.log.append(
                 record.header, record.data, privileged=True,
+                head=stripe_head("gc", gc_stripe),
                 site=sites.SCRUB_COPY)
             ftl._on_packet_appended(new_ppn, record.header)
             ftl._relocate_note(ppn, new_ppn)

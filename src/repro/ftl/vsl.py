@@ -59,6 +59,10 @@ class FtlConfig:
 
     blocks_per_segment: int = 1
     op_ratio: float = 0.25             # reserved physical fraction
+    # Foreground append heads (the multi-queue data path).  0 means
+    # "auto": one user head per channel, which keeps every channel's
+    # dies busy.  1 restores the classic single-head log.
+    parallel_heads: int = 0
     gc_low_watermark: int = 3          # kick cleaner below this many free
     gc_reserve_segments: int = 2
     bitmap_page_bytes: int = 64        # validity CoW granularity
@@ -85,6 +89,8 @@ class FtlConfig:
     def __post_init__(self) -> None:
         if not 0.0 < self.op_ratio < 0.9:
             raise ValueError(f"op_ratio out of range: {self.op_ratio}")
+        if self.parallel_heads < 0:
+            raise ValueError("parallel_heads must be >= 0 (0 = auto)")
         if self.gc_low_watermark < 1:
             raise ValueError("gc_low_watermark must be >= 1")
         if self.gc_policy not in ("greedy", "cost_benefit"):
@@ -152,18 +158,23 @@ class VslDevice:
         self.config = config if config is not None else self.CONFIG_CLS()
         self.log = Log(kernel, nand,
                        blocks_per_segment=self.config.blocks_per_segment,
-                       reserve_segments=self.config.gc_reserve_segments)
+                       reserve_segments=self.config.gc_reserve_segments,
+                       user_heads=self.config.parallel_heads or None)
         self.block_size = nand.geometry.page_size
         usable_pages = nand.geometry.total_pages - self.log.segment_count
         self.num_lbas = int(usable_pages * (1.0 - self.config.op_ratio))
-        # Structural floor on overprovisioning: the reserve, the two
-        # append heads, and one cleaning-scratch segment are never
-        # available to hold exported data.  Exporting more would let a
-        # fully-utilized device wedge with every closed segment 100%
-        # valid and nothing for the cleaner to reclaim.
-        headroom = self.config.gc_reserve_segments + 3
-        if getattr(self.config, "gc_segregate_cold", False):
-            headroom += 1  # the second (cold) GC head
+        # Structural floor on overprovisioning: the reserve, every
+        # append head's open segment, and one cleaning-scratch segment
+        # are never available to hold exported data.  Exporting more
+        # would let a fully-utilized device wedge with every closed
+        # segment 100% valid and nothing for the cleaner to reclaim.
+        # GC heads are per stripe (two each when cold segregation is on).
+        gc_heads_per_stripe = \
+            2 if getattr(self.config, "gc_segregate_cold", False) else 1
+        headroom = (self.log.reserve_target
+                    + self.log.user_head_count
+                    + self.log.num_stripes * gc_heads_per_stripe
+                    + 1)
         self._headroom = headroom
         hard_cap = (self.log.segment_count - headroom) * \
             (self.log.segment_pages - 1)
@@ -192,7 +203,17 @@ class VslDevice:
         # candidate selection never re-scans segment bitmap ranges.
         self._seg_valid: List[int] = [0] * self.log.segment_count
         self.cleaner = SegmentCleaner(self)
-        self._cleaner_proc = kernel.spawn(self.cleaner.run(), name="cleaner")
+        # One cleaner worker per stripe (a 1-stripe device gets the
+        # classic single global loop).  _cleaner_proc stays pointing at
+        # the first worker for compat with callers that join it.
+        if self.log.num_stripes == 1:
+            self._cleaner_procs = [
+                kernel.spawn(self.cleaner.run(), name="cleaner")]
+        else:
+            self._cleaner_procs = [
+                kernel.spawn(self.cleaner.run(stripe), name=f"cleaner-{stripe}")
+                for stripe in range(self.log.num_stripes)]
+        self._cleaner_proc = self._cleaner_procs[0]
         self.log.on_space_pressure = lambda: self.cleaner.maybe_kick(force=True)
         # Media-fault survival state: a manifest of what the medium
         # destroyed, and a read-only latch that trips when grown-bad
@@ -202,11 +223,19 @@ class VslDevice:
         self.degraded_reason: Optional[str] = None
         self.log.on_segment_retired = self._note_segment_retired
         self.scrubber: Optional[Scrubber] = None
+        self._scrub_procs: List[Any] = []
         self._scrub_proc = None
         if nand.faults is not None:
             self.scrubber = Scrubber(self)
-            self._scrub_proc = kernel.spawn(self.scrubber.run(),
-                                            name="scrubber")
+            if self.log.num_stripes == 1:
+                self._scrub_procs = [
+                    kernel.spawn(self.scrubber.run(), name="scrubber")]
+            else:
+                self._scrub_procs = [
+                    kernel.spawn(self.scrubber.run(stripe),
+                                 name=f"scrubber-{stripe}")
+                    for stripe in range(self.log.num_stripes)]
+            self._scrub_proc = self._scrub_procs[0]
         self._open = True
 
     # ------------------------------------------------------------------
@@ -289,10 +318,12 @@ class VslDevice:
     def _shutdown_proc(self) -> Generator:
         from repro.ftl.checkpoint import write_checkpoint
 
-        if not self._cleaner_proc.done:
-            yield self._cleaner_proc
-        if self._scrub_proc is not None and not self._scrub_proc.done:
-            yield self._scrub_proc
+        for proc in self._cleaner_procs:
+            if not proc.done:
+                yield proc
+        for proc in self._scrub_procs:
+            if not proc.done:
+                yield proc
         # Make headroom for the checkpoint pages before the cleaner is
         # gone; otherwise a nearly-full device cannot be shut down.
         yield from self.cleaner.ensure_free(
@@ -305,6 +336,17 @@ class VslDevice:
         self.cleaner.stop()
         if self.scrubber is not None:
             self.scrubber.stop()
+        # stop() only takes effect at the loop top; a worker parked
+        # mid-clean (or mid-patrol) would otherwise resume during the
+        # next incarnation's recovery and mutate the shared media under
+        # it.  A crash kills them where they stand.
+        for proc in self._cleaner_procs + self._scrub_procs:
+            proc.kill()
+        # Programs still sitting in the submission queues are
+        # controller RAM and die with the power; without this they
+        # would drain onto the media *during recovery* of the next
+        # incarnation (the queues live on the shared NAND device).
+        self.nand.queues.discard_queued()
         self.nand.superblock["clean"] = False
         self._open = False
 
@@ -432,7 +474,8 @@ class VslDevice:
                                epoch=self._current_epoch(),
                                seq=self._bump_seq(),
                                length=len(data) if data is not None else 0)
-            ppn, done = yield from self.log.append(header, data)
+            ppn, done = yield from self.log.append(
+                header, data, head=self.log.user_head_for(lba))
             self._on_packet_appended(ppn, header)
             yield from self._install_mapping(lba, ppn)
         finally:
@@ -506,7 +549,8 @@ class VslDevice:
                                epoch=self._current_epoch(),
                                seq=self._bump_seq(),
                                length=len(payload))
-            ppn, done = yield from self.log.append(header, payload)
+            ppn, done = yield from self.log.append(
+                header, payload, head=self.log.user_head_for(lba))
             self._on_packet_appended(ppn, header)
             self._note_registry[ppn] = note
             old = self.map.delete(lba)
@@ -545,7 +589,8 @@ class VslDevice:
                                    epoch=self._current_epoch(),
                                    seq=self._bump_seq(),
                                    length=len(data) if data is not None else 0)
-                ppn, done = yield from self.log.append(header, data)
+                ppn, done = yield from self.log.append(
+                    header, data, head=self.log.user_head_for(lba + offset))
                 self._on_packet_appended(ppn, header)
                 yield from self._install_mapping(lba + offset, ppn)
                 self.metrics.writes += 1
@@ -652,6 +697,7 @@ class VslDevice:
             },
             "wear": self.nand.array.wear_stats(),
             "map_memory_bytes": self.map.memory_bytes(),
+            "parallel": self.parallel_info(),
             "media": {
                 "faulty": self.nand.faults is not None,
                 "device": self.nand.media.as_dict(),
@@ -667,6 +713,28 @@ class VslDevice:
                 "degraded_reason": self.degraded_reason,
                 "damage": self.damage.summary(),
             },
+        }
+
+    def parallel_info(self) -> Dict[str, Any]:
+        """Multi-queue data-path observability (info()["parallel"]).
+
+        ``stripe_balance`` is min/max appends across user heads — 1.0
+        is perfectly even fan-out, small values mean one head is
+        hogging the log (skewed LBA distribution).
+        """
+        from repro.sim.stats import balance
+
+        stats = self.log.stats
+        user_appends = [stats.per_head_appends.get(head, 0)
+                        for head in self.log.user_head_names()]
+        return {
+            "stripes": self.log.num_stripes,
+            "user_heads": self.log.user_head_count,
+            "per_head_appends": dict(stats.per_head_appends),
+            "per_head_bytes": dict(stats.per_head_bytes),
+            "per_stripe_opens": dict(stats.per_stripe_opens),
+            "stripe_balance": balance(user_appends),
+            "queues": self.nand.queues.snapshot(),
         }
 
     # -- write gate: snapshot ops quiesce the data path --------------------

@@ -34,6 +34,7 @@ from repro.faults.model import MediaFaultModel
 from repro.nand.chip import NandArray, PageRecord
 from repro.nand.geometry import NandConfig
 from repro.nand.oob import HEADER_SIZE, OobHeader
+from repro.nand.queue import SubmissionQueues
 from repro.sim import Kernel, Resource
 from repro.sim.stats import Counters
 from repro.torture import sites
@@ -134,6 +135,10 @@ class NandDevice:
         ]
         self._page_xfer_ns = self.timing.xfer_ns(self.geometry.page_size)
         self._header_xfer_ns = self.timing.xfer_ns(HEADER_SIZE)
+        # NVMe-style per-die submission queues (repro.nand.queue): the
+        # log's append heads submit programs here instead of calling
+        # program_page directly, so writes to different dies overlap.
+        self.queues = SubmissionQueues(self)
 
     # -- helpers ----------------------------------------------------------
     def power_check(self, site: str) -> None:
@@ -254,7 +259,8 @@ class NandDevice:
 
     def program_page(self, ppn: int, header: OobHeader,
                      data: Optional[bytes],
-                     site: str = sites.NAND_PROGRAM) -> Generator:
+                     site: str = sites.NAND_PROGRAM,
+                     done=None) -> Generator:
         """Buffered program; returns an :class:`Event` for die completion.
 
         The generator finishes once the bus transfer is done and the
@@ -263,6 +269,10 @@ class NandDevice:
         finishes; the die stays busy until then, so later operations on
         the same die queue behind it — the asynchrony is real, not free.
         Callers wanting synchronous semantics ``yield`` the event.
+
+        ``done`` lets the submission-queue layer pass in a pre-created
+        completion event (handed to the submitter before the program
+        starts); when None, a fresh event is created and returned.
 
         ``site`` names this program for power-cut injection: a cut at
         ``site:pre`` leaves the page untouched, at ``site:mid`` leaves
@@ -308,7 +318,8 @@ class NandDevice:
         self.power_check(site + ":post")
         if not die.try_acquire():  # lint: allow-unbalanced-acquire(die freed by the _ProgramFinish timer when the die-internal program completes)
             yield die.acquire()
-        done = self.kernel.event()
+        if done is None:
+            done = self.kernel.event()
         # Die-busy window: a plain timer callback, not a spawned
         # process — this path runs once per program.
         self.kernel.call_at(self.kernel.now + self.timing.program_page_ns,

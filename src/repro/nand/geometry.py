@@ -43,6 +43,13 @@ class NandGeometry:
                 raise ValueError(f"{name} must be positive")
         if self.channels > self.dies:
             raise ValueError("more channels than dies")
+        if self.dies % self.channels:
+            # Striping (one log-head stripe per channel) assumes every
+            # channel serves the same number of dies; an uneven split
+            # would silently unbalance the stripes.
+            raise ValueError(
+                f"dies ({self.dies}) not divisible by channels "
+                f"({self.channels})")
 
     # cached_property writes straight into __dict__, which a frozen
     # dataclass permits — these sit on every NAND operation's path.

@@ -111,6 +111,19 @@ class Process:
             self._error_observed = True
         return self._error
 
+    def kill(self) -> None:
+        """Terminate the process immediately (crash semantics).
+
+        Closes the generator — running its ``finally`` blocks, so held
+        locks are released — and marks the process done with a None
+        result.  Safe on an already-finished process.  Any resume
+        already scheduled for the process is ignored when dispatched.
+        """
+        if self._done:
+            return
+        self._gen.close()
+        self._finish(None, None)
+
     def _add_joiner(self, proc: "Process") -> None:
         if self._done:
             self._error_observed = self._error_observed or self._error is not None
@@ -272,6 +285,8 @@ class Kernel:
     def _step(self, proc: Process, value: Any,
               error: Optional[BaseException]) -> None:
         """Advance ``proc`` by one yield."""
+        if proc._done:
+            return  # killed while a resume for it was in flight
         try:
             if error is not None:
                 yielded = proc._gen.throw(error)

@@ -245,3 +245,19 @@ def mean(values: Iterable[float]) -> float:
     if not vals:
         raise ValueError("no values")
     return sum(vals) / len(vals)
+
+
+def balance(values: Iterable[float]) -> float:
+    """Evenness of a fan-out: min/max of the per-lane totals.
+
+    1.0 means perfectly balanced lanes (also returned for empty input
+    or all-zero lanes, which are trivially even); values near 0 mean
+    one lane is starved relative to the busiest.
+    """
+    vals = list(values)
+    if not vals:
+        return 1.0
+    top = max(vals)
+    if top <= 0:
+        return 1.0
+    return min(vals) / top

@@ -51,6 +51,9 @@ class TortureConfig:
     blocks_per_die: int = 8
     dies: int = 4
     channels: int = 2
+    # 0 = one log head per channel (the device default); 1 pins the
+    # classic single-head layout for cases with coordinate-keyed faults.
+    parallel_heads: int = 0
 
     def nand_config(self) -> NandConfig:
         return NandConfig(geometry=NandGeometry(
@@ -90,8 +93,27 @@ def _build_device(config: TortureConfig,
                   fault_plan: Optional[FaultPlan] = None) -> IoSnapDevice:
     kernel = Kernel()
     faults = MediaFaultModel(fault_plan) if fault_plan is not None else None
-    return IoSnapDevice.create(kernel, config.nand_config(), IoSnapConfig(),
-                               faults=faults)
+    return IoSnapDevice.create(
+        kernel, config.nand_config(),
+        IoSnapConfig(parallel_heads=config.parallel_heads),
+        faults=faults)
+
+
+def _join_burst(procs) -> "object":
+    """Join every burst writer; re-raise the first power cut at the end.
+
+    Joining all before raising lets later writers settle, so the model
+    sees a single pending op whose sub-writes are each atomic.
+    """
+    cut = None
+    for proc in procs:
+        try:
+            yield proc
+        except PowerLossError as exc:
+            if cut is None:
+                cut = exc
+    if cut is not None:
+        raise cut
 
 
 def _apply_op(device: IoSnapDevice, activations: Dict[str, object],
@@ -100,6 +122,21 @@ def _apply_op(device: IoSnapDevice, activations: Dict[str, object],
     try:
         if kind == "write":
             device.write(op[1], payload_for(op[1], op[2]))
+        elif kind == "burst":
+            lbas = [lba for lba, _tag in op[1]]
+            if len(set(lbas)) != len(lbas):
+                raise ScriptInvalid(
+                    f"burst with duplicate LBAs is ambiguous: {op!r}")
+            kernel = device.kernel
+            procs = []
+            for lba, tag in op[1]:
+                proc = kernel.spawn(
+                    device.write_proc(lba, payload_for(lba, tag)),
+                    name=f"burst-w{lba}")
+                # The joiner below observes every writer's outcome.
+                proc._error_observed = True
+                procs.append(proc)
+            kernel.run_process(_join_burst(procs), name="burst")
         elif kind == "trim":
             device.trim(op[1])
         elif kind == "snap_create":

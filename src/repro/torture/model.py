@@ -53,6 +53,10 @@ class Model:
             _, lba, tag = op
             self.active[lba] = payload_for(lba, tag)
             self.touched.add(lba)
+        elif kind == "burst":
+            for lba, tag in op[1]:
+                self.active[lba] = payload_for(lba, tag)
+                self.touched.add(lba)
         elif kind == "trim":
             _, lba = op
             self.active.pop(lba, None)
@@ -85,6 +89,12 @@ class Model:
         failures: List[str] = []
         pending = pending_op or [None]
         pend_kind = pending[0]
+        # A pending burst is a set of *independently* atomic writes:
+        # each LBA individually lands or does not (the writers race on
+        # different log heads, so any subset can have been acked).
+        burst_pending: Dict[int, int] = (
+            {lba: tag for lba, tag in pending[1]}
+            if pend_kind == "burst" else {})
 
         # Activations never survive a crash.
         if device._activations:
@@ -96,10 +106,12 @@ class Model:
         check_lbas = set(self.touched)
         if pend_kind in ("write", "trim"):
             check_lbas.add(pending[1])
+        check_lbas.update(burst_pending)
         for lba in sorted(check_lbas):
             could_hold = (self.active.get(lba) is not None
                           or (pend_kind in ("write", "trim")
-                              and pending[1] == lba))
+                              and pending[1] == lba)
+                          or lba in burst_pending)
             try:
                 got = device.read(lba)
             except MediaError as exc:
@@ -111,6 +123,9 @@ class Model:
                 allowed.append(self._pad(payload_for(lba, pending[2])))
             elif pend_kind == "trim" and pending[1] == lba:
                 allowed.append(self._pad(None))
+            elif lba in burst_pending:
+                allowed.append(self._pad(payload_for(lba,
+                                                     burst_pending[lba])))
             if got not in allowed:
                 failures.append(
                     f"model: lba {lba} reads {got[:16]!r}..., expected one "

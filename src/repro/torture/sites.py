@@ -52,6 +52,16 @@ NOTE_SNAP_DEACTIVATE = "note.snap_deactivate"
 # Log bookkeeping.
 LOG_SEGHDR = "log.seghdr"
 LOG_OTHER = "log.other"
+# Per-head commit point: a packet was assigned its PPN slot on an
+# append head but has not yet been handed to the submission queues; a
+# cut here must lose the packet without residue (nothing reached the
+# media).  Commit-style: only a ``pre`` phase exists — once the
+# request is queued, the program's own site covers the later phases.
+LOG_HEAD_COMMIT = "log.head_commit"
+# Per-die submission-queue drain: the queue worker is about to start
+# draining a batch of queued program requests.  Also ``pre`` only; the
+# individual programs in the batch carry their own phased sites.
+QUEUE_DRAIN = "queue.drain"
 # Clean-shutdown checkpointing.
 CHECKPOINT_PAGE = "checkpoint.page"
 CHECKPOINT_SUPERBLOCK = "checkpoint.superblock"
@@ -82,6 +92,8 @@ SITE_PHASES: Dict[str, Tuple[str, ...]] = {
     NOTE_SNAP_DEACTIVATE: PROGRAM_PHASES,
     LOG_SEGHDR: PROGRAM_PHASES,
     LOG_OTHER: PROGRAM_PHASES,
+    LOG_HEAD_COMMIT: COMMIT_PHASES,
+    QUEUE_DRAIN: COMMIT_PHASES,
     CHECKPOINT_PAGE: PROGRAM_PHASES,
     CHECKPOINT_SUPERBLOCK: COMMIT_PHASES,
     RECOVERY_ERASE: ERASE_PHASES,

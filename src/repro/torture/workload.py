@@ -4,6 +4,8 @@ An op is a plain JSON-serializable list so failing scripts can be
 written to a repro file and replayed byte-identically:
 
     ["write", lba, tag]          write payload derived from (lba, tag)
+    ["burst", [[lba, tag], ..]]  concurrent writes (distinct LBAs), all
+                                 in flight at once across the log heads
     ["trim", lba]                discard one block
     ["snap_create", name]        O(1) snapshot
     ["snap_delete", name]        delete (space returns via GC)
@@ -70,6 +72,11 @@ def generate_script(seed: int, length: int = 40, span: int = 24,
                 active = None
         elif roll < 0.52:
             op = ["gc"]
+        elif roll < 0.60:
+            # Concurrent burst: distinct LBAs so per-LBA atomicity is
+            # well-defined; they fan out across the parallel log heads.
+            lbas = rng.sample(range(span), k=min(span, 2 + rng.randrange(3)))
+            op = ["burst", [[lba, 2000 + i] for lba in lbas]]
         if op is None:
             op = ["write", rng.randrange(span), 1000 + i]
         script.append(op)
@@ -103,6 +110,10 @@ def small_script() -> List[Op]:
         ["gc"],
         ["snap_delete", "s0"],
         ["gc"],
+        # Concurrent burst across the log heads (kept *after* the ops
+        # above: fault-composition tests pin site occurrences against
+        # this script's prefix, so new ops must only append).
+        ["burst", [[0, 200], [1, 201], [4, 202], [5, 203]]],
         ["write", 3, 101],
         ["shutdown"],
     ]

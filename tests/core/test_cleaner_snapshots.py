@@ -7,6 +7,20 @@ import pytest
 from repro.workloads.generators import Op, WRITE
 from repro.workloads.runner import run_stream
 
+from tests.conftest import make_iosnap as _make_iosnap
+
+
+@pytest.fixture
+def iosnap(kernel):
+    # parallel_heads=1: fill_segment_zero assumes a sequential fill
+    # closes segment 0, which only holds with a single log head.
+    return _make_iosnap(kernel, parallel_heads=1)
+
+
+def make_iosnap(kernel, **overrides):
+    overrides.setdefault("parallel_heads", 1)
+    return _make_iosnap(kernel, **overrides)
+
 
 def fill_segment_zero(device):
     pages = device.log.segment_pages - 1
@@ -144,7 +158,6 @@ class TestColdSegregation:
     """§5.4.2 extension: cleaner output segregated by temperature."""
 
     def _mixed_segment_device(self, kernel, segregate):
-        from tests.conftest import make_iosnap
         device = make_iosnap(kernel, gc_segregate_cold=segregate)
         pages = device.log.segment_pages - 1
         for lba in range(pages):
@@ -219,7 +232,6 @@ class TestPacingEstimates:
         assert iosnap._estimate_valid_count(seg) == pages
 
     def test_vanilla_estimate_misses_snapshot_blocks(self, kernel):
-        from tests.conftest import make_iosnap
         device = make_iosnap(kernel, snapshot_aware_pacing=False)
         pages = fill_segment_zero(device)
         device.snapshot_create("s")

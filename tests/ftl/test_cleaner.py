@@ -14,9 +14,12 @@ from tests.conftest import tiny_geometry
 
 @pytest.fixture
 def device(kernel):
+    # parallel_heads=1: these tests assume a sequential fill lands in
+    # segment 0 and pin exact page layouts, which only holds single-head.
     return VslDevice.create(kernel, NandConfig(geometry=tiny_geometry()),
                             FtlConfig(gc_low_watermark=3,
-                                      gc_reserve_segments=2))
+                                      gc_reserve_segments=2,
+                                      parallel_heads=1))
 
 
 def fill_segment_zero(kernel, device):

@@ -89,7 +89,11 @@ def test_uncorrectable_read_on_stale_page_is_not_reported_as_loss():
     # frozen in s0's epoch but trimmed from the active map.
     plan = FaultPlan(config=FaultConfig(seed=1), uncorrectable_reads=(1,))
     target = ("write.data:post", 16)  # the write after the gc op
-    outcome = run_with_cut(script, target, fault_plan=plan)
+    # parallel_heads=1: "global read 1" is keyed to the single-head
+    # cleaner's read order; multi-head segment composition renumbers it.
+    outcome = run_with_cut(script, target,
+                           config=TortureConfig(parallel_heads=1),
+                           fault_plan=plan)
     assert not outcome.invalid
     assert outcome.fired
     assert outcome.failures == []

@@ -13,7 +13,7 @@ from repro.torture import (
 # The crash-site kinds the small workload must exercise (the issue's
 # acceptance floor is six; the rig distinguishes twelve).
 EXPECTED_KINDS = {
-    "write.data", "log.seghdr",
+    "write.data", "log.seghdr", "log.head_commit", "queue.drain",
     "note.trim", "note.snap_create", "note.snap_delete",
     "note.snap_activate", "note.snap_deactivate",
     "gc.copy", "gc.note", "gc.erase",

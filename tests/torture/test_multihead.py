@@ -1,0 +1,108 @@
+"""Power cuts with writes in flight on two log heads at once.
+
+The parallel data path (PR 6) lets a burst of foreground writes fan
+out across the per-channel append heads and per-die submission
+queues.  A cut landing mid-burst therefore catches *several* writes
+in flight on *different* heads simultaneously — the failure mode the
+single-head torture scripts could never produce.  The model treats
+each burst sub-write as independently atomic: any subset may have
+landed, but each LBA reads either its old or its new payload.
+"""
+
+import pytest
+
+from repro.torture.harness import TortureConfig, enumerate_sites, run_with_cut
+from repro.torture.workload import small_script
+
+# Distinct LBAs chosen so lba % user_head_count spreads across both
+# heads of the default 2-channel torture geometry: 0/2 land on "user",
+# 1/3 on "user.1".
+BURST = [[0, 300], [1, 301], [2, 302], [3, 303]]
+
+
+def _burst_script():
+    script = [["write", lba, lba] for lba in range(6)]
+    script.append(["snap_create", "s0"])
+    script.append(["burst", BURST])
+    script.append(["write", 4, 310])
+    return script
+
+
+def _writer_occurrences(script):
+    """write.data occurrence numbers belonging to the burst's writers."""
+    before = 0
+    for op in script:
+        if op[0] == "burst":
+            break
+        if op[0] == "write":
+            before += 1
+    return range(before + 1, before + 1 + len(BURST))
+
+
+def test_burst_spreads_across_both_heads():
+    """The scenario only means something if two heads really carry
+    in-flight writes; pin the head fan-out so a routing change that
+    collapses the burst onto one head fails loudly."""
+    from repro.torture.harness import _build_device
+    device = _build_device(TortureConfig())
+    heads = {device.log.user_head_for(lba) for lba, _tag in BURST}
+    assert len(heads) == 2, heads
+
+
+@pytest.mark.parametrize("phase", ["pre", "mid", "post"])
+def test_cut_mid_burst_with_two_heads_in_flight(phase):
+    script = _burst_script()
+    for occurrence in _writer_occurrences(script):
+        outcome = run_with_cut(script, (f"write.data:{phase}", occurrence))
+        assert not outcome.invalid
+        assert outcome.fired, (phase, occurrence)
+        assert outcome.failures == [], (phase, occurrence, outcome.failures)
+
+
+def test_cut_at_head_commit_during_burst():
+    """The per-head commit site fires while both heads are appending."""
+    script = _burst_script()
+    targets = [t for t in enumerate_sites(script)
+               if t[0].startswith("log.head_commit")]
+    assert targets, "burst script never visits log.head_commit"
+    for target in targets:
+        outcome = run_with_cut(script, target)
+        assert not outcome.invalid
+        assert outcome.fired, target
+        assert outcome.failures == [], (target, outcome.failures)
+
+
+def test_cut_at_queue_drain_during_burst():
+    """Cutting between submission and media drops queued programs."""
+    script = _burst_script()
+    targets = [t for t in enumerate_sites(script)
+               if t[0].startswith("queue.drain")]
+    assert targets, "burst script never visits queue.drain"
+    for target in targets[:: max(1, len(targets) // 12)]:
+        outcome = run_with_cut(script, target)
+        assert not outcome.invalid
+        assert outcome.fired, target
+        assert outcome.failures == [], (target, outcome.failures)
+
+
+@pytest.mark.torture
+def test_exhaustive_burst_script_sweep():
+    script = _burst_script()
+    for target in enumerate_sites(script):
+        outcome = run_with_cut(script, target)
+        assert not outcome.invalid, target
+        if outcome.fired:
+            assert outcome.failures == [], (target, outcome.failures)
+
+
+@pytest.mark.torture
+def test_small_script_burst_sweep_single_head_config():
+    """The burst op also holds on the classic single-head layout."""
+    script = small_script()
+    config = TortureConfig(parallel_heads=1)
+    targets = enumerate_sites(script, config=config)
+    for target in targets[:: max(1, len(targets) // 40)]:
+        outcome = run_with_cut(script, target, config=config)
+        assert not outcome.invalid, target
+        if outcome.fired:
+            assert outcome.failures == [], (target, outcome.failures)
