@@ -1,0 +1,29 @@
+"""Benchmark: incremental replication floor (5%-dirty microbench).
+
+Runs the replication guard workload — one source, a full ``0 ->
+target`` send and a chained ``0 -> base -> target`` incremental send —
+and asserts the incremental path actually engaged: the planner ran in
+delta mode against the epoch-summary index, segments were skipped, the
+stream carried only the dirty blocks, both sinks serve byte-identical
+content, and the simulated-time speedup clears the >= 10x floor.  A
+regression that silently turns every incremental send back into a full
+scan-and-copy fails here before it shows up in transfer times.
+"""
+
+from repro.bench.replicate_guard import INCREMENTAL_SPEEDUP_FLOOR, run
+
+
+def test_incremental_replication_floor(benchmark):
+    report = benchmark.pedantic(run, args=(True,), rounds=1, iterations=1)
+    assert report["incremental"]["mode"] == "delta"
+    assert report["incremental"]["segments_skipped"] > 0
+    assert (report["incremental"]["extent_total"]
+            == report["workload"]["dirty"])
+    assert report["full"]["extent_total"] == report["workload"]["span"]
+    assert (report["incremental"]["pages_scanned"]
+            < report["full"]["pages_scanned"])
+    assert report["checks"]["same_target_content"]
+    assert report["incremental_speedup"] >= INCREMENTAL_SPEEDUP_FLOOR, (
+        f"incremental speedup collapsed to "
+        f"{report['incremental_speedup']:.1f}x")
+    assert report["passed"], report["checks"]

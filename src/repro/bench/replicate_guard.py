@@ -1,0 +1,170 @@
+"""Performance-regression guard for snapshot send/receive.
+
+The replication pitch is that an incremental send moves only the delta:
+on a 5%-dirty workload the ``base -> target`` stream must beat a full
+``0 -> target`` send by a wide margin, because the planner reads only
+the segments the epoch-summary index proves intersect the delta epochs
+and transfers only the dirty blocks.
+
+The guard builds one source device (sequential fill, snapshot ``base``,
+5% dirty rewrites, snapshot ``target``, post-target churn so the log
+holds segments with nothing on either path), then measures in simulated
+time:
+
+- *full*: replicate ``0 -> target`` into a fresh sink;
+- *incremental*: replicate ``0 -> base`` into a second sink (setup,
+  unmeasured), then replicate ``base -> target`` on top (measured).
+
+It asserts the incremental send is >= 10x faster than the full send,
+that the planner ran in delta mode and actually skipped segments, that
+the incremental stream carried only the dirty blocks, and that both
+sinks serve byte-identical ``target`` content — speed never at the
+price of fidelity.
+
+Usage::
+
+    python -m repro.bench.replicate_guard                   # full run
+    python -m repro.bench.replicate_guard --smoke           # CI-sized
+    python -m repro.bench.replicate_guard --out BENCH.json  # output
+
+Results are written as JSON (default ``BENCH_PR7.json``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+from typing import Dict
+
+from repro.bench.configs import (
+    bench_iosnap_config,
+    bench_nand,
+    medium_geometry,
+)
+from repro.core.iosnap import IoSnapDevice
+from repro.replicate import CursorStore, replicate
+from repro.sim import Kernel
+from repro.sim.stats import NS_PER_MS
+from repro.workloads import random_writes, run_stream
+
+# Required simulated-time speedup of the incremental send over the full
+# send on the 5%-dirty workload.  The planner typically delivers ~20x
+# here; 10x only trips when selective scanning or delta planning breaks.
+INCREMENTAL_SPEEDUP_FLOOR = 10.0
+DIRTY_FRACTION = 0.05
+
+
+def _build_source(span: int, churn: int):
+    kernel = Kernel()
+    device = IoSnapDevice.create(kernel, bench_nand(medium_geometry()),
+                                 bench_iosnap_config())
+    span = min(span, device.num_lbas)
+    for lba in range(span):
+        device.write(lba)
+    device.snapshot_create("base")
+    dirty = max(1, int(span * DIRTY_FRACTION))
+    # Deterministic spread across the span: every ~20th block dirtied.
+    step = max(1, span // dirty)
+    dirty_lbas = list(range(0, span, step))[:dirty]
+    for lba in dirty_lbas:
+        device.write(lba)
+    device.snapshot_create("target")
+    run_stream(kernel, device, random_writes(churn, span, seed=97))
+    return kernel, device, span, len(dirty_lbas)
+
+
+def _digests(device, name):
+    activated = device.snapshot_activate(name)
+    try:
+        return activated.content_digests()
+    finally:
+        device.snapshot_deactivate(activated)
+
+
+def run(smoke: bool = False) -> Dict:
+    span = 256 if smoke else 1024
+    churn = 128 if smoke else 512
+    kernel, source, span, dirty = _build_source(span, churn)
+
+    full_sink = IoSnapDevice.create(kernel, bench_nand(medium_geometry()),
+                                    bench_iosnap_config())
+    full = replicate(source, full_sink, None, "target", CursorStore())
+
+    incr_sink = IoSnapDevice.create(kernel, bench_nand(medium_geometry()),
+                                    bench_iosnap_config())
+    store = CursorStore()
+    setup = replicate(source, incr_sink, None, "base", store)
+    incremental = replicate(source, incr_sink, "base", "target", store)
+
+    speedup = full["send_ns"] / max(1, incremental["send_ns"])
+    fidelity = _digests(full_sink, "target") == _digests(incr_sink, "target")
+    checks = {
+        "delta_mode": incremental["mode"] == "delta",
+        "segments_skipped": incremental["segments_skipped"] > 0,
+        "incremental_carries_only_dirty": (
+            incremental["extent_total"] == dirty),
+        "full_carries_everything": full["extent_total"] == span,
+        "incremental_reads_less": (
+            incremental["pages_scanned"] < full["pages_scanned"]),
+        "verified": (full["finalize"]["verified"]
+                     and incremental["finalize"]["verified"]),
+        "same_target_content": fidelity,
+        "incremental_speedup": speedup >= INCREMENTAL_SPEEDUP_FLOOR,
+    }
+    return {
+        "suite": "replicate_guard",
+        "smoke": smoke,
+        "machine": {
+            "python": sys.version.split()[0],
+            "implementation": platform.python_implementation(),
+            "platform": platform.platform(),
+        },
+        "workload": {"span": span, "dirty": dirty, "churn": churn,
+                     "dirty_fraction": DIRTY_FRACTION},
+        "full": full,
+        "setup": setup,
+        "incremental": incremental,
+        "incremental_speedup": speedup,
+        "checks": checks,
+        "passed": all(checks.values()),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.replicate_guard",
+        description="Incremental-replication regression guard.")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (smaller span)")
+    parser.add_argument("--out", default="BENCH_PR7.json",
+                        help="output JSON path (default: BENCH_PR7.json)")
+    args = parser.parse_args(argv)
+    out_dir = os.path.dirname(os.path.abspath(args.out))
+    if not os.path.isdir(out_dir):
+        parser.error(f"--out directory does not exist: {out_dir}")
+
+    report = run(smoke=args.smoke)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    for label in ("full", "incremental"):
+        entry = report[label]
+        print(f"{label:12s} {entry['send_ns'] / NS_PER_MS:9.2f} ms "
+              f"(mode={entry['mode']}, extents={entry['extent_total']}, "
+              f"pages_scanned={entry['pages_scanned']}, "
+              f"segments_skipped={entry['segments_skipped']})")
+    print(f"incremental speedup {report['incremental_speedup']:.1f}x "
+          f"(floor {INCREMENTAL_SPEEDUP_FLOOR}x)")
+    for name, ok in report["checks"].items():
+        if not ok:
+            print(f"FAIL: {name}")
+    print(f"wrote {os.path.abspath(args.out)}")
+    return 0 if report["passed"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

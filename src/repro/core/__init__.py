@@ -14,7 +14,12 @@ from repro.core.destage import (
     destage_snapshot,
     restore_snapshot,
 )
-from repro.core.diff import SnapshotDiff, snapshot_diff
+from repro.core.diff import (
+    ChangedBlocks,
+    SnapshotDiff,
+    changed_blocks,
+    snapshot_diff,
+)
 from repro.core.rollback import snapshot_rollback
 from repro.core.iosnap import IoSnapConfig, IoSnapDevice, SnapshotMetrics
 from repro.core.recovery import rebuild_iosnap_state
@@ -30,6 +35,7 @@ __all__ = [
     "ArchiveManifest",
     "ArchiveTarget",
     "BranchKind",
+    "ChangedBlocks",
     "CowValidityBitmap",
     "EpochNode",
     "IoSnapConfig",
@@ -38,6 +44,7 @@ __all__ = [
     "SnapshotDiff",
     "SnapshotMetrics",
     "SnapshotTree",
+    "changed_blocks",
     "destage_incremental",
     "destage_snapshot",
     "rebuild_iosnap_state",

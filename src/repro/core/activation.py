@@ -34,6 +34,7 @@ same ``>=`` tie-break converges to exactly the full scan's winners.
 
 from __future__ import annotations
 
+import zlib
 from typing import TYPE_CHECKING, Dict, Generator, Optional, Tuple
 
 from repro.core.residue import ActivationResidue
@@ -158,6 +159,29 @@ class ActivatedSnapshot:
             return bytes(self.ftl.block_size)
         record = yield from self.ftl.nand.read_page(ppn)
         return self.ftl._payload(record)
+
+    def content_digests(self, lbas=None) -> Dict[int, int]:
+        return self.ftl.kernel.run_process(self.content_digests_proc(lbas),
+                                           name="snap-digests")
+
+    def content_digests_proc(self, lbas=None) -> Generator:
+        """Per-LBA CRC32 digests read through the real activation path.
+
+        ``lbas`` defaults to every LBA this activation maps; pass an
+        explicit iterable to digest a fixed window (replication's
+        end-to-end verification digests the transferred set on both
+        devices and compares).  Reads go through :meth:`read_proc`, so
+        the digests attest to what the device actually serves — map
+        entries pointing at erased or unreadable media cannot pass.
+        """
+        self._require_live()
+        if lbas is None:
+            lbas = [lba for lba, _ppn in self.map.items()]
+        digests: Dict[int, int] = {}
+        for lba in sorted(set(lbas)):
+            data = yield from self.read_proc(lba)
+            digests[lba] = zlib.crc32(data) & 0xFFFFFFFF
+        return digests
 
     def write(self, lba: int, data: Optional[bytes] = None) -> None:
         self.ftl.kernel.run_process(self.write_proc(lba, data),
@@ -297,7 +321,8 @@ def _scan_batch_size(ftl: "IoSnapDevice", limiter) -> int:
 
 
 def _scan_for_path(ftl: "IoSnapDevice", path: frozenset, limiter,
-                   residue: Optional[ActivationResidue] = None) -> Generator:
+                   residue: Optional[ActivationResidue] = None,
+                   counters=None) -> Generator:
     """Fold path-epoch packets from the log into ``(winners, trims)``.
 
     Without a residue the entire log is read (paper §6.2.2: "the
@@ -321,7 +346,11 @@ def _scan_for_path(ftl: "IoSnapDevice", path: frozenset, limiter,
                       key=lambda seg: seg.seq)
     replay_ns = ftl.config.cpu.replay_packet_ns
     batch_size = _scan_batch_size(ftl, limiter)
-    counters = ftl.activation_counters
+    # Callers other than activation (snapshot diffing, replication
+    # sends) pass their own counter set so their scans do not inflate
+    # the activation acceleration metrics.
+    if counters is None:
+        counters = ftl.activation_counters
 
     def fold(ppn: int, header) -> None:
         if header.epoch not in path:
@@ -351,7 +380,7 @@ def _scan_for_path(ftl: "IoSnapDevice", path: frozenset, limiter,
                     counters.bump("segments_skipped")
                     continue
                 start_offset = recorded[1]
-        if selective and not (ftl.segment_epoch_summary(seg) & path):
+        if selective and not ftl.segment_intersects_epochs(seg, path):
             # §7 extension: nothing from the snapshot's epoch path ever
             # landed in this segment — skip it wholesale.
             counters.bump("segments_skipped")
@@ -366,11 +395,13 @@ def _scan_for_path(ftl: "IoSnapDevice", path: frozenset, limiter,
             pending.append(ppn)
             if len(pending) >= batch_size:
                 counters.bump("pages_scanned", len(pending))
+                counters.bump("header_batches")
                 yield from _read_batch(ftl, pending, fold, replay_ns,
                                        limiter, casualties)
                 pending = []
     if pending:
         counters.bump("pages_scanned", len(pending))
+        counters.bump("header_batches")
         yield from _read_batch(ftl, pending, fold, replay_ns, limiter,
                                casualties)
     return winners, trims, casualties

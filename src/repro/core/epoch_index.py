@@ -89,6 +89,27 @@ class SegmentEpochIndex:
     def high_water(self, index: int) -> int:
         return self.max_seq.get(index, -1)
 
+    def intersects(self, index: int, epochs) -> bool:
+        """Does segment ``index`` hold any packet from ``epochs``?
+
+        The allocation-free form of ``summary(index) & epochs`` used by
+        the scan loops (activation, snapshot diff, replication send):
+        a selective scan consults this once per allocated segment, so
+        it must not materialize a frozenset per call.
+        """
+        stored = self.epochs.get(index)
+        return stored is not None and not stored.isdisjoint(epochs)
+
+    def segments_matching(self, epochs) -> Set[int]:
+        """Segment indices whose epoch set intersects ``epochs``.
+
+        The changed-block planner uses this to size a delta send before
+        scanning anything: only these segments can contribute packets
+        to the epochs being differenced.
+        """
+        return {index for index, stored in self.epochs.items()
+                if not stored.isdisjoint(epochs)}
+
     # -- durability ----------------------------------------------------------
     def dump(self, log: "Log", generation: int) -> Dict[str, Any]:
         """Serialize the index for the checkpoint ``extra`` stream.

@@ -93,6 +93,10 @@ class SnapshotMetrics:
     create_latencies_ns: List[int] = field(default_factory=list)
     delete_latencies_ns: List[int] = field(default_factory=list)
     activation_reports: List[Dict[str, Any]] = field(default_factory=list)
+    # One entry per snapshot_diff/changed_blocks scan: mode, sizing
+    # (bytes/extents to copy), and what the header scan cost — the
+    # diff-side analogue of activation_reports.
+    diff_reports: List[Dict[str, Any]] = field(default_factory=list)
 
 
 class IoSnapDevice(VslDevice):
@@ -299,6 +303,7 @@ class IoSnapDevice(VslDevice):
                 "residue_cache_entries": len(self._residues),
                 "residue_cache_bytes": self._residues.memory_bytes(),
             },
+            "diff": self.diff_counters.as_dict(),
         }
         return summary
 
@@ -316,7 +321,12 @@ class IoSnapDevice(VslDevice):
         # cache and the scan loops; surfaced via info() and perfguard.
         self.activation_counters = Counters(
             "hits", "misses", "invalidations",
-            "segments_skipped", "pages_scanned")
+            "segments_skipped", "pages_scanned", "header_batches")
+        # Snapshot-diff / changed-block scan counters, kept separate
+        # from the activation set so a replication send's scans cannot
+        # masquerade as activation fast-path wins (or vice versa).
+        self.diff_counters = Counters(
+            "diffs", "segments_skipped", "pages_scanned", "header_batches")
         self._residues = ResidueCache(self.config.residue_cache_entries,
                                       self.config.residue_cache_bytes,
                                       self.activation_counters)
@@ -501,6 +511,16 @@ class IoSnapDevice(VslDevice):
     def segment_epoch_summary(self, seg: Segment) -> frozenset:
         """Epochs with DATA/TRIM packets in ``seg`` (selective scan)."""
         return self._epoch_index.summary(seg.index)
+
+    def segment_intersects_epochs(self, seg: Segment, epochs) -> bool:
+        """Allocation-free ``segment_epoch_summary(seg) & epochs`` test.
+
+        The per-segment question every selective scan asks; scan loops
+        call it once per allocated segment, so it goes through the
+        index's :meth:`~repro.core.epoch_index.SegmentEpochIndex.
+        intersects` fast path instead of materializing a frozenset.
+        """
+        return self._epoch_index.intersects(seg.index, epochs)
 
     def _note_is_live(self, ppn: int, header: OobHeader) -> bool:
         """Create/delete notes are kept forever: deleted snapshots'

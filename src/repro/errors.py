@@ -124,6 +124,18 @@ class SnapshotError(ReproError):
     """Snapshot-layer misuse (unknown snapshot, double delete, ...)."""
 
 
+class ReplicationError(ReproError):
+    """Snapshot send/receive failed (see :mod:`repro.replicate`).
+
+    Raised for wire corruption (a record CRC that does not verify),
+    stream/cursor mismatches on resume, digest verification failures
+    at finalize, and sends that hit uncorrectable media.  A transfer
+    that dies with this error is restartable from the last committed
+    cursor; the error never leaves partial state the receiver counts
+    as acknowledged.
+    """
+
+
 class SummaryIndexError(FtlError):
     """A durable segment-epoch-summary image failed validation.
 

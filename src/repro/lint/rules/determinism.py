@@ -20,7 +20,7 @@ from repro.lint.violations import Violation
 # Layers that must be deterministic.  bench/ is exempt by design: it
 # measures the simulator's real wall-clock cost.
 SCOPED_DIRS = ("sim/", "ftl/", "core/", "nand/", "workloads/", "torture/",
-               "faults/")
+               "faults/", "replicate/")
 
 WALLCLOCK_CALLS = frozenset({
     "time.time", "time.time_ns",
@@ -41,7 +41,8 @@ class DeterminismRule(Rule):
     code = "IOL003"
     name = "determinism"
     description = ("no wall-clock reads or module-level RNG in sim/, "
-                   "ftl/, core/, nand/, workloads/, torture/, faults/")
+                   "ftl/, core/, nand/, workloads/, torture/, faults/, "
+                   "replicate/")
     pragma = "allow-nondeterminism"
 
     def check(self, module: ModuleSource) -> Iterator[Violation]:

@@ -1,0 +1,173 @@
+"""CLI: replication torture matrix (``python -m repro.replicate``).
+
+Runs the full case matrix — clean chained transfer, power cuts at
+every replication crash site (first and last occurrence of each),
+wire corruption mid-stream, and a correctable-heavy media-fault
+campaign with the digest-equivalence check — and exits non-zero on
+any failure, writing a JSON repro artifact so CI can upload it.
+
+    PYTHONPATH=src python -m repro.replicate
+    PYTHONPATH=src python -m repro.replicate --list-sites
+    PYTHONPATH=src python -m repro.replicate --site recv.apply:pre --occurrence 3
+    PYTHONPATH=src python -m repro.replicate --corrupt 5
+    PYTHONPATH=src python -m repro.replicate --artifact replicate-repro.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.faults.harness import correctable_heavy_config
+from repro.faults.model import FaultPlan
+from repro.replicate.harness import (
+    ReplicationOutcome,
+    ReplicationSpec,
+    check_correctable_send_equivalence,
+    enumerate_replication_sites,
+    replication_site_targets,
+    run_replication_case,
+)
+from repro.torture.power import Target
+
+
+def _spec(args: argparse.Namespace) -> ReplicationSpec:
+    return ReplicationSpec(seed=args.seed, cursor_every=args.cursor_every)
+
+
+def _describe(outcome: ReplicationOutcome) -> str:
+    bits = []
+    if outcome.fired:
+        bits.append("cut fired")
+    if outcome.wire_error:
+        bits.append("wire error")
+    if outcome.resumed:
+        bits.append("resumed")
+    return ", ".join(bits) if bits else "clean"
+
+
+def _case_entry(label: str, outcome: ReplicationOutcome) -> Dict[str, Any]:
+    return {
+        "case": label,
+        "fired": outcome.fired,
+        "wire_error": outcome.wire_error,
+        "resumed": outcome.resumed,
+        "failures": list(outcome.failures),
+        "reports": outcome.reports,
+    }
+
+
+def _cut_targets(spec: ReplicationSpec, per_site: int) -> List[Target]:
+    """First and last ``per_site // 2`` occurrences of each site —
+    the edges are where off-by-one resume bugs live."""
+    by_site: Dict[str, List[int]] = {}
+    for site, occurrence in replication_site_targets(
+            enumerate_replication_sites(spec)):
+        by_site.setdefault(site, []).append(occurrence)
+    targets: List[Target] = []
+    head = max(1, per_site // 2)
+    for site, occurrences in sorted(by_site.items()):
+        picked = occurrences[:head] + occurrences[-head:]
+        targets.extend((site, occ) for occ in sorted(set(picked)))
+    return targets
+
+
+def run_matrix(args: argparse.Namespace) -> List[Dict[str, Any]]:
+    spec = _spec(args)
+    entries: List[Dict[str, Any]] = []
+
+    entries.append(_case_entry("clean", run_replication_case(spec)))
+
+    for target in _cut_targets(spec, args.cuts_per_site):
+        label = f"cut {target[0]}@{target[1]}"
+        entries.append(_case_entry(
+            label, run_replication_case(spec, target=target)))
+
+    entries.append(_case_entry(
+        f"corrupt record {args.corrupt}",
+        run_replication_case(spec, corrupt_record=args.corrupt)))
+
+    plan = FaultPlan(config=correctable_heavy_config(args.seed))
+    entries.append(_case_entry(
+        "correctable-heavy faults",
+        run_replication_case(spec, fault_plan=plan)))
+    equivalence = check_correctable_send_equivalence(spec, plan)
+    entries.append({
+        "case": "fault digest equivalence",
+        "fired": False, "wire_error": False, "resumed": False,
+        "failures": equivalence, "reports": [],
+    })
+    return entries
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.replicate",
+        description="snapshot send/receive torture matrix")
+    parser.add_argument("--seed", type=int, default=2014)
+    parser.add_argument("--cursor-every", type=int, default=4,
+                        help="records per cursor watermark")
+    parser.add_argument("--cuts-per-site", type=int, default=2,
+                        help="power cuts per replication site "
+                             "(split between first and last occurrences)")
+    parser.add_argument("--corrupt", type=int, default=5, metavar="N",
+                        help="record number to corrupt in the wire case")
+    parser.add_argument("--site", default=None,
+                        help="run a single cut case at this site and exit")
+    parser.add_argument("--occurrence", type=int, default=1,
+                        help="which firing of --site to cut at")
+    parser.add_argument("--list-sites", action="store_true",
+                        help="print the transfer's injection points and exit")
+    parser.add_argument("--artifact", default=None, metavar="FILE",
+                        help="write a JSON repro artifact here on failure")
+    args = parser.parse_args(argv)
+    spec = _spec(args)
+
+    if args.list_sites:
+        targets = enumerate_replication_sites(spec)
+        for site, occurrence in targets:
+            print(f"{site} x{occurrence}")
+        repl = replication_site_targets(targets)
+        print(f"{len(targets)} injection points "
+              f"({len(repl)} on replication sites)")
+        return 0
+
+    if args.site:
+        outcome = run_replication_case(
+            spec, target=(args.site, args.occurrence))
+        entries = [_case_entry(
+            f"cut {args.site}@{args.occurrence}", outcome)]
+    else:
+        entries = run_matrix(args)
+
+    failed = [e for e in entries if e["failures"]]
+    for entry in entries:
+        status = ("ok" if not entry["failures"]
+                  else f"FAIL ({len(entry['failures'])})")
+        detail = _describe(ReplicationOutcome(
+            target=None, fired=entry["fired"],
+            wire_error=entry["wire_error"], resumed=entry["resumed"]))
+        print(f"{entry['case']:38s} {status:10s} [{detail}]")
+        for failure in entry["failures"]:
+            print(f"    {failure}")
+
+    if failed:
+        if args.artifact:
+            payload = {
+                "seed": args.seed,
+                "spec": spec.as_dict(),
+                "cases": failed,
+            }
+            with open(args.artifact, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+            print(f"repro artifact written to {args.artifact}")
+        print(f"{len(failed)}/{len(entries)} cases failed")
+        return 1
+    print(f"all {len(entries)} cases passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,146 @@
+"""Durable replication cursors: the resumable-transfer watermark.
+
+A :class:`ReplicationCursor` is what survives a killed transfer: which
+extents and removes the receiver durably applied *and* acknowledged,
+the partial content-digest sums over exactly those records, and
+whether finalize completed.  The :class:`CursorStore` models the
+sender's fsync'd watermark file — :meth:`~CursorStore.commit` is the
+durability point (crash site ``send.cursor_commit`` fires immediately
+before it), and only committed state is visible after a crash: the
+store deep-copies on commit, so mutating a live cursor afterwards
+cannot retroactively change what was persisted.
+
+Acknowledged LBAs are stored as sorted ``[start, count]`` runs rather
+than raw lists: changed-block sets are extent-shaped (overwrites
+cluster), so runs keep the durable record small, and they JSON
+round-trip for repro artifacts.
+
+On resume the sender recomputes the (deterministic, frozen-path)
+changed-block set and subtracts the cursor's acknowledged LBAs; the
+receiver seeds its running digests from the cursor's partial sums.
+Records that were applied but never acknowledged are re-sent and
+re-applied — idempotent, since an extent rewrite stores identical
+content and a repeated trim of an unmapped LBA is a no-op — and folded
+into the digest exactly once, because only acknowledgement folds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+from repro.errors import ReplicationError
+
+
+def runs_from_lbas(lbas: Iterable[int]) -> List[List[int]]:
+    """Collapse LBAs into sorted ``[start, count]`` runs."""
+    runs: List[List[int]] = []
+    for lba in sorted(set(lbas)):
+        if runs and runs[-1][0] + runs[-1][1] == lba:
+            runs[-1][1] += 1
+        else:
+            runs.append([lba, 1])
+    return runs
+
+
+def lbas_from_runs(runs: Iterable[Iterable[int]]) -> Iterator[int]:
+    for start, count in runs:
+        yield from range(start, start + count)
+
+
+@dataclass
+class ReplicationCursor:
+    """The durable watermark of one replication stream."""
+
+    stream_id: str
+    base: Optional[str]
+    target: str
+    extents_acked: int = 0
+    removes_acked: int = 0
+    extent_digest: int = 0      # fold of content_digest over acked extents
+    remove_digest: int = 0      # fold of remove_digest over acked removes
+    acked_extents: List[List[int]] = field(default_factory=list)
+    acked_removes: List[List[int]] = field(default_factory=list)
+    finalized: bool = False
+
+    def acked_extent_lbas(self) -> set:
+        return set(lbas_from_runs(self.acked_extents))
+
+    def acked_remove_lbas(self) -> set:
+        return set(lbas_from_runs(self.acked_removes))
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "stream_id": self.stream_id,
+            "base": self.base,
+            "target": self.target,
+            "extents_acked": self.extents_acked,
+            "removes_acked": self.removes_acked,
+            "extent_digest": self.extent_digest,
+            "remove_digest": self.remove_digest,
+            "acked_extents": [list(run) for run in self.acked_extents],
+            "acked_removes": [list(run) for run in self.acked_removes],
+            "finalized": self.finalized,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "ReplicationCursor":
+        return cls(
+            stream_id=raw["stream_id"],
+            base=raw.get("base"),
+            target=raw["target"],
+            extents_acked=int(raw.get("extents_acked", 0)),
+            removes_acked=int(raw.get("removes_acked", 0)),
+            extent_digest=int(raw.get("extent_digest", 0)),
+            remove_digest=int(raw.get("remove_digest", 0)),
+            acked_extents=[[int(s), int(c)]
+                           for s, c in raw.get("acked_extents", [])],
+            acked_removes=[[int(s), int(c)]
+                           for s, c in raw.get("acked_removes", [])],
+            finalized=bool(raw.get("finalized", False)),
+        )
+
+    def copy(self) -> "ReplicationCursor":
+        return ReplicationCursor.from_dict(self.as_dict())
+
+
+class CursorStore:
+    """The fsync'd watermark file, as an object.
+
+    Holds the *committed* cursor per stream id.  In the torture
+    harness the store object rides through the power cut like the NAND
+    array does — it models durable state on the replication host — and
+    :meth:`load` after reopen returns exactly what the last
+    :meth:`commit` persisted, never any later in-memory mutation.
+    """
+
+    def __init__(self) -> None:
+        self._committed: Dict[str, Dict[str, Any]] = {}
+
+    def commit(self, cursor: ReplicationCursor) -> None:
+        if cursor.stream_id in self._committed:
+            prior = self._committed[cursor.stream_id]
+            if (prior["base"] != cursor.base
+                    or prior["target"] != cursor.target):
+                raise ReplicationError(
+                    f"cursor for stream {cursor.stream_id!r} changed "
+                    "identity (base/target) across commits")
+        self._committed[cursor.stream_id] = cursor.as_dict()
+
+    def load(self, stream_id: str) -> Optional[ReplicationCursor]:
+        raw = self._committed.get(stream_id)
+        return ReplicationCursor.from_dict(raw) if raw is not None else None
+
+    def streams(self) -> List[str]:
+        return sorted(self._committed)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {sid: dict(raw) for sid, raw in self._committed.items()}
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "CursorStore":
+        store = cls()
+        for sid, entry in raw.items():
+            store._committed[sid] = \
+                ReplicationCursor.from_dict(entry).as_dict()
+        return store

@@ -1,0 +1,340 @@
+"""Replication torture harness: cut, corrupt, fault — then prove it.
+
+One replication case is ``run_replication_case(spec, target)``:
+
+1. build a source/sink device pair on one simulated kernel (one
+   replication host), populate the source with a seeded workload —
+   prefill, snapshot ``base``, dirty writes + trims, snapshot
+   ``target``, churn + forced cleaner passes so winners relocate;
+2. arm a single :class:`~repro.torture.power.PowerModel` on *both*
+   devices' NAND (a host power cut kills sender, receiver, and wire
+   together) and run the chained transfer — full ``0 -> base``, then
+   incremental ``base -> target``;
+3. when the cut fires, abandon the kernel wholesale and keep what
+   hardware keeps: both NAND arrays, both superblocks, the fault
+   state, and the *committed* cursor store;
+4. transplant the media under a fresh kernel, reopen both devices
+   through real recovery, and resume the interrupted stream from the
+   cursor watermark;
+5. verify end to end: fsck both devices, then activate ``base`` and
+   ``target`` on both and compare per-LBA digests read through the
+   real activation path — byte-identical or the case fails.
+
+Wire-corruption cases skip the transplant (the devices survive; the
+transfer aborts on the record CRC) and retry from the cursor instead.
+Fault cases compose a seeded :class:`~repro.faults.model.FaultPlan` on
+the source; ``check_correctable_send_equivalence`` additionally proves
+ECC-correctable read faults never change the stream digest.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.iosnap import IoSnapConfig, IoSnapDevice
+from repro.errors import PowerLossError, ReplicationError, ReproError
+from repro.faults.model import FaultPlan, MediaFaultModel
+from repro.ftl.fsck import fsck
+from repro.nand.device import NandDevice
+from repro.replicate.cursor import CursorStore
+from repro.replicate.send import make_stream_id
+from repro.replicate.transfer import replicate
+from repro.sim import Kernel
+from repro.sim.kernel import SimError
+from repro.torture import sites
+from repro.torture.harness import TortureConfig
+from repro.torture.power import PowerModel, Target
+from repro.torture.workload import payload_for
+
+REPLICATION_SITES = (sites.SEND_CURSOR_COMMIT, sites.RECV_APPLY,
+                     sites.RECV_FINALIZE)
+
+# The chained transfer every case runs: a full send of ``base``, then
+# an incremental send of ``target`` on top of it.
+STREAMS: Tuple[Tuple[Optional[str], str], ...] = \
+    ((None, "base"), ("base", "target"))
+
+
+@dataclass(frozen=True)
+class ReplicationSpec:
+    """Seeded workload + device shape for one replication case."""
+
+    seed: int = 2014
+    prefill: int = 40       # writes before the base snapshot
+    dirty: int = 14         # writes between base and target
+    trims: int = 3          # trims between base and target
+    churn: int = 30         # writes after target (cleaner fodder)
+    span: int = 24          # LBA window the workload mutates
+    gc_passes: int = 2      # forced cleaner passes after churn
+    cursor_every: int = 4   # records per cursor watermark
+    config: TortureConfig = TortureConfig()
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed, "prefill": self.prefill,
+            "dirty": self.dirty, "trims": self.trims,
+            "churn": self.churn, "span": self.span,
+            "gc_passes": self.gc_passes, "cursor_every": self.cursor_every,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "ReplicationSpec":
+        known = {k: int(v) for k, v in raw.items()
+                 if k in ("seed", "prefill", "dirty", "trims", "churn",
+                          "span", "gc_passes", "cursor_every")}
+        return cls(**known)
+
+
+@dataclass
+class ReplicationOutcome:
+    """Result of one replication torture case."""
+
+    target: Optional[Target]
+    fired: bool = False          # the armed power cut fired
+    wire_error: bool = False     # injected corruption tripped the CRC
+    resumed: bool = False        # a second incarnation ran
+    failures: List[str] = field(default_factory=list)
+    reports: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.failures)
+
+
+# ---------------------------------------------------------------------------
+# Building and populating the pair
+# ---------------------------------------------------------------------------
+def _build_pair(spec: ReplicationSpec,
+                fault_plan: Optional[FaultPlan] = None):
+    kernel = Kernel()
+    faults = MediaFaultModel(fault_plan) if fault_plan is not None else None
+    source = IoSnapDevice.create(
+        kernel, spec.config.nand_config(),
+        IoSnapConfig(parallel_heads=spec.config.parallel_heads),
+        faults=faults)
+    sink = IoSnapDevice.create(
+        kernel, spec.config.nand_config(),
+        IoSnapConfig(parallel_heads=spec.config.parallel_heads))
+    return kernel, source, sink
+
+
+def populate_source(source: IoSnapDevice, spec: ReplicationSpec) -> None:
+    """Seeded history: base, dirty+trims, target, churn, GC."""
+    rng = random.Random(spec.seed)
+    span = min(spec.span, source.num_lbas)
+    for i in range(spec.prefill):
+        lba = rng.randrange(span)
+        source.write(lba, payload_for(lba, i))
+    source.snapshot_create("base")
+    for i in range(spec.dirty):
+        lba = rng.randrange(span)
+        source.write(lba, payload_for(lba, 1000 + i))
+    for _ in range(spec.trims):
+        source.trim(rng.randrange(span))
+    source.snapshot_create("target")
+    for i in range(spec.churn):
+        lba = rng.randrange(span)
+        source.write(lba, payload_for(lba, 2000 + i))
+    # Forced cleaner passes relocate winners so sends/resumes must
+    # cope with moved blocks (the scan barrier + move-log contract).
+    for _ in range(spec.gc_passes):
+        candidate = source.cleaner.select_candidate()
+        if candidate is None:
+            break
+        source.kernel.run_process(
+            source.cleaner.clean_segment(candidate, paced=False),
+            name="forced-gc")
+
+
+# ---------------------------------------------------------------------------
+# Running the chained transfer
+# ---------------------------------------------------------------------------
+def _run_streams(source: IoSnapDevice, sink: IoSnapDevice,
+                 store: CursorStore, spec: ReplicationSpec,
+                 corrupt_record: Optional[int] = None,
+                 ) -> List[Dict[str, Any]]:
+    """Run/resume every not-yet-finalized stream, in chain order."""
+    reports = []
+    for base, target in STREAMS:
+        prior = store.load(make_stream_id(base, target))
+        if prior is not None and prior.finalized:
+            continue
+        reports.append(replicate(source, sink, base, target, store,
+                                 cursor_every=spec.cursor_every,
+                                 corrupt_record=corrupt_record))
+    return reports
+
+
+def _reopen_pair(source_nand: NandDevice, sink_nand: NandDevice):
+    """Transplant both devices' surviving media under a fresh kernel.
+
+    Mirrors :func:`repro.torture.harness._reopen` for a device pair:
+    NAND arrays, superblocks, and physical fault state survive; every
+    in-memory structure is rebuilt by real recovery.  The cursor store
+    is durable host state and rides through untouched by the caller.
+    """
+    kernel = Kernel()
+    pair = []
+    for old in (source_nand, sink_nand):
+        nand = NandDevice(kernel, old.config, faults=old.faults)
+        nand.array = old.array
+        nand.superblock = dict(old.superblock)
+        pair.append(IoSnapDevice.open(kernel, nand))
+    return kernel, pair[0], pair[1]
+
+
+# ---------------------------------------------------------------------------
+# Verification
+# ---------------------------------------------------------------------------
+def _snapshot_digests(device: IoSnapDevice, name: str) -> Dict[int, int]:
+    activated = device.snapshot_activate(name)
+    try:
+        return activated.content_digests()
+    finally:
+        device.snapshot_deactivate(activated)
+
+
+def verify_pair(source: IoSnapDevice, sink: IoSnapDevice,
+                names: Tuple[str, ...] = ("base", "target")) -> List[str]:
+    """fsck both devices, then per-LBA digest equality per snapshot."""
+    failures = [f"fsck(source): {v}" for v in fsck(source)]
+    failures += [f"fsck(sink): {v}" for v in fsck(sink)]
+    for name in names:
+        try:
+            src = _snapshot_digests(source, name)
+            snk = _snapshot_digests(sink, name)
+        except (ReproError, SimError) as exc:
+            failures.append(f"digest({name}): activation failed: {exc!r}")
+            continue
+        if src != snk:
+            missing = sorted(set(src) - set(snk))[:8]
+            extra = sorted(set(snk) - set(src))[:8]
+            differ = sorted(lba for lba in set(src) & set(snk)
+                            if src[lba] != snk[lba])[:8]
+            failures.append(
+                f"digest({name}): source and sink diverge "
+                f"(missing={missing} extra={extra} differ={differ})")
+    return failures
+
+
+# ---------------------------------------------------------------------------
+# One case, end to end
+# ---------------------------------------------------------------------------
+def run_replication_case(spec: ReplicationSpec,
+                         target: Optional[Target] = None,
+                         fault_plan: Optional[FaultPlan] = None,
+                         corrupt_record: Optional[int] = None,
+                         ) -> ReplicationOutcome:
+    """One replication torture case; see the module docstring."""
+    outcome = ReplicationOutcome(target=target)
+    kernel, source, sink = _build_pair(spec, fault_plan)
+    populate_source(source, spec)
+    store = CursorStore()
+    # Armed only for the transfer phase: the population workload is the
+    # classic torture rig's territory; this sweep targets replication.
+    power = PowerModel(target)
+    source.nand.power = power
+    sink.nand.power = power
+
+    try:
+        outcome.reports = _run_streams(source, sink, store, spec,
+                                       corrupt_record)
+    except (PowerLossError, SimError):
+        if power.fired is None:
+            raise  # a real bug, not our injected cut
+        outcome.fired = True
+    except ReplicationError as exc:
+        if corrupt_record is None:
+            outcome.failures.append(f"transfer: {exc!r}")
+            return outcome
+        outcome.wire_error = True
+
+    if outcome.fired:
+        # Host power loss: transplant both media + the committed store.
+        kernel, source, sink = _reopen_pair(source.nand, sink.nand)
+        outcome.resumed = True
+        try:
+            outcome.reports = _run_streams(source, sink, store, spec)
+        except (ReproError, SimError) as exc:
+            outcome.failures.append(f"resume after cut: {exc!r}")
+            return outcome
+    elif outcome.wire_error:
+        # The devices survived; retry the transfer without corruption,
+        # resuming from the last committed cursor.
+        outcome.resumed = True
+        try:
+            outcome.reports = _run_streams(source, sink, store, spec)
+        except (ReproError, SimError) as exc:
+            outcome.failures.append(f"retry after corruption: {exc!r}")
+            return outcome
+
+    for base, name in STREAMS:
+        cursor = store.load(make_stream_id(base, name))
+        if cursor is None or not cursor.finalized:
+            outcome.failures.append(
+                f"stream {make_stream_id(base, name)!r} never finalized")
+    outcome.failures.extend(verify_pair(source, sink))
+    return outcome
+
+
+# ---------------------------------------------------------------------------
+# Site enumeration + fault equivalence
+# ---------------------------------------------------------------------------
+def enumerate_replication_sites(spec: ReplicationSpec,
+                                fault_plan: Optional[FaultPlan] = None,
+                                ) -> List[Target]:
+    """Every (site, occurrence) the transfer phase visits.
+
+    Counts the whole transfer — replication's own commit sites plus
+    the receiver's write/trim/note programs — so any of them is an
+    addressable cut coordinate for :func:`run_replication_case`.
+    """
+    _kernel, source, sink = _build_pair(spec, fault_plan)
+    populate_source(source, spec)
+    power = PowerModel(None)
+    source.nand.power = power
+    sink.nand.power = power
+    _run_streams(source, sink, CursorStore(), spec)
+    return power.injection_points()
+
+
+def replication_site_targets(targets: List[Target]) -> List[Target]:
+    """The subset landing on replication's own commit sites."""
+    return [t for t in targets
+            if t[0].split(":")[0] in REPLICATION_SITES]
+
+
+def check_correctable_send_equivalence(spec: ReplicationSpec,
+                                       plan: FaultPlan) -> List[str]:
+    """ECC-correctable media errors must not change the stream digest.
+
+    Runs the identical seeded workload + chained transfer twice — once
+    clean, once with ``plan`` on the source — and compares the
+    committed cursors' content digests stream by stream.  Correctable
+    reads go through the retry ladder and yield corrected bytes, so
+    any digest drift means the send path leaked raw error bits.
+    """
+    digests: Dict[str, Dict[str, Tuple[int, int]]] = {}
+    for label, fault_plan in (("clean", None), ("faulty", plan)):
+        _kernel, source, sink = _build_pair(spec, fault_plan)
+        populate_source(source, spec)
+        store = CursorStore()
+        _run_streams(source, sink, store, spec)
+        digests[label] = {
+            sid: (cursor.extent_digest, cursor.remove_digest)
+            for sid in store.streams()
+            for cursor in (store.load(sid),) if cursor is not None}
+    failures = []
+    if set(digests["clean"]) != set(digests["faulty"]):
+        failures.append(
+            f"stream sets diverged: clean={sorted(digests['clean'])} "
+            f"faulty={sorted(digests['faulty'])}")
+        return failures
+    for sid, clean in digests["clean"].items():
+        if digests["faulty"][sid] != clean:
+            failures.append(
+                f"digest for {sid!r} changed under correctable faults: "
+                f"clean={clean} faulty={digests['faulty'][sid]}")
+    return failures

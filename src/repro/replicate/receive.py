@@ -1,0 +1,260 @@
+"""The receiver half: validate, apply, acknowledge, finalize, verify.
+
+A :class:`Receiver` reconstructs the sent snapshot on a second
+simulated device.  Extents are applied as durable foreground writes
+and removes as trims (crash site ``recv.apply`` fires before each, and
+the writes/trims carry their own phased sites below that), so a power
+cut mid-apply leaves exactly the states the torture rig already knows
+how to recover.
+
+Acknowledgement semantics: applied records are *pending* until a
+cursor record passes, at which point they fold into the receiver's
+cursor (counts, acked-LBA runs, content digests) and the driver
+commits that cursor to the durable store.  A crash between apply and
+acknowledge re-sends those records — re-applying is idempotent — and
+the digests count each logical record exactly once.
+
+Finalize (crash site ``recv.finalize``) materializes the snapshot with
+a real ``snapshot_create`` and then *verifies through the front door*:
+it activates the snapshot it just created, re-reads every transferred
+LBA through the activation path, recomputes the order-independent
+content digest, and compares it to the sum accumulated from the wire.
+Removed LBAs must come back unmapped.  A digest mismatch raises
+:class:`~repro.errors.ReplicationError` — the snapshot name is only
+trusted after the readback proves the device serves the sent bytes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional
+
+from repro.errors import ReplicationError, SnapshotError
+from repro.replicate import stream
+from repro.replicate.cursor import ReplicationCursor, runs_from_lbas
+from repro.torture import sites
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.iosnap import IoSnapDevice
+
+_RECV_APPLY_PRE = sites.RECV_APPLY + ":" + sites.PHASE_PRE
+_RECV_FINALIZE_PRE = sites.RECV_FINALIZE + ":" + sites.PHASE_PRE
+
+
+class Receiver:
+    """Applies one replication stream to ``device``."""
+
+    def __init__(self, device: "IoSnapDevice", stream_id: str,
+                 base: Optional[str], target: str,
+                 resume: Optional[ReplicationCursor] = None) -> None:
+        self.device = device
+        if resume is not None:
+            if resume.stream_id != stream_id:
+                raise ReplicationError(
+                    f"cursor stream {resume.stream_id!r} does not match "
+                    f"transfer {stream_id!r}")
+            if resume.finalized:
+                raise ReplicationError(
+                    f"stream {stream_id!r} is already finalized")
+            self.cursor = resume.copy()
+        else:
+            self.cursor = ReplicationCursor(stream_id=stream_id, base=base,
+                                            target=target)
+        self.resumed = resume is not None
+        self.header: Optional[Dict[str, Any]] = None
+        self.end: Optional[Dict[str, Any]] = None
+        # Applied-but-not-yet-acknowledged records of this incarnation.
+        self._pending_extents: List[int] = []
+        self._pending_removes: List[int] = []
+        self._pending_extent_digest = 0
+        self._pending_remove_digest = 0
+
+    # -- cursor ----------------------------------------------------------
+    def state(self) -> ReplicationCursor:
+        """A committable snapshot of the acknowledged watermark."""
+        return self.cursor.copy()
+
+    def _acknowledge(self) -> None:
+        """Fold pending applies into the cursor (a cursor record passed)."""
+        cur = self.cursor
+        if self._pending_extents:
+            cur.extents_acked += len(self._pending_extents)
+            cur.extent_digest = stream.fold_digest(
+                cur.extent_digest, self._pending_extent_digest)
+            cur.acked_extents = runs_from_lbas(
+                list(cur.acked_extent_lbas()) + self._pending_extents)
+            self._pending_extents = []
+            self._pending_extent_digest = 0
+        if self._pending_removes:
+            cur.removes_acked += len(self._pending_removes)
+            cur.remove_digest = stream.fold_digest(
+                cur.remove_digest, self._pending_remove_digest)
+            cur.acked_removes = runs_from_lbas(
+                list(cur.acked_remove_lbas()) + self._pending_removes)
+            self._pending_removes = []
+            self._pending_remove_digest = 0
+
+    # -- record application ----------------------------------------------
+    def apply_record_proc(self, record: Any) -> Generator:
+        """Validate and apply one wire record."""
+        record = stream.check_record(record)
+        kind = record["kind"]
+        if kind == stream.KIND_HEADER:
+            self._accept_header(record)
+        elif kind == stream.KIND_EXTENT:
+            yield from self._apply_extent(record)
+        elif kind == stream.KIND_REMOVE:
+            yield from self._apply_remove(record)
+        elif kind == stream.KIND_CURSOR:
+            self._require_header()
+            self._acknowledge()
+        elif kind == stream.KIND_END:
+            self._accept_end(record)
+        else:
+            raise ReplicationError(f"unknown record kind {kind!r}")
+        return record["n"]
+
+    def _require_header(self) -> None:
+        if self.header is None:
+            raise ReplicationError("stream sent records before its header")
+
+    def _accept_header(self, record: Dict[str, Any]) -> None:
+        if self.header is not None:
+            raise ReplicationError("duplicate stream header")
+        if record["version"] != stream.STREAM_VERSION:
+            raise ReplicationError(
+                f"unsupported stream version {record['version']}")
+        if record["stream_id"] != self.cursor.stream_id:
+            raise ReplicationError(
+                f"header is for stream {record['stream_id']!r}, receiver "
+                f"expects {self.cursor.stream_id!r}")
+        if record["block_size"] != self.device.block_size:
+            raise ReplicationError(
+                f"block size mismatch: stream {record['block_size']}, "
+                f"receiver {self.device.block_size}")
+        if record["num_lbas"] > self.device.num_lbas:
+            raise ReplicationError(
+                f"source exports {record['num_lbas']} LBAs, receiver "
+                f"only {self.device.num_lbas}")
+        if record["base"] is not None:
+            # Incremental chain: the receiver must already hold the
+            # base snapshot a prior receive finalized.
+            try:
+                base_snap = self.device.tree.resolve(record["base"])
+            except SnapshotError as exc:
+                raise ReplicationError(
+                    f"incremental stream needs base snapshot "
+                    f"{record['base']!r} on the receiver: {exc}") from exc
+            if base_snap.deleted:
+                raise ReplicationError(
+                    f"base snapshot {record['base']!r} was deleted on "
+                    "the receiver")
+        if (record["acked_extents"] != self.cursor.extents_acked
+                or record["acked_removes"] != self.cursor.removes_acked):
+            raise ReplicationError(
+                f"sender resumes at ({record['acked_extents']} extents, "
+                f"{record['acked_removes']} removes) but the committed "
+                f"cursor says ({self.cursor.extents_acked}, "
+                f"{self.cursor.removes_acked})")
+        self.header = record
+
+    def _apply_extent(self, record: Dict[str, Any]) -> Generator:
+        self._require_header()
+        self.device.nand.power_check(_RECV_APPLY_PRE)
+        lba = record["lba"]
+        payload = record["payload"]
+        # sync=True: the block must be durable before it can ever be
+        # acknowledged — a cursor commit covering a write still in a
+        # volatile queue would leave a hole after a crash.
+        yield from self.device.write_proc(lba, payload, sync=True)
+        self._pending_extents.append(lba)
+        self._pending_extent_digest = stream.fold_digest(
+            self._pending_extent_digest,
+            stream.content_digest(lba, stream.payload_crc(payload)))
+
+    def _apply_remove(self, record: Dict[str, Any]) -> Generator:
+        self._require_header()
+        self.device.nand.power_check(_RECV_APPLY_PRE)
+        lba = record["lba"]
+        yield from self.device.trim_proc(lba)
+        self._pending_removes.append(lba)
+        self._pending_remove_digest = stream.fold_digest(
+            self._pending_remove_digest, stream.remove_digest(lba))
+
+    def _accept_end(self, record: Dict[str, Any]) -> None:
+        self._require_header()
+        if self._pending_extents or self._pending_removes:
+            raise ReplicationError(
+                "stream ended with unacknowledged records (the sender "
+                "must emit a trailing cursor)")
+        if (record["extent_total"] != self.cursor.extents_acked
+                or record["remove_total"] != self.cursor.removes_acked):
+            raise ReplicationError(
+                f"stream end declares ({record['extent_total']} extents, "
+                f"{record['remove_total']} removes) but "
+                f"({self.cursor.extents_acked}, "
+                f"{self.cursor.removes_acked}) were acknowledged")
+        self.end = record
+
+    # -- finalize --------------------------------------------------------
+    def finalize_proc(self, verify: bool = True) -> Generator:
+        """Materialize the snapshot; verify via activation readback."""
+        if self.end is None:
+            raise ReplicationError(
+                "cannot finalize before the stream's end marker")
+        self.device.nand.power_check(_RECV_FINALIZE_PRE)
+        target = self.cursor.target
+        snap = self._existing_snapshot(target)
+        created = snap is None
+        if snap is None:
+            snap = yield from self.device.snapshot_create_proc(target)
+        report: Dict[str, Any] = {
+            "snapshot": target,
+            "snap_id": snap.snap_id,
+            "created": created,
+            "verified": False,
+        }
+        if verify:
+            report.update((yield from self._verify_readback(snap)))
+            report["verified"] = True
+        self.cursor.finalized = True
+        return report
+
+    def _existing_snapshot(self, name: str):
+        """A torn finalize may have created the snapshot already (cut
+        after the create note hit the log): finalize is idempotent and
+        adopts it rather than minting a duplicate name."""
+        try:
+            snap = self.device.tree.resolve(name)
+        except SnapshotError:
+            return None
+        return None if snap.deleted else snap
+
+    def _verify_readback(self, snap) -> Generator:
+        cur = self.cursor
+        activated = yield from self.device.snapshot_activate_proc(snap)
+        try:
+            digest = 0
+            lbas = sorted(cur.acked_extent_lbas())
+            for lba in lbas:
+                data = yield from activated.read_proc(lba)
+                digest = stream.fold_digest(
+                    digest,
+                    stream.content_digest(lba, stream.payload_crc(data)))
+            if digest != cur.extent_digest:
+                raise ReplicationError(
+                    f"stream {cur.stream_id!r} digest mismatch at "
+                    f"finalize: activation readback {digest:#x}, wire "
+                    f"accumulated {cur.extent_digest:#x}")
+            still_mapped = [lba for lba in sorted(cur.acked_remove_lbas())
+                            if activated.map.get(lba) is not None]
+            if still_mapped:
+                raise ReplicationError(
+                    f"removed blocks still mapped after receive: "
+                    f"{still_mapped}")
+        finally:
+            yield from self.device.snapshot_deactivate_proc(activated)
+        return {
+            "readback_lbas": len(lbas),
+            "readback_digest": digest,
+            "removes_checked": cur.removes_acked,
+        }

@@ -1,0 +1,184 @@
+"""The sender half: plan the changed-block set, stream the records.
+
+``send_proc`` computes the exact transfer set with the multi-version
+changed-block lookup (:func:`repro.core.diff.changed_blocks_proc` —
+per-epoch validity folded through the epoch-summary index), then reads
+each winning packet and emits the record stream through ``emit``.
+
+Consistency contract: the whole send runs under the device's scan
+barrier (``begin_scan``/``end_scan``), the same contract activation
+uses — the cleaner may keep *copying* blocks but must not *erase*
+while the send is in flight, so every PPN the planner resolved stays
+readable even if a copy-forward relocates it mid-transfer.  Foreground
+writes continue unimpeded: they land in the active epoch, which is by
+construction not on the frozen target path — the stream is a
+consistent cut without stalling I/O.
+
+Media faults during the send go through the device's normal read path:
+ECC-correctable errors are absorbed by the retry ladder and yield the
+corrected bytes — the stream digest cannot tell a corrected read from
+a clean one.  An *uncorrectable* winner is recorded in the device's
+damage manifest and aborts the send with a typed
+:class:`~repro.errors.ReplicationError`; the stream stays resumable
+from the last committed cursor, but this device genuinely cannot
+produce that block.
+
+Resume: pass the committed cursor; its acknowledged LBAs are
+subtracted from the recomputed plan (sound because a snapshot's
+winner *set* is frozen — only locations move) and the header announces
+how much the logical stream already acknowledged.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Generator, List, Optional, Tuple
+
+from repro.core.diff import changed_blocks_proc
+from repro.errors import ReplicationError, UncorrectableError
+from repro.replicate import stream
+from repro.replicate.cursor import ReplicationCursor
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.iosnap import IoSnapDevice
+
+
+def make_stream_id(base: Optional[str], target: str) -> str:
+    """Stable stream identity: resolved snapshot names, not refs."""
+    return f"{base if base is not None else '<empty>'}=>{target}"
+
+
+def _segment_groups(source: "IoSnapDevice",
+                    winners: Dict[int, Tuple[int, int]],
+                    lbas: List[int]) -> List[Tuple[int, int, int, int]]:
+    """(segment_seq, ppn, lba, seq) for every block, in allocation order.
+
+    Extents are grouped per source segment and segments stream in
+    allocation-seq order — the order a log-structured reader is
+    cheapest in, and the order the paper's log scan visits media.
+    """
+    rows = []
+    for lba in lbas:
+        seq, ppn = winners[lba]
+        seg = source.log.segment_of(ppn)
+        rows.append((seg.seq, ppn, lba, seq))
+    rows.sort()
+    return rows
+
+
+def send_proc(source: "IoSnapDevice", base, target, emit, *,
+              resume: Optional[ReplicationCursor] = None,
+              cursor_every: int = 8, limiter=None) -> Generator:
+    """Stream ``base -> target`` through ``emit``; returns a report.
+
+    ``emit`` is a generator function taking one record; the driver
+    (:mod:`repro.replicate.transfer`) points it at a receiver and
+    handles cursor commits when cursor records pass through.
+    """
+    if cursor_every < 1:
+        raise ReplicationError(f"cursor_every must be >= 1: {cursor_every}")
+    base_snap = source.tree.resolve(base) if base is not None else None
+    target_snap = source.tree.resolve(target)
+    if target_snap.deleted:
+        raise ReplicationError(
+            f"cannot send deleted snapshot {target_snap.name!r}")
+    base_name = base_snap.name if base_snap is not None else None
+    stream_id = make_stream_id(base_name, target_snap.name)
+    if resume is not None and resume.stream_id != stream_id:
+        raise ReplicationError(
+            f"resume cursor is for stream {resume.stream_id!r}, "
+            f"not {stream_id!r}")
+
+    started = source.kernel.now
+    move_log = source.begin_scan()
+    try:
+        changes = yield from changed_blocks_proc(source, base, target,
+                                                 limiter)
+        acked_extents = (resume.acked_extent_lbas() if resume is not None
+                         else set())
+        acked_removes = (resume.acked_remove_lbas() if resume is not None
+                         else set())
+        copy_set = set(changes.copy)
+        remove_set = set(changes.removed)
+        if not (acked_extents <= copy_set and acked_removes <= remove_set):
+            raise ReplicationError(
+                f"resume cursor for {stream_id!r} acknowledges blocks "
+                "outside the recomputed changed-block set; the cursor "
+                "does not belong to this source state")
+        todo_copy = [lba for lba in changes.copy if lba not in acked_extents]
+        todo_remove = [lba for lba in changes.removed
+                       if lba not in acked_removes]
+
+        n = 0
+        bytes_sent = 0
+        sent_extents = 0
+        sent_removes = 0
+        since_cursor = 0
+
+        def _next_n() -> int:
+            nonlocal n
+            n += 1
+            return n
+
+        yield from emit(stream.header_record(
+            _next_n(), stream_id, base_name, target_snap.name,
+            base_snap.epoch if base_snap is not None else None,
+            target_snap.epoch, source.block_size, source.num_lbas,
+            changes.mode, len(changes.copy), len(changes.removed),
+            len(acked_extents), len(acked_removes)))
+
+        for seg_seq, ppn, lba, seq in _segment_groups(source,
+                                                      changes.winners,
+                                                      todo_copy):
+            try:
+                record = yield from source.nand.read_page(ppn)
+            except UncorrectableError as exc:
+                source.record_media_loss(ppn, reason="replication-send")
+                raise ReplicationError(
+                    f"winner for lba {lba} (ppn {ppn}) is uncorrectable; "
+                    f"send of {stream_id!r} aborted after "
+                    f"{sent_extents} extents") from exc
+            payload = source._payload(record)
+            yield from emit(stream.extent_record(_next_n(), lba, seq,
+                                                 seg_seq, payload))
+            bytes_sent += len(payload)
+            sent_extents += 1
+            since_cursor += 1
+            if since_cursor >= cursor_every:
+                yield from emit(stream.cursor_record(
+                    _next_n(), sent_extents, sent_removes))
+                since_cursor = 0
+
+        for lba in todo_remove:
+            yield from emit(stream.remove_record(_next_n(), lba))
+            sent_removes += 1
+            since_cursor += 1
+            if since_cursor >= cursor_every:
+                yield from emit(stream.cursor_record(
+                    _next_n(), sent_extents, sent_removes))
+                since_cursor = 0
+
+        if since_cursor:
+            yield from emit(stream.cursor_record(
+                _next_n(), sent_extents, sent_removes))
+        yield from emit(stream.end_record(
+            _next_n(), len(changes.copy), len(changes.removed)))
+    finally:
+        source.end_scan(move_log)
+
+    return {
+        "stream_id": stream_id,
+        "base": base_name,
+        "target": target_snap.name,
+        "mode": changes.mode,
+        "resumed": resume is not None,
+        "extent_total": len(changes.copy),
+        "remove_total": len(changes.removed),
+        "extents_sent": sent_extents,
+        "removes_sent": sent_removes,
+        "bytes_sent": bytes_sent,
+        "records_sent": n,
+        "scan_ns": changes.scan_ns,
+        "segments_skipped": changes.segments_skipped,
+        "pages_scanned": changes.pages_scanned,
+        "send_ns": source.kernel.now - started,
+    }

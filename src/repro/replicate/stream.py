@@ -1,0 +1,185 @@
+"""The replication record stream: format, integrity, digests.
+
+A send is a sequence of plain-dict records (JSON-shaped, payloads as
+``bytes``) so repro artifacts and tests can inspect them directly:
+
+``header``
+    Stream identity and geometry: stream id, base/target names and
+    epochs, block size, totals, and how much a resumed stream already
+    acknowledged.  Self-describing: a receiver needs nothing but the
+    stream itself (plus its cursor, when resuming).
+``extent``
+    One changed block: (lba, seq, payload).  ``seq`` is the winning
+    packet's sequence number — the multi-version lookup's proof of
+    *which* version this is.  Extents arrive grouped per source
+    segment in allocation-seq order.
+``remove``
+    One block the receiver must trim (deleted between base and
+    target).
+``cursor``
+    A watermark: everything before it may be durably acknowledged.
+    The driver commits the receiver's cursor to the durable store when
+    one passes (crash site ``send.cursor_commit``).
+``end``
+    Totals for the whole *logical* stream (acknowledged + sent).  No
+    stream is complete without one.
+
+Integrity is two-layered.  Each record carries a CRC32 over its
+canonical form (payload folded in by its own CRC) — wire corruption is
+detected record-by-record.  Content is guarded by an order-independent
+digest: each extent folds ``mix64(lba, crc32(payload))`` and each
+remove ``mix64(lba)`` into a 64-bit sum.  Order independence matters
+because a resumed send may emit the surviving records in a different
+segment order (the cleaner may have relocated winners between
+incarnations) while the logical content is identical; a commutative
+fold makes the digest a property of the *set*, and the cursor carries
+the partial sums so the total accumulates exactly once across
+incarnations.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Dict, Optional
+
+from repro.errors import ReplicationError
+
+STREAM_VERSION = 1
+_MASK64 = (1 << 64) - 1
+
+KIND_HEADER = "header"
+KIND_EXTENT = "extent"
+KIND_REMOVE = "remove"
+KIND_CURSOR = "cursor"
+KIND_END = "end"
+
+# Domain-separation salts so an extent of LBA x can never collide with
+# a remove of LBA x in the digest sum.
+_EXTENT_SALT = 0x5EED0E75
+_REMOVE_SALT = 0x0DE1E7ED
+
+
+def mix64(*values: int) -> int:
+    """Deterministic splitmix64-style hash (same idiom as repro.faults)."""
+    acc = 0x9E3779B97F4A7C15
+    for value in values:
+        acc = (acc ^ (value & _MASK64)) * 0xBF58476D1CE4E5B9 & _MASK64
+        acc = (acc ^ (acc >> 27)) * 0x94D049BB133111EB & _MASK64
+        acc ^= acc >> 31
+    return acc
+
+
+def payload_crc(payload: bytes) -> int:
+    return zlib.crc32(payload) & 0xFFFFFFFF
+
+
+def content_digest(lba: int, crc: int) -> int:
+    """Per-extent content digest: (lba, payload crc), deliberately
+    seq-free so it is recomputable from an activation readback — the
+    receiver's finalize re-derives the sum by *reading the snapshot it
+    just built* and compares against the accumulated stream value."""
+    return mix64(_EXTENT_SALT, lba, crc)
+
+
+def remove_digest(lba: int) -> int:
+    return mix64(_REMOVE_SALT, lba)
+
+
+def fold_digest(acc: int, digest: int) -> int:
+    """Commutative fold: a 64-bit sum over per-record digests."""
+    return (acc + digest) & _MASK64
+
+
+# ---------------------------------------------------------------------------
+# Record construction / integrity
+# ---------------------------------------------------------------------------
+def _canonical(record: Dict[str, Any]) -> bytes:
+    parts = []
+    for key in sorted(record):
+        if key == "crc":
+            continue
+        value = record[key]
+        if isinstance(value, (bytes, bytearray)):
+            value = f"crc32:{payload_crc(bytes(value))}"
+        parts.append(f"{key}={value!r}")
+    return ";".join(parts).encode()
+
+
+def seal(record: Dict[str, Any]) -> Dict[str, Any]:
+    """Stamp the record's CRC; returns the record for chaining."""
+    record["crc"] = zlib.crc32(_canonical(record)) & 0xFFFFFFFF
+    return record
+
+
+def check_record(record: Any) -> Dict[str, Any]:
+    """Validate one wire record; raises :class:`ReplicationError`."""
+    if not isinstance(record, dict) or "kind" not in record:
+        raise ReplicationError(f"malformed stream record: {record!r}")
+    crc = record.get("crc")
+    expect = zlib.crc32(_canonical(record)) & 0xFFFFFFFF
+    if crc != expect:
+        raise ReplicationError(
+            f"record CRC mismatch on {record.get('kind')!r} record "
+            f"n={record.get('n')} (got {crc}, computed {expect}): "
+            "the transfer is corrupt and must restart from the last "
+            "committed cursor")
+    return record
+
+
+def header_record(n: int, stream_id: str, base: Optional[str], target: str,
+                  base_epoch: Optional[int], target_epoch: int,
+                  block_size: int, num_lbas: int, mode: str,
+                  extent_total: int, remove_total: int,
+                  acked_extents: int, acked_removes: int) -> Dict[str, Any]:
+    return seal({
+        "kind": KIND_HEADER, "n": n, "version": STREAM_VERSION,
+        "stream_id": stream_id, "base": base, "target": target,
+        "base_epoch": base_epoch, "target_epoch": target_epoch,
+        "block_size": block_size, "num_lbas": num_lbas, "mode": mode,
+        "extent_total": extent_total, "remove_total": remove_total,
+        "acked_extents": acked_extents, "acked_removes": acked_removes,
+    })
+
+
+def extent_record(n: int, lba: int, seq: int, segment_seq: int,
+                  payload: bytes) -> Dict[str, Any]:
+    return seal({
+        "kind": KIND_EXTENT, "n": n, "lba": lba, "seq": seq,
+        "segment_seq": segment_seq, "length": len(payload),
+        "payload": payload,
+    })
+
+
+def remove_record(n: int, lba: int) -> Dict[str, Any]:
+    return seal({"kind": KIND_REMOVE, "n": n, "lba": lba})
+
+
+def cursor_record(n: int, extents_sent: int,
+                  removes_sent: int) -> Dict[str, Any]:
+    return seal({"kind": KIND_CURSOR, "n": n,
+                 "extents_sent": extents_sent,
+                 "removes_sent": removes_sent})
+
+
+def end_record(n: int, extent_total: int, remove_total: int) -> Dict[str, Any]:
+    return seal({"kind": KIND_END, "n": n,
+                 "extent_total": extent_total,
+                 "remove_total": remove_total})
+
+
+def corrupted(record: Dict[str, Any]) -> Dict[str, Any]:
+    """A corrupted *copy* of ``record`` (wire-fault injection for tests).
+
+    Flips one payload byte when there is a payload (the CRC stays the
+    sealed original, so the receiver's check must trip), otherwise
+    flips a CRC bit.
+    """
+    broken = dict(record)
+    payload = broken.get("payload")
+    if isinstance(payload, (bytes, bytearray)) and len(payload) > 0:
+        mutated = bytearray(payload)
+        mutated[0] ^= 0xFF
+        broken["payload"] = bytes(mutated)
+    else:
+        broken["crc"] = broken.get("crc", 0) ^ 1
+    return broken

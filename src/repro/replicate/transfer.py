@@ -1,0 +1,103 @@
+"""The transfer driver: sender -> receiver with durable cursor commits.
+
+``replicate_proc`` wires :func:`repro.replicate.send.send_proc` to a
+:class:`repro.replicate.receive.Receiver` over an in-process "wire"
+(the emit generator), and owns the durability protocol:
+
+1. the sender emits records; the receiver applies each synchronously
+   (this models a simple request/ack pipe — every emitted record is
+   acknowledged by the time emit returns);
+2. when a *cursor* record passes, the receiver folds its pending
+   applies into the acknowledged watermark, then the sender persists
+   that watermark — crash site ``send.cursor_commit`` fires
+   immediately before :meth:`CursorStore.commit`, so a cut there loses
+   at most one batch of progress, never applied data;
+3. after the end marker the receiver finalizes (snapshot create +
+   activation-readback digest verification) and the finalized cursor
+   is committed.
+
+Both devices live on one simulated kernel (one replication host); a
+power cut anywhere kills sender, receiver, and wire together, which is
+exactly the failure the resumable cursor exists for.  For wire-fault
+tests, ``corrupt_record=n`` corrupts the n-th record in flight: the
+receiver's CRC check aborts the transfer with a typed error while the
+committed cursor stays valid for a clean retry.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Generator, Optional
+
+from repro.errors import ReplicationError
+from repro.replicate import stream
+from repro.replicate.cursor import CursorStore
+from repro.replicate.receive import Receiver
+from repro.replicate.send import make_stream_id, send_proc
+from repro.torture import sites
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.iosnap import IoSnapDevice
+
+_SEND_CURSOR_COMMIT_PRE = sites.SEND_CURSOR_COMMIT + ":" + sites.PHASE_PRE
+
+
+def replicate(source: "IoSnapDevice", sink: "IoSnapDevice", base, target,
+              store: CursorStore, **kwargs) -> Dict[str, Any]:
+    """Synchronous façade for :func:`replicate_proc`."""
+    return source.kernel.run_process(
+        replicate_proc(source, sink, base, target, store, **kwargs),
+        name="replicate")
+
+
+def replicate_proc(source: "IoSnapDevice", sink: "IoSnapDevice",
+                   base, target, store: CursorStore, *,
+                   cursor_every: int = 8, limiter=None,
+                   corrupt_record: Optional[int] = None,
+                   verify: bool = True) -> Generator:
+    """Send ``base -> target`` from ``source`` into ``sink``.
+
+    Resumes automatically: if ``store`` holds a committed, unfinalized
+    cursor for this stream, the transfer restarts from its watermark.
+    Returns a merged report (send stats + finalize verification).
+    """
+    if source is sink:
+        raise ReplicationError("source and sink must be distinct devices")
+    if source.kernel is not sink.kernel:
+        raise ReplicationError(
+            "source and sink must share one simulated kernel (one host)")
+    base_name = (source.tree.resolve(base).name
+                 if base is not None else None)
+    target_name = source.tree.resolve(target).name
+    stream_id = make_stream_id(base_name, target_name)
+    prior = store.load(stream_id)
+    if prior is not None and prior.finalized:
+        raise ReplicationError(
+            f"stream {stream_id!r} already replicated (cursor finalized); "
+            "delete the cursor to re-send")
+    receiver = Receiver(sink, stream_id, base_name, target_name,
+                        resume=prior)
+
+    def emit(record: Dict[str, Any]) -> Generator:
+        wire = record
+        if corrupt_record is not None and record["n"] == corrupt_record:
+            wire = stream.corrupted(record)
+        result = yield from receiver.apply_record_proc(wire)
+        if record["kind"] == stream.KIND_CURSOR:
+            # The receiver acknowledged the batch; persist the
+            # watermark.  ``pre`` cut semantics: nothing durable
+            # happened yet, the batch is simply re-sent on resume.
+            source.nand.power_check(_SEND_CURSOR_COMMIT_PRE)
+            store.commit(receiver.state())
+        return result
+
+    send_report = yield from send_proc(source, base, target, emit,
+                                       resume=prior,
+                                       cursor_every=cursor_every,
+                                       limiter=limiter)
+    finalize_report = yield from receiver.finalize_proc(verify=verify)
+    store.commit(receiver.state())
+    return {
+        **send_report,
+        "finalize": finalize_report,
+        "cursor": receiver.state().as_dict(),
+    }

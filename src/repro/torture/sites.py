@@ -70,6 +70,20 @@ RECOVERY_ERASE = "recovery.erase"
 # Background media scrubber rewriting a high-error page (see
 # repro.ftl.scrub); only reachable when a fault model is attached.
 SCRUB_COPY = "scrub.copy"
+# Snapshot replication (repro.replicate).  All three are commit-style
+# (``pre`` only): the durable effect either happened entirely or not at
+# all, and the underlying media mutations (receiver writes/trims, the
+# finalize snapshot note) carry their own phased sites.
+#   send.cursor_commit  the sender is about to persist the watermark of
+#                       receiver-acknowledged records; a cut here loses
+#                       the batch's progress, never its data.
+#   recv.apply          the receiver is about to apply one extent or
+#                       remove record to its device.
+#   recv.finalize       the receiver is about to materialize the
+#                       reconstructed snapshot and verify its digest.
+SEND_CURSOR_COMMIT = "send.cursor_commit"
+RECV_APPLY = "recv.apply"
+RECV_FINALIZE = "recv.finalize"
 # Raw-device defaults (callers that bypass the log, and the device's
 # own keyword defaults).
 NAND_PROGRAM = "nand.program"
@@ -98,6 +112,9 @@ SITE_PHASES: Dict[str, Tuple[str, ...]] = {
     CHECKPOINT_SUPERBLOCK: COMMIT_PHASES,
     RECOVERY_ERASE: ERASE_PHASES,
     SCRUB_COPY: PROGRAM_PHASES,
+    SEND_CURSOR_COMMIT: COMMIT_PHASES,
+    RECV_APPLY: COMMIT_PHASES,
+    RECV_FINALIZE: COMMIT_PHASES,
     NAND_PROGRAM: PROGRAM_PHASES,
     NAND_ERASE: ERASE_PHASES,
     BASELINE_PROGRAM: PROGRAM_PHASES,

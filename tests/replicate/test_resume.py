@@ -1,0 +1,85 @@
+"""Cut-and-resume: power loss mid-transfer at every replication site."""
+
+import pytest
+
+from repro.replicate.harness import (
+    ReplicationSpec,
+    enumerate_replication_sites,
+    replication_site_targets,
+    run_replication_case,
+)
+from repro.torture import sites
+
+SPEC = ReplicationSpec()
+
+
+def _assert_recovered(outcome):
+    assert outcome.fired, "the armed cut never fired"
+    assert outcome.resumed
+    assert not outcome.failures, outcome.failures
+
+
+class TestSiteEnumeration:
+    def test_transfer_visits_every_replication_site(self):
+        kinds = {t[0].split(":")[0]
+                 for t in replication_site_targets(
+                     enumerate_replication_sites(SPEC))}
+        assert kinds == {sites.SEND_CURSOR_COMMIT, sites.RECV_APPLY,
+                         sites.RECV_FINALIZE}
+
+    def test_enumeration_is_deterministic(self):
+        assert (enumerate_replication_sites(SPEC)
+                == enumerate_replication_sites(SPEC))
+
+
+class TestTargetedCuts:
+    @pytest.mark.parametrize("site", [
+        sites.SEND_CURSOR_COMMIT + ":pre",
+        sites.RECV_APPLY + ":pre",
+        sites.RECV_FINALIZE + ":pre",
+    ])
+    def test_cut_at_replication_site_resumes_clean(self, site):
+        _assert_recovered(run_replication_case(SPEC, target=(site, 1)))
+
+    def test_cut_at_receiver_write_resumes_clean(self):
+        # The receiver's applies carry the device's own phased sites;
+        # a cut inside a durable write must also leave a resumable pair.
+        _assert_recovered(
+            run_replication_case(SPEC, target=("write.data:mid", 3)))
+
+    def test_cut_late_in_transfer_resumes_clean(self):
+        targets = replication_site_targets(
+            enumerate_replication_sites(SPEC))
+        last_apply = max(occ for site, occ in targets
+                         if site == sites.RECV_APPLY + ":pre")
+        _assert_recovered(run_replication_case(
+            SPEC, target=(sites.RECV_APPLY + ":pre", last_apply)))
+
+    def test_resume_skips_acknowledged_work(self):
+        outcome = run_replication_case(
+            SPEC, target=(sites.SEND_CURSOR_COMMIT + ":pre", 3))
+        _assert_recovered(outcome)
+        resumed = [r for r in outcome.reports if r["resumed"]]
+        assert resumed, "no stream actually resumed from a cursor"
+        report = resumed[0]
+        assert report["extents_sent"] < report["extent_total"]
+
+    def test_unreached_target_completes_clean(self):
+        outcome = run_replication_case(
+            SPEC, target=(sites.RECV_FINALIZE + ":pre", 999))
+        assert not outcome.fired
+        assert not outcome.failures, outcome.failures
+
+
+@pytest.mark.torture
+class TestExhaustiveSweep:
+    def test_every_replication_site_occurrence(self):
+        failures = []
+        for target in replication_site_targets(
+                enumerate_replication_sites(SPEC)):
+            outcome = run_replication_case(SPEC, target=target)
+            if not outcome.fired:
+                failures.append(f"{target}: never fired")
+            elif outcome.failures:
+                failures.append(f"{target}: {outcome.failures}")
+        assert not failures, failures

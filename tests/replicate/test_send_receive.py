@@ -1,0 +1,204 @@
+"""Send/receive integration: full sends, incremental chains, errors."""
+
+import pytest
+
+from repro.core.diff import changed_blocks, snapshot_diff
+from repro.errors import ReplicationError
+from repro.replicate import CursorStore, make_stream_id, replicate
+from repro.sim import Kernel
+from tests.conftest import make_iosnap
+
+
+def make_pair(kernel):
+    return make_iosnap(kernel), make_iosnap(kernel)
+
+
+def fill(device, lbas, tag="v1"):
+    for lba in lbas:
+        device.write(lba, f"{tag}-{lba}".encode())
+
+
+def digests(device, name):
+    activated = device.snapshot_activate(name)
+    try:
+        return activated.content_digests()
+    finally:
+        device.snapshot_deactivate(activated)
+
+
+class TestFullSend:
+    def test_reconstructs_content(self, kernel):
+        source, sink = make_pair(kernel)
+        fill(source, range(8))
+        source.snapshot_create("s")
+        store = CursorStore()
+        report = replicate(source, sink, None, "s", store)
+        assert report["extent_total"] == 8
+        assert report["extents_sent"] == 8
+        assert report["mode"] == "delta"
+        assert report["finalize"]["verified"]
+        assert store.load(make_stream_id(None, "s")).finalized
+        assert digests(sink, "s") == digests(source, "s")
+        activated = sink.snapshot_activate("s")
+        try:
+            assert activated.read(3).startswith(b"v1-3")
+        finally:
+            sink.snapshot_deactivate(activated)
+
+    def test_send_is_consistent_under_live_writes(self, kernel):
+        # Foreground writes after the snapshot land in the active epoch
+        # and must not leak into the stream.
+        source, sink = make_pair(kernel)
+        fill(source, range(6))
+        source.snapshot_create("s")
+        before = digests(source, "s")
+        fill(source, range(6), tag="after")
+        replicate(source, sink, None, "s", CursorStore())
+        assert digests(sink, "s") == before
+
+
+class TestIncrementalChain:
+    def _chain(self, kernel):
+        source, sink = make_pair(kernel)
+        fill(source, range(10))
+        source.snapshot_create("a")
+        fill(source, [2, 5, 7], tag="v2")
+        fill(source, [11], tag="v2")
+        source.trim(4)
+        source.snapshot_create("b")
+        return source, sink
+
+    def test_chain_transfers_delta_and_removes(self, kernel):
+        source, sink = self._chain(kernel)
+        store = CursorStore()
+        full = replicate(source, sink, None, "a", store)
+        incr = replicate(source, sink, "a", "b", store)
+        assert incr["mode"] == "delta"
+        # Only the dirty blocks ride the incremental stream.
+        assert incr["extent_total"] == 4
+        assert incr["remove_total"] == 1
+        assert incr["extent_total"] < full["extent_total"] + 1 + 4
+        assert digests(sink, "a") == digests(source, "a")
+        assert digests(sink, "b") == digests(source, "b")
+        activated = sink.snapshot_activate("b")
+        try:
+            assert activated.map.get(4) is None  # trimmed block unmapped
+            assert activated.read(5).startswith(b"v2-5")
+        finally:
+            sink.snapshot_deactivate(activated)
+
+    def test_incremental_needs_base_on_receiver(self, kernel):
+        source, sink = self._chain(kernel)
+        with pytest.raises(ReplicationError, match="base snapshot"):
+            replicate(source, sink, "a", "b", CursorStore())
+
+    def test_finalized_stream_cannot_resend(self, kernel):
+        source, sink = self._chain(kernel)
+        store = CursorStore()
+        replicate(source, sink, None, "a", store)
+        with pytest.raises(ReplicationError, match="finalized"):
+            replicate(source, sink, None, "a", store)
+
+
+class TestWireFaults:
+    def test_corruption_aborts_then_retry_resumes(self, kernel):
+        source, sink = make_pair(kernel)
+        fill(source, range(12))
+        source.snapshot_create("s")
+        store = CursorStore()
+        with pytest.raises(ReplicationError, match="CRC"):
+            replicate(source, sink, None, "s", store,
+                      cursor_every=3, corrupt_record=6)
+        # The committed cursor survived the abort; a clean retry
+        # resumes and sends only the unacknowledged remainder.
+        cursor = store.load(make_stream_id(None, "s"))
+        assert cursor is not None and not cursor.finalized
+        assert cursor.extents_acked > 0
+        report = replicate(source, sink, None, "s", store, cursor_every=3)
+        assert report["resumed"]
+        assert report["extents_sent"] == 12 - cursor.extents_acked
+        assert digests(sink, "s") == digests(source, "s")
+
+
+class TestGuards:
+    def test_source_must_not_be_sink(self, kernel):
+        source, _sink = make_pair(kernel)
+        fill(source, [0])
+        source.snapshot_create("s")
+        with pytest.raises(ReplicationError, match="distinct"):
+            replicate(source, source, None, "s", CursorStore())
+
+    def test_devices_must_share_a_kernel(self, kernel):
+        source, _ = make_pair(kernel)
+        other, _ = make_pair(Kernel())
+        fill(source, [0])
+        source.snapshot_create("s")
+        with pytest.raises(ReplicationError, match="kernel"):
+            replicate(source, other, None, "s", CursorStore())
+
+    def test_deleted_target_rejected(self, kernel):
+        source, sink = make_pair(kernel)
+        fill(source, [0])
+        source.snapshot_create("s")
+        source.snapshot_delete("s")
+        with pytest.raises(ReplicationError, match="deleted"):
+            replicate(source, sink, None, "s", CursorStore())
+
+    def test_cursor_every_validated(self, kernel):
+        source, sink = make_pair(kernel)
+        fill(source, [0])
+        source.snapshot_create("s")
+        with pytest.raises(ReplicationError, match="cursor_every"):
+            replicate(source, sink, None, "s", CursorStore(),
+                      cursor_every=0)
+
+
+class TestDiffPlanning:
+    """The satellite: the planner skips segments via the epoch index."""
+
+    def test_sparse_diff_skips_segments(self, kernel):
+        device = make_iosnap(kernel)
+        # Lots of pre-base history spread across many segments...
+        for i in range(300):
+            device.write(i % 40, f"old-{i}".encode())
+        device.snapshot_create("a")
+        # ...then a tiny delta.
+        fill(device, [1, 2], tag="new")
+        device.snapshot_create("b")
+        before = device.diff_counters["segments_skipped"]
+        changes = changed_blocks(device, "a", "b")
+        assert changes.mode == "delta"
+        assert sorted(changes.copy) == [1, 2]
+        assert changes.segments_skipped > 0
+        assert device.diff_counters["segments_skipped"] > before
+        assert device.diff_counters["diffs"] >= 1
+
+    def test_diff_summary_reports_extents_and_bytes(self, kernel):
+        device = make_iosnap(kernel)
+        fill(device, [0, 1, 2, 9])
+        device.snapshot_create("a")
+        fill(device, [1, 2, 9], tag="v2")
+        device.snapshot_create("b")
+        diff = snapshot_diff(device, "a", "b")
+        assert diff.extents() == [(1, 2), (9, 1)]
+        assert diff.extent_count == 2
+        assert diff.bytes_to_copy == 3 * device.block_size
+        summary = diff.summary()
+        assert "2 extents" in summary
+        assert f"{3 * device.block_size} bytes to copy" in summary
+
+    def test_diff_charges_simulated_scan_time(self, kernel):
+        device = make_iosnap(kernel)
+        fill(device, range(12))
+        device.snapshot_create("a")
+        fill(device, [3], tag="v2")
+        device.snapshot_create("b")
+        before = kernel.now
+        diff = snapshot_diff(device, "a", "b")
+        assert diff.scan_ns > 0
+        assert kernel.now - before >= diff.scan_ns
+        assert diff.header_batches > 0
+        # The cost lands in the profiling metrics too.
+        report = device.snap_metrics.diff_reports[-1]
+        assert report["scan_ns"] == diff.scan_ns
+        assert report["target"] == "b"

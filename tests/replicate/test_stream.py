@@ -1,0 +1,146 @@
+"""Wire-format unit tests: records, CRCs, digests, cursors, the store."""
+
+import itertools
+
+import pytest
+
+from repro.errors import ReplicationError
+from repro.replicate import stream
+from repro.replicate.cursor import (
+    CursorStore,
+    ReplicationCursor,
+    lbas_from_runs,
+    runs_from_lbas,
+)
+
+
+def _all_records():
+    return [
+        stream.header_record(1, "a=>b", "a", "b", 3, 7, 4096, 256,
+                             "delta", 10, 2, 0, 0),
+        stream.extent_record(2, 17, 99, 4, b"payload"),
+        stream.remove_record(3, 21),
+        stream.cursor_record(4, 2, 1),
+        stream.end_record(5, 10, 2),
+    ]
+
+
+class TestRecords:
+    def test_sealed_records_verify(self):
+        for record in _all_records():
+            assert stream.check_record(record) is record
+
+    def test_tampered_field_fails_crc(self):
+        record = stream.extent_record(2, 17, 99, 4, b"payload")
+        record["lba"] = 18
+        with pytest.raises(ReplicationError, match="CRC"):
+            stream.check_record(record)
+
+    def test_tampered_payload_fails_crc(self):
+        record = stream.extent_record(2, 17, 99, 4, b"payload")
+        record["payload"] = b"qayload"
+        with pytest.raises(ReplicationError, match="CRC"):
+            stream.check_record(record)
+
+    def test_corrupted_helper_always_detected(self):
+        for record in _all_records():
+            with pytest.raises(ReplicationError):
+                stream.check_record(stream.corrupted(record))
+
+    def test_corrupted_does_not_mutate_original(self):
+        record = stream.extent_record(2, 17, 99, 4, b"payload")
+        stream.corrupted(record)
+        assert stream.check_record(record) is record
+
+
+class TestDigests:
+    def test_extent_fold_is_order_independent(self):
+        parts = [stream.content_digest(lba, stream.payload_crc(payload))
+                 for lba, payload in
+                 [(1, b"a"), (9, b"b"), (4, b"c"), (200, b"d")]]
+        folds = set()
+        for perm in itertools.permutations(parts):
+            acc = 0
+            for part in perm:
+                acc = stream.fold_digest(acc, part)
+            folds.add(acc)
+        assert len(folds) == 1
+
+    def test_extent_and_remove_digests_disjoint(self):
+        # Same LBA must not produce colliding contributions across
+        # record kinds (the salts separate the domains).
+        crc = stream.payload_crc(b"")
+        assert stream.content_digest(5, crc) != stream.remove_digest(5)
+
+    def test_digest_sensitive_to_lba_and_content(self):
+        crc = stream.payload_crc(b"x")
+        assert stream.content_digest(1, crc) != stream.content_digest(2, crc)
+        assert (stream.content_digest(1, stream.payload_crc(b"x"))
+                != stream.content_digest(1, stream.payload_crc(b"y")))
+
+
+class TestRuns:
+    def test_round_trip(self):
+        lbas = [0, 1, 2, 9, 11, 12, 40]
+        runs = runs_from_lbas(lbas)
+        assert runs == [[0, 3], [9, 1], [11, 2], [40, 1]]
+        assert sorted(lbas_from_runs(runs)) == lbas
+
+    def test_merges_duplicates_and_unsorted_input(self):
+        assert runs_from_lbas([5, 3, 4, 4, 3]) == [[3, 3]]
+
+    def test_empty(self):
+        assert runs_from_lbas([]) == []
+        assert list(lbas_from_runs([])) == []
+
+
+class TestCursorStore:
+    def _cursor(self, **overrides):
+        cursor = ReplicationCursor(stream_id="a=>b", base="a", target="b")
+        for key, value in overrides.items():
+            setattr(cursor, key, value)
+        return cursor
+
+    def test_commit_deep_copies(self):
+        store = CursorStore()
+        cursor = self._cursor(extents_acked=3, acked_extents=[[0, 3]])
+        store.commit(cursor)
+        cursor.extents_acked = 99
+        cursor.acked_extents[0][1] = 99
+        loaded = store.load("a=>b")
+        assert loaded.extents_acked == 3
+        assert loaded.acked_extents == [[0, 3]]
+
+    def test_load_returns_fresh_copies(self):
+        store = CursorStore()
+        store.commit(self._cursor(extents_acked=3))
+        store.load("a=>b").extents_acked = 99
+        assert store.load("a=>b").extents_acked == 3
+
+    def test_missing_stream_is_none(self):
+        assert CursorStore().load("nope") is None
+
+    def test_identity_change_rejected(self):
+        store = CursorStore()
+        store.commit(self._cursor())
+        impostor = ReplicationCursor(stream_id="a=>b", base=None, target="b")
+        with pytest.raises(ReplicationError, match="identity"):
+            store.commit(impostor)
+
+    def test_round_trip_as_dict(self):
+        store = CursorStore()
+        store.commit(self._cursor(extents_acked=2, extent_digest=0xdead,
+                                  acked_extents=[[4, 2]], finalized=True))
+        clone = CursorStore.from_dict(store.as_dict())
+        assert clone.streams() == ["a=>b"]
+        loaded = clone.load("a=>b")
+        assert loaded.extent_digest == 0xdead
+        assert loaded.finalized
+
+    def test_cursor_dict_round_trip(self):
+        cursor = self._cursor(extents_acked=2, removes_acked=1,
+                              extent_digest=7, remove_digest=9,
+                              acked_extents=[[0, 2]],
+                              acked_removes=[[5, 1]], finalized=True)
+        clone = ReplicationCursor.from_dict(cursor.as_dict())
+        assert clone.as_dict() == cursor.as_dict()
