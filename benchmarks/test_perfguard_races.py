@@ -1,0 +1,24 @@
+"""Benchmark: race-instrumentation overhead floor (PR 8 perfguard).
+
+The data-path ``races.note`` guards must be free when ``REPRO_RACES``
+is unset: the estimated disabled-path cost (guard-site count times the
+measured per-check price, a deliberate over-estimate) has to stay
+under 5% of the fig12 wall clock.  The guard-site count being nonzero
+is asserted too — zero would mean the instrumentation silently fell
+out of the write path and the detector is blind.
+"""
+
+from repro.bench.races_guard import OVERHEAD_CEILING, run
+
+
+def test_disabled_race_instrumentation_is_free(benchmark):
+    report = benchmark.pedantic(run, kwargs={"smoke": True, "rounds": 2},
+                                rounds=1, iterations=1)
+    assert report["guard_sites"] > 0, \
+        "fig12 never evaluated a races.note guard: instrumentation gone"
+    assert report["overhead_ratio"] < OVERHEAD_CEILING, (
+        f"disabled-path overhead estimate "
+        f"{report['overhead_ratio'] * 100:.2f}% exceeds "
+        f"{OVERHEAD_CEILING * 100:.0f}% of fig12 "
+        f"({report['disabled_s']:.3f}s)")
+    assert report["passed"]

@@ -62,14 +62,16 @@ class LintEngine:
         return unique
 
     # -- per-file --------------------------------------------------------
-    def lint_file(self, path: "str | Path",
-                  result: LintResult) -> List[Violation]:
+    def lint_file(self, path: "str | Path", result: LintResult,
+                  indexes: "Optional[dict]" = None) -> List[Violation]:
         try:
             module = ModuleSource.load(path)
         except (OSError, SyntaxError, ValueError) as exc:
             result.errors.append(f"{path}: {exc}")
             return []
         index = pragmas.collect(module)
+        if indexes is not None:
+            indexes[module.display] = index
         found: List[Violation] = list(index.violations)
         for rule in self.rules:
             for violation in rule.check(module):
@@ -85,8 +87,21 @@ class LintEngine:
             baseline_path: Optional["str | Path"] = None) -> LintResult:
         result = LintResult()
         violations: List[Violation] = []
+        indexes: dict = {}
+        for rule in self.rules:
+            rule.begin()
         for file in self.collect_files(paths):
-            violations.extend(self.lint_file(file, result))
+            violations.extend(self.lint_file(file, result, indexes))
+        # Whole-program rules report after every file has been seen;
+        # their findings honor the pragmas of the module they blame.
+        for rule in self.rules:
+            for module, violation in rule.finish():
+                index = indexes.get(module.display)
+                if index is not None \
+                        and index.suppresses(violation.line, violation.code):
+                    result.suppressed_by_pragma += 1
+                else:
+                    violations.append(violation)
         violations.sort(key=_sort_key)
         if baseline_path is not None:
             try:

@@ -29,6 +29,9 @@ PRAGMA_CODES: Dict[str, str] = {
     "allow-epoch-float": "IOL005",
     "allow-unbalanced-acquire": "IOL006",
     "allow-media-swallow": "IOL007",
+    "allow-lock-order": "IOL008",
+    "allow-yield-straddle": "IOL009",
+    "allow-handler-acquire": "IOL010",
 }
 
 _MARKER_RE = re.compile(r"#\s*lint:\s*(?P<body>.*)$")

@@ -16,8 +16,11 @@ from repro.lint.rules.cow_discipline import CowDisciplineRule
 from repro.lint.rules.crash_sites import CrashSiteRule
 from repro.lint.rules.determinism import DeterminismRule
 from repro.lint.rules.epoch_hygiene import EpochHygieneRule
+from repro.lint.rules.handler_acquire import HandlerAcquireRule
+from repro.lint.rules.lock_order import LockOrderRule
 from repro.lint.rules.media_discipline import MediaDisciplineRule
 from repro.lint.rules.resource_pairing import ResourcePairingRule
+from repro.lint.rules.yield_discipline import YieldDisciplineRule
 
 ALL_RULES: List[Rule] = [
     CrashSiteRule(),
@@ -27,6 +30,9 @@ ALL_RULES: List[Rule] = [
     EpochHygieneRule(),
     ResourcePairingRule(),
     MediaDisciplineRule(),
+    LockOrderRule(),
+    YieldDisciplineRule(),
+    HandlerAcquireRule(),
 ]
 
 

@@ -3,22 +3,36 @@
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Tuple
 
 from repro.lint.source import ModuleSource
 from repro.lint.violations import Violation
 
 
 class Rule:
-    """One invariant, one code, one pragma."""
+    """One invariant, one code, one pragma.
+
+    Most rules are purely per-module (``check``).  Whole-program rules
+    (the lock-order graph) additionally accumulate state across
+    ``check`` calls and emit findings from ``finish``; ``begin`` resets
+    them at the start of each engine run (rule instances are shared).
+    """
 
     code: str = "IOL???"
     name: str = ""
     description: str = ""
     pragma: str = ""
 
+    def begin(self) -> None:
+        """Reset any cross-module state; called once per engine run."""
+
     def check(self, module: ModuleSource) -> Iterator[Violation]:
         raise NotImplementedError
+
+    def finish(self) -> Iterator[Tuple[ModuleSource, Violation]]:
+        """Cross-module findings, paired with the module they blame
+        (so the engine can apply that module's pragmas)."""
+        return iter(())
 
     def violation(self, module: ModuleSource, node: ast.AST, message: str,
                   line: Optional[int] = None) -> Violation:

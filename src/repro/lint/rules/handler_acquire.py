@@ -1,0 +1,75 @@
+"""IOL010 — no blocking acquire inside except/finally.
+
+A power cut is delivered as :class:`~repro.errors.PowerLossError`
+thrown *into* the victim generator at its current yield.  Cleanup code
+then runs in ``except``/``finally`` blocks — and if that cleanup parks
+on ``yield lock.acquire()``, the unwind stalls on a lock whose holder
+may itself be unwinding (or already killed with the lock stranded).
+The torture rig sees a hang at virtual-time infinity instead of a
+clean fault report.
+
+Cleanup must be non-blocking: ``try_acquire()`` and give up, hand the
+work to a supervising process, or release-only.  The rare handler that
+*provably* runs with no power-cut site in scope carries
+``# lint: allow-handler-acquire(reason)`` on the yield line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.lint import astutil
+from repro.lint.rules import lockmodel
+from repro.lint.rules.base import Rule
+from repro.lint.source import ModuleSource
+from repro.lint.violations import Violation
+
+
+class HandlerAcquireRule(Rule):
+    code = "IOL010"
+    name = "handler-acquire"
+    description = ("no blocking 'yield x.acquire()' inside except or "
+                   "finally blocks, where a power-loss unwind could "
+                   "strand the wait")
+    pragma = "allow-handler-acquire"
+
+    def check(self, module: ModuleSource) -> Iterator[Violation]:
+        if not module.package_rel.startswith(lockmodel.SCOPED_DIRS) \
+                or module.package_rel in lockmodel.IMPLEMENTATION_MODULES:
+            return
+        for func in astutil.functions(module.tree):
+            yield from self._check_function(module, func)
+
+    def _check_function(self, module: ModuleSource,
+                        func: ast.AST) -> Iterator[Violation]:
+        cleanup: Set[int] = set()
+        where: dict = {}
+        for node in astutil.walk_own(func):
+            if isinstance(node, ast.Try):
+                for handler in node.handlers:
+                    for stmt in handler.body:
+                        for sub in ast.walk(stmt):
+                            cleanup.add(id(sub))
+                            where[id(sub)] = "an except block"
+                for stmt in node.finalbody:
+                    for sub in ast.walk(stmt):
+                        cleanup.add(id(sub))
+                        where[id(sub)] = "a finally block"
+        if not cleanup:
+            return
+        for node in astutil.walk_own(func):
+            if not (isinstance(node, ast.Yield) and id(node) in cleanup):
+                continue
+            value = node.value
+            if isinstance(value, ast.Call) \
+                    and isinstance(value.func, ast.Attribute) \
+                    and value.func.attr == "acquire":
+                receiver = astutil.dotted(value.func.value) or "<resource>"
+                yield self.violation(
+                    module, node,
+                    f"blocking '{receiver}.acquire()' inside "
+                    f"{where[id(node)]}: a power-loss unwind running "
+                    f"this cleanup parks forever if the holder is also "
+                    f"unwinding; use try_acquire() or hand the work to "
+                    f"a supervisor")

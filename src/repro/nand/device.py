@@ -122,8 +122,10 @@ class NandDevice:
         # media-mutating operation consults it at named sites and a
         # firing cut raises PowerLossError, leaving realistic residue.
         self.power: Optional[Any] = None
-        self._channels = [Resource(kernel) for _ in range(self.geometry.channels)]
-        self._dies = [Resource(kernel) for _ in range(self.geometry.dies)]
+        self._channels = [Resource(kernel, name=f"nand.channel:{i}")
+                          for i in range(self.geometry.channels)]
+        self._dies = [Resource(kernel, name=f"nand.die:{i}")
+                      for i in range(self.geometry.dies)]
         # Hot-path precomputation: every NAND op resolves its (die,
         # channel) resource pair and pays a fixed-size bus transfer, so
         # do the geometry math and xfer_ns arithmetic once.
@@ -318,6 +320,12 @@ class NandDevice:
         self.power_check(site + ":post")
         if not die.try_acquire():  # lint: allow-unbalanced-acquire(die freed by the _ProgramFinish timer when the die-internal program completes)
             yield die.acquire()
+        # The acquirer returns with the die busy; ownership moves to
+        # the timer protocol so holder bookkeeping (kill sanitizer,
+        # deadlock reports) doesn't blame a process that already moved
+        # on — a queue worker killed by a power cut during the die-busy
+        # window holds nothing.
+        die.hand_off()
         if done is None:
             done = self.kernel.event()
         # Die-busy window: a plain timer callback, not a spawned

@@ -1,0 +1,71 @@
+"""CLI: schedule-perturbation race campaign (``python -m repro.races``).
+
+Runs seeded perturbed-schedule torture workloads with the lockset
+detector collecting, shrinks anything found, and exits non-zero with a
+JSON repro artifact on a finding:
+
+    PYTHONPATH=src python -m repro.races --sweep 50
+    PYTHONPATH=src python -m repro.races --seed 1234 --ops 120
+    PYTHONPATH=src python -m repro.races --sweep 50 --artifact races.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List
+
+from repro.races.explorer import SeedResult, explore_seed, sweep
+
+
+def _report(results: List[SeedResult], artifact: "str | None") -> int:
+    findings = [r.finding for r in results if r.finding is not None]
+    notes = sum(r.notes for r in results)
+    print(f"explored {len(results)} seed(s), "
+          f"{sum(r.ops for r in results)} op(s), "
+          f"{notes} instrumented access(es): "
+          f"{len(findings)} finding(s)")
+    for finding in findings:
+        summary = finding.detail.splitlines()[0]
+        print(f"  seed {finding.seed}: {finding.kind} "
+              f"({len(finding.ops)} op repro): {summary}")
+    if findings and artifact:
+        with open(artifact, "w", encoding="utf-8") as fh:
+            json.dump([f.as_dict() for f in findings], fh, indent=2)
+        print(f"wrote {artifact}")
+    return 1 if findings else 0
+
+
+def main(argv: "List[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.races",
+        description="seeded schedule-perturbation race explorer")
+    parser.add_argument("--sweep", type=int, metavar="N",
+                        help="explore N consecutive seeds (default: 1)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="first (or only) seed (default: 0)")
+    parser.add_argument("--ops", type=int, default=60,
+                        help="torture ops per seed (default: 60)")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="skip delta-debugging of findings")
+    parser.add_argument("--artifact", metavar="PATH",
+                        help="write JSON repros of findings to PATH")
+    args = parser.parse_args(argv)
+
+    shrink = not args.no_shrink
+    if args.sweep is not None:
+        results = sweep(args.sweep, ops=args.ops, start=args.seed,
+                        shrink=shrink,
+                        progress=lambda r: print(
+                            f"seed {r.seed}: {r.notes} access(es), "
+                            + ("CLEAN" if r.finding is None
+                               else f"FINDING ({r.finding.kind})"),
+                            flush=True))
+    else:
+        results = [explore_seed(args.seed, ops=args.ops, shrink=shrink)]
+    return _report(results, args.artifact)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,321 @@
+"""Eraser-style lockset race detection for the cooperative kernel.
+
+One detector instance attaches to one :class:`repro.sim.Kernel` as its
+``_race_hooks`` object.  The kernel and the resources call in on the
+scheduling slow paths:
+
+* ``on_resume(proc)`` — a process is about to be advanced one yield:
+  bump its vector-clock component.  Every resume is a scheduling
+  point, so the per-process clock counts *atomic sections*.
+* ``on_wake(src, dst)`` — ``dst`` was made runnable by ``src`` (event
+  trigger, join, spawn): merge ``src``'s clock into ``dst``'s.
+* ``on_acquire/on_release(resource, actor)`` — lockset maintenance;
+  only named :class:`~repro.sim.Lock` objects (capacity 1) enter
+  locksets.
+
+Instrumented accessors on registered shared state (see
+:mod:`repro.races.shared`) call :meth:`RaceDetector.note` with a key
+like ``"log.head:user"``.  Lockset-mode keys run the classic Eraser
+state machine (Virgin -> Exclusive -> Shared -> Shared-Modified, with
+the candidate set intersected on every access), adapted to cooperative
+scheduling in two ways: ownership transfers instead of sharing when
+the previous owner has finished or provably happens-before the new
+accessor, and a would-be report is downgraded to a fresh exclusive
+phase when every other recorded accessor is already dead (sequential
+reuse, not sharing).  Atomic-mode keys check for lost updates: a
+process that read the state, yielded, and wrote it back after another
+process wrote in between without a common lock.
+
+Reports carry both access stacks.  In strict mode (the default when
+``REPRO_RACES=1`` arms the hooks under a normal test run) the second
+access raises :class:`repro.errors.RaceError`; the explorer runs
+non-strict and collects.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.errors import RaceError
+from repro.races import shared
+
+_VIRGIN = 0
+_EXCLUSIVE = 1
+_SHARED = 2
+_SHARED_MOD = 3
+
+_STATE_NAMES = {_VIRGIN: "virgin", _EXCLUSIVE: "exclusive",
+                _SHARED: "shared", _SHARED_MOD: "shared-modified"}
+
+
+def _actor_name(actor: Any) -> str:
+    return actor.name if actor is not None else "<main>"
+
+
+def _stack(skip: int = 3, limit: int = 12) -> str:
+    """A trimmed textual stack of the access site."""
+    frames = traceback.format_stack()
+    return "".join(frames[:-skip][-limit:])
+
+
+@dataclass
+class Access:
+    """One recorded access, for race reports."""
+
+    actor: str
+    kind: str                    # "r" or "w"
+    epoch: int                   # the actor's vector-clock component
+    lockset: FrozenSet[str]
+    stack: str
+    actor_ref: Any = None        # the Process itself (not serialized)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"actor": self.actor, "kind": self.kind,
+                "epoch": self.epoch, "locks": sorted(self.lockset),
+                "stack": self.stack}
+
+
+@dataclass
+class RaceReport:
+    """A detected race: two conflicting accesses with no common lock."""
+
+    key: str
+    kind: str                    # "lockset" or "lost-update"
+    first: Access
+    second: Access
+    detail: str = ""
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"key": self.key, "kind": self.kind, "detail": self.detail,
+                "first": self.first.as_dict(),
+                "second": self.second.as_dict()}
+
+    def message(self) -> str:
+        return (
+            f"race on {self.key!r} ({self.kind}): {self.detail}\n"
+            f"-- first access: {self.first.kind} by {self.first.actor!r} "
+            f"at epoch {self.first.epoch} "
+            f"holding {sorted(self.first.lockset) or 'no locks'}:\n"
+            f"{self.first.stack}"
+            f"-- second access: {self.second.kind} by {self.second.actor!r} "
+            f"at epoch {self.second.epoch} "
+            f"holding {sorted(self.second.lockset) or 'no locks'}:\n"
+            f"{self.second.stack}")
+
+
+@dataclass
+class _LocksetState:
+    state: int = _VIRGIN
+    owner: Any = None
+    owner_had_write: bool = False
+    candidates: FrozenSet[str] = frozenset()
+    last: Optional[Access] = None
+    accessors: List[Any] = field(default_factory=list)
+    reported: bool = False
+
+
+@dataclass
+class _AtomicState:
+    version: int = 0
+    last_writer: Optional[Access] = None
+    # actor -> (version seen, actor epoch, Access) armed by a read.
+    armed: Dict[Any, Tuple[int, int, Access]] = field(default_factory=dict)
+    reported: bool = False
+
+
+class RaceDetector:
+    """Hooks + state for one kernel's race analysis."""
+
+    def __init__(self, kernel: Any, strict: bool = True) -> None:
+        self.kernel = kernel
+        self.strict = strict
+        self.reports: List[RaceReport] = []
+        self.notes = 0
+        # Per-actor vector clocks; an actor is a Process or None (the
+        # code running outside the loop, e.g. recovery).
+        self._vc: Dict[Any, Dict[Any, int]] = {}
+        # Per-actor held named-lock multiset.
+        self._locks: Dict[Any, Dict[str, int]] = {}
+        self._lockset_keys: Dict[str, _LocksetState] = {}
+        self._atomic_keys: Dict[str, _AtomicState] = {}
+
+    # -- kernel hooks ----------------------------------------------------
+    def on_resume(self, proc: Any) -> None:
+        clock = self._vc.get(proc)
+        if clock is None:
+            clock = self._vc[proc] = {}
+        clock[proc] = clock.get(proc, 0) + 1
+
+    def on_wake(self, src: Any, dst: Any) -> None:
+        if src is dst:
+            return
+        src_clock = self._vc.get(src)
+        if not src_clock:
+            return
+        dst_clock = self._vc.get(dst)
+        if dst_clock is None:
+            dst_clock = self._vc[dst] = {}
+        for actor, epoch in src_clock.items():
+            if dst_clock.get(actor, -1) < epoch:
+                dst_clock[actor] = epoch
+
+    def on_acquire(self, resource: Any, actor: Any) -> None:
+        if not resource.name or resource.capacity != 1:
+            return
+        held = self._locks.get(actor)
+        if held is None:
+            held = self._locks[actor] = {}
+        held[resource.name] = held.get(resource.name, 0) + 1
+
+    def on_release(self, resource: Any, actor: Any) -> None:
+        if not resource.name or resource.capacity != 1:
+            return
+        held = self._locks.get(actor)
+        if held is None:
+            return
+        count = held.get(resource.name, 0)
+        if count <= 1:
+            held.pop(resource.name, None)
+        else:
+            held[resource.name] = count - 1
+
+    # -- introspection ---------------------------------------------------
+    def epoch_of(self, actor: Any) -> int:
+        clock = self._vc.get(actor)
+        return clock.get(actor, 0) if clock else 0
+
+    def lockset_of(self, actor: Any) -> FrozenSet[str]:
+        held = self._locks.get(actor)
+        return frozenset(held) if held else frozenset()
+
+    def _happens_before(self, earlier: Access, later_actor: Any) -> bool:
+        """Did the ``earlier`` access happen-before ``later_actor``'s now?"""
+        clock = self._vc.get(later_actor)
+        if not clock:
+            return False
+        return clock.get(earlier.actor_ref, 0) >= earlier.epoch
+
+    # -- the checkers ----------------------------------------------------
+    def note(self, key: str, kind: str = "w") -> None:
+        """Record an access to registered shared state.
+
+        ``key`` is ``"<registry key>[:<instance>]"``; the registry entry
+        picks the checking mode.  ``kind`` is ``"r"`` or ``"w"``.
+        """
+        self.notes += 1
+        entry = shared.entry_for_note_key(key)
+        mode = entry.mode if entry is not None else shared.LOCKSET
+        actor = self.kernel.current
+        access = Access(actor=_actor_name(actor), kind=kind,
+                        epoch=self.epoch_of(actor),
+                        lockset=self.lockset_of(actor), stack=_stack(),
+                        actor_ref=actor)
+        if mode == shared.ATOMIC:
+            self._note_atomic(key, actor, access)
+        else:
+            self._note_lockset(key, actor, access)
+
+    def _report(self, report: RaceReport) -> None:
+        self.reports.append(report)
+        if self.strict:
+            raise RaceError(report.message())
+
+    def _note_lockset(self, key: str, actor: Any, access: Access) -> None:
+        if actor is None:
+            # Code outside the loop (recovery, checkpoint restore) is
+            # single-threaded by construction: no process runs
+            # concurrently with it.
+            return
+        st = self._lockset_keys.get(key)
+        if st is None:
+            st = self._lockset_keys[key] = _LocksetState()
+        if not any(a is actor for a in st.accessors):
+            st.accessors.append(actor)
+        if st.state == _VIRGIN:
+            st.state = _EXCLUSIVE
+            st.owner = actor
+            st.owner_had_write = access.kind == "w"
+            st.candidates = access.lockset
+        elif st.state == _EXCLUSIVE:
+            if actor is st.owner:
+                st.candidates &= access.lockset
+                st.owner_had_write |= access.kind == "w"
+            elif (st.owner._done
+                  or (st.last is not None
+                      and self._happens_before(st.last, actor))):
+                # Sequential hand-off, not sharing: re-own.
+                st.owner = actor
+                st.owner_had_write = access.kind == "w"
+                st.candidates = access.lockset
+                st.accessors = [actor]
+            else:
+                st.candidates &= access.lockset
+                st.owner_had_write |= access.kind == "w"
+                st.state = _SHARED_MOD if st.owner_had_write else _SHARED
+                self._check_lockset(key, st, access)
+        else:
+            st.candidates &= access.lockset
+            if access.kind == "w":
+                st.state = _SHARED_MOD
+            if st.state == _SHARED_MOD:
+                self._check_lockset(key, st, access)
+        st.last = access
+
+    def _check_lockset(self, key: str, st: _LocksetState,
+                       access: Access) -> None:
+        if st.candidates or st.reported:
+            return
+        live_others = [a for a in st.accessors
+                       if a is not self.kernel.current and not a._done]
+        if not live_others:
+            # Everyone else who ever touched this key is dead: this is
+            # sequential reuse, not sharing.  Start a fresh exclusive
+            # phase owned by the current accessor.
+            st.state = _EXCLUSIVE
+            st.owner = self.kernel.current
+            st.owner_had_write = access.kind == "w"
+            st.candidates = access.lockset
+            st.accessors = [self.kernel.current]
+            return
+        st.reported = True
+        first = st.last if st.last is not None else access
+        self._report(RaceReport(
+            key=key, kind="lockset", first=first, second=access,
+            detail="lockset intersection is empty in state "
+                   f"{_STATE_NAMES[st.state]}: no single lock protects "
+                   "every access"))
+
+    def _note_atomic(self, key: str, actor: Any, access: Access) -> None:
+        st = self._atomic_keys.get(key)
+        if st is None:
+            st = self._atomic_keys[key] = _AtomicState()
+        if access.kind == "r":
+            # Only reads arm: a blind write is last-writer-wins and
+            # legitimate (e.g. a fresh user write superseding a cleaner
+            # relocation); the hazard is read -> yield -> write-back.
+            st.armed[actor] = (st.version, access.epoch, access)
+            if len(st.armed) > 64:
+                for stale in [a for a in st.armed
+                              if a is not None and a._done]:
+                    del st.armed[stale]
+            return
+        rec = st.armed.pop(actor, None)
+        if rec is not None and not st.reported:
+            seen_version, seen_epoch, armed_access = rec
+            writer = st.last_writer
+            if (seen_version < st.version
+                    and access.epoch > seen_epoch
+                    and writer is not None
+                    and not (access.lockset & writer.lockset)):
+                st.reported = True
+                self._report(RaceReport(
+                    key=key, kind="lost-update", first=writer,
+                    second=access,
+                    detail=f"{access.actor!r} read this state at epoch "
+                           f"{seen_epoch}, yielded, and wrote it back "
+                           f"after {writer.actor!r} had written in "
+                           "between; the intervening update is lost"))
+        st.version += 1
+        st.last_writer = access

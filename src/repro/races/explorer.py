@@ -1,0 +1,160 @@
+"""Schedule-perturbation explorer: hunt races by shaking the scheduler.
+
+The kernel's ready queue is FIFO among same-timestamp items; real
+hardware owes no such courtesy.  Each seed here runs a torture
+workload on a kernel whose same-timestamp tiebreak is randomized
+(``Kernel(schedule_rng=...)``) with the lockset detector attached in
+collecting mode, so orderings the FIFO schedule can never produce get
+exercised.  Timed semantics are untouched — only the order of
+*simultaneously runnable* processes is perturbed, so every explored
+schedule is one the cooperative model permits.
+
+Findings (lockset/lost-update reports, deadlocks, sanitizer trips) are
+shrunk by re-running the same seed on op-subsets of the script
+(delta-debugging lite) and written as JSON repros:
+
+    {"seed": 7, "kind": "race", "ops": [...], "reports": [...]}
+
+Replaying a repro is ``explore_seed(seed, script=ops)`` — same seed,
+same perturbed schedule, same interleaving.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.core.iosnap import IoSnapConfig, IoSnapDevice
+from repro.errors import RaceError, SanitizerError
+from repro.races import runtime
+from repro.sim import Kernel, SimError
+from repro.torture.harness import TortureConfig, _apply_op
+from repro.torture.workload import generate_script
+
+#: Bound on shrink re-runs per finding; shrinking is best-effort.
+MAX_SHRINK_RUNS = 48
+
+
+@dataclass
+class Finding:
+    """One problem one seed surfaced (after shrinking)."""
+
+    seed: int
+    kind: str                    # "race" | "deadlock" | "sanitizer"
+    detail: str
+    ops: List[Any]
+    reports: List[Dict[str, Any]] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"seed": self.seed, "kind": self.kind, "detail": self.detail,
+                "ops": self.ops, "reports": self.reports}
+
+
+@dataclass
+class SeedResult:
+    seed: int
+    ops: int
+    notes: int                   # instrumented accesses the detector saw
+    finding: Optional[Finding] = None
+
+
+def _execute(seed: int, script: List[Any],
+             config: Optional[TortureConfig] = None
+             ) -> "tuple[Optional[Finding], int]":
+    """One perturbed run of ``script``; returns (finding, notes seen)."""
+    config = config or TortureConfig()
+    kernel = Kernel(schedule_rng=random.Random(seed))
+    detector = runtime.attach(kernel, strict=False)
+    device = IoSnapDevice.create(
+        kernel, config.nand_config(),
+        IoSnapConfig(parallel_heads=config.parallel_heads))
+    activations: Dict[str, Any] = {}
+    previous = runtime.enable(True)
+    try:
+        for index, op in enumerate(script):
+            try:
+                _apply_op(device, activations, op)
+            except SimError as exc:
+                return Finding(seed, "deadlock", str(exc),
+                               list(script[:index + 1])), detector.notes
+            except SanitizerError as exc:
+                return Finding(seed, "sanitizer", str(exc),
+                               list(script[:index + 1])), detector.notes
+            except RaceError as exc:
+                # strict=False collects instead of raising; belt and
+                # braces in case a caller re-armed strict mode.
+                return Finding(seed, "race", str(exc),
+                               list(script[:index + 1]),
+                               [r.as_dict() for r in detector.reports]
+                               ), detector.notes
+            if detector.reports:
+                return Finding(
+                    seed, "race", detector.reports[0].message(),
+                    list(script[:index + 1]),
+                    [r.as_dict() for r in detector.reports]), detector.notes
+    finally:
+        runtime.enable(previous)
+        runtime.detach(kernel)
+    return None, detector.notes
+
+
+def _shrink(finding: Finding, seed: int,
+            config: Optional[TortureConfig]) -> Finding:
+    """Delta-debug the op list: drop chunks while the finding persists."""
+    ops = list(finding.ops)
+    budget = MAX_SHRINK_RUNS
+    chunk = max(1, len(ops) // 2)
+    while chunk >= 1 and budget > 0:
+        index = 0
+        shrunk = False
+        while index < len(ops) and budget > 0:
+            candidate = ops[:index] + ops[index + chunk:]
+            if not candidate:
+                index += chunk
+                continue
+            budget -= 1
+            result, _notes = _execute(seed, candidate, config)
+            if result is not None and result.kind == finding.kind:
+                ops = candidate
+                finding = result
+                shrunk = True
+            else:
+                index += chunk
+        if not shrunk or chunk == 1:
+            chunk //= 2
+    return finding
+
+
+def explore_seed(seed: int, ops: int = 60,
+                 script: Optional[List[Any]] = None,
+                 config: Optional[TortureConfig] = None,
+                 shrink: bool = True) -> SeedResult:
+    """Run one perturbed-schedule campaign for ``seed``.
+
+    ``script`` overrides generation (that is how a JSON repro replays);
+    otherwise a seeded torture script of ``ops`` operations is used.
+    Shutdown is appended so checkpoint paths run under perturbation too.
+    """
+    if script is None:
+        script = generate_script(seed, length=ops, shutdown_prob=0.0)
+        script = script + [["shutdown"]]
+    finding, notes = _execute(seed, script, config)
+    if finding is not None and shrink:
+        finding = _shrink(finding, seed, config)
+    return SeedResult(seed=seed, ops=len(script), notes=notes,
+                      finding=finding)
+
+
+def sweep(seeds: int = 50, ops: int = 60, start: int = 0,
+          config: Optional[TortureConfig] = None,
+          shrink: bool = True,
+          progress: Optional[Any] = None) -> List[SeedResult]:
+    """Explore ``seeds`` consecutive seeds; returns every SeedResult."""
+    results: List[SeedResult] = []
+    for seed in range(start, start + seeds):
+        result = explore_seed(seed, ops=ops, config=config, shrink=shrink)
+        results.append(result)
+        if progress is not None:
+            progress(result)
+    return results

@@ -1,0 +1,141 @@
+"""The shared-state registry: what concurrency analysis watches.
+
+One declaration, consumed from three directions:
+
+* the **static** yield-discipline rule (IOL009) flags accesses to a
+  registered attribute that straddle a ``yield`` without a protecting
+  lock span, and writes to attributes with a *declared* lock class made
+  outside a span of that class;
+* the **static** lock-order rule (IOL008) classifies lock receivers via
+  :data:`LOCK_ATTRS` / :data:`LOCK_FACTORIES` to build the global
+  acquisition-order graph;
+* the **dynamic** detector (:mod:`repro.races.detector`) resolves a
+  runtime note key (``"log.head:user"``) back to its registry entry to
+  pick the checking mode.
+
+Two checking modes, because the kernel is cooperative:
+
+``lockset``
+    The state is guarded by real :class:`repro.sim.Lock` objects and
+    checked Eraser-style: the intersection of locksets over all
+    accessors must stay non-empty.
+
+``atomic``
+    The state is protected by *cooperative atomicity* — it is only
+    touched between two yields of one process — so there is no lock to
+    intersect.  The detector instead checks for lost updates: a process
+    that read the state, yielded, and writes it back after another
+    process wrote in between.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+#: Checking modes.
+LOCKSET = "lockset"
+ATOMIC = "atomic"
+
+
+@dataclass(frozen=True)
+class SharedState:
+    """One registered piece of shared FTL state."""
+
+    key: str                     # runtime note-key prefix ("log.head")
+    attrs: Tuple[str, ...]       # ``self.<attr>`` names the static rule watches
+    modules: Tuple[str, ...]     # package_rel paths that own the attrs
+    lock_class: Optional[str]    # declared protecting lock class, or None
+    mode: str                    # LOCKSET or ATOMIC
+    description: str
+
+
+REGISTRY: Tuple[SharedState, ...] = (
+    SharedState(
+        key="log.head",
+        attrs=("_open",),
+        modules=("ftl/log.py",),
+        lock_class=None,          # per-head instances; Eraser infers them
+        mode=LOCKSET,
+        description="per-head open-segment table: which segment each "
+                    "append head is filling and its write offset",
+    ),
+    SharedState(
+        key="log.free",
+        attrs=("_free", "_reserve"),
+        modules=("ftl/log.py",),
+        lock_class="log.free",
+        mode=LOCKSET,
+        description="striped segment allocator free/reserve pools",
+    ),
+    SharedState(
+        key="ftl.map",
+        attrs=("map",),
+        modules=("ftl/vsl.py", "core/iosnap.py"),
+        lock_class=None,
+        mode=ATOMIC,
+        description="forward map (LBA -> PPN B+ tree); cooperative "
+                    "atomicity: lookup and install never straddle a yield",
+    ),
+    SharedState(
+        key="ftl.validity",
+        attrs=("validity", "_seg_valid"),
+        modules=("ftl/vsl.py", "core/iosnap.py"),
+        lock_class=None,
+        mode=ATOMIC,
+        description="validity bitmap and per-segment valid counts",
+    ),
+    SharedState(
+        key="cow.bitmaps",
+        attrs=("_epoch_bitmaps",),
+        modules=("core/iosnap.py",),
+        lock_class=None,
+        mode=ATOMIC,
+        description="per-epoch CoW validity bitmaps",
+    ),
+    SharedState(
+        key="epoch.index",
+        attrs=("_epoch_index",),
+        modules=("core/iosnap.py",),
+        lock_class=None,
+        mode=ATOMIC,
+        description="durable per-segment epoch-summary index",
+    ),
+    SharedState(
+        key="replicate.cursor",
+        attrs=("_committed",),
+        modules=("replicate/cursor.py",),
+        lock_class=None,
+        mode=ATOMIC,
+        description="committed replication cursors (host watermark file)",
+    ),
+)
+
+#: key -> entry, for runtime note resolution.
+BY_KEY: Dict[str, SharedState] = {entry.key: entry for entry in REGISTRY}
+
+#: attr name -> entry, for the static rules.
+BY_ATTR: Dict[str, SharedState] = {
+    attr: entry for entry in REGISTRY for attr in entry.attrs
+}
+
+#: ``self.<attr>`` receivers that *are* locks, and their lock class.
+#: Die/channel queues are plain capacity-1 resources, not Locks, but
+#: they serialize all the same — the lock-order rule ranks them.
+LOCK_ATTRS: Dict[str, str] = {
+    "_head_locks": "log.head",
+    "_alloc_lock": "log.free",
+    "dies": "nand.die",
+    "channels": "nand.channel",
+}
+
+#: method/factory names whose return value is a lock of the given class.
+LOCK_FACTORIES: Dict[str, str] = {
+    "_lock_for": "log.head",
+}
+
+
+def entry_for_note_key(key: str) -> Optional[SharedState]:
+    """Resolve a runtime note key (``"log.head:user"``) to its entry."""
+    prefix = key.split(":", 1)[0]
+    return BY_KEY.get(prefix)

@@ -22,6 +22,8 @@ import heapq
 from collections import deque
 from typing import Any, Callable, Deque, Generator, List, Optional, Tuple
 
+from repro import sanitize
+
 
 class SimError(RuntimeError):
     """Raised for misuse of the simulation kernel."""
@@ -35,7 +37,8 @@ class Event:
     attached value (or exception).
     """
 
-    __slots__ = ("kernel", "_value", "_error", "_triggered", "_waiters")
+    __slots__ = ("kernel", "_value", "_error", "_triggered", "_waiters",
+                 "_resource")
 
     def __init__(self, kernel: "Kernel") -> None:
         self.kernel = kernel
@@ -43,6 +46,9 @@ class Event:
         self._error: Optional[BaseException] = None
         self._triggered = False
         self._waiters: List["Process"] = []
+        # Back-reference set by Resource.acquire(): lets the deadlock
+        # reporter say *which lock* a parked process is waiting on.
+        self._resource: Any = None
 
     @property
     def triggered(self) -> bool:
@@ -79,7 +85,7 @@ class Process:
     """A running generator coroutine inside the kernel."""
 
     __slots__ = ("kernel", "name", "_gen", "_done", "_result", "_error",
-                 "_error_observed", "_joiners")
+                 "_error_observed", "_joiners", "_waiting_on")
 
     def __init__(self, kernel: "Kernel", gen: Generator, name: str = "") -> None:
         self.kernel = kernel
@@ -90,6 +96,11 @@ class Process:
         self._error: Optional[BaseException] = None
         self._error_observed = False
         self._joiners: List["Process"] = []
+        # What this process last parked on (an Event or a Process).
+        # Only consulted by the deadlock reporter, which cross-checks
+        # against the event's live waiter list, so it is set when
+        # parking but never needs clearing on the hot resume path.
+        self._waiting_on: Any = None
 
     @property
     def done(self) -> bool:
@@ -122,6 +133,15 @@ class Process:
         if self._done:
             return
         self._gen.close()
+        if sanitize.enabled:
+            held = [res for res in self.kernel._resources
+                    if any(h is self for h in res._holders)]
+            sanitize.check(
+                not held,
+                f"process {self.name!r} killed with resources still held: "
+                + ", ".join(res.describe() for res in held)
+                + " (a finally-block release is missing, or the holder "
+                "should hand_off() before parking)")
         self._finish(None, None)
 
     def _add_joiner(self, proc: "Process") -> None:
@@ -135,6 +155,7 @@ class Process:
         self._done = True
         self._result = result
         self._error = error
+        self.kernel._procs.discard(self)
         if self._joiners:
             self._error_observed = self._error_observed or error is not None
             for joiner in self._joiners:
@@ -158,7 +179,7 @@ class Kernel:
     global FIFO the closure-based scheduler had.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, schedule_rng: Any = None) -> None:
         self._now = 0
         self._seq = 0
         # Timed work: (when, seq, proc, value, error).
@@ -167,6 +188,28 @@ class Kernel:
         # error).  Strictly drained before virtual time advances.
         self._ready: Deque[Tuple] = deque()
         self._failed: List[Process] = []
+        # The process whose generator is currently being advanced (None
+        # while running plain callables or code outside the loop).
+        # Resources read this to attribute acquires to their holder.
+        self.current: Optional[Process] = None
+        # Live (unfinished) processes, for the deadlock reporter.
+        self._procs: set = set()
+        # Every Resource constructed against this kernel (see
+        # repro.sim.resources) — scanned by the deadlock reporter and
+        # the kill sanitizer; both are cold paths.
+        self._resources: List[Any] = []
+        # Schedule perturbation (the repro.races explorer): a seeded
+        # random.Random-like object.  When set, the ready-deque pick is
+        # randomized among the zero-delay items at the current
+        # timestamp — every such interleaving is a legal cooperative
+        # schedule, so correctness must hold under all of them.  The
+        # kernel itself stays deterministic: it never constructs an
+        # RNG, it only consumes one handed in by the caller.
+        self._sched_rng = schedule_rng
+        # Race-detector hooks (repro.races.runtime installs these when
+        # REPRO_RACES=1): None means disarmed and costs one identity
+        # check on the scheduling slow paths.
+        self._race_hooks: Any = None
 
     @property
     def now(self) -> int:
@@ -181,8 +224,11 @@ class Kernel:
     def spawn(self, gen: Generator, name: str = "") -> Process:
         """Start ``gen`` as a new process, scheduled to run immediately."""
         proc = Process(self, gen, name=name)
+        self._procs.add(proc)
         self._seq += 1
         self._ready.append((self._seq, proc, None, None))
+        if self._race_hooks is not None:
+            self._race_hooks.on_wake(self.current, proc)
         return proc
 
     def timeout(self, delay: int) -> Event:
@@ -204,12 +250,20 @@ class Kernel:
         """Drain the event queue (optionally stopping at time ``until``)."""
         ready, queue = self._ready, self._queue
         heappop, popleft = heapq.heappop, ready.popleft
+        rng = self._sched_rng
         while ready or queue:
             if ready and (not queue or queue[0][0] > self._now
                           or queue[0][1] > ready[0][0]):
                 if until is not None and self._now > until:
                     break
-                _seq, proc, value, error = popleft()
+                if rng is None or len(ready) == 1:
+                    _seq, proc, value, error = popleft()
+                else:
+                    # Perturbed schedule: any zero-delay item at this
+                    # timestamp may legally run next.
+                    idx = rng.randrange(len(ready))
+                    _seq, proc, value, error = ready[idx]
+                    del ready[idx]
             else:
                 when = queue[0][0]
                 if until is not None and when > until:
@@ -217,11 +271,19 @@ class Kernel:
                 when, _seq, proc, value, error = heappop(queue)
                 self._now = when
             if proc is None:
+                self.current = None
                 value()
             else:
+                self.current = proc
+                # Read live (not cached): REPRO_RACES=1 attaches hooks
+                # lazily at the first instrumented access, mid-run.
+                hooks = self._race_hooks
+                if hooks is not None:
+                    hooks.on_resume(proc)
                 self._step(proc, value, error)
             if self._failed:
                 self._raise_unobserved()
+        self.current = None
         if until is not None and until > self._now:
             self._now = until
 
@@ -238,22 +300,95 @@ class Kernel:
         proc._error_observed = True
         ready, queue = self._ready, self._queue
         heappop, popleft = heapq.heappop, ready.popleft
+        rng = self._sched_rng
         while not proc._done and (ready or queue):
             if ready and (not queue or queue[0][0] > self._now
                           or queue[0][1] > ready[0][0]):
-                _seq, item, value, error = popleft()
+                if rng is None or len(ready) == 1:
+                    _seq, item, value, error = popleft()
+                else:
+                    idx = rng.randrange(len(ready))
+                    _seq, item, value, error = ready[idx]
+                    del ready[idx]
             else:
                 when, _seq, item, value, error = heappop(queue)
                 self._now = when
             if item is None:
+                self.current = None
                 value()
             else:
+                self.current = item
+                hooks = self._race_hooks
+                if hooks is not None:
+                    hooks.on_resume(item)
                 self._step(item, value, error)
             if self._failed:
                 self._raise_unobserved()
+        self.current = None
         if not proc._done:
-            raise SimError(f"process {proc.name!r} deadlocked (queue empty)")
+            raise SimError(self._deadlock_report(proc))
         return proc.result
+
+    # -- deadlock reporting ----------------------------------------------
+    def blocked_processes(self) -> List[Tuple[Process, Any]]:
+        """Live processes genuinely parked, with what they wait on.
+
+        A stale ``_waiting_on`` (the event has since triggered) is
+        filtered by cross-checking the target's live waiter list.
+        """
+        blocked: List[Tuple[Process, Any]] = []
+        for proc in self._procs:
+            target = proc._waiting_on
+            if isinstance(target, Event):
+                if not target._triggered \
+                        and any(w is proc for w in target._waiters):
+                    blocked.append((proc, target))
+            elif isinstance(target, Process):
+                if not target._done \
+                        and any(j is proc for j in target._joiners):
+                    blocked.append((proc, target))
+        blocked.sort(key=lambda pair: pair[0].name)
+        return blocked
+
+    def waits_for_graph(self) -> List[dict]:
+        """The waits-for graph as data: who waits on what, who holds it."""
+        graph: List[dict] = []
+        for proc, target in self.blocked_processes():
+            entry: dict = {"process": proc.name}
+            if isinstance(target, Process):
+                entry["waits_on"] = f"process {target.name!r}"
+                entry["holders"] = []
+            else:
+                res = target._resource
+                if res is None:
+                    entry["waits_on"] = "event"
+                    entry["holders"] = []
+                else:
+                    entry["waits_on"] = res.describe()
+                    entry["holders"] = [
+                        h.name if h is not None else "<main>"
+                        for h in res._holders]
+            graph.append(entry)
+        return graph
+
+    def _deadlock_report(self, root: Process) -> str:
+        lines = [f"process {root.name!r} deadlocked (no runnable work "
+                 f"left); waits-for graph:"]
+        graph = self.waits_for_graph()
+        for entry in graph:
+            holders = entry["holders"]
+            held = (" held by " + ", ".join(repr(h) for h in holders)
+                    if holders else " (not held by anyone)")
+            if entry["waits_on"] == "event":
+                held = ""
+                target = "an untriggered event"
+            else:
+                target = entry["waits_on"]
+            lines.append(f"  {entry['process']!r} waits on {target}{held}")
+        if not graph:
+            lines.append("  (no parked process found: the queue drained "
+                         "with the root process still unfinished)")
+        return "\n".join(lines)
 
     # -- internals -------------------------------------------------------
     def _push(self, delay: int, proc: Optional[Process], value: Any,
@@ -271,6 +406,8 @@ class Kernel:
         # Zero-delay resume: straight onto the ready deque, no heap op.
         self._seq += 1
         self._ready.append((self._seq, proc, value, error))
+        if self._race_hooks is not None:
+            self._race_hooks.on_wake(self.current, proc)
 
     def _note_unobserved_failure(self, proc: Process) -> None:
         self._failed.append(proc)
@@ -311,8 +448,10 @@ class Kernel:
                 heapq.heappush(self._queue,
                                (self._now + delay, self._seq, proc, None, None))
         elif isinstance(yielded, Event):
+            proc._waiting_on = yielded
             yielded._add_waiter(proc)
         elif isinstance(yielded, Process):
+            proc._waiting_on = yielded
             yielded._add_joiner(proc)
         else:
             self._step(

@@ -103,6 +103,68 @@ def test_iol007_fires_when_recovery_drops_the_retire_flag(box):
     assert "IOL007" in box.codes(mutated)
 
 
+def test_iol009_fires_when_append_drops_the_head_lock(box):
+    """The ISSUE acceptance mutation: un-lock the per-head append path.
+
+    Without the lock span the read of ``self._open`` before the ack
+    yield and the writeback after it straddle unprotected.
+    """
+    mutated = _mutate(
+        box, "ftl/log.py",
+        "        while True:\n"
+        "            if not lock.try_acquire():\n"
+        "                yield lock.acquire()\n"
+        "            wait_ev: Optional[Event] = None",
+        "        while True:\n"
+        "            wait_ev: Optional[Event] = None")
+    assert "IOL009" in box.codes(mutated)
+
+
+def test_iol009_fires_when_free_pool_span_is_stripped(box):
+    """The other acceptance mutation: naked free-list draws."""
+    mutated = _mutate(
+        box, "ftl/log.py",
+        "        if not self._alloc_lock.try_acquire():\n"
+        '            raise FtlError("allocator lock contended in '
+        '_pop_free_index: "\n'
+        '                           "a free-pool critical section grew a '
+        'yield")\n'
+        "        try:",
+        "        try:")
+    assert "IOL009" in box.codes(mutated)
+
+
+def test_iol008_fires_on_seeded_lock_inversion(box):
+    """Take a head lock inside the allocator span: free -> head edge,
+    while append() owns the established head -> free edge."""
+    mutated = _mutate(
+        box, "ftl/log.py",
+        '            if races.enabled:\n'
+        '                races.note(self.kernel, "log.free", "w")\n'
+        "            order = [(stripe + i) % self.num_stripes",
+        '            if races.enabled:\n'
+        '                races.note(self.kernel, "log.free", "w")\n'
+        '            hlock = self._lock_for("user")\n'
+        "            hlock.try_acquire()\n"
+        "            hlock.release()\n"
+        "            order = [(stripe + i) % self.num_stripes")
+    assert "IOL008" in box.codes(mutated)
+
+
+def test_iol010_fires_when_cleanup_blocks_on_a_lock(box):
+    mutated = _mutate(
+        box, "ftl/log.py",
+        "            finally:\n"
+        "                lock.release()\n"
+        "            started = self.kernel.now",
+        "            finally:\n"
+        "                yield lock.acquire()\n"
+        "                lock.release()\n"
+        "                lock.release()\n"
+        "            started = self.kernel.now")
+    assert "IOL010" in box.codes(mutated)
+
+
 @pytest.mark.parametrize("package_rel", [
     "ftl/cleaner.py", "torture/reduce.py", "sim/kernel.py",
     "core/snaptree.py", "nand/device.py", "core/cow_bitmap.py",

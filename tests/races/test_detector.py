@@ -1,0 +1,294 @@
+"""Unit tests for the Eraser-style lockset detector."""
+
+import pytest
+
+from repro.errors import RaceError
+from repro.races import runtime
+from repro.races.detector import RaceDetector
+from repro.sim import Kernel, Lock
+
+
+@pytest.fixture(autouse=True)
+def _armed():
+    previous = runtime.enable(True)
+    yield
+    runtime.enable(previous)
+
+
+def _attach(kernel, strict=False):
+    return runtime.attach(kernel, strict=strict)
+
+
+class TestLocksetMode:
+    KEY = "log.head:t"           # registered, lockset mode
+
+    def test_consistent_lock_is_clean(self, kernel):
+        det = _attach(kernel)
+        lock = Lock(kernel, name="log.head:t")
+        done = []
+
+        def worker(name):
+            if not lock.try_acquire():
+                yield lock.acquire()
+            try:
+                runtime.note(kernel, self.KEY, "w")
+                yield 10
+            finally:
+                lock.release()
+            yield 50            # stay alive past the other's access
+            done.append(name)
+
+        kernel.spawn(worker("a"), name="a")
+        kernel.spawn(worker("b"), name="b")
+        kernel.run()
+        assert done == ["a", "b"]
+        assert det.reports == []
+
+    def test_disjoint_locksets_report(self, kernel):
+        det = _attach(kernel)
+        la = Lock(kernel, name="bogus:1")
+        lb = Lock(kernel, name="bogus:2")
+
+        def worker(lock):
+            yield lock.acquire()
+            try:
+                runtime.note(kernel, self.KEY, "w")
+                yield 10
+                runtime.note(kernel, self.KEY, "w")
+            finally:
+                lock.release()
+            yield 50
+
+        kernel.spawn(worker(la), name="a")
+        kernel.spawn(worker(lb), name="b")
+        kernel.run()
+        assert len(det.reports) == 1
+        report = det.reports[0]
+        assert report.key == self.KEY
+        assert report.kind == "lockset"
+        assert "no single lock protects" in report.message()
+        assert {report.first.actor, report.second.actor} == {"a", "b"}
+        # Both stacks point at this file's worker.
+        assert "worker" in report.first.stack
+        assert "worker" in report.second.stack
+
+    def test_sequential_reuse_is_not_sharing(self, kernel):
+        """A dead actor's accesses transfer ownership, lock or no lock."""
+        det = _attach(kernel)
+
+        def worker():
+            runtime.note(kernel, self.KEY, "w")
+            yield 10
+            runtime.note(kernel, self.KEY, "w")
+
+        kernel.run_process(worker(), name="first")
+        kernel.run_process(worker(), name="second")
+        assert det.reports == []
+
+    def test_handoff_via_wake_edge_is_clean(self, kernel):
+        """Event-passed ownership (A triggers, B resumes) is ordered."""
+        det = _attach(kernel)
+        ev = kernel.event()
+
+        def producer():
+            runtime.note(kernel, self.KEY, "w")
+            ev.trigger()
+            yield 100            # still alive when consumer accesses
+
+        def consumer():
+            yield ev
+            runtime.note(kernel, self.KEY, "w")
+
+        kernel.spawn(consumer(), name="consumer")
+        kernel.spawn(producer(), name="producer")
+        kernel.run()
+        assert det.reports == []
+
+    def test_strict_mode_raises(self, kernel):
+        _attach(kernel, strict=True)
+
+        def worker(make_lock):
+            lock = make_lock()
+            yield lock.acquire()
+            try:
+                runtime.note(kernel, self.KEY, "w")
+                yield 10
+                runtime.note(kernel, self.KEY, "w")
+            finally:
+                lock.release()
+            yield 50
+
+        counter = iter(range(100))
+        pa = kernel.spawn(worker(lambda: Lock(
+            kernel, name=f"bogus:{next(counter)}")), name="a")
+        pb = kernel.spawn(worker(lambda: Lock(
+            kernel, name=f"bogus:{next(counter)}")), name="b")
+        pa._error_observed = pb._error_observed = True
+
+        def joiner():
+            yield pa
+            yield pb
+
+        with pytest.raises(RaceError, match="race on 'log.head:t'"):
+            kernel.run_process(joiner(), name="joiner")
+
+
+class TestAtomicMode:
+    KEY = "ftl.map:9"            # registered, atomic mode
+
+    def test_read_yield_writeback_reports_lost_update(self, kernel):
+        det = _attach(kernel)
+
+        def victim():
+            runtime.note(kernel, self.KEY, "r")
+            yield 10             # scheduling point between read and write
+            runtime.note(kernel, self.KEY, "w")
+
+        def interloper():
+            yield 5
+            runtime.note(kernel, self.KEY, "w")
+            yield 50
+
+        kernel.spawn(victim(), name="victim")
+        kernel.spawn(interloper(), name="interloper")
+        kernel.run()
+        assert len(det.reports) == 1
+        report = det.reports[0]
+        assert report.kind == "lost-update"
+        assert report.first.actor == "interloper"
+        assert report.second.actor == "victim"
+        assert "lost" in report.detail
+
+    def test_same_resume_read_modify_write_is_clean(self, kernel):
+        det = _attach(kernel)
+
+        def worker():
+            runtime.note(kernel, self.KEY, "r")
+            runtime.note(kernel, self.KEY, "w")   # same atomic section
+            yield 10
+
+        def other():
+            yield 5
+            runtime.note(kernel, self.KEY, "w")
+
+        kernel.spawn(worker(), name="w")
+        kernel.spawn(other(), name="o")
+        kernel.run()
+        assert det.reports == []
+
+    def test_blind_overwrite_is_clean(self, kernel):
+        """Last-writer-wins without a prior read is legitimate."""
+        det = _attach(kernel)
+
+        def writer(delay):
+            yield delay
+            runtime.note(kernel, self.KEY, "w")
+            yield 50
+
+        kernel.spawn(writer(1), name="a")
+        kernel.spawn(writer(2), name="b")
+        kernel.run()
+        assert det.reports == []
+
+    def test_common_lock_suppresses(self, kernel):
+        det = _attach(kernel)
+        lock = Lock(kernel, name="map.guard")
+
+        def worker():
+            yield lock.acquire()
+            try:
+                runtime.note(kernel, self.KEY, "r")
+                yield 10
+                runtime.note(kernel, self.KEY, "w")
+            finally:
+                lock.release()
+            yield 50
+
+        kernel.spawn(worker(), name="a")
+        kernel.spawn(worker(), name="b")
+        kernel.run()
+        assert det.reports == []
+
+
+class TestHooks:
+    def test_epochs_advance_per_resume(self, kernel):
+        det = _attach(kernel)
+        seen = []
+
+        def worker():
+            seen.append(det.epoch_of(kernel.current))
+            yield 1
+            seen.append(det.epoch_of(kernel.current))
+            yield 1
+            seen.append(det.epoch_of(kernel.current))
+
+        kernel.run_process(worker(), name="w")
+        assert seen == sorted(seen)
+        assert len(set(seen)) == 3
+
+    def test_lockset_tracks_named_locks_only(self, kernel):
+        det = _attach(kernel)
+        named = Lock(kernel, name="x")
+        anon = Lock(kernel)
+        out = []
+
+        def worker():
+            yield named.acquire()
+            yield anon.acquire()
+            out.append(det.lockset_of(kernel.current))
+            anon.release()
+            named.release()
+            out.append(det.lockset_of(kernel.current))
+
+        kernel.run_process(worker(), name="w")
+        assert out == [frozenset({"x"}), frozenset()]
+
+    def test_attach_seeds_locks_already_held(self, kernel):
+        """Lazy arming mid-span must reconstruct current holders."""
+        lock = Lock(kernel, name="pre")
+        out = []
+
+        def worker():
+            yield lock.acquire()
+            det = runtime.attach(kernel, strict=False)
+            out.append(det.lockset_of(kernel.current))
+            lock.release()
+
+        kernel.run_process(worker(), name="w")
+        assert out == [frozenset({"pre"})]
+
+    def test_unregistered_key_defaults_to_lockset_mode(self, kernel):
+        det = _attach(kernel)
+
+        def worker():
+            runtime.note(kernel, "no.such.key", "w")
+            yield 10
+            runtime.note(kernel, "no.such.key", "w")
+
+        kernel.run_process(worker(), name="w")
+        assert det.reports == []
+        assert det.notes == 2
+
+
+def test_runtime_note_lazily_attaches():
+    kernel = Kernel()
+
+    def worker():
+        runtime.note(kernel, "log.head:z", "w")
+        yield 1
+
+    kernel.run_process(worker(), name="w")
+    assert kernel._race_hooks is not None
+    assert kernel._race_hooks.notes == 1
+    runtime.detach(kernel)
+    assert kernel._race_hooks is None
+
+
+def test_disabled_note_is_inert():
+    runtime.enable(False)
+    try:
+        kernel = Kernel()
+        runtime.note(kernel, "log.head:z", "w")
+        assert kernel._race_hooks is None
+    finally:
+        runtime.enable(False)

@@ -1,0 +1,124 @@
+"""Mutation tests for the runtime detector: break the real locking and
+prove the lockset analysis catches it — the dynamic twin of the static
+mutations in ``tests/lint/test_rule_mutations.py``.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.iosnap import IoSnapConfig, IoSnapDevice
+from repro.ftl.log import Log
+from repro.races import runtime
+from repro.sim import Kernel, Lock
+from repro.torture.harness import TortureConfig
+
+
+@pytest.fixture(autouse=True)
+def _armed():
+    previous = runtime.enable(True)
+    yield
+    runtime.enable(previous)
+
+
+def _device(kernel):
+    config = TortureConfig()
+    return IoSnapDevice.create(
+        kernel, config.nand_config(),
+        IoSnapConfig(parallel_heads=config.parallel_heads))
+
+
+def _run_two_writers_same_head(kernel, device):
+    """Two concurrent writes routed to the same user head."""
+    heads = device.log.user_head_count
+    procs = []
+    for lba in (0, heads):       # lba % heads identical -> same head
+        proc = kernel.spawn(device.write_proc(lba, b"x" * device.block_size),
+                            name=f"w{lba}")
+        proc._error_observed = True
+        procs.append(proc)
+    for proc in procs:
+        try:
+            kernel.run_process(_join(proc), name=f"join-{proc.name}")
+        except Exception:        # noqa: BLE001 -- corrupted run may die;
+            pass                 # the detector's report is the assertion
+
+
+def _join(proc):
+    yield proc
+
+
+def test_clean_run_reports_nothing(kernel):
+    device = _device(kernel)
+    detector = runtime.attach(kernel, strict=False)
+    _run_two_writers_same_head(kernel, device)
+    assert detector.reports == []
+    assert detector.notes > 0    # the instrumentation did fire
+
+
+def test_removing_head_lock_is_caught_by_lockset(kernel, monkeypatch):
+    """Mutation: per-call fresh head locks == no mutual exclusion."""
+    device = _device(kernel)
+    detector = runtime.attach(kernel, strict=False)
+    counter = itertools.count()
+
+    def bogus_lock_for(self, head):
+        return Lock(self.kernel, name=f"bogus:{next(counter)}")
+
+    monkeypatch.setattr(Log, "_lock_for", bogus_lock_for)
+    _run_two_writers_same_head(kernel, device)
+    assert detector.reports, \
+        "disjoint per-call locksets on the same head must be reported"
+    assert any(r.key.startswith("log.head:") for r in detector.reports)
+
+
+class _HookFreeFakeLock:
+    """Stands in for ``_alloc_lock`` without telling the detector."""
+
+    name = ""
+    capacity = 1
+
+    def try_acquire(self):
+        return True
+
+    def release(self):
+        return None
+
+
+def test_removing_free_lock_is_caught_by_lockset(kernel):
+    """Mutation: allocator span without a lock -> empty locksets."""
+    device = _device(kernel)
+    log = device.log
+    log._alloc_lock = _HookFreeFakeLock()
+    detector = runtime.attach(kernel, strict=False)
+
+    def opener(head):
+        yield from log._open_new_segment(False, head)
+        yield 50                 # stay live across the other's access
+
+    pa = kernel.spawn(opener("user"), name="open-a")
+    pb = kernel.spawn(opener(log.user_head_names()[-1]), name="open-b")
+    pa._error_observed = pb._error_observed = True
+    kernel.run()
+    assert detector.reports, \
+        "unlocked concurrent free-pool draws must be reported"
+    assert any(r.key == "log.free" for r in detector.reports)
+
+
+def test_unmutated_concurrent_openers_are_clean(kernel):
+    """Control for the free-pool mutation: the real lock is enough."""
+    device = _device(kernel)
+    log = device.log
+    detector = runtime.attach(kernel, strict=False)
+
+    def opener(head):
+        yield from log._open_new_segment(False, head)
+        yield 50
+
+    pa = kernel.spawn(opener("user"), name="open-a")
+    pb = kernel.spawn(opener(log.user_head_names()[-1]), name="open-b")
+    pa._error_observed = pb._error_observed = True
+    kernel.run()
+    assert detector.reports == []
+    assert any(key == "log.free"
+               for key in detector._lockset_keys)

@@ -140,3 +140,149 @@ def test_lock_is_capacity_one(kernel):
 
     kernel.run_process(proc())
     assert not lock.locked
+
+
+# -- PR 8 edge cases: contention, fairness, unwind, misuse ---------------
+
+def test_try_acquire_under_contention_never_jumps_the_queue(kernel):
+    """try_acquire must fail while a holder OR parked waiters exist."""
+    res = Resource(kernel, capacity=1)
+    observed = []
+
+    def holder():
+        yield res.acquire()
+        yield 100
+        res.release()
+
+    def waiter():
+        yield res.acquire()
+        res.release()
+
+    def prober():
+        yield 50                       # holder active, waiter parked
+        observed.append(res.try_acquire())
+
+    kernel.spawn(holder())
+    kernel.spawn(waiter())
+    kernel.spawn(prober())
+    kernel.run()
+    assert observed == [False]
+    assert res.in_use == 0 and res.queue_depth == 0
+
+
+def test_fifo_fairness_across_many_waiters(kernel):
+    res = Resource(kernel, capacity=1, name="fair")
+    order = []
+
+    def worker(tag, delay):
+        yield delay                    # stagger arrival order
+        yield res.acquire()
+        order.append(tag)
+        yield 10
+        res.release()
+
+    for tag in range(6):
+        kernel.spawn(worker(tag, tag + 1))
+    kernel.run()
+    assert order == [0, 1, 2, 3, 4, 5]
+
+
+def test_release_in_finally_runs_on_generator_close(kernel):
+    """kill() closes the generator; finally must free the resource."""
+    res = Resource(kernel, capacity=1, name="closable")
+
+    def holder():
+        yield res.acquire()
+        try:
+            yield 1000
+        finally:
+            res.release()
+
+    proc = kernel.spawn(holder(), name="holder")
+    kernel.run(until=10)
+    assert res.in_use == 1
+    proc.kill()
+    assert res.in_use == 0             # GeneratorExit drove the finally
+    kernel.run()
+    assert res.try_acquire() is True
+    res.release()
+
+
+def test_nested_acquire_of_same_lock_raises(kernel):
+    lock = Lock(kernel, name="log.head:t")
+
+    def proc():
+        yield lock.acquire()
+        yield lock.acquire()           # would self-deadlock
+
+    p = kernel.spawn(proc(), name="renester")
+    p._error_observed = True
+
+    def joiner():
+        yield p
+
+    with pytest.raises(SimError, match="nested acquire.*renester"):
+        kernel.run_process(joiner())
+
+
+def test_release_error_names_process_and_resource(kernel):
+    res = Resource(kernel, capacity=2, name="nand.die:3")
+
+    def over_releaser():
+        yield res.acquire()
+        res.release()
+        res.release()                  # one too many
+
+    p = kernel.spawn(over_releaser(), name="sloppy")
+    p._error_observed = True
+
+    def joiner():
+        yield p
+
+    with pytest.raises(SimError) as exc_info:
+        kernel.run_process(joiner())
+    message = str(exc_info.value)
+    assert "nand.die:3" in message and "sloppy" in message
+
+
+def test_kill_sanitizer_flags_stranded_lock(kernel):
+    """REPRO_SANITIZE=1: killing a holder with no finally is a bug."""
+    from repro import sanitize
+    from repro.errors import SanitizerError
+
+    lock = Lock(kernel, name="stranded")
+
+    def leaky_holder():
+        yield lock.acquire()
+        yield 1000                     # no try/finally: lock leaks on kill
+
+    proc = kernel.spawn(leaky_holder(), name="leaky")
+    kernel.run(until=10)
+    previous = sanitize.enable(True)
+    try:
+        with pytest.raises(SanitizerError, match="leaky.*stranded"):
+            proc.kill()
+    finally:
+        sanitize.enable(previous)
+
+
+def test_kill_sanitizer_accepts_hand_off(kernel):
+    """hand_off() moves ownership out of the process: kill is clean."""
+    from repro import sanitize
+
+    res = Resource(kernel, capacity=1, name="moved")
+
+    def hander():
+        yield res.acquire()
+        res.hand_off()
+        yield 1000
+
+    proc = kernel.spawn(hander(), name="hander")
+    kernel.run(until=10)
+    previous = sanitize.enable(True)
+    try:
+        proc.kill()                    # must not raise
+    finally:
+        sanitize.enable(previous)
+    assert res.in_use == 1             # still held by the protocol
+    res.release()
