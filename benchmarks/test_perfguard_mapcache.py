@@ -1,0 +1,36 @@
+"""Benchmark: flash-resident map memory + hot-path assertions.
+
+Runs the mapcache guard workload — the same cached configuration on an
+8x-larger device, plus a fig12-style hot-working-set mix against the
+all-RAM map — and asserts the bounded-RAM promise holds: residency
+never exceeds the page budget, total map RAM stays within the declared
+byte budget at both device sizes (only the GTD grows with the device),
+and the hot path pays no more than the guard floor for the indirection
+(>= 0.9x all-RAM throughput, hit rate at the cache's steady state).
+"""
+
+from repro.bench.mapcache_guard import (
+    BUDGET_PAGES,
+    HIT_RATE_FLOOR,
+    THROUGHPUT_FLOOR,
+    run,
+)
+
+
+def test_map_ram_stays_bounded_and_hot_path_fast(benchmark):
+    report = benchmark.pedantic(run, args=(True,), rounds=1, iterations=1)
+    memory = report["memory"]
+    for size in ("small", "medium"):
+        probe = memory[size]
+        assert probe["resident_pages"] <= BUDGET_PAGES, (size, probe)
+        assert probe["memory_bytes"] <= probe["declared_budget_bytes"], (
+            f"{size}: map RAM {probe['memory_bytes']} exceeds declared "
+            f"budget {probe['declared_budget_bytes']}")
+    assert memory["medium"]["memory_bytes"] * 2 <= memory["ram_medium_bytes"]
+    hot = report["hot"]
+    assert hot["cached"]["map"]["hit_rate"] >= HIT_RATE_FLOOR, (
+        f"hot-set hit rate collapsed to {hot['cached']['map']['hit_rate']}")
+    assert hot["throughput_ratio"] >= THROUGHPUT_FLOOR, (
+        f"hot-set throughput fell to "
+        f"{hot['throughput_ratio']:.3f}x of the all-RAM map")
+    assert report["passed"], report["checks"]

@@ -344,6 +344,7 @@ class IoSnapDevice(VslDevice):
         return self.tree.active_epoch
 
     def _install_mapping(self, lba: int, ppn: int) -> Generator:
+        yield from self._map_fault(lba)
         bitmap = self.active_bitmap
         if races.enabled:
             races.note(self.kernel, f"ftl.map:{lba}", "w")
@@ -431,6 +432,7 @@ class IoSnapDevice(VslDevice):
                   header: OobHeader) -> Generator:
         """Fix every epoch that references a moved block (§5.4.3):
         "in the worst case, every valid epoch may refer to this block"."""
+        yield from self._map_fault(header.lba)
         active_epoch = self.tree.active_epoch
         # Decide which epochs reference the block BEFORE mutating any
         # bitmap: epochs share pages through CoW, so fixing a parent's

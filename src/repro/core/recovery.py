@@ -112,7 +112,13 @@ def rebuild_iosnap_state(ftl: "IoSnapDevice",
 
     ftl._epoch_bitmaps = bitmaps
     items = sorted((lba, ppn) for lba, (_seq, ppn) in state.items())
-    ftl.map = BPlusTree.bulk_load(items, order=ftl.config.map_order)
+    if ftl.map_is_cached:
+        # Replay through the bounded cache (flash-resident mode): the
+        # log's segment bookkeeping was adopted before this hook ran,
+        # so the cache's writeback appends land on live heads.
+        yield from ftl.map.rebuild_proc(items)
+    else:
+        ftl.map = BPlusTree.bulk_load(items, order=ftl.config.map_order)
     _assert_no_activation_residue(ftl)
     cost = (diff_ops * ftl.config.cpu.bitmap_adjust_ns
             + len(items) * ftl.config.cpu.map_bulk_insert_ns)

@@ -38,11 +38,14 @@ from repro.torture import sites
 if TYPE_CHECKING:  # pragma: no cover
     from repro.ftl.vsl import VslDevice
 
-CHECKPOINT_VERSION = 3
+CHECKPOINT_VERSION = 4
 # Older images we can still restore.  v3 added the generation-stamped
 # epoch-summary index inside ``extra``; restoring a v1/v2 image simply
-# finds no index and rebuilds it from media.
-_COMPAT_VERSIONS = (1, 2, CHECKPOINT_VERSION)
+# finds no index and rebuilds it from media.  v4 added the
+# flash-resident-map option: such images carry ``map_items: None`` plus
+# a ``map_gtd`` directory image (the map's pages already live on
+# flash), while RAM-map v4 images look exactly like v3.
+_COMPAT_VERSIONS = (1, 2, 3, CHECKPOINT_VERSION)
 
 
 def write_checkpoint(ftl: "VslDevice") -> Generator:
@@ -54,11 +57,22 @@ def write_checkpoint(ftl: "VslDevice") -> Generator:
     """
     sb = ftl.nand.superblock
     generation = sb.get("checkpoint_gen", 0) + 1
+    if ftl.map_is_cached:
+        # Flash is the map's home: make every dirty translation page
+        # durable, then persist only the (small) directory.  The full
+        # map never transits the checkpoint blob.
+        yield from ftl.map.flush_all_proc()
+        map_items = None
+        map_gtd = ftl.map.dump_gtd()
+    else:
+        map_items = list(ftl.map.items())
+        map_gtd = None
     state = {
         "version": CHECKPOINT_VERSION,
         "generation": generation,
         "seq": ftl._next_seq,
-        "map_items": list(ftl.map.items()),
+        "map_items": map_items,
+        "map_gtd": map_gtd,
         "notes": dict(ftl._note_registry),
         "extra": ftl._dump_extra(generation),
     }
@@ -171,17 +185,50 @@ def restore_checkpoint(ftl: "VslDevice") -> Generator:
         assert last_error is not None
         raise last_error
 
+    # Cross-mode compatibility gate, before any state mutates.  An
+    # all-RAM open of a flash-resident image (or a span mismatch the
+    # other way) cannot restore from the blob — raising here sends
+    # ``VslDevice.open`` down the log-scan recovery path, which
+    # rebuilds the map in whichever mode this device is configured for.
+    if ftl.map_is_cached:
+        gtd_image = state.get("map_gtd")
+        if gtd_image is not None \
+                and gtd_image.get("span") != ftl.config.map_span:
+            raise CheckpointError(
+                f"map span mismatch: checkpoint has "
+                f"{gtd_image.get('span')}, device configured for "
+                f"{ftl.config.map_span}")
+        if gtd_image is None and state.get("map_items") is None:
+            raise CheckpointError("checkpoint carries no map image")
+    elif state.get("map_items") is None:
+        raise CheckpointError(
+            "checkpoint carries only a GTD (written by a "
+            "flash-resident-map configuration); the all-RAM map must "
+            "rebuild by log scan")
+
     ftl._next_seq = state["seq"]
-    ftl.map = BPlusTree.bulk_load(state["map_items"],
-                                  order=ftl.config.map_order)
-    yield len(state["map_items"]) * ftl.config.cpu.map_bulk_insert_ns
+    if not ftl.map_is_cached:
+        ftl.map = BPlusTree.bulk_load(state["map_items"],
+                                      order=ftl.config.map_order)
+        yield len(state["map_items"]) * ftl.config.cpu.map_bulk_insert_ns
     ftl._note_registry = state["notes"]
     if not fallback:
         # Adopt the log's segment bookkeeping *before* the extra-state
         # hook: the ioSnap layer cross-validates its durable epoch
-        # index against each segment's adopted allocation seq.
+        # index against each segment's adopted allocation seq, and the
+        # cached map's restore below may append (a v<=3 image replays
+        # its map_items through the bounded cache, flushing pages to
+        # the map head) — appends need adopted heads.
         ftl.log.adopt_state(*sb["log_state"])
         ftl._load_extra(state["extra"], state.get("generation"))
+        if ftl.map_is_cached:
+            gtd_image = state.get("map_gtd")
+            if gtd_image is not None:
+                ftl.map.adopt_gtd(gtd_image)
+                yield len(gtd_image["gtd"]) * \
+                    ftl.config.cpu.replay_packet_ns
+            else:
+                yield from ftl.map.rebuild_proc(state["map_items"])
         return
     ftl._load_extra(state["extra"], state.get("generation"))
 

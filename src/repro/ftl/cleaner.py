@@ -160,7 +160,8 @@ class SegmentCleaner:
 
     def _occupied_count(self, seg: Segment) -> int:
         valid = self.ftl._estimate_valid_count(seg)
-        return valid + self._live_notes_by_segment().get(seg.index, 0)
+        return (valid + self._live_notes_by_segment().get(seg.index, 0)
+                + self.ftl._map_pages_in_segment(seg))
 
     def select_candidate(self,
                          stripe: Optional[int] = None) -> Optional[Segment]:
@@ -182,8 +183,13 @@ class SegmentCleaner:
         for seg in self.ftl.log.closed_segments(stripe):
             if seg.index in self._cleaning:
                 continue
+            # Translation-aware: GTD-referenced MAP pages occupy space
+            # the erase cannot reclaim for free (they must be copied
+            # forward), so they count against the candidate exactly
+            # like live data and live notes do.
             occupied = (self.ftl._estimate_valid_count(seg)
-                        + notes_by_seg.get(seg.index, 0))
+                        + notes_by_seg.get(seg.index, 0)
+                        + self.ftl._map_pages_in_segment(seg))
             if occupied >= seg.data_capacity:
                 continue  # nothing reclaimable
             if policy == "greedy":
@@ -210,10 +216,16 @@ class SegmentCleaner:
         # stripe, so concurrent stripe workers append to disjoint dies.
         gc_stripe = self.ftl.log.stripe_of_segment(seg.index)
         self._cleaning.add(seg.index)
+        # A flash-resident map defers eviction writebacks while a clean
+        # is in flight: copy-forward map fixups are absorbed by dirty
+        # resident pages (RAM) instead of appending — appends here
+        # would eat the very space the clean exists to free.
+        self.ftl._map_gc_pause()
         try:
             yield from self._clean_segment_locked(seg, paced, pacer,
                                                   gc_stripe)
         finally:
+            self.ftl._map_gc_resume()
             self._cleaning.discard(seg.index)
 
     def _clean_segment_locked(self, seg: Segment, paced: bool,
@@ -265,6 +277,13 @@ class SegmentCleaner:
                 if array.is_programmed(ppn) and not array.is_torn(ppn) \
                 else None
             if header is None or header.kind is PageKind.DATA:
+                continue
+            if header.kind is PageKind.MAP:
+                # Copy-forward updates the GTD, never the data map; a
+                # copy the GTD no longer references is stale and dies
+                # with the segment.
+                yield from self.ftl._relocate_map_page(ppn, header,
+                                                       gc_stripe)
                 continue
             if ppn in self.ftl._note_registry and self.ftl._note_is_live(ppn, header):
                 try:

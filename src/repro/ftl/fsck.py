@@ -32,6 +32,16 @@ ioSnap invariants (additionally)
       from the OOB headers (the delta-rescan and warm-activation
       machinery assume exactness, not S5's superset leniency).
 
+Flash-resident-map invariants (when ``map_cache_pages`` > 0)
+  G1  every GTD entry points at a programmed MAP page whose OOB
+      header and payload name that translation page with this
+      device's span;
+  G2  the dirty set and the resident pages' dirty flags agree, and
+      every dirty page is resident (non-resident implies clean
+      implies the GTD's flash copy is current);
+  G3  the cleaner's per-segment live-MAP-page counts equal a recount
+      from the GTD.
+
 Media-fault invariants (when a fault model is attached)
   M1  no forward-map entry points into a RETIRED segment;
   M2  no validity bit (any live epoch) marks a page of a RETIRED
@@ -155,6 +165,73 @@ def _check_base(device) -> List[str]:
     out.extend(_check_segments(device))
     out.extend(_check_notes(device))
     out.extend(_check_retired(device))
+    if getattr(device, "map_is_cached", False):
+        out.extend(_check_mapcache(device))
+    return out
+
+
+def _check_mapcache(device) -> List[str]:
+    """GTD audit for the flash-resident forward map (G1-G3).
+
+    G1  every GTD entry points at a programmed MAP page whose header
+        and payload name the same translation page with the device's
+        span;
+    G2  the dirty set only names resident pages that are marked dirty
+        (the non-resident => clean => flash-copy-current invariant);
+    G3  the cleaner's per-segment live-MAP-page accounting equals a
+        recount from the GTD.
+    """
+    out: List[str] = []
+    cache = device.map
+    array = device.nand.array
+    from repro.ftl.packet import decode_payload
+
+    for tidx, ppn in enumerate(cache._gtd):
+        if ppn is None:
+            continue
+        if not array.is_programmed(ppn):
+            out.append(f"G1: GTD[{tidx}] points at unprogrammed "
+                       f"ppn {ppn}")
+            continue
+        record = array.read(ppn)
+        if record.header.kind is not PageKind.MAP:
+            out.append(f"G1: GTD[{tidx}] points at non-MAP page {ppn} "
+                       f"({record.header.kind.name})")
+            continue
+        if record.header.lba != tidx:
+            out.append(f"G1: GTD[{tidx}] points at ppn {ppn} whose "
+                       f"header says tpage {record.header.lba}")
+            continue
+        if record.data is None:
+            out.append(f"G1: MAP page {ppn} lost its payload")
+            continue
+        payload = decode_payload(record.data)
+        if payload.get("tpage") != tidx or payload.get("span") != cache.span:
+            out.append(f"G1: MAP page {ppn} payload names "
+                       f"tpage {payload.get('tpage')} span "
+                       f"{payload.get('span')}, expected {tidx}/"
+                       f"{cache.span}")
+
+    for tidx in cache._dirty:
+        page = cache._pages.get(tidx)
+        if page is None:
+            out.append(f"G2: dirty set names non-resident tpage {tidx}")
+        elif not page.dirty:
+            out.append(f"G2: dirty set names clean tpage {tidx}")
+    for tidx, page in cache._pages.items():
+        if page.dirty and tidx not in cache._dirty:
+            out.append(f"G2: resident tpage {tidx} is dirty but not in "
+                       f"the dirty set")
+
+    seg_pages = device.log.segment_pages
+    expected: Dict[int, int] = {}
+    for ppn in cache._gtd:
+        if ppn is not None:
+            seg = ppn // seg_pages
+            expected[seg] = expected.get(seg, 0) + 1
+    if expected != cache._seg_live:
+        out.append(f"G3: per-segment live-MAP accounting {cache._seg_live} "
+                   f"!= recount from GTD {expected}")
     return out
 
 

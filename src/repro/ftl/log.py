@@ -78,6 +78,8 @@ def append_site(kind: PageKind, head: str) -> str:
         return sites.WRITE_DATA if head.startswith("user") else sites.GC_COPY
     if kind is PageKind.CHECKPOINT:
         return sites.CHECKPOINT_PAGE
+    if kind is PageKind.MAP:
+        return sites.MAP_PAGE_FLUSH
     return _NOTE_SITES.get(kind, sites.LOG_OTHER)
 
 

@@ -69,6 +69,13 @@ class FtlConfig:
     bitmap_page_bytes: int = 64        # validity CoW granularity
     sync_writes: bool = False
     map_order: int = 64
+    # Flash-resident forward map (repro.ftl.mapcache).  0 keeps the
+    # classic all-RAM B+ tree; > 0 bounds resident translation pages
+    # to that many cache slots, with the map itself living on flash
+    # behind a GTD.  ``map_span`` is LBAs per translation page.
+    map_cache_pages: int = 0
+    map_span: int = 64
+    map_dirty_batch: int = 8
     cleaner_budget_ms: float = 20.0    # pacing budget per segment clean
     readahead_pages: int = 8           # 0 disables sequential readahead
     # Segment selection: "greedy" (most reclaimable space) or
@@ -102,6 +109,13 @@ class FtlConfig:
             raise ValueError("scrub_pages_per_pass must be >= 1")
         if self.scrub_threshold_bits < 0:
             raise ValueError("scrub_threshold_bits must be >= 0")
+        if self.map_cache_pages < 0:
+            raise ValueError("map_cache_pages must be >= 0 (0 = all-RAM)")
+        if not 1 <= self.map_span <= 256:
+            raise ValueError("map_span must be in [1, 256] "
+                             "(one MAP packet must fit a flash page)")
+        if self.map_dirty_batch < 1:
+            raise ValueError("map_dirty_batch must be >= 1")
 
 
 @dataclass
@@ -176,13 +190,25 @@ class VslDevice:
                     + self.log.user_head_count
                     + self.log.num_stripes * gc_heads_per_stripe
                     + 1)
+        if self.config.map_cache_pages > 0:
+            # The flash-resident map adds its own append head (one more
+            # permanently open segment) ...
+            headroom += 1
         self._headroom = headroom
         hard_cap = (self.log.segment_count - headroom) * \
             (self.log.segment_pages - 1)
         self.num_lbas = min(self.num_lbas, hard_cap)
+        if self.config.map_cache_pages > 0:
+            # ... and its translation pages live *in* the log alongside
+            # data: budget two log pages per translation page (the live
+            # copy plus garbage awaiting cleaning) out of the exported
+            # capacity, or a full device would have nowhere to keep its
+            # own map.
+            tpages = -(-self.num_lbas // self.config.map_span)
+            self.num_lbas = min(self.num_lbas, hard_cap - 2 * tpages)
         if self.num_lbas < 1:
             raise FtlError("geometry too small to export any LBAs")
-        self.map = BPlusTree(order=self.config.map_order)
+        self.map = self._make_map()
         self.metrics = FtlMetrics()
         self._next_seq = 0
         self._note_registry: Dict[int, Any] = {}   # ppn -> note dataclass
@@ -497,6 +523,7 @@ class VslDevice:
         self._require_open()
         self._check_lba(lba)
         self.metrics.reads += 1
+        yield from self._map_fault(lba)
         if races.enabled:
             races.note(self.kernel, f"ftl.map:{lba}", "r")
         ppn = self.map.get(lba)
@@ -560,6 +587,7 @@ class VslDevice:
                 header, payload, head=self.log.user_head_for(lba))
             self._on_packet_appended(ppn, header)
             self._note_registry[ppn] = note
+            yield from self._map_fault(lba)
             if races.enabled:
                 races.note(self.kernel, f"ftl.map:{lba}", "w")
             old = self.map.delete(lba)
@@ -635,7 +663,10 @@ class VslDevice:
         """Prefetch the next few sequentially-mapped blocks."""
         for next_lba in range(lba, min(lba + self.config.readahead_pages,
                                        self.num_lbas)):
-            ppn = self.map.get(next_lba)
+            # With a flash-resident map, probe only resident pages: a
+            # background prefetch must not charge sync map faults.
+            ppn = (self.map.peek(next_lba) if self.map_is_cached
+                   else self.map.get(next_lba))
             if ppn is None:
                 return
             if (self._read_cache.get(ppn) is not None
@@ -680,6 +711,73 @@ class VslDevice:
         self._next_seq += 1
         return self._next_seq
 
+    # ------------------------------------------------------------------
+    # Forward map plumbing (RAM B+ tree vs. flash-resident cache)
+    # ------------------------------------------------------------------
+    @property
+    def map_is_cached(self) -> bool:
+        """True when the forward map is flash-resident (bounded RAM)."""
+        return self.config.map_cache_pages > 0
+
+    def _make_map(self):
+        if self.config.map_cache_pages > 0:
+            from repro.ftl.mapcache import MapCache
+            return MapCache(self, span=self.config.map_span,
+                            budget_pages=self.config.map_cache_pages,
+                            dirty_batch=self.config.map_dirty_batch)
+        return BPlusTree(order=self.config.map_order)
+
+    def map_info(self) -> Dict[str, Any]:
+        """Forward-map observability (info()["map"])."""
+        out: Dict[str, Any] = {
+            "mode": "cached" if self.map_is_cached else "ram",
+            "memory_bytes": self.map.memory_bytes(),
+            "nodes": self.map.node_count(),
+        }
+        if self.map_is_cached:
+            out["cache_pages_budget"] = self.config.map_cache_pages
+            out["span"] = self.config.map_span
+            out.update(self.map.stats())
+        return out
+
+    def _map_fault(self, lba: int) -> Generator:
+        """Charge the cost of making ``lba``'s translation page resident.
+
+        The I/O paths call this *before* their synchronous map touch so
+        a miss pays real flash-read latency (and runs the fault model).
+        Purely a performance prepayment: the sync facade re-faults for
+        free if the page is evicted again before the touch.  A no-op
+        for the all-RAM map.
+        """
+        if self.map_is_cached:
+            yield from self.map.fault_proc(lba // self.config.map_span)
+
+    def _relocate_map_page(self, ppn: int, header: OobHeader,
+                           gc_stripe: Optional[int] = None) -> Generator:
+        """Cleaner hook: copy-forward one MAP page (GTD update only).
+
+        For the all-RAM map there are no MAP pages on the media; any
+        that appear (media written by a cached-mode run, then reopened
+        all-RAM) are dead by definition and die with the segment.
+        """
+        if self.map_is_cached:
+            yield from self.map.relocate_proc(ppn, header, gc_stripe)
+
+    def _map_pages_in_segment(self, seg) -> int:
+        """Cleaner accounting hook: live MAP pages in ``seg``."""
+        if self.map_is_cached:
+            return self.map.live_in_segment(seg.index)
+        return 0
+
+    def _map_gc_pause(self) -> None:
+        """Cleaner hook: a segment clean started (defer map evictions)."""
+        if self.map_is_cached:
+            self.map.pause_writebacks()
+
+    def _map_gc_resume(self) -> None:
+        if self.map_is_cached:
+            self.map.resume_writebacks()
+
     def utilization(self) -> float:
         """Fraction of exported LBAs currently mapped."""
         return len(self.map) / self.num_lbas
@@ -706,6 +804,7 @@ class VslDevice:
             },
             "wear": self.nand.array.wear_stats(),
             "map_memory_bytes": self.map.memory_bytes(),
+            "map": self.map_info(),
             "parallel": self.parallel_info(),
             "media": {
                 "faulty": self.nand.faults is not None,
@@ -837,6 +936,7 @@ class VslDevice:
 
     def _install_mapping(self, lba: int, ppn: int) -> Generator:
         """Point ``lba`` at ``ppn``, invalidating any older location."""
+        yield from self._map_fault(lba)
         if races.enabled:
             races.note(self.kernel, f"ftl.map:{lba}", "w")
         old = self.map.insert(lba, ppn)
@@ -873,6 +973,7 @@ class VslDevice:
     def _relocate(self, old_ppn: int, new_ppn: int,
                   header: OobHeader) -> Generator:
         """Fix maps/bitmaps after the cleaner copied old -> new."""
+        yield from self._map_fault(header.lba)
         if races.enabled:
             races.note(self.kernel, f"ftl.map:{header.lba}", "r")
         if self.map.get(header.lba) == old_ppn:
@@ -944,7 +1045,13 @@ class VslDevice:
             self._replay_note(packet.header, packet.note)
         winners = fold_winners(packets)
         items = sorted((lba, ppn) for lba, (_seq, ppn) in winners.items())
-        self.map = BPlusTree.bulk_load(items, order=self.config.map_order)
+        if self.map_is_cached:
+            # Data-packet replay is the map's source of truth after a
+            # crash: any MAP pages on the media predate the cut and are
+            # orphaned here (the cleaner reclaims them).
+            yield from self.map.rebuild_proc(items)
+        else:
+            self.map = BPlusTree.bulk_load(items, order=self.config.map_order)
         yield len(items) * self.config.cpu.map_bulk_insert_ns
         self._rebuild_validity(winners)
 

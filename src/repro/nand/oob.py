@@ -47,6 +47,7 @@ class PageKind(IntEnum):
     NOTE_TRIM = 6
     CHECKPOINT = 7      # serialized FTL state (clean shutdown)
     SEGMENT_HEADER = 8  # first page of each segment: segment sequence no.
+    MAP = 9             # one translation page of the flash-resident map
 
 
 NOTE_KINDS = frozenset({

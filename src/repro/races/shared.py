@@ -78,6 +78,18 @@ REGISTRY: Tuple[SharedState, ...] = (
                     "atomicity: lookup and install never straddle a yield",
     ),
     SharedState(
+        key="map.cache",
+        attrs=("_gtd", "_pages", "_dirty"),
+        modules=("ftl/mapcache.py",),
+        lock_class=None,
+        mode=ATOMIC,
+        description="flash-resident map cache: global translation "
+                    "directory, resident translation-page LRU, and "
+                    "dirty set; cooperative atomicity — every "
+                    "post-yield mutation re-validates residency and "
+                    "GTD currency in one resumption",
+    ),
+    SharedState(
         key="ftl.validity",
         attrs=("validity", "_seg_valid"),
         modules=("ftl/vsl.py", "core/iosnap.py"),

@@ -36,6 +36,18 @@ def percentile(samples: Sequence[float], pct: float) -> float:
     return min(max(value, float(ordered[lo])), float(ordered[hi]))
 
 
+def rate(part: float, whole: float) -> float:
+    """``part / whole`` as a ratio, 0.0 for an empty denominator.
+
+    The derived-metric helper for counter reports (cache hit rates,
+    skip fractions): callers never special-case the nothing-happened
+    run.
+    """
+    if whole <= 0:
+        return 0.0
+    return part / whole
+
+
 class Counters:
     """A fixed set of named monotonic event counters.
 

@@ -54,6 +54,17 @@ class TortureConfig:
     # 0 = one log head per channel (the device default); 1 pins the
     # classic single-head layout for cases with coordinate-keyed faults.
     parallel_heads: int = 0
+    # 0 = classic all-RAM forward map; > 0 runs the flash-resident
+    # mapping cache with that many resident translation pages (the
+    # mode is host configuration, not media format, so the reopen
+    # after a cut must be told to use it again).
+    map_cache_pages: int = 0
+    map_span: int = 64
+
+    def device_config(self) -> IoSnapConfig:
+        return IoSnapConfig(parallel_heads=self.parallel_heads,
+                            map_cache_pages=self.map_cache_pages,
+                            map_span=self.map_span)
 
     def nand_config(self) -> NandConfig:
         return NandConfig(geometry=NandGeometry(
@@ -94,8 +105,7 @@ def _build_device(config: TortureConfig,
     kernel = Kernel()
     faults = MediaFaultModel(fault_plan) if fault_plan is not None else None
     return IoSnapDevice.create(
-        kernel, config.nand_config(),
-        IoSnapConfig(parallel_heads=config.parallel_heads),
+        kernel, config.nand_config(), config.device_config(),
         faults=faults)
 
 
@@ -217,7 +227,8 @@ def site_kinds(targets: List[Target]) -> List[str]:
 # ---------------------------------------------------------------------------
 # Reopen + verify
 # ---------------------------------------------------------------------------
-def _reopen(old_nand: NandDevice) -> IoSnapDevice:
+def _reopen(old_nand: NandDevice,
+            config: Optional[TortureConfig] = None) -> IoSnapDevice:
     """Transplant the surviving media under a fresh kernel and open it.
 
     What survives a power cut is exactly what hardware keeps: the NAND
@@ -226,13 +237,16 @@ def _reopen(old_nand: NandDevice) -> IoSnapDevice:
     read-disturb counts, and grown-bad blocks live in the silicon, so
     the :class:`~repro.faults.model.MediaFaultModel` transplants along
     with the array.  Every in-flight process, event, and in-memory FTL
-    structure dies with the abandoned kernel.
+    structure dies with the abandoned kernel.  ``config`` re-applies
+    host configuration (head layout, flash-resident-map mode) that is
+    not part of the media format.
     """
     kernel = Kernel()
     nand = NandDevice(kernel, old_nand.config, faults=old_nand.faults)
     nand.array = old_nand.array
     nand.superblock = dict(old_nand.superblock)
-    return IoSnapDevice.open(kernel, nand)
+    device_config = config.device_config() if config is not None else None
+    return IoSnapDevice.open(kernel, nand, device_config)
 
 
 def run_with_cut(script: List[Op], target: Target,
@@ -257,7 +271,7 @@ def run_with_cut(script: List[Op], target: Target,
     pending_op = script[pending_index] if pending_index is not None else None
 
     try:
-        device = _reopen(nand)
+        device = _reopen(nand, config)
     except (ReproError, SimError) as exc:
         outcome.failures.append(f"recovery: open failed: {exc!r}")
         return outcome

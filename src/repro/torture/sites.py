@@ -70,6 +70,17 @@ RECOVERY_ERASE = "recovery.erase"
 # Background media scrubber rewriting a high-error page (see
 # repro.ftl.scrub); only reachable when a fault model is attached.
 SCRUB_COPY = "scrub.copy"
+# Flash-resident forward map (repro.ftl.mapcache).
+#   map.page_flush  a dirty translation page is being appended to the
+#                   ``map`` log head (eviction writeback, checkpoint
+#                   flush, or cleaner copy-forward); fully phased —
+#                   a mid cut leaves a torn MAP page on the media.
+#   map.gtd_commit  the in-RAM global translation directory is about
+#                   to adopt the freshly programmed page's PPN; commit
+#                   style (``pre`` only) — a cut here orphans the new
+#                   copy but the directory still names the old one.
+MAP_PAGE_FLUSH = "map.page_flush"
+MAP_GTD_COMMIT = "map.gtd_commit"
 # Snapshot replication (repro.replicate).  All three are commit-style
 # (``pre`` only): the durable effect either happened entirely or not at
 # all, and the underlying media mutations (receiver writes/trims, the
@@ -112,6 +123,8 @@ SITE_PHASES: Dict[str, Tuple[str, ...]] = {
     CHECKPOINT_SUPERBLOCK: COMMIT_PHASES,
     RECOVERY_ERASE: ERASE_PHASES,
     SCRUB_COPY: PROGRAM_PHASES,
+    MAP_PAGE_FLUSH: PROGRAM_PHASES,
+    MAP_GTD_COMMIT: COMMIT_PHASES,
     SEND_CURSOR_COMMIT: COMMIT_PHASES,
     RECV_APPLY: COMMIT_PHASES,
     RECV_FINALIZE: COMMIT_PHASES,

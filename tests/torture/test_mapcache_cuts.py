@@ -1,0 +1,91 @@
+"""Power cuts mid map-page writeback (flash-resident forward map).
+
+The dangerous window is new with the demand-paged map: a translation
+page's flash image is being re-appended (eviction writeback, checkpoint
+flush, or GC copy-forward) when power dies.  The design makes this
+harmless by construction — the GTD adopts a new PPN only after the
+program's done event, and recovery never reads MAP packets at all (it
+replays data packets through a fresh cache) — so every cut at
+``map.page_flush`` / ``map.gtd_commit`` must recover with no lost and
+no stale mappings, the fsck GTD audit (G1-G3) clean, and the model
+oracle satisfied.
+"""
+
+import pytest
+
+from repro.torture.harness import TortureConfig, enumerate_sites, run_with_cut
+
+CONFIG = TortureConfig(map_cache_pages=2, map_span=8)
+
+
+def _eviction_script():
+    """Dirty more translation pages than the 2-page budget holds.
+
+    Writes walk 6 different translation pages (span 8), so faulting
+    the next page keeps evicting a dirty victim — every eviction is a
+    ``map.page_flush`` append plus a ``map.gtd_commit``.  A snapshot
+    and a forced GC put CoW fixups and copy-forward traffic through
+    the same cache before a final overwrite pass.
+    """
+    script = [["write", tpage * 8, tpage] for tpage in range(6)]
+    script.append(["snap_create", "s0"])
+    script += [["write", tpage * 8, 100 + tpage] for tpage in range(6)]
+    script.append(["gc"])
+    script += [["write", tpage * 8 + 1, 200 + tpage] for tpage in range(3)]
+    return script
+
+
+def _map_targets():
+    targets = enumerate_sites(_eviction_script(), CONFIG)
+    flush = [t for t in targets if t[0].startswith("map.page_flush")]
+    commit = [t for t in targets if t[0].startswith("map.gtd_commit")]
+    return flush, commit
+
+
+def test_script_visits_the_map_sites():
+    """The sweep only means something if writebacks really happen."""
+    flush, commit = _map_targets()
+    assert flush, "eviction script never flushed a map page"
+    assert commit, "eviction script never committed the GTD"
+    phases = {site.split(":")[1] for site, _k in flush}
+    assert phases == {"pre", "mid", "post"}
+
+
+def test_all_ram_script_never_visits_map_sites():
+    """Classic mode must not grow map sites (no hidden MAP appends)."""
+    targets = enumerate_sites(_eviction_script(), TortureConfig())
+    assert not [t for t in targets if t[0].startswith("map.")]
+
+
+@pytest.mark.torture
+def test_cut_during_map_page_flush():
+    flush, _commit = _map_targets()
+    for target in flush:
+        outcome = run_with_cut(_eviction_script(), target, CONFIG)
+        assert not outcome.invalid
+        assert outcome.fired, target
+        assert outcome.failures == [], (target, outcome.failures)
+
+
+@pytest.mark.torture
+def test_cut_at_gtd_commit():
+    _flush, commit = _map_targets()
+    for target in commit:
+        outcome = run_with_cut(_eviction_script(), target, CONFIG)
+        assert not outcome.invalid
+        assert outcome.fired, target
+        assert outcome.failures == [], (target, outcome.failures)
+
+
+@pytest.mark.torture
+def test_cut_everywhere_with_cached_map():
+    """The full site sweep — the cached map must not regress recovery
+    at any *other* injection point either (data appends, head commits,
+    queue drains now interleave with map traffic)."""
+    script = _eviction_script()
+    for target in enumerate_sites(script, CONFIG):
+        outcome = run_with_cut(script, target, CONFIG)
+        assert not outcome.invalid
+        if not outcome.fired:
+            continue
+        assert outcome.failures == [], (target, outcome.failures)
