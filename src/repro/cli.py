@@ -1,0 +1,21 @@
+"""Shared CLI conventions for the rig entry points.
+
+Every ``python -m repro.<rig>`` module maps its outcome onto the same
+three process exit codes, so CI and shell scripts can tell "a case
+failed its oracles" apart from "the harness itself could not run":
+
+- :data:`EXIT_OK` — every case passed every oracle;
+- :data:`EXIT_FAILURES` — at least one case failed verification (a
+  repro artifact describes it when ``--artifact``/``--repro-out`` was
+  given);
+- :data:`EXIT_INFRA` — the rig could not do its job at all: unreadable
+  input files, an invalid workload, a repro whose cut never fires.
+
+``tests/test_exit_codes.py`` asserts the mapping for each CLI.
+"""
+
+from __future__ import annotations
+
+EXIT_OK = 0
+EXIT_FAILURES = 1
+EXIT_INFRA = 2

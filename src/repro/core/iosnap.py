@@ -81,6 +81,23 @@ class IoSnapConfig(FtlConfig):
     # caching.
     residue_cache_entries: int = 8
     residue_cache_bytes: int = 4 << 20
+    # Snapshot-retention policy (the glusterfs "snap-max-hard-limit" /
+    # "auto-delete" shape the scenario corpus exercises).  0 keeps the
+    # paper's unlimited behavior.  With a limit set, creating a
+    # snapshot once ``snapshot_limit`` live snapshots exist either
+    # auto-deletes the oldest deletable one first (auto-delete on;
+    # snapshots pinned by an open activation are never victims) or
+    # refuses the create with :class:`SnapshotError` (auto-delete
+    # off).  Host configuration, not media format: a device reopened
+    # with a different limit simply enforces the new policy from the
+    # next create on.
+    snapshot_limit: int = 0
+    snapshot_auto_delete: bool = False
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.snapshot_limit < 0:
+            raise ValueError("snapshot_limit must be >= 0 (0 = unlimited)")
 
 
 @dataclass
@@ -89,6 +106,8 @@ class SnapshotMetrics:
 
     creates: int = 0
     deletes: int = 0
+    auto_deletes: int = 0     # retention-policy evictions (snapshot_limit)
+    rejected_creates: int = 0  # creates refused at the snapshot limit
     activations: int = 0
     deactivations: int = 0
     create_latencies_ns: List[int] = field(default_factory=list)
@@ -149,6 +168,7 @@ class IoSnapDevice(VslDevice):
         """
         self._require_open()
         self._check_writable()
+        yield from self._enforce_snapshot_limit()
         started = self.kernel.now
         yield from self.quiesce_begin()
         try:
@@ -172,6 +192,42 @@ class IoSnapDevice(VslDevice):
         self.snap_metrics.creates += 1
         self.snap_metrics.create_latencies_ns.append(self.kernel.now - started)
         return snap
+
+    def _enforce_snapshot_limit(self) -> Generator:
+        """Apply the retention policy ahead of a snapshot create.
+
+        Runs *before* the create's quiesce: an eviction appends a
+        delete note through the normal (privileged) note path, so a
+        crash between the eviction and the create recovers to one of
+        the three legitimate states — nothing happened, only the
+        eviction happened, or both did.  Returns the evicted names.
+        """
+        limit = self.config.snapshot_limit
+        if not limit:
+            return []
+        evicted: List[str] = []
+        while len(self.snapshots()) >= limit:
+            if not self.config.snapshot_auto_delete:
+                self.snap_metrics.rejected_creates += 1
+                raise SnapshotError(
+                    f"snapshot limit reached "
+                    f"({len(self.snapshots())}/{limit}); delete a snapshot "
+                    f"or enable snapshot_auto_delete")
+            pinned = {act.snapshot.snap_id for act in self._activations}
+            candidates = [s for s in sorted(self.snapshots(),
+                                            key=lambda s: s.created_seq)
+                          if s.snap_id not in pinned]
+            if not candidates:
+                self.snap_metrics.rejected_creates += 1
+                raise SnapshotError(
+                    f"snapshot limit reached ({len(self.snapshots())}/"
+                    f"{limit}) and every snapshot is pinned by an open "
+                    f"activation")
+            victim = candidates[0]
+            yield from self.snapshot_delete_proc(victim)
+            self.snap_metrics.auto_deletes += 1
+            evicted.append(victim.name)
+        return evicted
 
     def snapshot_delete_proc(self, ref: SnapshotRef) -> Generator:
         """Delete a snapshot: a note plus tree bookkeeping; space comes
@@ -298,6 +354,12 @@ class IoSnapDevice(VslDevice):
             "total_ever": len(self.snapshots(include_deleted=True)),
             "activated": len(self._activations),
             "active_epoch": self.tree.active_epoch,
+            "retention": {
+                "limit": self.config.snapshot_limit,
+                "auto_delete": self.config.snapshot_auto_delete,
+                "auto_deletes": self.snap_metrics.auto_deletes,
+                "rejected_creates": self.snap_metrics.rejected_creates,
+            },
             "bitmap_memory_bytes": self.bitmap_memory_bytes(),
             "activation": {
                 **self.activation_counters.as_dict(),

@@ -13,10 +13,10 @@ artifact so CI can upload it.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.cli import EXIT_FAILURES, EXIT_INFRA, EXIT_OK
 from repro.faults.harness import (
     check_correctable_equivalence,
     check_determinism,
@@ -24,6 +24,7 @@ from repro.faults.harness import (
     run_campaign,
 )
 from repro.faults.model import FaultConfig, FaultPlan
+from repro.sim.artifact import write_artifact
 
 # name -> (plan factory, correctable-only?).  Correctable-only entries
 # additionally run the equivalence check against a fault-free twin.
@@ -76,7 +77,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.list:
         for name in MATRIX:
             print(name)
-        return 0
+        return EXIT_OK
 
     entries = args.entry or list(MATRIX)
     failures: Dict[str, List[str]] = {}
@@ -95,19 +96,29 @@ def main(argv: Optional[List[str]] = None) -> int:
             for name in failures:
                 plan = MATRIX[name][0](args.seed)
                 plans[name] = plan.as_dict() if plan is not None else None
-            payload = {
+            body = {
                 "seed": args.seed,
                 "ops": args.ops,
                 "failures": failures,
                 "plans": plans,
             }
-            with open(args.artifact, "w", encoding="utf-8") as fh:
-                json.dump(payload, fh, indent=2, sort_keys=True)
+            entry_flags = " ".join(f"--entry {name}" for name in failures)
+            try:
+                write_artifact(
+                    args.artifact, "fault-campaign-repro", body,
+                    seed=args.seed,
+                    replay=(f"python -m repro.faults --seed {args.seed} "
+                            f"--ops {args.ops} {entry_flags}"),
+                    config={"ops": args.ops, "entries": sorted(failures)})
+            except OSError as exc:
+                print(f"error: cannot write artifact "
+                      f"{args.artifact!r}: {exc}")
+                return EXIT_INFRA
             print(f"repro artifact written to {args.artifact}")
         print(f"{len(failures)} matrix entr{'y' if len(failures) == 1 else 'ies'} failed")
-        return 1
+        return EXIT_FAILURES
     print("fault campaign clean")
-    return 0
+    return EXIT_OK
 
 
 if __name__ == "__main__":

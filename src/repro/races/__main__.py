@@ -12,14 +12,16 @@ JSON repro artifact on a finding:
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from typing import List
 
+from repro.cli import EXIT_FAILURES, EXIT_INFRA, EXIT_OK
 from repro.races.explorer import SeedResult, explore_seed, sweep
+from repro.sim.artifact import write_artifact
 
 
-def _report(results: List[SeedResult], artifact: "str | None") -> int:
+def _report(results: List[SeedResult], artifact: "str | None",
+            seed: int, ops: int) -> int:
     findings = [r.finding for r in results if r.finding is not None]
     notes = sum(r.notes for r in results)
     print(f"explored {len(results)} seed(s), "
@@ -31,10 +33,18 @@ def _report(results: List[SeedResult], artifact: "str | None") -> int:
         print(f"  seed {finding.seed}: {finding.kind} "
               f"({len(finding.ops)} op repro): {summary}")
     if findings and artifact:
-        with open(artifact, "w", encoding="utf-8") as fh:
-            json.dump([f.as_dict() for f in findings], fh, indent=2)
+        try:
+            write_artifact(
+                artifact, "races-findings",
+                {"findings": [f.as_dict() for f in findings]},
+                seed=seed,
+                replay=f"python -m repro.races --seed {seed} --ops {ops}",
+                config={"ops": ops})
+        except OSError as exc:
+            print(f"error: cannot write artifact {artifact!r}: {exc}")
+            return EXIT_INFRA
         print(f"wrote {artifact}")
-    return 1 if findings else 0
+    return EXIT_FAILURES if findings else EXIT_OK
 
 
 def main(argv: "List[str] | None" = None) -> int:
@@ -64,7 +74,7 @@ def main(argv: "List[str] | None" = None) -> int:
                             flush=True))
     else:
         results = [explore_seed(args.seed, ops=args.ops, shrink=shrink)]
-    return _report(results, args.artifact)
+    return _report(results, args.artifact, args.seed, args.ops)
 
 
 if __name__ == "__main__":

@@ -16,10 +16,10 @@ any failure, writing a JSON repro artifact so CI can upload it.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from typing import Any, Dict, List, Optional
 
+from repro.cli import EXIT_FAILURES, EXIT_INFRA, EXIT_OK
 from repro.faults.harness import correctable_heavy_config
 from repro.faults.model import FaultPlan
 from repro.replicate.harness import (
@@ -30,6 +30,7 @@ from repro.replicate.harness import (
     replication_site_targets,
     run_replication_case,
 )
+from repro.sim.artifact import write_artifact
 from repro.torture.power import Target
 
 
@@ -132,7 +133,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         repl = replication_site_targets(targets)
         print(f"{len(targets)} injection points "
               f"({len(repl)} on replication sites)")
-        return 0
+        return EXIT_OK
 
     if args.site:
         outcome = run_replication_case(
@@ -155,18 +156,28 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if failed:
         if args.artifact:
-            payload = {
+            body = {
                 "seed": args.seed,
                 "spec": spec.as_dict(),
                 "cases": failed,
             }
-            with open(args.artifact, "w", encoding="utf-8") as fh:
-                json.dump(payload, fh, indent=2, sort_keys=True)
+            try:
+                write_artifact(
+                    args.artifact, "replicate-repro", body,
+                    seed=args.seed,
+                    replay=(f"python -m repro.replicate "
+                            f"--seed {args.seed} "
+                            f"--cursor-every {args.cursor_every}"),
+                    config=spec.as_dict())
+            except OSError as exc:
+                print(f"error: cannot write artifact "
+                      f"{args.artifact!r}: {exc}")
+                return EXIT_INFRA
             print(f"repro artifact written to {args.artifact}")
         print(f"{len(failed)}/{len(entries)} cases failed")
-        return 1
+        return EXIT_FAILURES
     print(f"all {len(entries)} cases passed")
-    return 0
+    return EXIT_OK
 
 
 if __name__ == "__main__":

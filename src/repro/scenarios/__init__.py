@@ -1,0 +1,42 @@
+"""Declarative snapshot scenarios and the campaign matrix engine.
+
+A :class:`~repro.scenarios.spec.ScenarioSpec` describes a snapshot
+workload the way the glusterfs glusto snapshot suite describes one —
+"churn I/O, take snapshots past the limit, restore, replicate" — as a
+list of declarative phases with seeded parameter ranges.  The compiler
+(:mod:`repro.scenarios.compile`) lowers a spec deterministically into
+the torture rig's op DSL, and the campaign engine
+(:mod:`repro.scenarios.campaign`) cross-products every scenario with
+crash-site cuts, media-fault plans, and device-configuration axes,
+reopening each cell through real recovery and verifying with fsck,
+the model oracle, and deep activation readback.
+
+Run it: ``python -m repro.scenarios --campaign nightly --seed 7``.
+"""
+
+from repro.scenarios.campaign import (
+    CampaignState,
+    CellResult,
+    plan_combos,
+    run_campaign,
+)
+from repro.scenarios.compile import (
+    CompileError,
+    compile_spec,
+    schedule_digest,
+)
+from repro.scenarios.library import MUTATION_SCENARIO, SCENARIOS
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = [
+    "CampaignState",
+    "CellResult",
+    "CompileError",
+    "MUTATION_SCENARIO",
+    "SCENARIOS",
+    "ScenarioSpec",
+    "compile_spec",
+    "plan_combos",
+    "run_campaign",
+    "schedule_digest",
+]

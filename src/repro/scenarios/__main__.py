@@ -1,0 +1,195 @@
+"""CLI: the scenario campaign (``python -m repro.scenarios``).
+
+Nightly matrix (every scenario x axes x cuts x faults):
+
+    python -m repro.scenarios --campaign nightly --seed 7 \\
+        --state campaign-state.json --repro-dir .
+
+Always-on smoke subset (a few scenarios, one cut each, < 60 s):
+
+    python -m repro.scenarios --campaign smoke --seed 7
+
+Replay a scenario-repro artifact a failing campaign wrote:
+
+    python -m repro.scenarios --replay scenario-repro-0.json
+
+Self-test that the matrix has teeth (a deliberately wrong device
+must be caught and shrunk):
+
+    python -m repro.scenarios --mutate --seed 7
+
+Exit codes follow :mod:`repro.cli`: 0 all cells passed, 1 at least
+one cell failed its oracles, 2 the rig itself could not run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.cli import EXIT_FAILURES, EXIT_INFRA, EXIT_OK
+from repro.scenarios.campaign import (
+    PROFILES,
+    plan_combos,
+    replay_scenario_repro,
+    run_campaign,
+)
+from repro.scenarios.compile import CompileError, compile_spec, schedule_digest
+from repro.scenarios.library import MUTATION_SCENARIO, SCENARIOS
+from repro.sim.artifact import ArtifactError
+
+
+def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenarios",
+        description="declarative snapshot-scenario campaign matrix")
+    parser.add_argument("--campaign", choices=PROFILES, default=None,
+                        help="run a campaign profile")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="campaign seed (schedules, cut sampling)")
+    parser.add_argument("--scenario", action="append", metavar="NAME",
+                        help="restrict to this scenario (repeatable)")
+    parser.add_argument("--state", metavar="FILE", default=None,
+                        help="resumable campaign state artifact")
+    parser.add_argument("--repro-dir", metavar="DIR", default=None,
+                        help="write shrunk scenario-repro artifacts here")
+    parser.add_argument("--max-cells", type=int, default=None,
+                        help="stop after executing N cells (resume later)")
+    parser.add_argument("--no-deep", dest="deep", action="store_false",
+                        help="skip per-snapshot content readback")
+    parser.add_argument("--list", action="store_true",
+                        help="list scenarios (with schedule digests) and exit")
+    parser.add_argument("--replay", metavar="FILE", default=None,
+                        help="replay a scenario-repro artifact and exit")
+    parser.add_argument("--mutate", action="store_true",
+                        help="campaign self-test: run the hidden mutation "
+                             "scenario; exit 0 iff it is caught and shrunk")
+    return parser.parse_args(argv)
+
+
+def _list_scenarios(seed: int) -> int:
+    for name, spec in SCENARIOS.items():
+        try:
+            script = compile_spec(spec, seed)
+        except CompileError as exc:
+            print(f"{name:32s} COMPILE ERROR: {exc}")
+            return EXIT_INFRA
+        flags = []
+        if spec.snapshot_limit:
+            auto = "+auto" if spec.snapshot_auto_delete else ""
+            flags.append(f"limit={spec.snapshot_limit}{auto}")
+        if spec.needs_faults:
+            flags.append("faults")
+        suffix = f"  [{', '.join(flags)}]" if flags else ""
+        print(f"{name:32s} {len(script):3d} ops  "
+              f"schedule {schedule_digest(script)}{suffix}")
+        print(f"    {spec.summary}")
+    return EXIT_OK
+
+
+def _replay(path: str, deep: bool) -> int:
+    try:
+        outcome = replay_scenario_repro(path, deep=deep)
+    except (OSError, ArtifactError, KeyError, TypeError,
+            ValueError) as exc:
+        print(f"error: cannot replay {path!r}: {exc}")
+        return EXIT_INFRA
+    if outcome.invalid:
+        print("error: repro script is not valid on this build")
+        return EXIT_INFRA
+    if not outcome.fired:
+        print("cut never fired (site renumbered?); nothing verified")
+        return EXIT_INFRA
+    if outcome.failed:
+        print("reproduced:")
+        for violation in outcome.failures:
+            print(f"  - {violation}")
+        return EXIT_FAILURES
+    print("repro no longer fails: the device handled it")
+    return EXIT_OK
+
+
+def _mutate(args: argparse.Namespace) -> int:
+    """Prove the matrix has teeth: the mutant must be caught + shrunk."""
+    specs = {MUTATION_SCENARIO.name: MUTATION_SCENARIO}
+    repro_dir = args.repro_dir or "."
+    report = run_campaign(
+        "smoke", args.seed, scenarios=[MUTATION_SCENARIO.name],
+        specs=specs, repro_dir=repro_dir, deep=args.deep, log=print)
+    if report.infra_errors:
+        for problem in report.infra_errors:
+            print(f"infra: {problem}")
+        return EXIT_INFRA
+    caught = [r for r in report.results if r.verdict == "fail"]
+    if not caught or not report.repro_paths:
+        print("MUTATION ESCAPED: the campaign did not flag a device "
+              "that lies about its writes")
+        return EXIT_FAILURES
+    # The shrunk repro must itself still reproduce.
+    replay_status = _replay(report.repro_paths[0], args.deep)
+    if replay_status != EXIT_FAILURES:
+        print("MUTATION ESCAPED: the shrunk repro does not reproduce")
+        return EXIT_FAILURES
+    print(f"mutation caught: {len(caught)}/{len(report.results)} cells "
+          f"flagged it; shrunk repro replays at {report.repro_paths[0]}")
+    return EXIT_OK
+
+
+def _campaign(args: argparse.Namespace) -> int:
+    start = time.monotonic()  # lint: allow-nondeterminism(operator-facing progress reporting only; never feeds the simulation)
+    try:
+        report = run_campaign(
+            args.campaign, args.seed, scenarios=args.scenario,
+            state_path=args.state, repro_dir=args.repro_dir,
+            max_cells=args.max_cells, deep=args.deep, log=print)
+    except (ArtifactError, ValueError) as exc:
+        print(f"error: {exc}")
+        return EXIT_INFRA
+    elapsed = time.monotonic() - start  # lint: allow-nondeterminism(operator-facing progress reporting only; never feeds the simulation)
+
+    passed = sum(1 for r in report.results if r.verdict == "pass")
+    print(f"{args.campaign} campaign seed={args.seed}: "
+          f"{passed}/{len(report.results)} cells passed in {elapsed:.1f}s")
+    if report.invalid_cells:
+        for cell in report.invalid_cells:
+            print(f"  invalid: {cell.key}")
+    if report.infra_errors:
+        for problem in report.infra_errors:
+            print(f"  infra: {problem}")
+    if not report.complete:
+        print("  (stopped at --max-cells; rerun with --state to resume)")
+    if report.failed_cells:
+        for cell in report.failed_cells:
+            print(f"  FAIL {cell.key}")
+            for violation in cell.failures:
+                print(f"    - {violation}")
+        return EXIT_FAILURES
+    if report.invalid_cells or report.infra_errors:
+        return EXIT_INFRA
+    return EXIT_OK
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parse_args(argv)
+    if args.list:
+        return _list_scenarios(args.seed)
+    if args.replay:
+        return _replay(args.replay, args.deep)
+    if args.mutate:
+        return _mutate(args)
+    if args.campaign is None:
+        print("nothing to do: pass --campaign, --replay, --mutate, "
+              "or --list")
+        return EXIT_INFRA
+    try:
+        plan_combos(args.campaign, args.scenario)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return EXIT_INFRA
+    return _campaign(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

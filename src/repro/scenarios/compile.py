@@ -1,0 +1,255 @@
+"""Compile a declarative scenario spec into a torture-rig op schedule.
+
+The compiler is a deterministic function of ``(spec, seed)``: every
+random choice (op mix, LBAs, range knobs, symbolic selectors) comes
+from one ``random.Random`` seeded with ``f"{spec.name}:{seed}"``, so
+the same coordinate always yields the byte-identical schedule —
+:func:`schedule_digest` is the replayable fingerprint CI compares.
+
+The compiler maintains a *symbolic* mirror of snapshot state — the
+live set in creation order, open activations, replicated streams, and
+the retention policy's auto-delete evictions — so that symbolic
+selectors (``"oldest"``, ``"random"``) and chained sends always lower
+to ops that are valid at that point in the schedule.  A spec that
+cannot be lowered (restoring when no snapshot exists, creating past a
+hard limit without ``try_snap``) is a scenario bug and raises
+:class:`CompileError` rather than producing a script the harness
+would reject as invalid.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from typing import Dict, List, Optional, Set
+
+from repro.scenarios.spec import SELECTORS, ScenarioSpec, validate_spec
+from repro.torture.workload import Op
+
+
+class CompileError(ValueError):
+    """The spec cannot be lowered into a valid schedule."""
+
+
+def canonical_json(value: object) -> str:
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def schedule_digest(script: List[Op]) -> str:
+    """Stable fingerprint of a compiled schedule."""
+    canon = canonical_json([list(op) for op in script])
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:16]
+
+
+class _Tracker:
+    """Symbolic snapshot state mirrored through compilation.
+
+    Must agree with the device's retention policy and the model
+    oracle's shadow (same eviction rule: oldest live snapshot not
+    pinned by an open activation), or compiled selectors would target
+    snapshots that no longer exist when the schedule runs.
+    """
+
+    def __init__(self, spec: ScenarioSpec) -> None:
+        self.limit = spec.snapshot_limit
+        self.auto_delete = spec.snapshot_auto_delete
+        self.live: List[str] = []        # creation order
+        self.activated: Set[str] = set()
+        self.sent_streams: Set[str] = set()
+        self.last_sent: Optional[str] = None
+        self.counter = 0
+
+    def auto_name(self) -> str:
+        name = f"s{self.counter}"
+        self.counter += 1
+        return name
+
+    def eviction_victim(self) -> Optional[str]:
+        for name in self.live:
+            if name not in self.activated:
+                return name
+        return None
+
+    def create_would_succeed(self) -> bool:
+        if not self.limit or len(self.live) < self.limit:
+            return True
+        return self.auto_delete and self.eviction_victim() is not None
+
+    def create(self, name: str) -> None:
+        while self.limit and len(self.live) >= self.limit:
+            victim = self.eviction_victim()
+            if victim is None:
+                raise CompileError(
+                    f"create {name!r} would exceed snapshot_limit="
+                    f"{self.limit} with every snapshot pinned")
+            self.live.remove(victim)
+        self.live.append(name)
+
+    def pick(self, which: object, rng: random.Random, *,
+             pool: List[str], verb: str) -> str:
+        """Resolve a symbolic selector against an eligible pool."""
+        if not pool:
+            raise CompileError(f"{verb}: no eligible snapshot "
+                               f"(selector {which!r})")
+        if which == "oldest":
+            return pool[0]
+        if which == "newest":
+            return pool[-1]
+        if which == "random":
+            return pool[rng.randrange(len(pool))]
+        if isinstance(which, str) and which not in SELECTORS:
+            if which not in pool:
+                raise CompileError(f"{verb}: snapshot {which!r} is not "
+                                   f"eligible (live: {pool})")
+            return which
+        raise CompileError(f"{verb}: bad selector {which!r}")
+
+
+def _knob(step: Dict[str, object], key: str, default: int,
+          rng: random.Random) -> int:
+    """An integer knob, or a seeded pick from a ``[lo, hi]`` range."""
+    value = step.get(key, default)
+    if isinstance(value, list):
+        lo, hi = value
+        return rng.randint(int(lo), int(hi))
+    return int(value)
+
+
+def _emit_io(step: Dict[str, object], spec: ScenarioSpec,
+             rng: random.Random, tracker: _Tracker,
+             written: Set[int], script: List[Op]) -> None:
+    ops = _knob(step, "ops", 12, rng)
+    trim_ratio = float(step.get("trim_ratio", 0.0))
+    burst_ratio = float(step.get("burst_ratio", 0.0))
+    write_kind = "write_skewed" if step.get("skewed") else "write"
+    for _ in range(ops):
+        roll = rng.random()
+        if roll < trim_ratio and written:
+            lba = sorted(written)[rng.randrange(len(written))]
+            script.append(["trim", lba])
+            written.discard(lba)
+        elif roll < trim_ratio + burst_ratio:
+            burst_len = _knob(step, "burst_len", 4, rng)
+            lbas = rng.sample(range(spec.span), min(burst_len, spec.span))
+            pairs = []
+            for lba in sorted(lbas):
+                tracker.counter += 1
+                pairs.append([lba, tracker.counter])
+                written.add(lba)
+            script.append(["burst", pairs])
+        else:
+            lba = rng.randrange(spec.span)
+            tracker.counter += 1
+            script.append([write_kind, lba, tracker.counter])
+            written.add(lba)
+
+
+def _lower(step: Dict[str, object], spec: ScenarioSpec,
+           rng: random.Random, tracker: _Tracker,
+           written: Set[int], script: List[Op]) -> None:
+    kind = step["do"]
+    if kind == "io":
+        _emit_io(step, spec, rng, tracker, written, script)
+    elif kind == "snap":
+        name = str(step.get("name") or tracker.auto_name())
+        if not tracker.create_would_succeed():
+            raise CompileError(
+                f"snap {name!r} would hit snapshot_limit="
+                f"{tracker.limit}; use try_snap for limit scenarios")
+        tracker.create(name)
+        script.append(["snap_create", name])
+    elif kind == "try_snap":
+        name = str(step.get("name") or tracker.auto_name())
+        if tracker.create_would_succeed():
+            tracker.create(name)
+        script.append(["snap_try_create", name])
+    elif kind == "delete":
+        pool = [n for n in tracker.live if n not in tracker.activated]
+        name = tracker.pick(step.get("which", "oldest"), rng,
+                            pool=pool, verb="delete")
+        tracker.live.remove(name)
+        script.append(["snap_delete", name])
+    elif kind == "activate":
+        pool = [n for n in tracker.live if n not in tracker.activated]
+        name = tracker.pick(step.get("which", "newest"), rng,
+                            pool=pool, verb="activate")
+        tracker.activated.add(name)
+        script.append(["snap_activate", name])
+    elif kind == "deactivate":
+        pool = [n for n in tracker.live if n in tracker.activated]
+        name = tracker.pick(step.get("which", "newest"), rng,
+                            pool=pool, verb="deactivate")
+        tracker.activated.discard(name)
+        script.append(["snap_deactivate", name])
+    elif kind == "restore":
+        pool = [n for n in tracker.live if n not in tracker.activated]
+        name = tracker.pick(step.get("which", "newest"), rng,
+                            pool=pool, verb="restore")
+        script.append(["rollback", name])
+        # The active tree is now the snapshot's image; the compiler
+        # only needs ``written`` for trim targeting, so keep it broad.
+    elif kind == "clone":
+        pool = [n for n in tracker.live if n not in tracker.activated]
+        src = tracker.pick(step.get("which", "newest"), rng,
+                           pool=pool, verb="clone")
+        clone_name = str(step.get("name") or tracker.auto_name())
+        if not tracker.create_would_succeed():
+            raise CompileError(f"clone {clone_name!r} would hit the "
+                               "snapshot limit")
+        script.append(["rollback", src])
+        tracker.create(clone_name)
+        script.append(["snap_create", clone_name])
+    elif kind == "send":
+        pool = [n for n in tracker.live if n not in tracker.activated]
+        name = tracker.pick(step.get("which", "newest"), rng,
+                            pool=pool, verb="send")
+        base = tracker.last_sent if step.get("incremental") else None
+        if base == name:
+            base = None  # self-delta is meaningless; fall back to full
+        stream = f"{base or ''}->{name}"
+        if stream in tracker.sent_streams:
+            return  # duplicate stream would be a script error; skip
+        tracker.sent_streams.add(stream)
+        tracker.last_sent = name
+        script.append(["send", name, base] if base is not None
+                      else ["send", name])
+    elif kind == "gc":
+        script.append(["gc"])
+    elif kind == "scrub":
+        script.append(["scrub"])
+    elif kind == "shutdown":
+        script.append(["shutdown"])
+    elif kind == "repeat":
+        times = _knob(step, "times", 2, rng)
+        for _ in range(times):
+            for sub in step["body"]:        # type: ignore[union-attr]
+                _lower(sub, spec, rng, tracker, written, script)
+    else:  # pragma: no cover - validate_spec catches this first
+        raise CompileError(f"unknown phase kind {kind!r}")
+
+
+def compile_spec(spec: ScenarioSpec, seed: int) -> List[Op]:
+    """Lower ``spec`` into a concrete torture-rig schedule."""
+    problems = validate_spec(spec)
+    if problems:
+        raise CompileError("; ".join(problems))
+    rng = random.Random(f"{spec.name}:{seed}")
+    tracker = _Tracker(spec)
+    written: Set[int] = set()
+    script: List[Op] = []
+    for step in spec.phases:
+        _lower(step, spec, rng, tracker, written, script)
+    # Open activations are host state; close them at the end so the
+    # clean (no-cut) cell verifies a quiescent device.  Mid-script
+    # cuts still exercise crash-with-open-activation: every cut cell
+    # slices the schedule before this epilogue can run.  The epilogue
+    # goes *before* a trailing shutdown — ops after shutdown would be
+    # a script error.
+    epilogue = [["snap_deactivate", name]
+                for name in sorted(tracker.activated)]
+    if script and script[-1] == ["shutdown"]:
+        script[-1:-1] = epilogue
+    else:
+        script.extend(epilogue)
+    return script

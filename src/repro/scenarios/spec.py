@@ -1,0 +1,128 @@
+"""The declarative scenario spec: what a snapshot workload *means*.
+
+A scenario is a named list of phases.  Each phase is a plain JSON-able
+dict — the whole spec round-trips through JSON, which is what lets a
+campaign artifact carry the exact spec it ran.  Phase kinds:
+
+``{"do": "io", "ops": N, ...}``
+    Seeded mixed foreground I/O over the scenario's LBA span.  Knobs
+    (all optional): ``trim_ratio`` (fraction of ops that trim an LBA
+    written earlier), ``burst_ratio`` (fraction emitted as multi-LBA
+    ``burst`` ops racing on different log heads), ``burst_len``,
+    ``skewed`` (emit ``write_skewed`` mutation ops — campaign
+    self-test only).
+
+``{"do": "snap", "name": "pre"}``
+    Create a snapshot.  Omitting ``name`` auto-names ``s0, s1, ...``.
+    ``{"do": "try_snap", ...}`` is the best-effort variant for limit
+    scenarios: a policy rejection is an expected outcome.
+
+``{"do": "delete"|"activate"|"deactivate"|"restore", "which": W}``
+    Operate on a live snapshot.  ``which`` selects symbolically:
+    ``"oldest"``, ``"newest"``, ``"random"``, or an explicit name.
+    The compiler tracks the live set (including auto-delete evictions)
+    so symbolic selectors always resolve to a snapshot that actually
+    exists at that point in the schedule.
+
+``{"do": "clone", "which": W, "name": C}``
+    Restore ``which`` into the active tree, then snapshot the result
+    as ``C`` — a writable copy the way glusto's clone tests make one.
+
+``{"do": "send", "which": W, "incremental": true}``
+    Replicate a snapshot to the run's scratch receiver.  With
+    ``incremental``, the previously sent snapshot becomes the delta
+    base (first send is a full send).
+
+``{"do": "gc"}, {"do": "scrub"}, {"do": "shutdown"}``
+    Force a cleaner pass / scrubber pass / clean checkpoint.
+
+``{"do": "repeat", "times": N, "body": [...]}``
+    Run the sub-phases ``times`` times.
+
+Any integer knob (``ops``, ``times``, ``burst_len``) may instead be a
+two-element ``[lo, hi]`` range; the compiler picks a value from the
+scenario's seeded RNG, so one spec covers a family of schedules while
+``(spec, seed)`` stays a deterministic coordinate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+PHASE_KINDS = (
+    "io", "snap", "try_snap", "delete", "activate", "deactivate",
+    "restore", "clone", "send", "gc", "scrub", "shutdown", "repeat",
+)
+
+SELECTORS = ("oldest", "newest", "random")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One declarative scenario: phases plus the device policy it needs.
+
+    ``snapshot_limit``/``snapshot_auto_delete`` ride on the spec (not
+    the campaign axis) because limit scenarios are *about* the policy:
+    compiling them without it would change what the schedule means.
+    ``needs_faults`` marks scenarios that only make sense on flawed
+    media (the scrubber does not exist on a perfect medium); the
+    campaign runs those cells with a fault plan composed in.
+    """
+
+    name: str
+    summary: str
+    phases: Tuple[Dict[str, object], ...]
+    span: int = 48                   # LBA working-set width
+    snapshot_limit: int = 0
+    snapshot_auto_delete: bool = False
+    needs_faults: bool = False
+    tags: Tuple[str, ...] = field(default_factory=tuple)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "summary": self.summary,
+            "phases": [dict(p) for p in self.phases],
+            "span": self.span,
+            "snapshot_limit": self.snapshot_limit,
+            "snapshot_auto_delete": self.snapshot_auto_delete,
+            "needs_faults": self.needs_faults,
+            "tags": list(self.tags),
+        }
+
+
+def phases(*steps: Dict[str, object]) -> Tuple[Dict[str, object], ...]:
+    """Tuple-ify a phase list (dataclass fields must be hashable)."""
+    return tuple(steps)
+
+
+def validate_spec(spec: ScenarioSpec) -> List[str]:
+    """Static spec lint: unknown phase kinds, malformed ranges."""
+    problems: List[str] = []
+
+    def walk(steps, path: str) -> None:
+        for i, step in enumerate(steps):
+            where = f"{path}[{i}]"
+            kind = step.get("do")
+            if kind not in PHASE_KINDS:
+                problems.append(f"{where}: unknown phase kind {kind!r}")
+                continue
+            for knob in ("ops", "times", "burst_len"):
+                value = step.get(knob)
+                if value is None:
+                    continue
+                if isinstance(value, list) and (
+                        len(value) != 2 or value[0] > value[1]):
+                    problems.append(
+                        f"{where}: {knob} range must be [lo, hi]: {value!r}")
+            if kind == "repeat":
+                body = step.get("body")
+                if not isinstance(body, list) or not body:
+                    problems.append(f"{where}: repeat needs a body list")
+                else:
+                    walk(body, f"{where}.body")
+
+    walk(spec.phases, spec.name)
+    return problems

@@ -24,6 +24,7 @@ import sys
 import time
 from typing import List, Optional
 
+from repro.cli import EXIT_FAILURES, EXIT_INFRA, EXIT_OK
 from repro.faults.model import FaultPlan
 from repro.torture.harness import (
     TortureConfig,
@@ -93,7 +94,7 @@ def _fail(script: List[Op], target: Target, failures: List[str],
         print("shrinking ...")
         repro = shrink_failure(script, target[0], deep=args.deep,
                                fault_plan=fault_plan)
-        write_repro(args.repro_out, repro)
+        write_repro(args.repro_out, repro, seed=args.seed)
         print(f"shrunk {repro.original_ops} -> {len(repro.script)} ops "
               f"({repro.attempts} candidates tried)")
         print(f"repro written to {args.repro_out}; replay with:")
@@ -102,9 +103,9 @@ def _fail(script: List[Op], target: Target, failures: List[str],
         repro = ShrunkRepro(script=script, site=target[0],
                             occurrence=target[1], failures=failures,
                             original_ops=len(script), fault_plan=fault_plan)
-        write_repro(args.repro_out, repro)
+        write_repro(args.repro_out, repro, seed=args.seed)
         print(f"repro written to {args.repro_out} (unshrunk)")
-    return 1
+    return EXIT_FAILURES
 
 
 def _sample(targets: List[Target], cap: int, seed: int) -> List[Target]:
@@ -125,7 +126,7 @@ def _run_targets(script: List[Op], targets: List[Target],
                                fault_plan=fault_plan)
         if outcome.invalid:
             print(f"error: workload {label} is not a valid script")
-            return 2
+            return EXIT_INFRA
         ran += 1
         if outcome.failed:
             return _fail(script, target, outcome.failures, args, fault_plan)
@@ -134,11 +135,15 @@ def _run_targets(script: List[Op], targets: List[Target],
     print(f"{label}: {ran} cuts across {len(kinds)} site kinds "
           f"passed both oracles in {elapsed:.1f}s")
     print(f"  site kinds: {', '.join(kinds)}")
-    return 0
+    return EXIT_OK
 
 
 def _replay(args: argparse.Namespace) -> int:
-    repro = load_repro(args.replay)
+    try:
+        repro = load_repro(args.replay)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: cannot load repro {args.replay!r}: {exc}")
+        return EXIT_INFRA
     with_faults = " with media faults" if repro.fault_plan else ""
     print(f"replaying {len(repro.script)} ops, cut at {repro.site} "
           f"(occurrence {repro.occurrence}){with_faults}")
@@ -146,24 +151,28 @@ def _replay(args: argparse.Namespace) -> int:
                            fault_plan=repro.fault_plan)
     if outcome.invalid:
         print("error: repro script is not valid on this build")
-        return 2
+        return EXIT_INFRA
     if not outcome.fired:
         print("cut never fired (site renumbered?); nothing verified")
-        return 2
+        return EXIT_INFRA
     if outcome.failed:
         print("reproduced:")
         for violation in outcome.failures:
             print(f"  - {violation}")
-        return 1
+        return EXIT_FAILURES
     print("repro no longer fails: recovery handled the cut")
-    return 0
+    return EXIT_OK
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _parse_args(argv)
     if args.replay:
         return _replay(args)
-    fault_plan = _load_fault_plan(args)
+    try:
+        fault_plan = _load_fault_plan(args)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: cannot load fault plan {args.fault_plan!r}: {exc}")
+        return EXIT_INFRA
 
     if args.sweep:
         cap = args.max_sites or 12
@@ -178,7 +187,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                                   fault_plan=fault_plan)
             if status:
                 return status
-        return 0
+        return EXIT_OK
 
     # Default / --exhaustive: one workload, every injection point.
     script = small_script() if args.small else generate_script(
@@ -189,7 +198,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{site} x{occurrence}")
         print(f"{len(targets)} injection points, "
               f"{len(site_kinds(targets))} site kinds")
-        return 0
+        return EXIT_OK
     if args.max_sites and len(targets) > args.max_sites:
         targets = _sample(targets, args.max_sites, args.seed)
     label = "small workload" if args.small else f"workload seed={args.seed}"

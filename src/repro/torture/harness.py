@@ -28,6 +28,7 @@ from repro.errors import (
     FtlError,
     LbaError,
     PowerLossError,
+    ReplicationError,
     ReproError,
     SnapshotError,
 )
@@ -60,11 +61,24 @@ class TortureConfig:
     # after a cut must be told to use it again).
     map_cache_pages: int = 0
     map_span: int = 64
+    # Snapshot-retention policy (see IoSnapConfig): like the map-cache
+    # mode this is host configuration, re-applied on the post-cut
+    # reopen.  The model oracle mirrors the same policy.
+    snapshot_limit: int = 0
+    snapshot_auto_delete: bool = False
 
     def device_config(self) -> IoSnapConfig:
         return IoSnapConfig(parallel_heads=self.parallel_heads,
                             map_cache_pages=self.map_cache_pages,
-                            map_span=self.map_span)
+                            map_span=self.map_span,
+                            snapshot_limit=self.snapshot_limit,
+                            snapshot_auto_delete=self.snapshot_auto_delete)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-able form for artifact config digests."""
+        from dataclasses import asdict
+
+        return asdict(self)
 
     def nand_config(self) -> NandConfig:
         return NandConfig(geometry=NandGeometry(
@@ -76,6 +90,17 @@ class TortureConfig:
 
 class ScriptInvalid(Exception):
     """The (possibly reducer-mutilated) script is not semantically valid."""
+
+
+class WorkloadFailure(Exception):
+    """An op's own end-to-end verification failed mid-run.
+
+    Raised for failures that are *verdicts*, not broken scripts: a
+    replication ``send`` whose finalize digest check rejects the
+    received snapshot, say.  The harness folds the message into the
+    outcome's failure list instead of marking the case invalid — a
+    masked verification failure would silently shrink coverage.
+    """
 
 
 @dataclass
@@ -127,11 +152,19 @@ def _join_burst(procs) -> "object":
 
 
 def _apply_op(device: IoSnapDevice, activations: Dict[str, object],
-              op: Op) -> None:
+              op: Op, extras: Optional[Dict[str, object]] = None) -> None:
     kind = op[0]
+    if extras is None:
+        extras = {}
     try:
         if kind == "write":
             device.write(op[1], payload_for(op[1], op[2]))
+        elif kind == "write_skewed":
+            # Mutation-test op: the device writes a payload the model
+            # oracle deliberately disagrees with (tag + 1 vs tag).  It
+            # exists so campaigns can prove their own teeth; see
+            # repro.scenarios and tests/scenarios.
+            device.write(op[1], payload_for(op[1], op[2] + 1))
         elif kind == "burst":
             lbas = [lba for lba, _tag in op[1]]
             if len(set(lbas)) != len(lbas):
@@ -151,6 +184,27 @@ def _apply_op(device: IoSnapDevice, activations: Dict[str, object],
             device.trim(op[1])
         elif kind == "snap_create":
             device.snapshot_create(op[1])
+        elif kind == "snap_try_create":
+            # Best-effort create under a snapshot limit: a policy
+            # rejection is an expected outcome, not a script error.
+            # The model oracle mirrors the same policy, so it knows
+            # whether this op actually created anything.
+            try:
+                device.snapshot_create(op[1])
+            except SnapshotError:
+                pass
+        elif kind == "rollback":
+            from repro.core.rollback import snapshot_rollback
+
+            snapshot_rollback(device, op[1])
+        elif kind == "scrub":
+            # One forced scrubber pass (no-op on a perfect medium:
+            # the scrubber only exists when a fault model is attached).
+            if device.scrubber is not None:
+                device.kernel.run_process(device.scrubber.scrub_pass(),
+                                          name="forced-scrub")
+        elif kind == "send":
+            _apply_send(device, extras, op)
         elif kind == "snap_delete":
             device.snapshot_delete(op[1])
         elif kind == "snap_activate":
@@ -169,17 +223,59 @@ def _apply_op(device: IoSnapDevice, activations: Dict[str, object],
             raise ScriptInvalid(f"unknown op {op!r}")
     except (PowerLossError, SimError):
         raise
+    except ReplicationError as exc:
+        # A send's own verification (CRC, finalize digest readback)
+        # rejected the transfer: a verdict, not a broken script.
+        raise WorkloadFailure(f"op {op!r}: {exc}") from exc
     except (SnapshotError, LbaError, FtlError, KeyError) as exc:
         raise ScriptInvalid(f"op {op!r}: {exc}") from exc
+
+
+def _apply_send(device: IoSnapDevice, extras: Dict[str, object],
+                op: Op) -> None:
+    """``["send", target, base?]``: replicate a snapshot to a receiver.
+
+    The scratch sink device and cursor store live in ``extras`` for
+    the duration of one run, so chained incremental sends share the
+    receiver exactly like the replication rig's STREAMS chain.  They
+    are host state: a power cut abandons them with the kernel (the
+    source device is the system under test; the sink is reborn blank
+    on the next incarnation's first send).
+    """
+    from repro.replicate.cursor import CursorStore
+    from repro.replicate.send import make_stream_id
+    from repro.replicate.transfer import replicate
+
+    target = op[1]
+    base = op[2] if len(op) > 2 else None
+    device.tree.resolve(target)  # unknown snapshot -> ScriptInvalid
+    sink = extras.get("sink")
+    if sink is None:
+        sink = IoSnapDevice.create(
+            device.kernel, device.nand.config,
+            IoSnapConfig(parallel_heads=device.config.parallel_heads))
+        extras["sink"] = sink
+        extras["store"] = CursorStore()
+    store = extras["store"]
+    assert isinstance(sink, IoSnapDevice) and isinstance(store, CursorStore)
+    # Reduced scripts can drop the op that shipped the base snapshot
+    # or duplicate a transfer; both are script problems, not verdicts.
+    if base is not None and base not in {s.name for s in sink.snapshots()}:
+        raise ScriptInvalid(f"send base {base!r} never reached the "
+                            f"receiver: {op!r}")
+    prior = store.load(make_stream_id(base, target))
+    if prior is not None and prior.finalized:
+        raise ScriptInvalid(f"stream already replicated: {op!r}")
+    replicate(device, sink, base, target, store, cursor_every=4)
 
 
 def _run(script: List[Op], target: Optional[Target],
          config: TortureConfig,
          fault_plan: Optional[FaultPlan] = None,
-         ) -> Tuple[PowerModel, NandDevice, Model, Optional[int]]:
+         ) -> Tuple[PowerModel, IoSnapDevice, Model, Optional[int]]:
     """Run ``script`` with ``target`` armed.
 
-    Returns ``(power, nand, model, pending_index)`` where
+    Returns ``(power, device, model, pending_index)`` where
     ``pending_index`` is the index of the op in flight when the cut
     fired (None if it never fired).  Raises :class:`ScriptInvalid` for
     semantically broken scripts.  ``fault_plan`` composes a media-fault
@@ -190,18 +286,21 @@ def _run(script: List[Op], target: Optional[Target],
     device = _build_device(config, fault_plan)
     power = PowerModel(target)
     device.nand.power = power
-    model = Model(block_size=device.block_size)
+    model = Model(block_size=device.block_size,
+                  snapshot_limit=config.snapshot_limit,
+                  snapshot_auto_delete=config.snapshot_auto_delete)
     activations: Dict[str, object] = {}
+    extras: Dict[str, object] = {}
     for index, op in enumerate(script):
         try:
-            _apply_op(device, activations, op)
+            _apply_op(device, activations, op, extras)
         except (PowerLossError, SimError) as exc:
             if power.fired is None:
                 raise  # a real bug, not our injected cut
             del exc
-            return power, device.nand, model, index
+            return power, device, model, index
         model.apply(op)
-    return power, device.nand, model, None
+    return power, device, model, None
 
 
 def enumerate_sites(script: List[Op],
@@ -213,9 +312,9 @@ def enumerate_sites(script: List[Op],
     program fails insert retry programs (extra site occurrences), so
     enumerating without the plan would renumber every later site.
     """
-    power, _nand, _model, _pending = _run(script, None,
-                                          config or TortureConfig(),
-                                          fault_plan)
+    power, _device, _model, _pending = _run(script, None,
+                                            config or TortureConfig(),
+                                            fault_plan)
     return power.injection_points()
 
 
@@ -257,11 +356,16 @@ def run_with_cut(script: List[Op], target: Target,
     config = config or TortureConfig()
     outcome = CutOutcome(target=target)
     try:
-        power, nand, model, pending_index = _run(script, target, config,
-                                                 fault_plan)
+        power, run_device, model, pending_index = _run(script, target,
+                                                       config, fault_plan)
     except ScriptInvalid:
         outcome.invalid = True
         return outcome
+    except WorkloadFailure as exc:
+        # An op's own verification failed before the cut could fire.
+        outcome.failures.append(f"workload: {exc}")
+        return outcome
+    nand = run_device.nand
     outcome.fired = power.fired is not None
     if not outcome.fired:
         # The occurrence was never reached (reduced script); the case
@@ -296,4 +400,43 @@ def run_with_cut(script: List[Op], target: Target,
             f"fsck(post-gc): {v}" for v in fsck(device))
     except (ReproError, SimError) as exc:
         outcome.failures.append(f"post-recovery gc crashed: {exc!r}")
+    return outcome
+
+
+def run_without_cut(script: List[Op],
+                    config: Optional[TortureConfig] = None,
+                    deep: bool = True,
+                    fault_plan: Optional[FaultPlan] = None) -> CutOutcome:
+    """One *clean* case: run the whole script, verify the live device.
+
+    The scenario campaign's baseline cell: no power cut, but the same
+    two oracles — fsck's invariant audit and the model's full-state
+    comparison with deep per-snapshot activation readback — applied to
+    the device the script actually built.  Scripts whose final op is
+    ``shutdown`` are additionally reopened through the checkpoint
+    path, so a clean cell still exercises restore.
+    """
+    config = config or TortureConfig()
+    outcome = CutOutcome(target=None, fired=True)
+    try:
+        _power, device, model, _pending = _run(script, None, config,
+                                               fault_plan)
+    except ScriptInvalid:
+        outcome.invalid = True
+        return outcome
+    except WorkloadFailure as exc:
+        outcome.failures.append(f"workload: {exc}")
+        return outcome
+    if script and script[-1] == ["shutdown"]:
+        try:
+            device = _reopen(device.nand, config)
+        except (ReproError, SimError) as exc:
+            outcome.failures.append(f"clean reopen failed: {exc!r}")
+            return outcome
+    outcome.failures.extend(f"fsck: {v}" for v in fsck(device))
+    try:
+        outcome.failures.extend(model.check_recovered(device, None,
+                                                      deep=deep))
+    except (ReproError, SimError) as exc:
+        outcome.failures.append(f"model: verification crashed: {exc!r}")
     return outcome

@@ -35,21 +35,65 @@ from repro.torture.workload import Op, payload_for
 
 
 class Model:
-    """Shadow state updated only on acknowledged operations."""
+    """Shadow state updated only on acknowledged operations.
 
-    def __init__(self, block_size: int) -> None:
+    ``snapshot_limit``/``snapshot_auto_delete`` mirror the device's
+    retention policy (:class:`repro.core.iosnap.IoSnapConfig`): the
+    shadow must evict (or refuse) exactly the snapshots the device
+    does, or limit scenarios would report every eviction as data loss.
+    """
+
+    def __init__(self, block_size: int, snapshot_limit: int = 0,
+                 snapshot_auto_delete: bool = False) -> None:
         self.block_size = block_size
+        self.snapshot_limit = snapshot_limit
+        self.snapshot_auto_delete = snapshot_auto_delete
         self.active: Dict[int, bytes] = {}
         self.snaps: Dict[str, Dict[int, bytes]] = {}   # live, frozen images
         self.deleted: Set[str] = set()
         self.activated: Set[str] = set()
         self.touched: Set[int] = set()   # every LBA any op ever addressed
 
+    # -- retention policy --------------------------------------------------
+    def _eviction_victim(self) -> Optional[str]:
+        """The snapshot an auto-deleting create would evict right now.
+
+        Mirrors ``IoSnapDevice._enforce_snapshot_limit``: the oldest
+        live snapshot not pinned by an open activation.  ``self.snaps``
+        preserves ack order, so insertion order *is* created_seq order.
+        """
+        for name in self.snaps:
+            if name not in self.activated:
+                return name
+        return None
+
+    def _create_would_succeed(self) -> bool:
+        if not self.snapshot_limit or len(self.snaps) < self.snapshot_limit:
+            return True
+        return (self.snapshot_auto_delete
+                and self._eviction_victim() is not None)
+
+    def _apply_create(self, name: str) -> None:
+        while self.snapshot_limit and len(self.snaps) >= self.snapshot_limit:
+            victim = self._eviction_victim()
+            if victim is None:  # defensive; device would have refused
+                return
+            self.snaps.pop(victim)
+            self.deleted.add(victim)
+        self.snaps[name] = dict(self.active)
+
     # -- bookkeeping -------------------------------------------------------
     def apply(self, op: Op) -> None:
         """Fold one *acknowledged* op into the shadow state."""
         kind = op[0]
         if kind == "write":
+            _, lba, tag = op
+            self.active[lba] = payload_for(lba, tag)
+            self.touched.add(lba)
+        elif kind == "write_skewed":
+            # Mutation-test op: the device intentionally wrote
+            # payload_for(lba, tag + 1); the shadow records the claimed
+            # payload so verification MUST flag the divergence.
             _, lba, tag = op
             self.active[lba] = payload_for(lba, tag)
             self.touched.add(lba)
@@ -62,7 +106,11 @@ class Model:
             self.active.pop(lba, None)
             self.touched.add(lba)
         elif kind == "snap_create":
-            self.snaps[op[1]] = dict(self.active)
+            self._apply_create(op[1])
+        elif kind == "snap_try_create":
+            if self._create_would_succeed():
+                self._apply_create(op[1])
+            # else: the device refused at the limit; nothing changed.
         elif kind == "snap_delete":
             self.snaps.pop(op[1], None)
             self.deleted.add(op[1])
@@ -70,7 +118,14 @@ class Model:
             self.activated.add(op[1])
         elif kind == "snap_deactivate":
             self.activated.discard(op[1])
-        # "gc" and "shutdown" change no logical state.
+        elif kind == "rollback":
+            image = self.snaps.get(op[1])
+            if image is not None:
+                self.touched.update(self.active)
+                self.touched.update(image)
+                self.active = dict(image)
+        # "gc", "scrub", "send", and "shutdown" change no logical
+        # state on the source device.
 
     # -- verification ------------------------------------------------------
     def _pad(self, value: Optional[bytes]) -> bytes:
@@ -102,16 +157,28 @@ class Model:
                 f"model: {len(device._activations)} activation(s) survived "
                 "recovery")
 
+        # A pending rollback is a per-LBA mixture: each LBA the restore
+        # touches independently holds either its pre-rollback value or
+        # the snapshot's (the restore goes through the normal write/
+        # trim path, so per-LBA atomicity still holds).
+        rollback_image: Dict[int, bytes] = (
+            self.snaps.get(pending[1], {}) if pend_kind == "rollback"
+            else {})
+
         # -- active tree contents -------------------------------------
         check_lbas = set(self.touched)
-        if pend_kind in ("write", "trim"):
+        if pend_kind in ("write", "write_skewed", "trim"):
             check_lbas.add(pending[1])
         check_lbas.update(burst_pending)
+        if pend_kind == "rollback":
+            check_lbas.update(self.active)
+            check_lbas.update(rollback_image)
         for lba in sorted(check_lbas):
             could_hold = (self.active.get(lba) is not None
-                          or (pend_kind in ("write", "trim")
+                          or (pend_kind in ("write", "write_skewed", "trim")
                               and pending[1] == lba)
-                          or lba in burst_pending)
+                          or lba in burst_pending
+                          or lba in rollback_image)
             try:
                 got = device.read(lba)
             except MediaError as exc:
@@ -121,11 +188,17 @@ class Model:
             allowed = [self._pad(self.active.get(lba))]
             if pend_kind == "write" and pending[1] == lba:
                 allowed.append(self._pad(payload_for(lba, pending[2])))
+            elif pend_kind == "write_skewed" and pending[1] == lba:
+                # The device-side payload of the mutation op; only an
+                # *acknowledged* skewed write may fail verification.
+                allowed.append(self._pad(payload_for(lba, pending[2] + 1)))
             elif pend_kind == "trim" and pending[1] == lba:
                 allowed.append(self._pad(None))
             elif lba in burst_pending:
                 allowed.append(self._pad(payload_for(lba,
                                                      burst_pending[lba])))
+            if pend_kind == "rollback":
+                allowed.append(self._pad(rollback_image.get(lba)))
             if got not in allowed:
                 failures.append(
                     f"model: lba {lba} reads {got[:16]!r}..., expected one "
@@ -134,8 +207,16 @@ class Model:
         # -- snapshot set ----------------------------------------------
         live_names = {s.name for s in device.snapshots()}
         expected = set(self.snaps)
-        maybe_created = pending[1] if pend_kind == "snap_create" else None
+        maybe_created = None
         maybe_deleted = pending[1] if pend_kind == "snap_delete" else None
+        if pend_kind == "snap_create" or (pend_kind == "snap_try_create"
+                                          and self._create_would_succeed()):
+            maybe_created = pending[1]
+            if self.snapshot_limit and len(self.snaps) >= self.snapshot_limit:
+                # The pending create may have auto-evicted the oldest
+                # deletable snapshot before the cut (delete note first,
+                # create note second: either, both, or neither landed).
+                maybe_deleted = self._eviction_victim()
         for name in expected - live_names:
             if name != maybe_deleted:
                 failures.append(f"model: acked snapshot {name!r} lost")

@@ -17,12 +17,12 @@ repro.torture --replay FILE`` re-executes byte-identically.
 
 from __future__ import annotations
 
-import json
 from dataclasses import asdict, dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.errors import PowerLossError
 from repro.faults.model import FaultPlan
+from repro.sim.artifact import load_artifact, write_artifact
 from repro.torture.harness import (
     TortureConfig,
     enumerate_sites,
@@ -141,19 +141,25 @@ def shrink_failure(script: List[Op], site: str,
 # ---------------------------------------------------------------------------
 # Repro files
 # ---------------------------------------------------------------------------
-def write_repro(path: str, repro: ShrunkRepro) -> None:
-    payload = {"version": REPRO_VERSION,
-               **asdict(repro, dict_factory=dict)}
-    payload["fault_plan"] = (repro.fault_plan.as_dict()
-                             if repro.fault_plan is not None else None)
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2)
-        fh.write("\n")
+def write_repro(path: str, repro: ShrunkRepro, seed: int = 0) -> None:
+    """Write a replayable repro with the shared artifact envelope.
+
+    The rig-specific body keys stay at the top level (the pre-envelope
+    format), so older readers and the version-gated loader below keep
+    working; see :mod:`repro.sim.artifact`.
+    """
+    body = {"version": REPRO_VERSION,
+            **asdict(repro, dict_factory=dict)}
+    body["fault_plan"] = (repro.fault_plan.as_dict()
+                          if repro.fault_plan is not None else None)
+    write_artifact(path, "torture-repro", body, seed=seed,
+                   replay=f"python -m repro.torture --replay {path}",
+                   config=body["fault_plan"],
+                   format_version=REPRO_VERSION)
 
 
 def load_repro(path: str) -> ShrunkRepro:
-    with open(path, "r", encoding="utf-8") as fh:
-        payload = json.load(fh)
+    payload = load_artifact(path)
     if payload.get("version") not in (1, REPRO_VERSION):
         raise ValueError(f"unsupported repro version in {path!r}")
     raw_plan = payload.get("fault_plan")

@@ -1,0 +1,97 @@
+"""Compiler determinism and the symbolic snapshot tracker."""
+
+import pytest
+
+from repro.scenarios.compile import (
+    CompileError,
+    compile_spec,
+    schedule_digest,
+)
+from repro.scenarios.library import MUTATION_SCENARIO, SCENARIOS
+from repro.scenarios.spec import ScenarioSpec, phases, validate_spec
+from repro.torture.harness import TortureConfig, run_without_cut
+
+
+def test_corpus_has_at_least_twelve_scenarios():
+    assert len(SCENARIOS) >= 12
+    assert MUTATION_SCENARIO.name not in SCENARIOS
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_same_seed_compiles_identically(name):
+    spec = SCENARIOS[name]
+    first = compile_spec(spec, 7)
+    second = compile_spec(spec, 7)
+    assert first == second
+    assert schedule_digest(first) == schedule_digest(second)
+
+
+def test_different_seeds_differ():
+    spec = SCENARIOS["snapshot-under-heavy-io"]
+    assert (schedule_digest(compile_spec(spec, 7))
+            != schedule_digest(compile_spec(spec, 8)))
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_every_scenario_is_a_valid_script(name):
+    """Compiled schedules must be *valid* (clean-run verdicts are the
+    campaign's job; needs_faults scenarios get their plan there)."""
+    spec = SCENARIOS[name]
+    config = TortureConfig(snapshot_limit=spec.snapshot_limit,
+                           snapshot_auto_delete=spec.snapshot_auto_delete)
+    outcome = run_without_cut(compile_spec(spec, 7), config)
+    assert not outcome.invalid, f"{name} compiled to an invalid script"
+
+
+def test_limit_scenarios_lower_to_try_create():
+    script = compile_spec(SCENARIOS["limits-reject"], 7)
+    kinds = {op[0] for op in script}
+    assert "snap_try_create" in kinds
+    assert "snap_create" not in kinds
+
+
+def test_plain_snap_past_limit_is_a_compile_error():
+    spec = ScenarioSpec(
+        name="bad-limit", summary="x",
+        snapshot_limit=1, snapshot_auto_delete=False,
+        phases=phases({"do": "snap"}, {"do": "snap"}))
+    with pytest.raises(CompileError):
+        compile_spec(spec, 7)
+
+
+def test_selector_on_empty_set_is_a_compile_error():
+    spec = ScenarioSpec(name="bad-restore", summary="x",
+                        phases=phases({"do": "restore", "which": "oldest"}))
+    with pytest.raises(CompileError):
+        compile_spec(spec, 7)
+
+
+def test_unknown_phase_kind_is_rejected():
+    spec = ScenarioSpec(name="bad-kind", summary="x",
+                        phases=phases({"do": "frobnicate"}))
+    assert validate_spec(spec)
+    with pytest.raises(CompileError):
+        compile_spec(spec, 7)
+
+
+def test_range_knobs_are_seed_deterministic():
+    spec = ScenarioSpec(
+        name="ranged", summary="x",
+        phases=phases({"do": "repeat", "times": [2, 5], "body": [
+            {"do": "io", "ops": [3, 9]},
+        ]}))
+    assert compile_spec(spec, 11) == compile_spec(spec, 11)
+
+
+def test_open_activations_are_closed_before_trailing_shutdown():
+    spec = ScenarioSpec(
+        name="act-shutdown", summary="x",
+        phases=phases(
+            {"do": "io", "ops": 3},
+            {"do": "snap", "name": "s"},
+            {"do": "activate", "which": "s"},
+            {"do": "shutdown"}))
+    script = compile_spec(spec, 7)
+    assert script[-1] == ["shutdown"]
+    assert ["snap_deactivate", "s"] in script
+    assert script.index(["snap_deactivate", "s"]) < len(script) - 1

@@ -36,10 +36,10 @@ GC_FAIL = FaultPlan(config=FaultConfig(seed=7), program_fails=(42,))
 
 def _forced_fails_at_cut(script, target, plan):
     """Run to the cut and count forced program-fails the model saw."""
-    power, nand, _model, _pending = _run(script, target, TortureConfig(),
-                                         plan)
+    power, device, _model, _pending = _run(script, target, TortureConfig(),
+                                           plan)
     assert power.fired is not None, f"cut at {target} never fired"
-    return sum(nand.faults._block_program_fails.values())
+    return sum(device.nand.faults._block_program_fails.values())
 
 
 @pytest.mark.parametrize("occurrence", [12, 13])

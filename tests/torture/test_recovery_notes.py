@@ -40,9 +40,10 @@ def _gc_until_quiet(device) -> None:
 
 def _free_after_full_run(script) -> int:
     """Baseline: the same script acked end-to-end, then GC'd dry."""
-    power, nand, _model, pending = _run(script, None, TortureConfig())
+    power, run_device, _model, pending = _run(script, None, TortureConfig())
     assert pending is None
-    device = _reopen(nand)  # normalize: same reopen path as the cut run
+    # normalize: same reopen path as the cut run
+    device = _reopen(run_device.nand)
     _gc_until_quiet(device)
     return device.log.free_segment_count()
 
@@ -51,11 +52,11 @@ def test_delete_note_durable_but_unacked_frees_space():
     script = _script_pinning_snapshot(delete=True)
     # Cut after the delete note is durable, before the ack: the last
     # note.snap_delete program's :post phase.
-    _power, nand, _model, pending = _run(
+    _power, run_device, _model, pending = _run(
         script, ("note.snap_delete:post", 1), TortureConfig())
     assert pending == len(script) - 1  # the delete op was in flight
 
-    device = _reopen(nand)
+    device = _reopen(run_device.nand)
     assert "s0" not in {s.name for s in device.snapshots()}
     assert fsck(device) == []
 
@@ -67,11 +68,11 @@ def test_delete_note_durable_but_unacked_frees_space():
 
 def test_deactivate_note_durable_but_unacked_leaves_no_residue():
     script = _script_pinning_snapshot(delete=False)
-    _power, nand, _model, pending = _run(
+    _power, run_device, _model, pending = _run(
         script, ("note.snap_deactivate:post", 1), TortureConfig())
     assert pending == len(script) - 1
 
-    device = _reopen(nand)
+    device = _reopen(run_device.nand)
     # Activation branches die with host RAM (§5.5); S6 audits this.
     assert device._activations == []
     assert fsck(device) == []

@@ -1,0 +1,144 @@
+"""The scenario-facing torture DSL ops: rollback, send, try_create, scrub."""
+
+import pytest
+
+from repro.faults.harness import correctable_heavy_config
+from repro.faults.model import FaultPlan
+from repro.torture.harness import (
+    TortureConfig,
+    enumerate_sites,
+    run_with_cut,
+    run_without_cut,
+)
+
+
+def test_rollback_restores_snapshot_image_clean():
+    script = [
+        ["write", 0, 1], ["write", 1, 2],
+        ["snap_create", "golden"],
+        ["write", 0, 3], ["trim", 1], ["write", 2, 4],
+        ["rollback", "golden"],
+        ["write", 3, 5],
+    ]
+    outcome = run_without_cut(script)
+    assert not outcome.invalid
+    assert outcome.failures == []
+
+
+def test_rollback_unknown_snapshot_is_invalid():
+    outcome = run_without_cut([["write", 0, 1], ["rollback", "ghost"]])
+    assert outcome.invalid
+
+
+def test_rollback_survives_cuts_at_every_site():
+    script = [
+        ["write", 0, 1], ["write", 1, 2],
+        ["snap_create", "golden"],
+        ["write", 0, 3], ["trim", 1],
+        ["rollback", "golden"],
+    ]
+    targets = enumerate_sites(script)
+    assert targets, "no injection points enumerated"
+    for target in targets:
+        outcome = run_with_cut(script, target)
+        assert outcome.fired
+        assert outcome.failures == [], (
+            f"cut at {target}: {outcome.failures}")
+
+
+def test_snap_try_create_refusal_is_not_an_error():
+    config = TortureConfig(snapshot_limit=1)
+    script = [
+        ["write", 0, 1],
+        ["snap_try_create", "a"],
+        ["snap_try_create", "b"],   # at the limit: refused, acked
+        ["write", 1, 2],
+    ]
+    outcome = run_without_cut(script, config)
+    assert not outcome.invalid
+    assert outcome.failures == []
+
+
+def test_auto_delete_eviction_matches_model_under_cuts():
+    config = TortureConfig(snapshot_limit=2, snapshot_auto_delete=True)
+    script = [
+        ["write", 0, 1], ["snap_create", "s0"],
+        ["write", 1, 2], ["snap_create", "s1"],
+        ["write", 2, 3], ["snap_create", "s2"],   # evicts s0
+        ["write", 3, 4],
+    ]
+    assert run_without_cut(script, config).failures == []
+    for target in enumerate_sites(script, config):
+        outcome = run_with_cut(script, target, config)
+        assert outcome.fired
+        assert outcome.failures == [], (
+            f"cut at {target}: {outcome.failures}")
+
+
+def test_send_full_and_incremental_clean():
+    script = [
+        ["write", 0, 1], ["write", 1, 2],
+        ["snap_create", "base"],
+        ["send", "base"],
+        ["write", 0, 3], ["trim", 1],
+        ["snap_create", "delta"],
+        ["send", "delta", "base"],
+    ]
+    outcome = run_without_cut(script)
+    assert not outcome.invalid
+    assert outcome.failures == []
+
+
+def test_send_unknown_target_is_invalid():
+    outcome = run_without_cut([["write", 0, 1], ["send", "ghost"]])
+    assert outcome.invalid
+
+
+def test_send_base_missing_on_receiver_is_invalid():
+    # The op shipping "base" was dropped (reducer-style): the delta
+    # send cannot apply and the script is invalid, not a verdict.
+    script = [
+        ["write", 0, 1], ["snap_create", "base"],
+        ["write", 1, 2], ["snap_create", "delta"],
+        ["send", "delta", "base"],
+    ]
+    assert run_without_cut(script).invalid
+
+
+def test_duplicate_send_stream_is_invalid():
+    script = [
+        ["write", 0, 1], ["snap_create", "base"],
+        ["send", "base"], ["send", "base"],
+    ]
+    assert run_without_cut(script).invalid
+
+
+def test_scrub_op_runs_with_and_without_fault_model():
+    script = [
+        ["write", 0, 1], ["snap_create", "s"],
+        ["write", 1, 2], ["scrub"], ["write", 2, 3],
+    ]
+    assert run_without_cut(script).failures == []
+    plan = FaultPlan(config=correctable_heavy_config(3))
+    outcome = run_without_cut(script, fault_plan=plan)
+    assert not outcome.invalid
+    assert outcome.failures == []
+
+
+def test_write_skewed_is_flagged_clean_and_after_shutdown():
+    flagged = run_without_cut([["write", 5, 7], ["write_skewed", 6, 1]])
+    assert any("lba 6" in f for f in flagged.failures)
+    survived = run_without_cut(
+        [["write_skewed", 6, 1], ["shutdown"]])
+    assert any("lba 6" in f for f in survived.failures)
+
+
+@pytest.mark.parametrize("final_op", [["gc"], ["shutdown"]])
+def test_clean_cell_reopens_after_shutdown(final_op):
+    script = [
+        ["write", 0, 1], ["snap_create", "s"],
+        ["write", 0, 2], final_op,
+    ]
+    outcome = run_without_cut(script)
+    assert not outcome.invalid
+    assert outcome.failures == []

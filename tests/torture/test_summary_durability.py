@@ -58,10 +58,10 @@ def test_log_tail_past_checkpoint_watermark_rebuilds_exact():
     the checkpointed index is now stale relative to the media and the
     recovered device must still be exact and activate correctly."""
     script = _script_with_shutdown()
-    _power, nand, _model, pending = _run(script, None, TortureConfig())
+    _power, run_device, _model, pending = _run(script, None, TortureConfig())
     assert pending is None
 
-    device = _reopen(nand)
+    device = _reopen(run_device.nand)
     _assert_index_exact(device)
     # Move the log tail past the checkpointed watermark, then cut.
     for lba in range(8):
